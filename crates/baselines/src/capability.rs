@@ -1,0 +1,212 @@
+//! The paper's Tab. 2: capability matrix of mainstream GPU sharing
+//! solutions.
+
+/// Implementation layer of a sharing solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImplLayer {
+    Hardware,
+    Driver,
+    UserSpace,
+    UserAndDriver,
+}
+
+/// Reconfiguration cost class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Overhead {
+    Low,
+    Medium,
+    High,
+}
+
+/// One row of Tab. 2.
+#[derive(Debug, Clone)]
+pub struct Capability {
+    pub name: &'static str,
+    pub scheme: &'static str,
+    pub layer: ImplLayer,
+    pub all_nvidia_gpus: bool,
+    pub compute_partitioning: bool,
+    pub vram_bw_partitioning: bool,
+    pub compute_dynamic: bool,
+    pub vram_bw_dynamic: bool,
+    pub reconfig_overhead: Overhead,
+}
+
+/// The full Tab. 2 matrix.
+pub fn capability_matrix() -> Vec<Capability> {
+    use ImplLayer::*;
+    use Overhead::*;
+    vec![
+        Capability {
+            name: "MPS",
+            scheme: "Native",
+            layer: Hardware,
+            all_nvidia_gpus: true,
+            compute_partitioning: true,
+            vram_bw_partitioning: false,
+            compute_dynamic: false,
+            vram_bw_dynamic: false,
+            reconfig_overhead: High,
+        },
+        Capability {
+            name: "MIG",
+            scheme: "Native",
+            layer: Hardware,
+            all_nvidia_gpus: false,
+            compute_partitioning: true,
+            vram_bw_partitioning: true,
+            compute_dynamic: false,
+            vram_bw_dynamic: false,
+            reconfig_overhead: High,
+        },
+        Capability {
+            name: "FGPU",
+            scheme: "Hardware partitioning",
+            layer: Driver,
+            all_nvidia_gpus: false,
+            compute_partitioning: true,
+            vram_bw_partitioning: true,
+            compute_dynamic: false,
+            vram_bw_dynamic: false,
+            reconfig_overhead: High,
+        },
+        Capability {
+            name: "TGS",
+            scheme: "Temporal multiplexing",
+            layer: UserSpace,
+            all_nvidia_gpus: true,
+            compute_partitioning: false,
+            vram_bw_partitioning: false,
+            compute_dynamic: true,
+            vram_bw_dynamic: false,
+            reconfig_overhead: Low,
+        },
+        Capability {
+            name: "Reef",
+            scheme: "Spatial multiplexing",
+            layer: Driver,
+            all_nvidia_gpus: false,
+            compute_partitioning: true,
+            vram_bw_partitioning: false,
+            compute_dynamic: true,
+            vram_bw_dynamic: false,
+            reconfig_overhead: Medium,
+        },
+        Capability {
+            name: "Paella",
+            scheme: "Spatial multiplexing",
+            layer: UserSpace,
+            all_nvidia_gpus: true,
+            compute_partitioning: true,
+            vram_bw_partitioning: false,
+            compute_dynamic: true,
+            vram_bw_dynamic: false,
+            reconfig_overhead: Medium,
+        },
+        Capability {
+            name: "Orion",
+            scheme: "Interference-aware",
+            layer: UserSpace,
+            all_nvidia_gpus: true,
+            compute_partitioning: false,
+            vram_bw_partitioning: false,
+            compute_dynamic: false,
+            vram_bw_dynamic: false,
+            reconfig_overhead: Low,
+        },
+        Capability {
+            name: "KRISP",
+            scheme: "Spatial multiplexing",
+            layer: Driver,
+            all_nvidia_gpus: false,
+            compute_partitioning: true,
+            vram_bw_partitioning: false,
+            compute_dynamic: true,
+            vram_bw_dynamic: false,
+            reconfig_overhead: Low,
+        },
+        Capability {
+            name: "SGDRC",
+            scheme: "Dynamic partitioning",
+            layer: UserAndDriver,
+            all_nvidia_gpus: true,
+            compute_partitioning: true,
+            vram_bw_partitioning: true,
+            compute_dynamic: true,
+            vram_bw_dynamic: true,
+            reconfig_overhead: Low,
+        },
+    ]
+}
+
+/// Renders the matrix as a text table.
+pub fn render_tab2() -> String {
+    let mut out = String::from(
+        "Method          | Scheme                 | All GPUs | CU part | BW part | CU dyn | BW dyn | Overhead\n",
+    );
+    let b = |v: bool| if v { "yes" } else { "no " };
+    for c in capability_matrix() {
+        out.push_str(&format!(
+            "{:<15} | {:<22} | {:<8} | {:<7} | {:<7} | {:<6} | {:<6} | {:?}\n",
+            c.name,
+            c.scheme,
+            b(c.all_nvidia_gpus),
+            b(c.compute_partitioning),
+            b(c.vram_bw_partitioning),
+            b(c.compute_dynamic),
+            b(c.vram_bw_dynamic),
+            c.reconfig_overhead,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgdrc_is_the_only_fully_dynamic_solution() {
+        // Tab. 2's punchline.
+        let m = capability_matrix();
+        let fully_dynamic: Vec<&Capability> = m
+            .iter()
+            .filter(|c| {
+                c.all_nvidia_gpus
+                    && c.compute_partitioning
+                    && c.vram_bw_partitioning
+                    && c.compute_dynamic
+                    && c.vram_bw_dynamic
+            })
+            .collect();
+        assert_eq!(fully_dynamic.len(), 1);
+        assert_eq!(fully_dynamic[0].name, "SGDRC");
+    }
+
+    #[test]
+    fn matrix_has_all_tab2_rows() {
+        let names: Vec<&str> = capability_matrix().iter().map(|c| c.name).collect();
+        for expect in ["MPS", "MIG", "FGPU", "TGS", "Reef", "Paella", "Orion", "KRISP", "SGDRC"] {
+            assert!(names.contains(&expect), "{expect} missing");
+        }
+    }
+
+    #[test]
+    fn only_mig_and_fgpu_partition_bandwidth_besides_sgdrc() {
+        let m = capability_matrix();
+        let bw: Vec<&str> = m
+            .iter()
+            .filter(|c| c.vram_bw_partitioning)
+            .map(|c| c.name)
+            .collect();
+        assert_eq!(bw, vec!["MIG", "FGPU", "SGDRC"]);
+    }
+
+    #[test]
+    fn rendering_contains_every_row() {
+        let r = render_tab2();
+        for c in capability_matrix() {
+            assert!(r.contains(c.name));
+        }
+    }
+}

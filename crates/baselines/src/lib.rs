@@ -1,0 +1,29 @@
+//! # baselines — the GPU sharing systems SGDRC is compared against
+//!
+//! All baselines are re-implemented on the shared serving substrate
+//! (`sgdrc_core::serving`), exactly as the paper re-implemented Orion's
+//! policy inside SGDRC "to ensure a fair comparison" (§9.2):
+//!
+//! * [`multistream`] — two priority streams, full overlap;
+//! * [`tgs`] — temporal multiplexing between two containers with context
+//!   switch costs;
+//! * [`mps`] — two MPS instances with thread-percentage partitioning;
+//! * [`orion`] — interference-aware co-execution with the Res/SM/Runtime
+//!   constraint families (Fig. 5b);
+//! * [`capability`] — the Tab. 2 capability matrix.
+//!
+//! The SGDRC (Static) baseline lives in `sgdrc_core::sgdrc` (it is a
+//! configuration of the SGDRC policy).
+
+pub mod capability;
+pub mod mps;
+pub mod multistream;
+pub mod orion;
+pub mod tgs;
+mod testutil;
+
+pub use capability::{capability_matrix, render_tab2, Capability};
+pub use mps::Mps;
+pub use multistream::MultiStreaming;
+pub use orion::{constraint_census, constraint_flags, ConstraintFlags, Orion, OrionConfig};
+pub use tgs::Tgs;

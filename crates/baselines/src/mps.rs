@@ -1,0 +1,74 @@
+//! NVIDIA MPS baseline (§9.2): the GPU is divided into two MPS instances
+//! via `CUDA_MPS_ACTIVE_THREAD_PERCENTAGE`; LS and BE are served on
+//! separate instances. Thread-level partitioning caps each client's SM
+//! occupancy but "isolates SM resources at thread level without addressing
+//! intra-SM and VRAM channel conflicts" (§9.3) — both clients still share
+//! every SM and every channel.
+
+use exec_sim::{ChannelSet, TpcMask};
+use sgdrc_core::serving::{Policy, ServingState};
+
+/// The MPS policy with a configurable LS thread percentage.
+#[derive(Debug)]
+pub struct Mps {
+    /// Active-thread fraction of the LS instance (BE gets the rest).
+    pub ls_fraction: f64,
+}
+
+impl Default for Mps {
+    fn default() -> Self {
+        // §9.2: the GPU is evenly divided into two instances.
+        Self { ls_fraction: 0.5 }
+    }
+}
+
+impl Policy for Mps {
+    fn name(&self) -> &'static str {
+        "MPS"
+    }
+
+    fn dispatch(&mut self, st: &mut ServingState) {
+        let spec = st.spec().clone();
+        let mask = TpcMask::all(&spec);
+        let channels = ChannelSet::all(&spec);
+        if st.ls_launch.is_none() && st.peek_ls().is_some() {
+            st.launch_ls(mask, channels, self.ls_fraction);
+        }
+        if st.be_launch.is_none() && st.peek_be().is_some() {
+            st.launch_be(mask, channels, 1.0 - self.ls_fraction, f64::INFINITY);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::smoke_scenario;
+    use sgdrc_core::serving::run;
+
+    #[test]
+    fn serves_both_classes() {
+        let sc = smoke_scenario(6_000.0, 200_000.0);
+        let stats = run(&mut Mps::default(), &sc);
+        assert!(!stats.ls_completed[0].is_empty());
+        assert!(stats.be_completed[0] > 0);
+    }
+
+    #[test]
+    fn thread_slicing_inflates_ls_latency_more_than_isolation() {
+        // MPS halves the LS instance's compute even when BE is idle
+        // between kernels, and intra-SM conflicts remain (§9.3).
+        let sc = smoke_scenario(10_000.0, 300_000.0);
+        let stats = run(&mut Mps::default(), &sc);
+        let isolated = sc.ls[0].profile.isolated_e2e_us;
+        let mean: f64 = stats.ls_completed[0]
+            .iter()
+            .map(|r| r.latency_us())
+            .sum::<f64>()
+            / stats.ls_completed[0].len().max(1) as f64;
+        assert!(
+            mean > isolated * 1.2,
+            "thread slicing must cost latency: {mean} vs {isolated}"
+        );
+    }
+}

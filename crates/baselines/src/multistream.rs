@@ -1,0 +1,64 @@
+//! Multi-streaming baseline (§9.2): two CUDA streams, LS at higher
+//! priority, requests forwarded round-robin. Kernels from both streams
+//! co-execute on the full GPU with no resource isolation — maximizing
+//! throughput at the cost of LS tail latency (Fig. 4b, Fig. 17).
+
+use exec_sim::{ChannelSet, TpcMask};
+use sgdrc_core::serving::{Policy, ServingState};
+
+/// The Multi-streaming policy.
+#[derive(Debug, Default)]
+pub struct MultiStreaming;
+
+impl Policy for MultiStreaming {
+    fn name(&self) -> &'static str {
+        "Multi-streaming"
+    }
+
+    fn dispatch(&mut self, st: &mut ServingState) {
+        let spec = st.spec().clone();
+        let mask = TpcMask::all(&spec);
+        let channels = ChannelSet::all(&spec);
+        // Higher-priority LS stream dispatches first.
+        if st.ls_launch.is_none() && st.peek_ls().is_some() {
+            st.launch_ls(mask, channels, 1.0);
+        }
+        // BE stream: launch whenever its previous kernel finished. No
+        // constraints, no isolation — full overlap with the LS kernel.
+        if st.be_launch.is_none() && st.peek_be().is_some() {
+            st.launch_be(mask, channels, 1.0, f64::INFINITY);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::smoke_scenario;
+    use sgdrc_core::serving::run;
+
+    #[test]
+    fn serves_both_classes() {
+        let sc = smoke_scenario(6_000.0, 200_000.0);
+        let stats = run(&mut MultiStreaming, &sc);
+        assert!(!stats.ls_completed[0].is_empty());
+        assert!(stats.be_completed[0] > 0);
+        assert_eq!(stats.be_preemptions, 0, "multi-streaming never preempts");
+    }
+
+    #[test]
+    fn ls_latency_suffers_from_overlap() {
+        // Fig. 4b: spatial multiplexing sacrifices LS latency.
+        let sc = smoke_scenario(8_000.0, 300_000.0);
+        let stats = run(&mut MultiStreaming, &sc);
+        let isolated = sc.ls[0].profile.isolated_e2e_us;
+        let worst = stats.ls_completed[0]
+            .iter()
+            .map(|r| r.latency_us())
+            .fold(0.0f64, f64::max);
+        assert!(
+            worst > isolated * 1.3,
+            "co-execution should inflate LS latency: {worst} vs {isolated}"
+        );
+    }
+}

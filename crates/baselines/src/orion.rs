@@ -1,0 +1,223 @@
+//! Orion's interference-aware scheduling policy (§3.1, §9.2).
+//!
+//! The paper re-implemented Orion's policy inside SGDRC's server "to
+//! ensure a fair comparison"; this module does the same on the shared
+//! serving substrate. Orion co-executes a BE kernel with the running LS
+//! kernel only if the BE kernel is *mildly interfering*, enforcing three
+//! constraint families (Fig. 5b):
+//!
+//! * **Res.** — the BE kernel's compute/bandwidth utilization must leave
+//!   room for the LS kernel (memory-bound thrashers are excluded);
+//! * **SM** — the BE kernel must not demand more SMs than the LS kernel
+//!   leaves idle;
+//! * **Runtime** — the BE kernel must finish within the LS kernel's
+//!   runtime, so it never delays the *next* LS kernel.
+//!
+//! These constraints keep LS latency low but throttle BE throughput as the
+//! LS load grows (Fig. 5a) — the gap SGDRC closes.
+
+use dnn::kernel::KernelDesc;
+use dnn::zoo::Model;
+use exec_sim::{ChannelSet, TpcMask};
+use gpu_spec::GpuSpec;
+use sgdrc_core::profiler::{profile_kernel, KernelProfile};
+use sgdrc_core::serving::{Policy, ServingState};
+
+/// Which constraints a BE kernel violates (Fig. 5b census).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConstraintFlags {
+    /// SM / VRAM bandwidth utilization constraint.
+    pub res: bool,
+    /// Required-SM-count constraint.
+    pub sm: bool,
+    /// Kernel-runtime constraint.
+    pub runtime: bool,
+}
+
+impl ConstraintFlags {
+    pub fn any(&self) -> bool {
+        self.res || self.sm || self.runtime
+    }
+}
+
+/// Orion's tunables (the paper stresses these are all "indispensable").
+#[derive(Debug, Clone)]
+pub struct OrionConfig {
+    /// BE bandwidth demand must stay below this fraction of the GPU.
+    pub res_bw_fraction: f64,
+    /// BE kernels may use at most this fraction of the TPCs while an LS
+    /// kernel is resident.
+    pub sm_fraction: f64,
+    /// BE kernel runtime must not exceed LS kernel runtime × this factor.
+    pub runtime_factor: f64,
+}
+
+impl Default for OrionConfig {
+    fn default() -> Self {
+        Self {
+            res_bw_fraction: 0.40,
+            sm_fraction: 1.0,
+            runtime_factor: 10.0,
+        }
+    }
+}
+
+/// Evaluates the constraint flags of one BE kernel against a reference LS
+/// kernel population (median runtime, typical idle SMs).
+pub fn constraint_flags(
+    be_kernel: &KernelDesc,
+    be_profile: &KernelProfile,
+    spec: &GpuSpec,
+    cfg: &OrionConfig,
+    ls_median_runtime_us: f64,
+) -> ConstraintFlags {
+    let _ = be_kernel;
+    ConstraintFlags {
+        res: be_profile.bandwidth_gbps > cfg.res_bw_fraction * spec.mem_bandwidth_gbps,
+        // The kernel's latency-optimal TPC demand must leave the LS kernel
+        // room on the SMs.
+        sm: (be_profile.min_tpcs as f64) >= cfg.sm_fraction * spec.num_tpcs as f64,
+        runtime: be_profile.isolated_us > ls_median_runtime_us * cfg.runtime_factor,
+    }
+}
+
+/// Fig. 5b: per-kernel constraint census of a BE model against the LS
+/// kernel population of the given LS models.
+pub fn constraint_census(
+    be_model: &Model,
+    ls_models: &[Model],
+    spec: &GpuSpec,
+    cfg: &OrionConfig,
+) -> Vec<ConstraintFlags> {
+    let mut ls_runtimes: Vec<f64> = ls_models
+        .iter()
+        .flat_map(|m| m.kernels.iter())
+        .map(|k| dnn::perf::isolated_runtime_us(k, spec))
+        .collect();
+    ls_runtimes.sort_by(f64::total_cmp);
+    let median = ls_runtimes
+        .get(ls_runtimes.len() / 2)
+        .copied()
+        .unwrap_or(f64::INFINITY);
+    be_model
+        .kernels
+        .iter()
+        .map(|k| constraint_flags(k, &profile_kernel(k, spec), spec, cfg, median))
+        .collect()
+}
+
+/// The Orion scheduling policy.
+pub struct Orion {
+    cfg: OrionConfig,
+}
+
+impl Orion {
+    pub fn new(cfg: OrionConfig) -> Self {
+        Self { cfg }
+    }
+}
+
+impl Default for Orion {
+    fn default() -> Self {
+        Self::new(OrionConfig::default())
+    }
+}
+
+impl Policy for Orion {
+    fn name(&self) -> &'static str {
+        "Orion"
+    }
+
+    fn dispatch(&mut self, st: &mut ServingState) {
+        let spec = st.spec().clone();
+        let all_mask = TpcMask::all(&spec);
+        let all_channels = ChannelSet::all(&spec);
+        // LS kernels run unrestricted, highest priority.
+        if st.ls_launch.is_none() && st.peek_ls().is_some() {
+            st.launch_ls(all_mask, all_channels, 1.0);
+        }
+        // BE kernels co-execute only when mildly interfering.
+        if st.be_launch.is_none() {
+            if let Some((task, kidx)) = st.peek_be() {
+                let be_kernel = st.be_kernel(task, kidx).clone();
+                let be_profile = st.scenario.be[task].profile.kernels[kidx].clone();
+                let allowed = match st.ls_launch {
+                    None => true, // GPU free for BE
+                    Some(ls) => {
+                        let ls_profile =
+                            &st.scenario.ls[ls.task].profile.kernels[ls.kernel_idx];
+                        !constraint_flags(
+                            &be_kernel,
+                            &be_profile,
+                            &spec,
+                            &self.cfg,
+                            ls_profile.isolated_us,
+                        )
+                        .any()
+                    }
+                };
+                if allowed {
+                    st.launch_be(all_mask, all_channels, 1.0, f64::INFINITY);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::smoke_scenario;
+    use dnn::zoo::{build, ModelId};
+    use dnn::CompileOptions;
+    use gpu_spec::GpuModel;
+    use sgdrc_core::serving::run;
+
+    #[test]
+    fn serves_both_classes() {
+        let sc = smoke_scenario(8_000.0, 300_000.0);
+        let stats = run(&mut Orion::default(), &sc);
+        assert!(!stats.ls_completed[0].is_empty());
+        assert!(stats.be_completed[0] > 0);
+    }
+
+    #[test]
+    fn fig5b_most_be_kernels_are_constrained() {
+        // §3.1: "73.8% of their kernels are subjected to at least one
+        // constraint" over BE models I–K.
+        let spec = GpuModel::RtxA2000.spec();
+        let ls_models: Vec<_> = ModelId::ls_models()
+            .iter()
+            .map(|&id| dnn::compile(build(id), &spec, CompileOptions::default()))
+            .collect();
+        let mut constrained = 0usize;
+        let mut total = 0usize;
+        for id in ModelId::be_models() {
+            let be = dnn::compile(build(id), &spec, CompileOptions::default());
+            for f in constraint_census(&be, &ls_models, &spec, &OrionConfig::default()) {
+                total += 1;
+                if f.any() {
+                    constrained += 1;
+                }
+            }
+        }
+        let frac = constrained as f64 / total as f64;
+        assert!(
+            (0.55..0.92).contains(&frac),
+            "constrained fraction {frac} (paper: 73.8%)"
+        );
+    }
+
+    #[test]
+    fn be_throughput_declines_with_ls_load() {
+        // Fig. 5a's shape.
+        let light = smoke_scenario(24_000.0, 800_000.0);
+        let heavy = smoke_scenario(1_000.0, 800_000.0);
+        let be_light = run(&mut Orion::default(), &light).be_completed[0];
+        let be_heavy = run(&mut Orion::default(), &heavy).be_completed[0];
+        assert!(
+            (be_heavy as f64) < be_light as f64 * 0.8,
+            "{be_heavy} vs {be_light}"
+        );
+    }
+}

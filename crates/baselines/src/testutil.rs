@@ -1,0 +1,27 @@
+//! Shared test scenario construction.
+#![cfg(test)]
+
+use dnn::zoo::{build, ModelId};
+use dnn::CompileOptions;
+use gpu_spec::GpuModel;
+use sgdrc_core::serving::{Scenario, Task};
+
+/// The paper's motivating pair (Fig. 4/5): MobileNetV3 (LS) +
+/// DenseNet161 (BE) on the RTX A2000, with periodic LS arrivals.
+pub fn smoke_scenario(arrival_period_us: f64, horizon_us: f64) -> Scenario {
+    let spec = GpuModel::RtxA2000.spec();
+    let ls_model = dnn::compile(build(ModelId::MobileNetV3), &spec, CompileOptions::default());
+    let be_model = dnn::compile(build(ModelId::DenseNet161), &spec, CompileOptions::default());
+    let arrivals: Vec<f64> = (0..)
+        .map(|i| i as f64 * arrival_period_us)
+        .take_while(|&t| t < horizon_us)
+        .collect();
+    Scenario {
+        ls: vec![Task::new(ls_model, &spec)],
+        be: vec![Task::new(be_model, &spec)],
+        ls_instances: 4,
+        arrivals: vec![arrivals],
+        horizon_us,
+        spec,
+    }
+}

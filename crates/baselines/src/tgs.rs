@@ -1,0 +1,142 @@
+//! TGS baseline (§9.2): transparent GPU sharing between two containers —
+//! one LS, one BE — with temporal multiplexing. Only one container's
+//! kernels execute at a time; switching containers pays a CUDA-context
+//! switch penalty, which (together with the serialization itself) causes
+//! TGS's "substantial overhead" and low throughput (§9.3, Fig. 4a).
+
+use exec_sim::{ChannelSet, TpcMask};
+use sgdrc_core::serving::{Policy, ServingState};
+
+/// Which container currently owns the GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Owner {
+    Ls,
+    Be,
+}
+
+/// The TGS temporal-multiplexing policy.
+#[derive(Debug)]
+pub struct Tgs {
+    /// CUDA context switch latency between containers, µs.
+    pub switch_us: f64,
+    /// Minimum residency once the BE container owns the GPU, µs. Models
+    /// the feedback-based rate control (§9.3): TGS adjusts container
+    /// allocations on a coarse feedback period, so LS requests arriving
+    /// during a BE quantum wait it out.
+    pub be_quantum_us: f64,
+    owner: Owner,
+    /// Absolute time until which the GPU is switching contexts.
+    switching_until: Option<f64>,
+    /// Absolute time until which the BE container keeps ownership.
+    be_owns_until: f64,
+    /// Latest time observed in `dispatch` (timers must be in the future).
+    last_seen_now: f64,
+}
+
+impl Default for Tgs {
+    fn default() -> Self {
+        Self {
+            switch_us: 1_000.0,
+            be_quantum_us: 5_000.0,
+            owner: Owner::Ls,
+            switching_until: None,
+            be_owns_until: 0.0,
+            last_seen_now: 0.0,
+        }
+    }
+}
+
+impl Policy for Tgs {
+    fn name(&self) -> &'static str {
+        "TGS"
+    }
+
+    fn next_timer(&self) -> Option<f64> {
+        // Only future deadlines: the quantum expiry matters while the BE
+        // container owns the GPU and LS work may be waiting.
+        match self.switching_until {
+            Some(t) => Some(t),
+            None if self.owner == Owner::Be => Some(self.be_owns_until),
+            None => None,
+        }
+        .filter(|&t| t > self.last_seen_now)
+    }
+
+    fn dispatch(&mut self, st: &mut ServingState) {
+        let now = st.now();
+        self.last_seen_now = now;
+        if let Some(until) = self.switching_until {
+            if now + 1e-9 < until {
+                return; // context switch in progress
+            }
+            self.switching_until = None;
+        }
+        // Desired owner: LS whenever LS work exists, but the BE container
+        // keeps its feedback quantum once granted.
+        let desired = if st.ls_ready() || st.ls_launch.is_some() {
+            if self.owner == Owner::Be && now + 1e-9 < self.be_owns_until {
+                Owner::Be
+            } else {
+                Owner::Ls
+            }
+        } else {
+            Owner::Be
+        };
+        if desired != self.owner {
+            // Wait for the resident kernel to drain, then pay the switch.
+            if st.ls_launch.is_some() || st.be_launch.is_some() {
+                return;
+            }
+            self.switching_until = Some(now + self.switch_us);
+            self.owner = desired;
+            if desired == Owner::Be {
+                self.be_owns_until = now + self.switch_us + self.be_quantum_us;
+            }
+            return;
+        }
+        let spec = st.spec().clone();
+        let mask = TpcMask::all(&spec);
+        let channels = ChannelSet::all(&spec);
+        match self.owner {
+            Owner::Ls => {
+                if st.ls_launch.is_none() && st.peek_ls().is_some() && st.be_launch.is_none() {
+                    st.launch_ls(mask, channels, 1.0);
+                }
+            }
+            Owner::Be => {
+                if st.be_launch.is_none() && st.peek_be().is_some() && st.ls_launch.is_none() {
+                    st.launch_be(mask, channels, 1.0, f64::INFINITY);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::smoke_scenario;
+    use sgdrc_core::serving::run;
+
+    #[test]
+    fn serves_both_classes_exclusively() {
+        let sc = smoke_scenario(8_000.0, 400_000.0);
+        let stats = run(&mut Tgs::default(), &sc);
+        assert!(!stats.ls_completed[0].is_empty());
+        assert!(stats.be_completed[0] > 0, "BE runs in LS idle gaps");
+    }
+
+    #[test]
+    fn be_starves_under_heavy_ls_load() {
+        // Fig. 4a: temporal multiplexing cannot sustain BE throughput when
+        // the LS service is busy.
+        let light = smoke_scenario(20_000.0, 400_000.0);
+        let heavy = smoke_scenario(1_000.0, 400_000.0);
+        let be_light = run(&mut Tgs::default(), &light).be_completed[0];
+        let be_heavy = run(&mut Tgs::default(), &heavy).be_completed[0];
+        assert!(
+            be_heavy * 2 <= be_light.max(1),
+            "heavy LS load must crush BE throughput ({be_heavy} vs {be_light})"
+        );
+    }
+}

@@ -1,0 +1,5 @@
+//! Fig. 10: the physical address bit structure.
+fn main() {
+    sgdrc_bench::header("Fig. 10 — physical address bits");
+    print!("{}", gpu_spec::address::address_bit_diagram());
+}

@@ -1,0 +1,62 @@
+//! Fig. 17: end-to-end evaluation — LS p99 latency, SLO attainment and
+//! normalized throughput for every system on both GPUs and both loads.
+//! Writes machine-readable results to `fig17_results.json`.
+use gpu_spec::GpuModel;
+use workload::runner::{run_cell, Deployment, EndToEndConfig, Load};
+
+fn main() {
+    let mut all = Vec::new();
+    for gpu in GpuModel::testbeds() {
+        let dep = Deployment::new(gpu);
+        for load in [Load::Heavy, Load::Light] {
+            let mut cfg = EndToEndConfig::new(gpu, load);
+            cfg.horizon_us = 4e6;
+            sgdrc_bench::header(&format!("Fig. 17 — {} / {} workload", dep.spec.name, load.name()));
+            let mut results = run_cell(&dep, &cfg);
+            results.sort_by(|a, b| a.system.cmp(&b.system));
+            println!(
+                "{:<16} {:>8} {:>10} {:>10} {:>10}",
+                "system", "SLO att.", "BE tp (s/s)", "overall", "p99 A (µs)"
+            );
+            for r in &results {
+                println!(
+                    "{:<16} {:>8.3} {:>10.1} {:>10.1} {:>10.0}",
+                    r.system,
+                    r.mean_slo_attainment(),
+                    r.total_be_throughput(),
+                    r.overall_throughput_hz,
+                    r.ls[0].p99_latency_us
+                );
+            }
+            println!("\nper-LS-model p99 latency (µs) / SLO attainment:");
+            print!("{:<16}", "system");
+            for m in &results[0].ls {
+                print!(" {:>14}", m.model);
+            }
+            println!();
+            for r in &results {
+                print!("{:<16}", r.system);
+                for m in &r.ls {
+                    print!(" {:>7.0}/{:>5.2}", m.p99_latency_us, m.slo_attainment);
+                }
+                println!();
+            }
+            println!("\nper-BE-model throughput (samples/s):");
+            for r in &results {
+                let row: Vec<String> = r
+                    .be_throughput_hz
+                    .iter()
+                    .map(|(n, t)| format!("{n}={t:.0}"))
+                    .collect();
+                println!("{:<16} {}", r.system, row.join("  "));
+            }
+            all.extend(results);
+        }
+    }
+    std::fs::write(
+        "fig17_results.json",
+        serde_json::to_string_pretty(&all).expect("serialize"),
+    )
+    .expect("write results");
+    println!("\nwrote fig17_results.json");
+}

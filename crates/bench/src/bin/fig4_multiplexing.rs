@@ -1,0 +1,51 @@
+//! Fig. 4: limitations of temporal (TGS-style) and spatial
+//! (multi-streaming) multiplexing as the LS load rises.
+//! LS: MobileNetV3; BE: DenseNet161; testbed model: RTX A2000.
+use baselines::{MultiStreaming, Tgs};
+use dnn::zoo::{build, ModelId};
+use dnn::CompileOptions;
+use gpu_spec::GpuModel;
+use sgdrc_core::serving::{run, Policy, Scenario, Task};
+use workload::metrics::{ls_metrics, slo_for};
+use workload::trace::{generate, TraceConfig};
+
+fn scenario(rate_hz: f64, horizon_us: f64) -> Scenario {
+    let spec = GpuModel::RtxA2000.spec();
+    let ls = dnn::compile(build(ModelId::MobileNetV3), &spec, CompileOptions::default());
+    let be = dnn::compile(build(ModelId::DenseNet161), &spec, CompileOptions::default());
+    let cfg = TraceConfig { mean_rate_hz: rate_hz, ..TraceConfig::apollo_like() };
+    Scenario {
+        ls: vec![Task::new(ls, &spec)],
+        be: vec![Task::new(be, &spec)],
+        ls_instances: 4,
+        arrivals: vec![generate(&cfg, horizon_us, 11)],
+        horizon_us,
+        spec,
+    }
+}
+
+fn row(policy: &mut dyn Policy, rate: f64) -> (f64, f64, f64) {
+    let sc = scenario(rate, 3e6);
+    let stats = run(policy, &sc);
+    let slo = slo_for(sc.ls[0].profile.isolated_e2e_us, 2);
+    let m = ls_metrics("MobileNetV3", &stats.ls_completed[0], slo, sc.horizon_us);
+    let be_tp = stats.be_completed[0] as f64 * sc.be[0].model.batch as f64 / (sc.horizon_us / 1e6);
+    (m.p99_latency_us, m.slo_attainment, be_tp)
+}
+
+fn main() {
+    sgdrc_bench::header("Fig. 4a — temporal multiplexing (TGS-style) vs load");
+    println!("{:>10} {:>12} {:>10} {:>12}", "LS req/s", "p99 (µs)", "SLO att.", "BE (s/s)");
+    for rate in [50.0, 100.0, 200.0, 400.0, 800.0] {
+        let (p99, att, be) = row(&mut Tgs::default(), rate);
+        println!("{rate:>10.0} {p99:>12.0} {att:>10.3} {be:>12.1}");
+    }
+    sgdrc_bench::header("Fig. 4b — spatial multiplexing (multi-streaming) vs load");
+    println!("{:>10} {:>12} {:>10} {:>12}", "LS req/s", "p99 (µs)", "SLO att.", "BE (s/s)");
+    for rate in [50.0, 100.0, 200.0, 400.0, 800.0] {
+        let (p99, att, be) = row(&mut MultiStreaming, rate);
+        println!("{rate:>10.0} {p99:>12.0} {att:>10.3} {be:>12.1}");
+    }
+    println!("\npaper: temporal keeps latency low but starves BE; spatial keeps BE high");
+    println!("but the LS SLO attainment collapses with load.");
+}

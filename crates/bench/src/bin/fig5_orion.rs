@@ -1,0 +1,61 @@
+//! Fig. 5: (a) Orion under rising LS load — SLO attainment holds, BE
+//! throughput declines; (b) the BE-kernel scheduling-constraint census
+//! (paper: 73.8% of BE kernels face ≥1 constraint).
+use baselines::{constraint_census, Orion, OrionConfig};
+use dnn::zoo::{build, ModelId};
+use dnn::CompileOptions;
+use gpu_spec::GpuModel;
+use sgdrc_core::serving::{run, Scenario, Task};
+use workload::metrics::{ls_metrics, slo_for};
+use workload::trace::{generate, TraceConfig};
+
+fn main() {
+    let spec = GpuModel::RtxA2000.spec();
+    sgdrc_bench::header("Fig. 5a — Orion vs LS load (MobileNetV3 + DenseNet161)");
+    println!("{:>10} {:>10} {:>12}", "LS req/s", "SLO att.", "BE (s/s)");
+    let ls = dnn::compile(build(ModelId::MobileNetV3), &spec, CompileOptions::default());
+    let be = dnn::compile(build(ModelId::DenseNet161), &spec, CompileOptions::default());
+    let ls_task = Task::new(ls, &spec);
+    let be_task = Task::new(be, &spec);
+    for rate in [50.0, 100.0, 200.0, 400.0, 800.0] {
+        let horizon = 3e6;
+        let cfg = TraceConfig { mean_rate_hz: rate, ..TraceConfig::apollo_like() };
+        let sc = Scenario {
+            spec: spec.clone(),
+            ls: vec![ls_task.clone()],
+            be: vec![be_task.clone()],
+            ls_instances: 4,
+            arrivals: vec![generate(&cfg, horizon, 13)],
+            horizon_us: horizon,
+        };
+        let stats = run(&mut Orion::default(), &sc);
+        let slo = slo_for(sc.ls[0].profile.isolated_e2e_us, 2);
+        let m = ls_metrics("MobileNetV3", &stats.ls_completed[0], slo, horizon);
+        let be_tp = stats.be_completed[0] as f64 * 8.0 / (horizon / 1e6);
+        println!("{rate:>10.0} {:>10.3} {be_tp:>12.1}", m.slo_attainment);
+    }
+
+    sgdrc_bench::header("Fig. 5b — BE kernel constraint census (models I-K)");
+    let ls_models: Vec<_> = ModelId::ls_models()
+        .iter()
+        .map(|&id| dnn::compile(build(id), &spec, CompileOptions::default()))
+        .collect();
+    let mut total = 0usize;
+    let mut any = 0usize;
+    println!("{:<14} {:>8} {:>6} {:>6} {:>8} {:>6}", "model", "kernels", "Res.", "SM", "Runtime", "any");
+    for id in ModelId::be_models() {
+        let bem = dnn::compile(build(id), &spec, CompileOptions::default());
+        let census = constraint_census(&bem, &ls_models, &spec, &OrionConfig::default());
+        let res = census.iter().filter(|f| f.res).count();
+        let sm = census.iter().filter(|f| f.sm).count();
+        let rt = census.iter().filter(|f| f.runtime).count();
+        let a = census.iter().filter(|f| f.any()).count();
+        println!("{:<14} {:>8} {:>6} {:>6} {:>8} {:>6}", id.name(), census.len(), res, sm, rt, a);
+        total += census.len();
+        any += a;
+    }
+    println!(
+        "\nconstrained BE kernels: {:.1}% (paper: 73.8%)",
+        any as f64 / total as f64 * 100.0
+    );
+}

@@ -1,0 +1,38 @@
+//! Fig. 8 / Fig. 19: VRAM channel permutations recovered by latency-only
+//! marking of a physically contiguous region on both GPUs.
+use gpu_spec::GpuModel;
+use mem_sim::GpuDevice;
+use reveng::{align_classes, analyze, render_fig8, ChannelMarker, MarkerConfig};
+
+fn main() {
+    for (model, window_bytes, mark_partitions) in [
+        (GpuModel::RtxA2000, 96u64 << 20, 12 * 12 * 4usize),
+        (GpuModel::TeslaP40, 192 << 20, 24 * 24 * 2),
+    ] {
+        sgdrc_bench::header(&format!("Fig. 8 — channel permutations on {}", model.name()));
+        let mut dev = GpuDevice::new(model, window_bytes, 2025);
+        let mut marker = ChannelMarker::new(&mut dev, MarkerConfig::default()).expect("marker");
+        let (start, len) = marker.longest_contiguous_run();
+        let count = mark_partitions.min(len);
+        println!("marking {count} contiguous partitions (latency probes only)...");
+        let labels = marker.mark_indexed(start, count).expect("marking");
+        let report = analyze(&labels);
+        println!(
+            "channels={} block={}KiB groups={} window={} patterns/group={:?} uniformity={:.2}",
+            report.num_channels,
+            report.block_size,
+            report.groups.len(),
+            report.window,
+            report.patterns_per_group,
+            report.uniformity_ratio()
+        );
+        for g in 0..report.groups.len() {
+            println!("group {g} ({:?}):", report.groups[g]);
+            print!("{}", render_fig8(&report, g));
+        }
+        // Verification against the oracle (not used by the pipeline).
+        let hash = model.channel_hash();
+        let (_, acc) = align_classes(&labels, |pa| hash.channel_of(pa), hash.num_channels());
+        println!("oracle agreement of the marking: {:.2}%", acc * 100.0);
+    }
+}

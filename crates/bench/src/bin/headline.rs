@@ -1,0 +1,52 @@
+//! The paper's headline numbers, derived from the Fig. 17 experiment:
+//! highest SLO attainment (paper: 99.0% average), overall throughput up to
+//! 1.47× Orion's and BE throughput up to 2.36× Orion's.
+use gpu_spec::GpuModel;
+use workload::runner::{run_cell, Deployment, EndToEndConfig, Load};
+
+fn main() {
+    let mut sgdrc_att = Vec::new();
+    let mut overall_gain = Vec::new();
+    let mut be_gain = Vec::new();
+    for gpu in GpuModel::testbeds() {
+        let dep = Deployment::new(gpu);
+        for load in [Load::Heavy, Load::Light] {
+            let mut cfg = EndToEndConfig::new(gpu, load);
+            cfg.horizon_us = 4e6;
+            let results = run_cell(&dep, &cfg);
+            let sgdrc = results.iter().find(|r| r.system == "SGDRC").expect("SGDRC ran");
+            let orion = results.iter().find(|r| r.system == "Orion").expect("Orion ran");
+            sgdrc_att.push(sgdrc.mean_slo_attainment());
+            overall_gain.push(sgdrc.overall_throughput_hz / orion.overall_throughput_hz);
+            // Per-BE-model gain (the paper's "up to" is over models).
+            for ((name, s), (_, o)) in sgdrc.be_throughput_hz.iter().zip(&orion.be_throughput_hz) {
+                if *o > 0.0 {
+                    be_gain.push((format!("{}/{}/{name}", dep.spec.name, load.name()), s / o));
+                }
+            }
+            // Best system by attainment in this cell:
+            let best = results
+                .iter()
+                .max_by(|a, b| a.mean_slo_attainment().total_cmp(&b.mean_slo_attainment()))
+                .expect("results");
+            println!(
+                "{} / {:<5}: best attainment = {} ({:.3}); SGDRC overall/Orion = {:.2}x",
+                dep.spec.name,
+                load.name(),
+                best.system,
+                best.mean_slo_attainment(),
+                sgdrc.overall_throughput_hz / orion.overall_throughput_hz
+            );
+        }
+    }
+    sgdrc_bench::header("headline numbers (paper values in parentheses)");
+    let mean_att = sgdrc_att.iter().sum::<f64>() / sgdrc_att.len() as f64;
+    println!("SGDRC mean SLO attainment: {:.1}% (paper: 99.0%)", mean_att * 100.0);
+    let max_overall = overall_gain.iter().cloned().fold(0.0f64, f64::max);
+    println!("overall throughput vs Orion: up to {max_overall:.2}x (paper: up to 1.47x)");
+    let (at, max_be) = be_gain
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("gains");
+    println!("BE throughput vs Orion: up to {max_be:.2}x at {at} (paper: up to 2.36x)");
+}

@@ -1,0 +1,44 @@
+//! §3.2 / Fig. 11: FGPU's pure-XOR reverse engineering — works on the
+//! GTX 1080, fails on non-power-of-2 GPUs, poisoned by one noisy sample.
+use gpu_spec::GpuModel;
+use reveng::fgpu::{solve_xor_hash, FgpuOutcome};
+use reveng::learner::{oracle_test_set, synthetic_samples};
+
+fn main() {
+    sgdrc_bench::header("§3.2 — FGPU's XOR-solver on three GPUs (clean samples)");
+    for (model, channels) in [
+        (GpuModel::Gtx1080, 8u16),
+        (GpuModel::TeslaP40, 12),
+        (GpuModel::RtxA2000, 6),
+    ] {
+        let oracle = model.channel_hash();
+        let train = synthetic_samples(oracle.as_ref(), 1 << 22, 4096, 0.0, 3);
+        match solve_xor_hash(&train, channels) {
+            FgpuOutcome::Solved(m) => {
+                let test = oracle_test_set(oracle.as_ref(), 1 << 22, 4096, 4);
+                println!("{:<10}: solved, accuracy {:.2}%", model.name(), m.accuracy(&test) * 100.0);
+            }
+            FgpuOutcome::Inconsistent { channel_bit, samples_consumed } => {
+                println!(
+                    "{:<10}: INCONSISTENT (channel bit {channel_bit} after {samples_consumed} samples) — not a pure XOR hash",
+                    model.name()
+                );
+            }
+        }
+    }
+    sgdrc_bench::header("Fig. 11 — noise poisoning on the GTX 1080");
+    for noise in [0.0, 0.0005, 0.01, 0.05] {
+        let oracle = GpuModel::Gtx1080.channel_hash();
+        let train = synthetic_samples(oracle.as_ref(), 1 << 22, 4096, noise, 5);
+        let verdict = match solve_xor_hash(&train, 8) {
+            FgpuOutcome::Solved(m) => {
+                let test = oracle_test_set(oracle.as_ref(), 1 << 22, 4096, 6);
+                format!("solved, accuracy {:.2}%", m.accuracy(&test) * 100.0)
+            }
+            FgpuOutcome::Inconsistent { samples_consumed, .. } => {
+                format!("inconsistent after {samples_consumed} samples")
+            }
+        };
+        println!("label noise {:>5.2}%: {verdict}", noise * 100.0);
+    }
+}

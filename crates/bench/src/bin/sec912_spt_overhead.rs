@@ -1,0 +1,44 @@
+//! §9.1.2: shadow-page-table overheads — per-kernel runtime (paper: 2.9%
+//! average) and end-to-end inference (~0.5%).
+use dnn::zoo::{build, ModelId};
+use dnn::CompileOptions;
+use gpu_spec::GpuModel;
+
+fn main() {
+    for gpu in GpuModel::testbeds() {
+        let spec = gpu.spec();
+        sgdrc_bench::header(&format!("§9.1.2 — SPT overhead on {}", spec.name));
+        let mut kernel_overheads = Vec::new();
+        let mut e2e_overheads = Vec::new();
+        for id in ModelId::all() {
+            let plain = dnn::compile(
+                build(id),
+                &spec,
+                CompileOptions { coloring: false, ..Default::default() },
+            );
+            let colored = dnn::compile(build(id), &spec, CompileOptions::default());
+            let mut plain_e2e = 0.0;
+            let mut colored_e2e = 0.0;
+            for (kp, kc) in plain.kernels.iter().zip(&colored.kernels) {
+                let tp = dnn::isolated_runtime_us(kp, &spec);
+                let tc = dnn::isolated_runtime_us(kc, &spec);
+                plain_e2e += tp;
+                colored_e2e += tc;
+                if kc.colored {
+                    kernel_overheads.push(tc / tp - 1.0);
+                }
+            }
+            e2e_overheads.push(colored_e2e / plain_e2e - 1.0);
+        }
+        let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        println!(
+            "transformed kernels: {} | mean kernel overhead {:.2}% (paper: 2.9%)",
+            kernel_overheads.len(),
+            mean(&kernel_overheads) * 100.0
+        );
+        println!(
+            "mean end-to-end overhead {:.2}% (paper: ~0.5%)",
+            mean(&e2e_overheads) * 100.0
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! Tab. 1: VRAM size, bus width and channel counts of the three GPUs.
+use gpu_spec::GpuModel;
+
+fn main() {
+    sgdrc_bench::header("Tab. 1 — GPU specifications");
+    for m in GpuModel::all() {
+        println!("{}", m.spec().tab1_row());
+    }
+    println!("\nCross-validation: channels = bus width / per-GDDR width");
+    for m in GpuModel::all() {
+        let s = m.spec();
+        println!(
+            "{:<10}: {} / {} = {} (spec lists {})",
+            s.name,
+            s.vram_bus_width_bits,
+            s.bus_width_per_gddr_bits,
+            s.channels_from_bus_width(),
+            s.num_channels
+        );
+    }
+}

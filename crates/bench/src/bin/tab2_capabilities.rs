@@ -1,0 +1,5 @@
+//! Tab. 2: capability matrix of mainstream GPU sharing solutions.
+fn main() {
+    sgdrc_bench::header("Tab. 2 — GPU sharing solutions");
+    print!("{}", baselines::render_tab2());
+}

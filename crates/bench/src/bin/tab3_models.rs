@@ -1,0 +1,29 @@
+//! Tab. 3: the testing DNN models with derived statistics.
+use dnn::zoo::full_zoo;
+use gpu_spec::GpuModel;
+
+fn main() {
+    sgdrc_bench::header("Tab. 3 — testing DNN models");
+    let spec = GpuModel::RtxA2000.spec();
+    println!(
+        "{:<3} {:<16} {:<5} {:>5} {:>8} {:>9} {:>10} {:>12}",
+        "ID", "Model", "Class", "Batch", "Kernels", "Params(M)", "GFLOPs", "e2e A2000(µs)"
+    );
+    for m in full_zoo() {
+        let e2e: f64 = m.kernels.iter().map(|k| dnn::isolated_runtime_us(k, &spec)).sum();
+        println!(
+            "{:<3} {:<16} {:<5} {:>5} {:>8} {:>9.1} {:>10.2} {:>12.0}",
+            m.id.letter(),
+            m.id.name(),
+            match m.class() {
+                coloring::TaskClass::Ls => "LS",
+                coloring::TaskClass::Be => "BE",
+            },
+            m.batch,
+            m.kernels.len(),
+            m.weight_bytes() as f64 / 4e6,
+            m.total_flops() / 1e9,
+            e2e
+        );
+    }
+}

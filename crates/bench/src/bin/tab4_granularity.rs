@@ -1,0 +1,23 @@
+//! Tab. 4 + §A.3: coloring granularities and the allocation rules.
+use coloring::{granularity_for_allocation, valid_granularities};
+use gpu_spec::GpuModel;
+
+fn main() {
+    sgdrc_bench::header("Tab. 4 — coloring granularities");
+    for m in GpuModel::all() {
+        println!("{}", m.spec().tab4_row());
+    }
+    sgdrc_bench::header("§A.3 — granularity per allocated channel count");
+    for m in GpuModel::all() {
+        let spec = m.spec();
+        let valid: Vec<String> = valid_granularities(&spec)
+            .iter()
+            .map(|g| format!("{} KiB", g.0))
+            .collect();
+        println!("{:<10} valid granularities: {}", spec.name, valid.join(", "));
+        for ch in 1..=spec.num_channels {
+            let g = granularity_for_allocation(&spec, ch);
+            println!("  {ch:>2} channels -> {} KiB", g.0);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! # sgdrc-bench — figure/table regeneration and micro-benchmarks
+//!
+//! One binary per paper artefact (see DESIGN.md's per-experiment index):
+//! `cargo run --release -p sgdrc-bench --bin <target>`. Criterion
+//! micro-benchmarks live in `benches/`.
+
+/// Prints a section header in a uniform style.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}

@@ -1,0 +1,250 @@
+//! Bimodal tensors — dynamic VRAM bandwidth scaling (paper §7.2, Fig. 14).
+//!
+//! SGDRC keeps **two copies** of every memory-bound BE *weight* tensor:
+//! one mapped to all VRAM channels, one mapped to the `Ch_BE` subset. The
+//! copy a kernel receives depends on the serving mode:
+//!
+//! * **Monopolization** (LS queue empty): everything maps to all channels,
+//!   BE enjoys the full bandwidth.
+//! * **Colocation** (LS kernels present): memory-bound BE tensors map to
+//!   the `Ch_BE` channels, isolating the LS channels.
+//!
+//! LS memory-bound tensors have a single copy that is *moved* between the
+//! all-channel pool and the LS-channel pool (moving = remapping, cheap).
+//! Intermediate tensors are reused aggressively to cap the footprint
+//! (Fig. 16); the reuse planner lives in [`crate::reuse`].
+
+use serde::{Deserialize, Serialize};
+
+/// Task class of the tensor's owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskClass {
+    /// Latency-sensitive, high priority.
+    Ls,
+    /// Best-effort, low priority.
+    Be,
+}
+
+/// Role of a tensor inside the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TensorRole {
+    /// Model weights: persistent, read-only, allocated once.
+    Weight,
+    /// Intermediate activations: producer/consumer within one inference.
+    Intermediate,
+    /// Network input / final output buffers.
+    Io,
+}
+
+/// A tensor descriptor as seen by the allocator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TensorDesc {
+    pub name: String,
+    pub bytes: u64,
+    pub role: TensorRole,
+    /// Whether a memory-bound kernel accesses this tensor (offline
+    /// profiling, §6).
+    pub memory_bound: bool,
+    /// Index of the first kernel that reads or writes the tensor.
+    pub first_use: usize,
+    /// Index of the last kernel that reads or writes the tensor.
+    pub last_use: usize,
+}
+
+/// Serving mode (Fig. 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mode {
+    /// No colocated LS work: all channels available.
+    Monopolization,
+    /// LS and BE colocated: BE restricted to `Ch_BE`.
+    Colocation,
+}
+
+/// Which physical copy / mapping a kernel argument should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopySelection {
+    /// The copy mapped across all VRAM channels.
+    AllChannels,
+    /// The copy mapped to the task's channel subset.
+    Restricted,
+}
+
+/// Per-tensor placement plan produced by [`plan_tensors`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TensorPlan {
+    pub name: String,
+    pub bytes: u64,
+    /// Maintain a second, channel-restricted copy (BE memory-bound weights
+    /// and outputs: "2 copies", §7.2).
+    pub dual_copy: bool,
+    /// Movable single copy (LS memory-bound tensors: remapped on demand).
+    pub movable: bool,
+}
+
+/// Decides copy strategy for every tensor of a task (Fig. 14's rules).
+pub fn plan_tensors(class: TaskClass, tensors: &[TensorDesc]) -> Vec<TensorPlan> {
+    tensors
+        .iter()
+        .map(|t| {
+            let (dual, movable) = match (class, t.memory_bound, t.role) {
+                // BE memory-bound weights keep two copies for fast scaling.
+                (TaskClass::Be, true, TensorRole::Weight) => (true, false),
+                // BE memory-bound intermediates/outputs follow the mode of
+                // the kernel that produces them — single copy, mapped per
+                // state at allocation time (they are short-lived).
+                (TaskClass::Be, true, _) => (false, false),
+                // LS memory-bound tensors: one copy, moved between pools.
+                (TaskClass::Ls, true, _) => (false, true),
+                // Non-memory-bound tensors never pay for isolation.
+                _ => (false, false),
+            };
+            TensorPlan {
+                name: t.name.clone(),
+                bytes: t.bytes,
+                dual_copy: dual,
+                movable,
+            }
+        })
+        .collect()
+}
+
+/// Copy selection for a kernel argument under a serving mode (Fig. 14).
+pub fn select_copy(mode: Mode, plan: &TensorPlan, class: TaskClass) -> CopySelection {
+    match (mode, class) {
+        // Monopolization: everyone uses the all-channel mapping.
+        (Mode::Monopolization, _) => CopySelection::AllChannels,
+        // Colocation: BE memory-bound tensors restrict to Ch_BE; LS
+        // memory-bound tensors restrict to the LS channels (their movable
+        // copy has been moved).
+        (Mode::Colocation, TaskClass::Be) if plan.dual_copy || plan.movable => {
+            CopySelection::Restricted
+        }
+        (Mode::Colocation, TaskClass::Be) => {
+            // Single-copy memory-bound BE intermediates are allocated in
+            // the restricted pool while colocated.
+            if plan.bytes > 0 && !plan.dual_copy && !plan.movable {
+                CopySelection::AllChannels
+            } else {
+                CopySelection::Restricted
+            }
+        }
+        (Mode::Colocation, TaskClass::Ls) if plan.movable => CopySelection::Restricted,
+        (Mode::Colocation, TaskClass::Ls) => CopySelection::AllChannels,
+    }
+}
+
+/// VRAM footprint of a tensor set under a copy plan (Fig. 16's metric).
+/// `reuse_factor` is the intermediate-tensor footprint after buffer reuse
+/// (bytes), computed by the reuse planner; pass the raw sum to model
+/// "reuse disabled".
+pub fn vram_footprint(
+    plans: &[TensorPlan],
+    tensors: &[TensorDesc],
+    reused_intermediate_bytes: u64,
+) -> u64 {
+    let weights_io: u64 = tensors
+        .iter()
+        .zip(plans)
+        .filter(|(t, _)| t.role != TensorRole::Intermediate)
+        .map(|(t, p)| if p.dual_copy { 2 * t.bytes } else { t.bytes })
+        .sum();
+    // Intermediates never dual-copy; their footprint is the reuse plan's.
+    // A second copy of the *reused arena* is still needed for bimodal
+    // switching of memory-bound intermediates, which the planner accounts
+    // for by sizing the arena per channel-set.
+    weights_io + reused_intermediate_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(name: &str, bytes: u64, role: TensorRole, mb: bool) -> TensorDesc {
+        TensorDesc {
+            name: name.into(),
+            bytes,
+            role,
+            memory_bound: mb,
+            first_use: 0,
+            last_use: 1,
+        }
+    }
+
+    #[test]
+    fn be_memory_bound_weights_get_two_copies() {
+        let tensors = vec![
+            t("w0", 100, TensorRole::Weight, true),
+            t("w1", 100, TensorRole::Weight, false),
+            t("a0", 100, TensorRole::Intermediate, true),
+        ];
+        let plans = plan_tensors(TaskClass::Be, &tensors);
+        assert!(plans[0].dual_copy);
+        assert!(!plans[1].dual_copy, "non-memory-bound weights: one copy");
+        assert!(!plans[2].dual_copy, "intermediates: one copy");
+    }
+
+    #[test]
+    fn ls_memory_bound_tensors_are_movable() {
+        let tensors = vec![
+            t("w0", 100, TensorRole::Weight, true),
+            t("w1", 100, TensorRole::Weight, false),
+        ];
+        let plans = plan_tensors(TaskClass::Ls, &tensors);
+        assert!(plans[0].movable && !plans[0].dual_copy);
+        assert!(!plans[1].movable);
+    }
+
+    #[test]
+    fn monopolization_uses_all_channels() {
+        let tensors = vec![t("w0", 100, TensorRole::Weight, true)];
+        let plans = plan_tensors(TaskClass::Be, &tensors);
+        assert_eq!(
+            select_copy(Mode::Monopolization, &plans[0], TaskClass::Be),
+            CopySelection::AllChannels
+        );
+    }
+
+    #[test]
+    fn colocation_restricts_be_weights() {
+        let tensors = vec![t("w0", 100, TensorRole::Weight, true)];
+        let plans = plan_tensors(TaskClass::Be, &tensors);
+        assert_eq!(
+            select_copy(Mode::Colocation, &plans[0], TaskClass::Be),
+            CopySelection::Restricted
+        );
+    }
+
+    #[test]
+    fn colocation_moves_ls_tensors_to_ls_channels() {
+        let tensors = vec![t("w0", 100, TensorRole::Weight, true)];
+        let plans = plan_tensors(TaskClass::Ls, &tensors);
+        assert_eq!(
+            select_copy(Mode::Colocation, &plans[0], TaskClass::Ls),
+            CopySelection::Restricted
+        );
+    }
+
+    #[test]
+    fn non_memory_bound_ls_stays_on_all_channels() {
+        let tensors = vec![t("w0", 100, TensorRole::Weight, false)];
+        let plans = plan_tensors(TaskClass::Ls, &tensors);
+        assert_eq!(
+            select_copy(Mode::Colocation, &plans[0], TaskClass::Ls),
+            CopySelection::AllChannels
+        );
+    }
+
+    #[test]
+    fn footprint_doubles_without_dual_copy_only_for_duals() {
+        let tensors = vec![
+            t("w0", 100, TensorRole::Weight, true),
+            t("w1", 50, TensorRole::Weight, false),
+            t("a0", 200, TensorRole::Intermediate, true),
+        ];
+        let plans = plan_tensors(TaskClass::Be, &tensors);
+        // Reuse disabled: intermediates cost their raw sum.
+        assert_eq!(vram_footprint(&plans, &tensors, 200), 2 * 100 + 50 + 200);
+        // Reuse shrinks only the intermediate share.
+        assert_eq!(vram_footprint(&plans, &tensors, 80), 2 * 100 + 50 + 80);
+    }
+}

@@ -1,0 +1,140 @@
+//! Coloring-granularity rules (paper Tab. 4 and §A.3).
+//!
+//! * Minimum coloring granularity = channel-partition size (1 KiB).
+//! * Maximum coloring granularity = (max # contiguous VRAM channels) KiB —
+//!   the block size `g` of the permutation layout.
+//! * Allocating `2^N` channels to a task ⇒ granularity
+//!   `min(2^N, max granularity)` KiB; a non-power-of-two channel count
+//!   forces 1 KiB granularity.
+
+use gpu_spec::GpuSpec;
+
+/// A coloring granularity in KiB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GranularityKib(pub u32);
+
+impl GranularityKib {
+    pub fn bytes(self) -> u64 {
+        self.0 as u64 * 1024
+    }
+}
+
+/// Valid coloring granularities for a GPU: every power of two from the
+/// minimum to the maximum (Tab. 4).
+pub fn valid_granularities(spec: &GpuSpec) -> Vec<GranularityKib> {
+    let mut out = Vec::new();
+    let mut g = spec.min_coloring_granularity_kib;
+    while g <= spec.max_coloring_granularity_kib {
+        out.push(GranularityKib(g));
+        g *= 2;
+    }
+    out
+}
+
+/// §A.3 rule: granularity when allocating `channels` channels to one task.
+pub fn granularity_for_allocation(spec: &GpuSpec, channels: u16) -> GranularityKib {
+    assert!(channels >= 1 && channels <= spec.num_channels);
+    if channels.is_power_of_two() {
+        GranularityKib((channels as u32).min(spec.max_coloring_granularity_kib))
+    } else {
+        GranularityKib(spec.min_coloring_granularity_kib)
+    }
+}
+
+/// Sectors per 4 KiB page at a given granularity.
+pub fn sectors_per_page(gran: GranularityKib) -> u32 {
+    4096 / (gran.0 * 1024)
+}
+
+/// The channel split used by SGDRC: `ch_be` of the channels (by count,
+/// rounded to whole groups) go to BE tasks, the rest to LS tasks. The
+/// paper tunes `Ch_BE = 1/3` and fixes the granularity at 2 KiB (§6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelSplit {
+    /// Channels reserved for best-effort (colocation state).
+    pub be_channels: Vec<u16>,
+    /// Channels reserved for latency-sensitive tasks.
+    pub ls_channels: Vec<u16>,
+}
+
+/// Splits channels along group boundaries so that a whole number of
+/// `contiguous_channels`-sized groups goes to BE.
+pub fn split_channels(spec: &GpuSpec, ch_be: f64) -> ChannelSplit {
+    assert!((0.0..1.0).contains(&ch_be));
+    let group = spec.contiguous_channels.max(1);
+    let groups = spec.num_channels / group;
+    let be_groups = ((groups as f64 * ch_be).round() as u16).clamp(0, groups.saturating_sub(1));
+    let be_channels: Vec<u16> = (0..be_groups * group).collect();
+    let ls_channels: Vec<u16> = (be_groups * group..spec.num_channels).collect();
+    ChannelSplit {
+        be_channels,
+        ls_channels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_spec::GpuModel;
+
+    #[test]
+    fn tab4_valid_granularities() {
+        let p40 = GpuModel::TeslaP40.spec();
+        assert_eq!(
+            valid_granularities(&p40),
+            vec![GranularityKib(1), GranularityKib(2), GranularityKib(4)]
+        );
+        let a2000 = GpuModel::RtxA2000.spec();
+        assert_eq!(
+            valid_granularities(&a2000),
+            vec![GranularityKib(1), GranularityKib(2)]
+        );
+    }
+
+    #[test]
+    fn a3_rules() {
+        let p40 = GpuModel::TeslaP40.spec();
+        // 2^N channels: min(2^N, max granularity).
+        assert_eq!(granularity_for_allocation(&p40, 2), GranularityKib(2));
+        assert_eq!(granularity_for_allocation(&p40, 4), GranularityKib(4));
+        assert_eq!(granularity_for_allocation(&p40, 8), GranularityKib(4));
+        // Non-power-of-two: only 1 KiB.
+        assert_eq!(granularity_for_allocation(&p40, 3), GranularityKib(1));
+        assert_eq!(granularity_for_allocation(&p40, 12), GranularityKib(1));
+    }
+
+    #[test]
+    fn sectors_per_page_inverts_granularity() {
+        assert_eq!(sectors_per_page(GranularityKib(1)), 4);
+        assert_eq!(sectors_per_page(GranularityKib(2)), 2);
+        assert_eq!(sectors_per_page(GranularityKib(4)), 1);
+    }
+
+    #[test]
+    fn paper_split_one_third_a2000() {
+        // §6: Ch_BE = 1/3 ⇒ one of the three groups (2 of 6 channels).
+        let spec = GpuModel::RtxA2000.spec();
+        let split = split_channels(&spec, 1.0 / 3.0);
+        assert_eq!(split.be_channels, vec![0, 1]);
+        assert_eq!(split.ls_channels, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn paper_split_one_third_p40() {
+        let spec = GpuModel::TeslaP40.spec();
+        let split = split_channels(&spec, 1.0 / 3.0);
+        assert_eq!(split.be_channels.len(), 4);
+        assert_eq!(split.ls_channels.len(), 8);
+        // Split respects group boundaries.
+        assert_eq!(split.be_channels, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn split_never_starves_ls() {
+        for model in GpuModel::all() {
+            let spec = model.spec();
+            let split = split_channels(&spec, 0.9);
+            assert!(!split.ls_channels.is_empty(), "{}", spec.name);
+        }
+    }
+}

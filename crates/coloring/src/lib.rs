@@ -1,0 +1,38 @@
+//! # coloring — fine-grained software cache coloring and bimodal tensors
+//!
+//! Implements SGDRC's VRAM-bandwidth partitioning machinery (paper §6 and
+//! §7.2):
+//!
+//! * [`granularity`] — Tab. 4 / §A.3 coloring-granularity rules and the
+//!   `Ch_BE` channel split;
+//! * [`driver`] — the shadow-page-table pool inside the simulated
+//!   `nvidia-uvm`: per-(color, sector) chunk lists over a reserved physical
+//!   region, colored allocation, page-table entry emission (Fig. 12a);
+//! * [`transform`] — the kernel index transformation (Fig. 12b/c) with its
+//!   measured cost model (2 int ops / 8 cycles per access, ≈2.9% kernel
+//!   overhead, Fig. 15b register distribution);
+//! * [`bimodal`] — dual-copy BE weight tensors, movable LS tensors and the
+//!   monopolization/colocation mode logic (Fig. 14);
+//! * [`reuse`] — the liveness-based intermediate-tensor reuse planner that
+//!   keeps bimodal footprints in check (Fig. 16).
+
+pub mod bimodal;
+pub mod driver;
+pub mod granularity;
+pub mod reuse;
+pub mod transform;
+
+pub use bimodal::{
+    plan_tensors, select_copy, vram_footprint, CopySelection, Mode, TaskClass, TensorDesc,
+    TensorPlan, TensorRole,
+};
+pub use driver::{Chunk, Color, ColoredAlloc, ColoredPool, PoolError};
+pub use granularity::{
+    granularity_for_allocation, sectors_per_page, split_channels, valid_granularities,
+    ChannelSplit, GranularityKib,
+};
+pub use reuse::{no_reuse_bytes, plan_reuse, Interval, ReusePlan};
+pub use transform::{
+    extra_registers, runtime_overhead_fraction, translate_offset, untranslate_offset,
+    TransformCost, TRANSFORM_COST,
+};

@@ -1,0 +1,192 @@
+//! Intermediate-tensor reuse planner (paper §7.2, Fig. 16).
+//!
+//! "To further minimize extra memory usage introduced by tensor copies,
+//! SGDRC fully reuses tensors storing intermediate results." This module
+//! implements the classic liveness-interval buffer-sharing pass: tensors
+//! whose `[first_use, last_use]` intervals do not overlap may share a
+//! buffer; each buffer is sized to its largest resident.
+
+/// A liveness interval: `[start, end]` inclusive, in kernel-index units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    pub start: usize,
+    pub end: usize,
+    pub bytes: u64,
+}
+
+/// Result of the planning pass.
+#[derive(Debug, Clone)]
+pub struct ReusePlan {
+    /// `assignment[i]` = buffer index for interval `i`.
+    pub assignment: Vec<usize>,
+    /// Size of each shared buffer.
+    pub buffer_bytes: Vec<u64>,
+}
+
+impl ReusePlan {
+    /// Total bytes of the shared arena.
+    pub fn total_bytes(&self) -> u64 {
+        self.buffer_bytes.iter().sum()
+    }
+}
+
+/// Greedy linear-scan buffer sharing: process intervals by start, place
+/// each into the free buffer wasting the least space (best fit), opening a
+/// new buffer when none is free.
+pub fn plan_reuse(intervals: &[Interval]) -> ReusePlan {
+    let mut order: Vec<usize> = (0..intervals.len()).collect();
+    order.sort_by_key(|&i| (intervals[i].start, intervals[i].end));
+
+    let mut assignment = vec![usize::MAX; intervals.len()];
+    let mut buffer_bytes: Vec<u64> = Vec::new();
+    // For each buffer: the end of its current resident's interval.
+    let mut busy_until: Vec<Option<usize>> = Vec::new();
+
+    for &i in &order {
+        let iv = intervals[i];
+        // Free any buffer whose resident ended before this start.
+        for b in busy_until.iter_mut() {
+            if let Some(end) = *b {
+                if end < iv.start {
+                    *b = None;
+                }
+            }
+        }
+        // Best fit among free buffers: smallest buffer that is ≥ size, else
+        // the largest free buffer (growing it minimally).
+        let mut candidate: Option<usize> = None;
+        for (bi, b) in busy_until.iter().enumerate() {
+            if b.is_none() {
+                candidate = match candidate {
+                    None => Some(bi),
+                    Some(prev) => {
+                        let pb = buffer_bytes[prev];
+                        let cb = buffer_bytes[bi];
+                        let fits_prev = pb >= iv.bytes;
+                        let fits_cur = cb >= iv.bytes;
+                        Some(match (fits_prev, fits_cur) {
+                            (true, true) => {
+                                if cb < pb {
+                                    bi
+                                } else {
+                                    prev
+                                }
+                            }
+                            (true, false) => prev,
+                            (false, true) => bi,
+                            (false, false) => {
+                                if cb > pb {
+                                    bi
+                                } else {
+                                    prev
+                                }
+                            }
+                        })
+                    }
+                };
+            }
+        }
+        let b = match candidate {
+            Some(b) => b,
+            None => {
+                buffer_bytes.push(0);
+                busy_until.push(None);
+                buffer_bytes.len() - 1
+            }
+        };
+        buffer_bytes[b] = buffer_bytes[b].max(iv.bytes);
+        busy_until[b] = Some(iv.end);
+        assignment[i] = b;
+    }
+    ReusePlan {
+        assignment,
+        buffer_bytes,
+    }
+}
+
+/// Raw footprint with reuse disabled (each interval gets its own buffer).
+pub fn no_reuse_bytes(intervals: &[Interval]) -> u64 {
+    intervals.iter().map(|iv| iv.bytes).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(start: usize, end: usize, bytes: u64) -> Interval {
+        Interval { start, end, bytes }
+    }
+
+    #[test]
+    fn disjoint_intervals_share_one_buffer() {
+        let plan = plan_reuse(&[iv(0, 1, 100), iv(2, 3, 80), iv(4, 5, 90)]);
+        assert_eq!(plan.buffer_bytes.len(), 1);
+        assert_eq!(plan.total_bytes(), 100);
+    }
+
+    #[test]
+    fn overlapping_intervals_get_separate_buffers() {
+        let plan = plan_reuse(&[iv(0, 5, 100), iv(1, 3, 50), iv(2, 4, 25)]);
+        assert_eq!(plan.buffer_bytes.len(), 3);
+        assert_eq!(plan.total_bytes(), 175);
+    }
+
+    #[test]
+    fn chain_pattern_uses_two_buffers() {
+        // A typical sequential DNN: tensor i live over [i, i+1] — producer
+        // and consumer overlap pairwise, so two ping-pong buffers suffice.
+        let intervals: Vec<Interval> = (0..20).map(|i| iv(i, i + 1, 64)).collect();
+        let plan = plan_reuse(&intervals);
+        assert_eq!(plan.buffer_bytes.len(), 2);
+        assert_eq!(plan.total_bytes(), 128);
+    }
+
+    #[test]
+    fn buffers_grow_to_largest_resident() {
+        let plan = plan_reuse(&[iv(0, 1, 10), iv(2, 3, 1000)]);
+        assert_eq!(plan.buffer_bytes.len(), 1);
+        assert_eq!(plan.total_bytes(), 1000);
+    }
+
+    #[test]
+    fn no_two_live_intervals_share_a_buffer() {
+        // Soundness: overlapping intervals never share.
+        let intervals = vec![
+            iv(0, 4, 10),
+            iv(1, 2, 20),
+            iv(3, 6, 30),
+            iv(5, 8, 40),
+            iv(7, 9, 50),
+            iv(2, 3, 60),
+        ];
+        let plan = plan_reuse(&intervals);
+        for i in 0..intervals.len() {
+            for j in (i + 1)..intervals.len() {
+                let a = intervals[i];
+                let b = intervals[j];
+                let overlap = a.start <= b.end && b.start <= a.end;
+                if overlap {
+                    assert_ne!(
+                        plan.assignment[i], plan.assignment[j],
+                        "live intervals {i} and {j} share a buffer"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reuse_never_exceeds_raw_footprint() {
+        let intervals: Vec<Interval> =
+            (0..50).map(|i| iv(i, i + 1 + (i % 3), 64 + (i as u64 % 7) * 32)).collect();
+        let plan = plan_reuse(&intervals);
+        assert!(plan.total_bytes() <= no_reuse_bytes(&intervals));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let plan = plan_reuse(&[]);
+        assert_eq!(plan.total_bytes(), 0);
+        assert!(plan.assignment.is_empty());
+    }
+}

@@ -1,0 +1,54 @@
+//! Property-based tests for the coloring machinery.
+use coloring::{plan_reuse, translate_offset, untranslate_offset, GranularityKib, Interval};
+use proptest::prelude::*;
+
+proptest! {
+    /// translate/untranslate round-trips for every valid granularity and
+    /// sector.
+    #[test]
+    fn translate_roundtrip(
+        logical in 0u64..(1 << 26),
+        g in prop::sample::select(vec![1u32, 2, 4]),
+        sector_seed in 0u32..4,
+    ) {
+        let gran = GranularityKib(g);
+        let sectors = coloring::sectors_per_page(gran);
+        let sector = sector_seed % sectors;
+        let colored = translate_offset(logical, gran, sector);
+        prop_assert_eq!(untranslate_offset(colored, gran, sector), Some(logical));
+    }
+
+    /// Distinct sectors never alias.
+    #[test]
+    fn sectors_disjoint(a in 0u64..(1 << 20), b in 0u64..(1 << 20)) {
+        let g = GranularityKib(2);
+        let ca = translate_offset(a, g, 0);
+        let cb = translate_offset(b, g, 1);
+        prop_assert_ne!(ca / 2048, cb / 2048, "different sectors share a chunk");
+    }
+
+    /// The reuse planner is sound (overlapping intervals never share) and
+    /// never exceeds the raw footprint.
+    #[test]
+    fn reuse_soundness(raw in prop::collection::vec((0usize..64, 0usize..16, 1u64..4096), 1..40)) {
+        let intervals: Vec<Interval> = raw
+            .iter()
+            .map(|&(s, len, bytes)| Interval { start: s, end: s + len, bytes })
+            .collect();
+        let plan = plan_reuse(&intervals);
+        for i in 0..intervals.len() {
+            for j in (i + 1)..intervals.len() {
+                let a = intervals[i];
+                let b = intervals[j];
+                if a.start <= b.end && b.start <= a.end {
+                    prop_assert_ne!(plan.assignment[i], plan.assignment[j]);
+                }
+            }
+        }
+        prop_assert!(plan.total_bytes() <= intervals.iter().map(|iv| iv.bytes).sum::<u64>());
+        // Buffers are large enough for every resident.
+        for (i, iv) in intervals.iter().enumerate() {
+            prop_assert!(plan.buffer_bytes[plan.assignment[i]] >= iv.bytes);
+        }
+    }
+}

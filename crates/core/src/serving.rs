@@ -1,0 +1,405 @@
+//! The serving substrate shared by SGDRC and every baseline policy.
+//!
+//! Mirrors the paper's online architecture (Fig. 6): LS requests arrive on
+//! per-model queues (each LS model has several instances, §9.2), BE tasks
+//! run closed-loop, and kernels from different tasks enter the LS / BE
+//! kernel queues round-robin. At most one LS kernel and one BE kernel are
+//! resident at any time (§4) — every evaluated system fits this structure;
+//! only the *resource decisions* differ, which is what the [`Policy`]
+//! trait captures.
+
+use crate::profiler::ModelProfile;
+use dnn::kernel::KernelDesc;
+use dnn::zoo::Model;
+use exec_sim::{ChannelSet, Engine, EngineEvent, LaunchConfig, LaunchId, TpcMask};
+use gpu_spec::GpuSpec;
+use std::collections::VecDeque;
+
+/// A deployed task: compiled model + offline profile.
+#[derive(Debug, Clone)]
+pub struct Task {
+    pub model: Model,
+    pub profile: ModelProfile,
+}
+
+impl Task {
+    pub fn new(model: Model, spec: &GpuSpec) -> Self {
+        let profile = crate::profiler::profile_model(&model, spec);
+        Self { model, profile }
+    }
+}
+
+/// One end-to-end serving scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    pub spec: GpuSpec,
+    pub ls: Vec<Task>,
+    pub be: Vec<Task>,
+    /// In-flight inference slots per LS model (§9.2: 4 instances).
+    pub ls_instances: usize,
+    /// Per-LS-task request arrival times (µs, sorted).
+    pub arrivals: Vec<Vec<f64>>,
+    /// Serving horizon (µs).
+    pub horizon_us: f64,
+}
+
+/// A completed LS request.
+#[derive(Debug, Clone, Copy)]
+pub struct CompletedRequest {
+    pub arrival_us: f64,
+    pub done_us: f64,
+}
+
+impl CompletedRequest {
+    /// End-to-end latency including queueing delay (§9.2).
+    pub fn latency_us(&self) -> f64 {
+        self.done_us - self.arrival_us
+    }
+}
+
+/// Result of one serving run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Completed requests per LS task.
+    pub ls_completed: Vec<Vec<CompletedRequest>>,
+    /// Whole inferences completed per BE task.
+    pub be_completed: Vec<u64>,
+    /// Time actually simulated (µs).
+    pub horizon_us: f64,
+    /// BE kernel preemptions observed.
+    pub be_preemptions: u64,
+}
+
+/// An in-flight inference.
+#[derive(Debug, Clone, Copy)]
+struct Inference {
+    arrival_us: f64,
+    cursor: usize,
+}
+
+/// A kernel currently on the GPU.
+#[derive(Debug, Clone, Copy)]
+pub struct ActiveLaunch {
+    pub id: LaunchId,
+    pub task: usize,
+    pub kernel_idx: usize,
+    pub mask: TpcMask,
+    pub channels: ChannelSet,
+}
+
+/// Serving state visible to policies.
+pub struct ServingState<'s> {
+    pub scenario: &'s Scenario,
+    pub engine: Engine,
+    /// Arrived but not yet admitted requests, per LS task.
+    pending: Vec<VecDeque<f64>>,
+    /// Admitted inferences, per LS task (front is oldest).
+    inflight: Vec<VecDeque<Inference>>,
+    ls_rr: usize,
+    be_rr: usize,
+    /// Closed-loop BE inference cursor per BE task.
+    be_cursor: Vec<usize>,
+    pub ls_launch: Option<ActiveLaunch>,
+    pub be_launch: Option<ActiveLaunch>,
+    pub stats: RunStats,
+}
+
+impl<'s> ServingState<'s> {
+    fn new(scenario: &'s Scenario) -> Self {
+        Self {
+            scenario,
+            engine: Engine::new(scenario.spec.clone()),
+            pending: vec![VecDeque::new(); scenario.ls.len()],
+            inflight: vec![VecDeque::new(); scenario.ls.len()],
+            ls_rr: 0,
+            be_rr: 0,
+            be_cursor: vec![0; scenario.be.len()],
+            ls_launch: None,
+            be_launch: None,
+            stats: RunStats {
+                ls_completed: vec![Vec::new(); scenario.ls.len()],
+                be_completed: vec![0; scenario.be.len()],
+                horizon_us: scenario.horizon_us,
+                be_preemptions: 0,
+            },
+        }
+    }
+
+    pub fn now(&self) -> f64 {
+        self.engine.now()
+    }
+
+    pub fn spec(&self) -> &GpuSpec {
+        &self.scenario.spec
+    }
+
+    /// Moves pending requests into free inference slots.
+    fn admit(&mut self) {
+        for t in 0..self.scenario.ls.len() {
+            while self.inflight[t].len() < self.scenario.ls_instances {
+                match self.pending[t].pop_front() {
+                    Some(arrival) => self.inflight[t].push_back(Inference {
+                        arrival_us: arrival,
+                        cursor: 0,
+                    }),
+                    None => break,
+                }
+            }
+        }
+    }
+
+    /// Number of LS requests admitted or waiting (queue pressure).
+    pub fn ls_backlog(&self) -> usize {
+        self.pending.iter().map(VecDeque::len).sum::<usize>()
+            + self.inflight.iter().map(VecDeque::len).sum::<usize>()
+    }
+
+    /// Is any LS kernel ready to launch?
+    pub fn ls_ready(&self) -> bool {
+        self.inflight.iter().any(|q| !q.is_empty())
+    }
+
+    /// Peeks the next LS kernel in round-robin order.
+    pub fn peek_ls(&self) -> Option<(usize, usize)> {
+        let n = self.scenario.ls.len();
+        for off in 0..n {
+            let t = (self.ls_rr + off) % n;
+            if let Some(inf) = self.inflight[t].front() {
+                return Some((t, inf.cursor));
+            }
+        }
+        None
+    }
+
+    /// Upcoming LS kernels (for the tidal sliding window): the next kernel
+    /// of every non-empty LS queue plus the successors of the head task.
+    pub fn upcoming_ls_kernels(&self, window: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let n = self.scenario.ls.len();
+        for off in 0..n {
+            let t = (self.ls_rr + off) % n;
+            if let Some(inf) = self.inflight[t].front() {
+                let kernels = self.scenario.ls[t].model.kernels.len();
+                for c in inf.cursor..kernels.min(inf.cursor + window) {
+                    out.push((t, c));
+                    if out.len() >= window {
+                        return out;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Peeks the next BE kernel in round-robin order.
+    pub fn peek_be(&self) -> Option<(usize, usize)> {
+        if self.scenario.be.is_empty() {
+            return None;
+        }
+        let t = self.be_rr % self.scenario.be.len();
+        Some((t, self.be_cursor[t]))
+    }
+
+    pub fn ls_kernel(&self, task: usize, idx: usize) -> &KernelDesc {
+        &self.scenario.ls[task].model.kernels[idx]
+    }
+
+    pub fn be_kernel(&self, task: usize, idx: usize) -> &KernelDesc {
+        &self.scenario.be[task].model.kernels[idx]
+    }
+
+    /// Launches the peeked LS kernel with the given resources.
+    pub fn launch_ls(&mut self, mask: TpcMask, channels: ChannelSet, thread_fraction: f64) {
+        assert!(self.ls_launch.is_none(), "one LS kernel at a time");
+        let (task, kernel_idx) = self.peek_ls().expect("no LS kernel ready");
+        let kernel = &self.scenario.ls[task].model.kernels[kernel_idx];
+        let id = self.engine.launch(
+            kernel,
+            &LaunchConfig {
+                mask,
+                channels,
+                thread_fraction,
+                preempt_poll_us: None,
+            },
+        );
+        self.ls_launch = Some(ActiveLaunch {
+            id,
+            task,
+            kernel_idx,
+            mask,
+            channels,
+        });
+    }
+
+    /// Launches the peeked BE kernel with the given resources.
+    pub fn launch_be(
+        &mut self,
+        mask: TpcMask,
+        channels: ChannelSet,
+        thread_fraction: f64,
+        poll_us: f64,
+    ) {
+        assert!(self.be_launch.is_none(), "one BE kernel at a time");
+        let (task, kernel_idx) = self.peek_be().expect("no BE task");
+        let kernel = &self.scenario.be[task].model.kernels[kernel_idx];
+        let id = self.engine.launch(
+            kernel,
+            &LaunchConfig {
+                mask,
+                channels,
+                thread_fraction,
+                preempt_poll_us: Some(poll_us),
+            },
+        );
+        self.be_launch = Some(ActiveLaunch {
+            id,
+            task,
+            kernel_idx,
+            mask,
+            channels,
+        });
+    }
+
+    /// Raises the eviction flag on the running BE kernel (§7.1).
+    pub fn preempt_be(&mut self) {
+        if let Some(be) = self.be_launch {
+            self.engine.raise_eviction_flag(be.id);
+        }
+    }
+
+    /// Expands / moves the running BE kernel's resources in place —
+    /// persistent-thread kernels pick up newly unmasked TPCs as their
+    /// worker blocks cycle (Fig. 13b's elastic growth), and bimodal
+    /// tensors switch mappings by pointer swap (§7.2).
+    pub fn remask_be(&mut self, mask: TpcMask, channels: ChannelSet) {
+        if let Some(be) = self.be_launch.as_mut() {
+            if be.mask != mask || be.channels != channels {
+                let id = be.id;
+                be.mask = mask;
+                be.channels = channels;
+                self.engine.remask(id, mask, channels);
+            }
+        }
+    }
+
+    fn on_event(&mut self, ev: EngineEvent) {
+        match ev {
+            EngineEvent::Finished { id, at_us } => {
+                if self.ls_launch.is_some_and(|l| l.id == id) {
+                    let l = self.ls_launch.take().expect("checked");
+                    let inf = self.inflight[l.task].front_mut().expect("inference exists");
+                    inf.cursor += 1;
+                    self.ls_rr = (l.task + 1) % self.scenario.ls.len().max(1);
+                    if inf.cursor >= self.scenario.ls[l.task].model.kernels.len() {
+                        let done = self.inflight[l.task].pop_front().expect("present");
+                        self.stats.ls_completed[l.task].push(CompletedRequest {
+                            arrival_us: done.arrival_us,
+                            done_us: at_us,
+                        });
+                    }
+                } else if self.be_launch.is_some_and(|l| l.id == id) {
+                    let l = self.be_launch.take().expect("checked");
+                    self.be_cursor[l.task] += 1;
+                    if self.be_cursor[l.task] >= self.scenario.be[l.task].model.kernels.len() {
+                        self.be_cursor[l.task] = 0;
+                        self.stats.be_completed[l.task] += 1;
+                        self.be_rr = (l.task + 1) % self.scenario.be.len().max(1);
+                    }
+                }
+            }
+            EngineEvent::Preempted { id, .. } => {
+                if self.be_launch.is_some_and(|l| l.id == id) {
+                    // Progress discarded; the same kernel will be
+                    // relaunched (cursor unchanged).
+                    self.be_launch = None;
+                    self.stats.be_preemptions += 1;
+                }
+            }
+        }
+        self.admit();
+    }
+}
+
+/// A GPU sharing policy: decides resources for LS / BE kernels.
+pub trait Policy {
+    fn name(&self) -> &'static str;
+
+    /// Fill the GPU. Called whenever the state changes (arrival, kernel
+    /// completion, preemption, timer).
+    fn dispatch(&mut self, st: &mut ServingState);
+
+    /// Reaction to a new LS request (e.g. SGDRC raises the eviction flag).
+    fn on_ls_arrival(&mut self, st: &mut ServingState) {
+        let _ = st;
+    }
+
+    /// Next policy-internal timer (absolute µs), e.g. TGS context-switch
+    /// completion.
+    fn next_timer(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Runs a scenario under a policy to the horizon; returns the statistics.
+pub fn run(policy: &mut dyn Policy, scenario: &Scenario) -> RunStats {
+    let mut st = ServingState::new(scenario);
+    // Arrival iterators.
+    let mut cursors = vec![0usize; scenario.arrivals.len()];
+    let next_arrival = |cursors: &[usize]| -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (t, &c) in cursors.iter().enumerate() {
+            if let Some(&at) = scenario.arrivals[t].get(c) {
+                if best.is_none_or(|(_, b)| at < b) {
+                    best = Some((t, at));
+                }
+            }
+        }
+        best
+    };
+
+    policy.dispatch(&mut st);
+    loop {
+        let arrival = next_arrival(&cursors);
+        let event = st.engine.next_event_at();
+        // Stale (non-future) timers cannot make progress; drop them.
+        let timer = policy.next_timer().filter(|&t| t > st.now() + 1e-9);
+        let mut candidates = vec![];
+        if let Some((_, at)) = arrival {
+            candidates.push(at);
+        }
+        if let Some(at) = event {
+            candidates.push(at);
+        }
+        if let Some(at) = timer {
+            candidates.push(at);
+        }
+        let Some(next) = candidates.iter().cloned().fold(None::<f64>, |acc, t| {
+            Some(acc.map_or(t, |a| a.min(t)))
+        }) else {
+            break; // idle with no arrivals left
+        };
+        if next > scenario.horizon_us {
+            break;
+        }
+        // Arrival strictly first?
+        if arrival.is_some_and(|(_, at)| at <= next + 1e-9)
+            && event.is_none_or(|e| arrival.expect("checked").1 <= e)
+        {
+            let (t, at) = arrival.expect("checked");
+            st.engine.advance_idle(at);
+            cursors[t] += 1;
+            st.pending[t].push_back(at);
+            st.admit();
+            policy.on_ls_arrival(&mut st);
+        } else if event.is_some_and(|e| e <= next + 1e-9) {
+            let ev = st.engine.step().expect("event was due");
+            st.on_event(ev);
+        } else {
+            // Timer only.
+            st.engine.advance_idle(next);
+        }
+        policy.dispatch(&mut st);
+    }
+    st.stats.horizon_us = st.now().min(scenario.horizon_us).max(scenario.horizon_us);
+    st.stats
+}

@@ -1,0 +1,263 @@
+//! Model builder: lowers layer specifications to kernels + tensors.
+//!
+//! The builders emit what a TVM-style compiler would emit *before* the
+//! workspace's own passes run: convolution/GEMM kernels with folded
+//! batch-norm, plus standalone elementwise/normalization kernels that the
+//! fusion pass (`crate::compiler::fuse_elementwise`) may merge.
+
+use crate::kernel::{kernel_id, KernelDesc, KernelKind};
+use coloring::{TensorDesc, TensorRole};
+
+const F32: f64 = 4.0;
+
+/// Incremental builder for one model's kernel/tensor lists.
+pub struct ModelBuilder {
+    model_name: String,
+    batch: u32,
+    pub kernels: Vec<KernelDesc>,
+    pub tensors: Vec<TensorDesc>,
+    /// Tensor index of the most recent activation output.
+    cursor: Option<usize>,
+}
+
+impl ModelBuilder {
+    pub fn new(model_name: &str, batch: u32) -> Self {
+        Self {
+            model_name: model_name.to_string(),
+            batch,
+            kernels: Vec::new(),
+            tensors: Vec::new(),
+            cursor: None,
+        }
+    }
+
+    pub fn batch(&self) -> u32 {
+        self.batch
+    }
+
+    fn b(&self) -> f64 {
+        self.batch as f64
+    }
+
+    /// Declares the network input tensor.
+    pub fn input(&mut self, elems: f64) -> usize {
+        let idx = self.tensors.len();
+        self.tensors.push(TensorDesc {
+            name: format!("{}/input", self.model_name),
+            bytes: (elems * self.b() * F32) as u64,
+            role: TensorRole::Io,
+            memory_bound: false,
+            first_use: 0,
+            last_use: 0,
+        });
+        self.cursor = Some(idx);
+        idx
+    }
+
+    fn push_weight(&mut self, name: &str, elems: f64, kernel_idx: usize) -> usize {
+        let idx = self.tensors.len();
+        self.tensors.push(TensorDesc {
+            name: format!("{}/{}", self.model_name, name),
+            bytes: (elems * F32) as u64,
+            role: TensorRole::Weight,
+            memory_bound: false,
+            first_use: kernel_idx,
+            last_use: kernel_idx,
+        });
+        idx
+    }
+
+    fn push_activation(&mut self, name: &str, elems: f64, kernel_idx: usize) -> usize {
+        let idx = self.tensors.len();
+        self.tensors.push(TensorDesc {
+            name: format!("{}/{}", self.model_name, name),
+            bytes: (elems * self.b() * F32) as u64,
+            role: TensorRole::Intermediate,
+            memory_bound: false,
+            first_use: kernel_idx,
+            last_use: kernel_idx,
+        });
+        idx
+    }
+
+    fn touch(&mut self, tensor: usize, kernel_idx: usize) {
+        let t = &mut self.tensors[tensor];
+        t.first_use = t.first_use.min(kernel_idx);
+        t.last_use = t.last_use.max(kernel_idx);
+    }
+
+    /// Emits one kernel consuming `inputs` (tensor indices) and producing a
+    /// fresh activation of `out_elems` per batch item. Returns the output
+    /// tensor index.
+    #[allow(clippy::too_many_arguments)]
+    pub fn op(
+        &mut self,
+        name: &str,
+        kind: KernelKind,
+        flops_per_item: f64,
+        weight_elems: f64,
+        out_elems: f64,
+        extra_inputs: &[usize],
+    ) -> usize {
+        let kidx = self.kernels.len();
+        let mut refs: Vec<usize> = Vec::new();
+        let mut in_bytes = 0.0;
+        if let Some(cur) = self.cursor {
+            refs.push(cur);
+            in_bytes += self.tensors[cur].bytes as f64;
+            self.touch(cur, kidx);
+        }
+        for &t in extra_inputs {
+            refs.push(t);
+            in_bytes += self.tensors[t].bytes as f64;
+            self.touch(t, kidx);
+        }
+        let weight = if weight_elems > 0.0 {
+            let w = self.push_weight(&format!("{name}.w"), weight_elems, kidx);
+            refs.push(w);
+            Some(w)
+        } else {
+            None
+        };
+        let out = self.push_activation(&format!("{name}.out"), out_elems, kidx);
+        refs.push(out);
+
+        let out_bytes = self.tensors[out].bytes as f64;
+        let w_bytes = weight.map_or(0.0, |w| self.tensors[w].bytes as f64);
+        let flops = flops_per_item * self.b();
+        let bytes = in_bytes + out_bytes + w_bytes;
+        // Thread blocks follow the tiling of production kernels: GEMM-like
+        // kernels produce large output tiles per block (CUTLASS-style
+        // 128×64), memory-bound kernels use smaller per-block chunks. This
+        // is what makes batch-1 LS kernels saturate at a handful of TPCs —
+        // the premise of tidal SM masking (§7.1).
+        let tile_elems = match kind {
+            KernelKind::Conv | KernelKind::Gemm | KernelKind::Attention => 8192.0,
+            _ => 2048.0,
+        };
+        let blocks = ((out_elems * self.b()) / tile_elems).ceil().max(1.0) as u32;
+        self.kernels.push(KernelDesc {
+            id: kernel_id(&self.model_name, name),
+            name: format!("{}/{}", self.model_name, name),
+            kind,
+            flops,
+            bytes,
+            thread_blocks: blocks,
+            persistent_threads: false,
+            colored: false,
+            extra_registers: 0,
+            tensor_refs: refs,
+        });
+        self.cursor = Some(out);
+        out
+    }
+
+    /// Tensor index of the current activation (for residual skips).
+    pub fn checkpoint(&self) -> usize {
+        self.cursor.expect("no activation yet")
+    }
+
+    /// Rewinds the cursor to a saved checkpoint (branches).
+    pub fn rewind(&mut self, tensor: usize) {
+        self.cursor = Some(tensor);
+    }
+
+    // -- common layer idioms ------------------------------------------------
+
+    /// Dense conv (+ folded BN + activation): `cin→cout`, `k×k`, stride on
+    /// an `hw×hw` input.
+    pub fn conv(&mut self, name: &str, cin: f64, cout: f64, k: f64, stride: f64, hw: f64) -> usize {
+        let ohw = (hw / stride).ceil();
+        self.op(
+            name,
+            KernelKind::Conv,
+            2.0 * ohw * ohw * cout * cin * k * k,
+            cin * cout * k * k,
+            ohw * ohw * cout,
+            &[],
+        )
+    }
+
+    /// Depthwise conv.
+    pub fn dwconv(&mut self, name: &str, c: f64, k: f64, stride: f64, hw: f64) -> usize {
+        let ohw = (hw / stride).ceil();
+        self.op(
+            name,
+            KernelKind::DwConv,
+            2.0 * ohw * ohw * c * k * k,
+            c * k * k,
+            ohw * ohw * c,
+            &[],
+        )
+    }
+
+    /// 1×1 (pointwise) conv.
+    pub fn pw(&mut self, name: &str, cin: f64, cout: f64, hw: f64) -> usize {
+        self.conv(name, cin, cout, 1.0, 1.0, hw)
+    }
+
+    /// Dense GEMM `m×k · k×n` (per batch item).
+    pub fn gemm(&mut self, name: &str, m: f64, n: f64, k: f64) -> usize {
+        self.op(name, KernelKind::Gemm, 2.0 * m * n * k, k * n, m * n, &[])
+    }
+
+    /// Residual add with a saved checkpoint (standalone elementwise kernel;
+    /// the fusion pass may merge it).
+    pub fn add(&mut self, name: &str, elems: f64, skip: usize) -> usize {
+        self.op(name, KernelKind::Elementwise, elems, 0.0, elems, &[skip])
+    }
+
+    /// Standalone normalization kernel (LayerNorm at inference).
+    pub fn norm(&mut self, name: &str, elems: f64) -> usize {
+        self.op(name, KernelKind::Norm, 8.0 * elems, 2.0 * elems.sqrt(), elems, &[])
+    }
+
+    /// Global average pool.
+    pub fn pool(&mut self, name: &str, c: f64, hw: f64) -> usize {
+        self.op(name, KernelKind::Pool, c * hw * hw, 0.0, c, &[])
+    }
+
+    /// Multi-head self-attention block on `seq` tokens of width `dim`
+    /// (emits 4 kernels: QKV projection, scores, context, output
+    /// projection).
+    pub fn attention(&mut self, name: &str, seq: f64, dim: f64, heads: f64) -> usize {
+        self.gemm(&format!("{name}.qkv"), seq, 3.0 * dim, dim);
+        // Scores: B·H · seq×seq×(dim/H) + softmax.
+        self.op(
+            &format!("{name}.scores"),
+            KernelKind::Attention,
+            2.0 * heads * seq * seq * (dim / heads) + 5.0 * heads * seq * seq,
+            0.0,
+            heads * seq * seq,
+            &[],
+        );
+        self.op(
+            &format!("{name}.context"),
+            KernelKind::Attention,
+            2.0 * heads * seq * seq * (dim / heads),
+            0.0,
+            seq * dim,
+            &[],
+        );
+        self.gemm(&format!("{name}.proj"), seq, dim, dim)
+    }
+
+    /// Transformer FFN (two GEMMs + standalone activation).
+    pub fn ffn(&mut self, name: &str, seq: f64, dim: f64, hidden: f64) -> usize {
+        self.gemm(&format!("{name}.fc1"), seq, hidden, dim);
+        self.op(
+            &format!("{name}.gelu"),
+            KernelKind::Elementwise,
+            8.0 * seq * hidden,
+            0.0,
+            seq * hidden,
+            &[],
+        );
+        self.gemm(&format!("{name}.fc2"), seq, dim, hidden)
+    }
+
+    /// Token embedding gather.
+    pub fn embedding(&mut self, name: &str, vocab: f64, seq: f64, dim: f64) -> usize {
+        self.op(name, KernelKind::Embedding, seq * dim, vocab * dim, seq * dim, &[])
+    }
+}

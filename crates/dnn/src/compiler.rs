@@ -1,0 +1,277 @@
+//! Compiler passes over the model zoo (paper §4 offline phase).
+//!
+//! SGDRC's offline phase takes user models, fuses and compiles operators
+//! (via TVM/Ansor in the paper), "then transforms the CUDA kernels to
+//! enable VRAM channel dynamic allocation". The passes here mirror that
+//! pipeline on kernel descriptors:
+//!
+//! * [`fuse_elementwise`] — epilogue fusion of elementwise/normalization
+//!   kernels into their producers (what TVM does);
+//! * [`to_persistent_threads`] — the §7.1 transformation of large-grid
+//!   kernels into the persistent-thread style (reduces hardware-scheduler
+//!   conflicts, bounds thread blocks);
+//! * [`classify_memory_bound`] — the offline profiling step that marks
+//!   memory-bound kernels and the tensors they access (§6, §7.2);
+//! * [`apply_coloring`] — the §6 kernel transformer: array re-indexing,
+//!   extra registers (Fig. 15b) and the runtime overhead model.
+
+use crate::kernel::{KernelDesc, KernelKind};
+use crate::perf;
+use crate::zoo::Model;
+use gpu_spec::GpuSpec;
+
+/// Which passes to run in [`compile`].
+#[derive(Debug, Clone, Copy)]
+pub struct CompileOptions {
+    pub fuse: bool,
+    pub persistent_threads: bool,
+    /// Apply the coloring transform to memory-bound kernels (§6).
+    pub coloring: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        Self {
+            fuse: true,
+            persistent_threads: true,
+            coloring: true,
+        }
+    }
+}
+
+/// Epilogue fusion: merges `Elementwise`/`Norm` kernels into the preceding
+/// producer kernel when they directly consume its output. Returns the
+/// number of kernels eliminated.
+pub fn fuse_elementwise(model: &mut Model) -> usize {
+    let mut fused = 0usize;
+    let mut new_kernels: Vec<KernelDesc> = Vec::with_capacity(model.kernels.len());
+    // old kernel index → new kernel index.
+    let mut remap: Vec<usize> = Vec::with_capacity(model.kernels.len());
+
+    for k in model.kernels.drain(..) {
+        let fusable = matches!(k.kind, KernelKind::Elementwise | KernelKind::Norm);
+        let consumes_prev = new_kernels.last().is_some_and(|prev: &KernelDesc| {
+            let prev_out = prev.tensor_refs.last().copied();
+            prev_out.is_some_and(|out| k.tensor_refs.contains(&out))
+        });
+        if fusable && consumes_prev {
+            let prev = new_kernels.last_mut().expect("checked above");
+            let prev_out = *prev.tensor_refs.last().expect("ops always have outputs");
+            // The producer's output is no longer materialized in DRAM: its
+            // write (producer) and read (epilogue) both disappear.
+            let saved = model.tensors[prev_out].bytes as f64;
+            prev.flops += k.flops;
+            prev.bytes = (prev.bytes + k.bytes - 2.0 * saved).max(prev.bytes * 0.5);
+            model.tensors[prev_out].bytes = 0;
+            model.tensors[prev_out].name.push_str(" (fused)");
+            // The epilogue's inputs/outputs now belong to the producer.
+            for &t in &k.tensor_refs {
+                if !prev.tensor_refs.contains(&t) {
+                    prev.tensor_refs.push(t);
+                }
+            }
+            remap.push(new_kernels.len() - 1);
+            fused += 1;
+        } else {
+            remap.push(new_kernels.len());
+            new_kernels.push(k);
+        }
+    }
+    model.kernels = new_kernels;
+    for t in &mut model.tensors {
+        t.first_use = remap[t.first_use];
+        t.last_use = remap[t.last_use];
+    }
+    fused
+}
+
+/// §7.1: kernels with large grids become persistent-thread kernels whose
+/// block count matches the hardware's residency.
+pub fn to_persistent_threads(model: &mut Model, spec: &GpuSpec) -> usize {
+    let resident_blocks = spec.num_sms() * 4;
+    let mut transformed = 0;
+    for k in &mut model.kernels {
+        if k.thread_blocks > resident_blocks {
+            k.thread_blocks = resident_blocks;
+            k.persistent_threads = true;
+            transformed += 1;
+        }
+    }
+    transformed
+}
+
+/// Marks tensors accessed by memory-bound kernels (§6: "memory-bound
+/// tensors are identified through offline profiling").
+pub fn classify_memory_bound(model: &mut Model, spec: &GpuSpec) -> usize {
+    let mut marked = 0;
+    for k in &model.kernels {
+        if k.is_memory_bound(spec) {
+            for &t in &k.tensor_refs {
+                if !model.tensors[t].memory_bound {
+                    model.tensors[t].memory_bound = true;
+                    marked += 1;
+                }
+            }
+        }
+    }
+    marked
+}
+
+/// §6 kernel transformer: applies the shadow-page-table re-indexing to the
+/// selected kernels, assigning the Fig. 15b register cost. When
+/// `only_memory_bound` is set (the production configuration), non-memory-
+/// bound kernels are left untouched — their tensors aren't colored.
+pub fn apply_coloring(model: &mut Model, spec: &GpuSpec, only_memory_bound: bool) -> usize {
+    let mut transformed = 0;
+    for k in &mut model.kernels {
+        if only_memory_bound && !k.is_memory_bound(spec) {
+            continue;
+        }
+        if !k.colored {
+            k.colored = true;
+            let runtime = perf::isolated_runtime_us(k, spec);
+            k.extra_registers = coloring::extra_registers(k.id, runtime);
+            transformed += 1;
+        }
+    }
+    transformed
+}
+
+/// The full offline pipeline for one model on one GPU.
+pub fn compile(mut model: Model, spec: &GpuSpec, opts: CompileOptions) -> Model {
+    if opts.fuse {
+        fuse_elementwise(&mut model);
+    }
+    if opts.persistent_threads {
+        to_persistent_threads(&mut model, spec);
+    }
+    classify_memory_bound(&mut model, spec);
+    if opts.coloring {
+        apply_coloring(&mut model, spec, true);
+    }
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{build, ModelId};
+    use gpu_spec::GpuModel;
+
+    #[test]
+    fn fusion_eliminates_elementwise_kernels() {
+        let mut m = build(ModelId::ResNet34);
+        let before = m.kernels.len();
+        let fused = fuse_elementwise(&mut m);
+        assert!(fused > 0, "residual adds should fuse");
+        assert_eq!(m.kernels.len(), before - fused);
+        // No Elementwise kernel that consumes its predecessor remains.
+        for w in m.kernels.windows(2) {
+            let prev_out = *w[0].tensor_refs.last().unwrap();
+            if matches!(w[1].kind, KernelKind::Elementwise) {
+                assert!(
+                    !w[1].tensor_refs.contains(&prev_out),
+                    "unfused epilogue left behind"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_preserves_total_flops() {
+        let mut m = build(ModelId::Bert);
+        let flops_before = m.total_flops();
+        fuse_elementwise(&mut m);
+        let flops_after = m.total_flops();
+        assert!((flops_before - flops_after).abs() / flops_before < 1e-9);
+    }
+
+    #[test]
+    fn fusion_keeps_liveness_indices_valid() {
+        let mut m = build(ModelId::DenseNet161);
+        fuse_elementwise(&mut m);
+        for t in &m.tensors {
+            assert!(t.first_use <= t.last_use);
+            assert!(t.last_use < m.kernels.len());
+        }
+    }
+
+    #[test]
+    fn persistent_threads_bound_grid_sizes() {
+        let spec = GpuModel::RtxA2000.spec();
+        let mut m = build(ModelId::ResNet152);
+        let n = to_persistent_threads(&mut m, &spec);
+        assert!(n > 0, "batch-8 ResNet152 has large grids");
+        let cap = spec.num_sms() * 4;
+        for k in &m.kernels {
+            assert!(k.thread_blocks <= cap);
+            if k.persistent_threads {
+                assert_eq!(k.thread_blocks, cap);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_bound_classification_marks_tensors() {
+        let spec = GpuModel::RtxA2000.spec();
+        let mut m = build(ModelId::MobileNetV3);
+        let marked = classify_memory_bound(&mut m, &spec);
+        assert!(marked > 0);
+        // Every tensor touched by a memory-bound kernel is marked.
+        for k in &m.kernels {
+            if k.is_memory_bound(&spec) {
+                for &t in &k.tensor_refs {
+                    assert!(m.tensors[t].memory_bound);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coloring_only_touches_memory_bound_kernels() {
+        let spec = GpuModel::TeslaP40.spec();
+        let mut m = build(ModelId::ResNet34);
+        apply_coloring(&mut m, &spec, true);
+        for k in &m.kernels {
+            assert_eq!(k.colored, k.is_memory_bound(&spec), "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn full_pipeline_is_stable() {
+        let spec = GpuModel::RtxA2000.spec();
+        for id in [ModelId::MobileNetV3, ModelId::Bert, ModelId::DenseNet161] {
+            let m = compile(build(id), &spec, CompileOptions::default());
+            assert!(!m.kernels.is_empty());
+            assert!(m.kernels.iter().any(|k| k.colored));
+            assert!(m.tensors.iter().any(|t| t.memory_bound));
+        }
+    }
+
+    #[test]
+    fn register_cdf_matches_fig15b_on_the_zoo() {
+        // Transform *all* kernels of all models (the Fig. 15b study) and
+        // check the CDF: ~80% zero extra registers, >90% below 5.
+        let spec = GpuModel::RtxA2000.spec();
+        let mut zero = 0usize;
+        let mut under5 = 0usize;
+        let mut total = 0usize;
+        for id in ModelId::all() {
+            let mut m = build(id);
+            apply_coloring(&mut m, &spec, false);
+            for k in &m.kernels {
+                total += 1;
+                if k.extra_registers == 0 {
+                    zero += 1;
+                }
+                if k.extra_registers < 5 {
+                    under5 += 1;
+                }
+            }
+        }
+        let zf = zero as f64 / total as f64;
+        let uf = under5 as f64 / total as f64;
+        assert!((0.72..0.88).contains(&zf), "zero-reg fraction {zf}");
+        assert!(uf > 0.88, "under-5 fraction {uf}");
+    }
+}

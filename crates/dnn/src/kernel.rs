@@ -1,0 +1,207 @@
+//! Kernel-level descriptors — the unit the whole system schedules.
+//!
+//! SGDRC (like Reef, Clockwork and Paella) serves DNNs as sequences of
+//! pre-compiled CUDA kernels. The engine never executes tensor math; it
+//! needs each kernel's *resource profile*: FLOPs, DRAM traffic, thread
+//! blocks, and the derived roofline classification. These profiles drive
+//! the discrete-event execution model and the offline profiler.
+
+use gpu_spec::GpuSpec;
+use serde::{Deserialize, Serialize};
+
+/// Operator category of a kernel (affects achievable efficiency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelKind {
+    /// Dense convolution (implicit GEMM).
+    Conv,
+    /// Depthwise / grouped convolution — low arithmetic intensity.
+    DwConv,
+    /// Dense matrix multiply (fully connected, attention projections).
+    Gemm,
+    /// Attention score × value batched matmuls and softmax fusion.
+    Attention,
+    /// Elementwise / activation / residual-add — bandwidth bound.
+    Elementwise,
+    /// Pooling / reduction.
+    Pool,
+    /// Normalization (BN folded at inference; LN remains).
+    Norm,
+    /// Embedding gather.
+    Embedding,
+}
+
+impl KernelKind {
+    /// Fraction of peak FP32 the kernel kind typically achieves.
+    pub fn compute_efficiency(self) -> f64 {
+        match self {
+            KernelKind::Conv => 0.55,
+            KernelKind::DwConv => 0.20,
+            KernelKind::Gemm => 0.65,
+            KernelKind::Attention => 0.45,
+            KernelKind::Elementwise => 0.90,
+            KernelKind::Pool => 0.50,
+            KernelKind::Norm => 0.60,
+            KernelKind::Embedding => 0.80,
+        }
+    }
+
+    /// Fraction of peak DRAM bandwidth the kind typically achieves.
+    pub fn bandwidth_efficiency(self) -> f64 {
+        match self {
+            KernelKind::Conv => 0.70,
+            KernelKind::DwConv => 0.75,
+            KernelKind::Gemm => 0.70,
+            KernelKind::Attention => 0.65,
+            KernelKind::Elementwise => 0.85,
+            KernelKind::Pool => 0.80,
+            KernelKind::Norm => 0.80,
+            KernelKind::Embedding => 0.60,
+        }
+    }
+
+    /// Share of issued instructions that are global-memory accesses
+    /// (drives the coloring-transform overhead, §9.1.2).
+    pub fn memory_instr_share(self) -> f64 {
+        match self {
+            KernelKind::Conv => 0.25,
+            KernelKind::DwConv => 0.55,
+            KernelKind::Gemm => 0.22,
+            KernelKind::Attention => 0.35,
+            KernelKind::Elementwise => 0.95,
+            KernelKind::Pool => 0.80,
+            KernelKind::Norm => 0.75,
+            KernelKind::Embedding => 0.90,
+        }
+    }
+}
+
+/// A compiled GPU kernel's static resource profile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelDesc {
+    /// Stable identity (hash of model + layer + variant).
+    pub id: u64,
+    pub name: String,
+    pub kind: KernelKind,
+    /// Floating-point work.
+    pub flops: f64,
+    /// DRAM bytes moved (reads + writes, after L2 filtering).
+    pub bytes: f64,
+    /// Thread blocks launched.
+    pub thread_blocks: u32,
+    /// Transformed to the persistent-thread style (§7.1)?
+    pub persistent_threads: bool,
+    /// Shadow-page-table re-indexing applied (§6)?
+    pub colored: bool,
+    /// Extra registers used by the transformed kernel (Fig. 15b).
+    pub extra_registers: u32,
+    /// Tensor indices (into the model's tensor list) this kernel accesses.
+    pub tensor_refs: Vec<usize>,
+}
+
+impl KernelDesc {
+    /// FLOPs per DRAM byte.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.flops / self.bytes.max(1.0)
+    }
+
+    /// Roofline classification: a kernel is memory-bound when its
+    /// arithmetic intensity falls below the GPU's ridge point. This matches
+    /// the paper's operational definition (§7.2: runtime degrades when L2
+    /// is thrashed by a co-located kernel) — the offline profiler verifies
+    /// the two agree.
+    pub fn is_memory_bound(&self, spec: &GpuSpec) -> bool {
+        self.arithmetic_intensity() < spec.ridge_flop_per_byte()
+    }
+
+    /// Fraction of issued instructions touching global memory.
+    pub fn memory_instr_share(&self) -> f64 {
+        self.kind.memory_instr_share()
+    }
+
+    /// TPCs needed to host every thread block concurrently (beyond this,
+    /// extra TPCs cannot help — the basis of the min-SM search, §7.1).
+    pub fn saturation_tpcs(&self, spec: &GpuSpec) -> u32 {
+        // ~4 resident blocks per SM, 2 SMs per TPC.
+        let blocks_per_tpc = 8;
+        self.thread_blocks.div_ceil(blocks_per_tpc).clamp(1, spec.num_tpcs)
+    }
+}
+
+/// Stable kernel id from model and kernel names.
+pub fn kernel_id(model: &str, kernel: &str) -> u64 {
+    // FNV-1a, deterministic across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in model.bytes().chain([b'/']).chain(kernel.bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_spec::GpuModel;
+
+    fn kernel(kind: KernelKind, flops: f64, bytes: f64) -> KernelDesc {
+        KernelDesc {
+            id: 1,
+            name: "k".into(),
+            kind,
+            flops,
+            bytes,
+            thread_blocks: 64,
+            persistent_threads: false,
+            colored: false,
+            extra_registers: 0,
+            tensor_refs: vec![],
+        }
+    }
+
+    #[test]
+    fn roofline_classification() {
+        let spec = GpuModel::RtxA2000.spec();
+        let gemm = kernel(KernelKind::Gemm, 1e9, 1e6); // AI = 1000
+        assert!(!gemm.is_memory_bound(&spec));
+        let eltwise = kernel(KernelKind::Elementwise, 1e6, 4e6); // AI = 0.25
+        assert!(eltwise.is_memory_bound(&spec));
+    }
+
+    #[test]
+    fn saturation_tpcs_clamped_to_gpu() {
+        let spec = GpuModel::RtxA2000.spec();
+        let mut k = kernel(KernelKind::Conv, 1e9, 1e6);
+        k.thread_blocks = 4;
+        assert_eq!(k.saturation_tpcs(&spec), 1);
+        k.thread_blocks = 100_000;
+        assert_eq!(k.saturation_tpcs(&spec), spec.num_tpcs);
+    }
+
+    #[test]
+    fn kernel_ids_are_stable_and_distinct() {
+        let a = kernel_id("resnet34", "conv1");
+        let b = kernel_id("resnet34", "conv2");
+        let c = kernel_id("resnet50", "conv1");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, kernel_id("resnet34", "conv1"));
+    }
+
+    #[test]
+    fn efficiencies_are_sane() {
+        for kind in [
+            KernelKind::Conv,
+            KernelKind::DwConv,
+            KernelKind::Gemm,
+            KernelKind::Attention,
+            KernelKind::Elementwise,
+            KernelKind::Pool,
+            KernelKind::Norm,
+            KernelKind::Embedding,
+        ] {
+            assert!((0.1..=1.0).contains(&kind.compute_efficiency()));
+            assert!((0.1..=1.0).contains(&kind.bandwidth_efficiency()));
+            assert!((0.0..=1.0).contains(&kind.memory_instr_share()));
+        }
+    }
+}

@@ -1,0 +1,625 @@
+//! The model zoo — the paper's Tab. 3 workloads.
+//!
+//! | ID | Model            | Class | Default batch |
+//! |----|------------------|-------|---------------|
+//! | A  | MobileNetV3      | LS    | 1             |
+//! | B  | SqueezeNet       | LS    | 1             |
+//! | C  | ShuffleNet       | LS    | 1             |
+//! | D  | EfficientNet     | LS    | 1             |
+//! | E  | ResNet34         | LS    | 1             |
+//! | F  | MobileBert       | LS    | 1             |
+//! | G  | MobileViT        | LS    | 1             |
+//! | H  | EfficientFormer  | LS    | 1             |
+//! | I  | ResNet152        | BE    | 8             |
+//! | J  | DenseNet161      | BE    | 8             |
+//! | K  | Bert             | BE    | 8             |
+//!
+//! BE batch sizes follow §9.2: "the minimum values that achieve maximum
+//! throughputs". Layer configurations approximate the published
+//! architectures closely enough to reproduce parameter counts, kernel
+//! counts and the compute/memory-bound kernel mixture.
+
+use crate::build::ModelBuilder;
+use crate::kernel::KernelDesc;
+use coloring::{TaskClass, TensorDesc, TensorRole};
+use serde::{Deserialize, Serialize};
+
+/// Paper model identifiers (Tab. 3 letters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ModelId {
+    MobileNetV3,
+    SqueezeNet,
+    ShuffleNet,
+    EfficientNet,
+    ResNet34,
+    MobileBert,
+    MobileViT,
+    EfficientFormer,
+    ResNet152,
+    DenseNet161,
+    Bert,
+}
+
+impl ModelId {
+    pub fn letter(self) -> char {
+        (b'A' + self as u8) as char
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelId::MobileNetV3 => "MobileNetV3",
+            ModelId::SqueezeNet => "SqueezeNet",
+            ModelId::ShuffleNet => "ShuffleNet",
+            ModelId::EfficientNet => "EfficientNet",
+            ModelId::ResNet34 => "ResNet34",
+            ModelId::MobileBert => "MobileBert",
+            ModelId::MobileViT => "MobileViT",
+            ModelId::EfficientFormer => "EfficientFormer",
+            ModelId::ResNet152 => "ResNet152",
+            ModelId::DenseNet161 => "DenseNet161",
+            ModelId::Bert => "Bert",
+        }
+    }
+
+    pub fn class(self) -> TaskClass {
+        match self {
+            ModelId::ResNet152 | ModelId::DenseNet161 | ModelId::Bert => TaskClass::Be,
+            _ => TaskClass::Ls,
+        }
+    }
+
+    /// §9.2 batch sizes: LS latency-critical requests run at batch 1; BE
+    /// batches are the smallest that saturate throughput.
+    pub fn default_batch(self) -> u32 {
+        match self.class() {
+            TaskClass::Ls => 1,
+            TaskClass::Be => 8,
+        }
+    }
+
+    pub fn all() -> [ModelId; 11] {
+        [
+            ModelId::MobileNetV3,
+            ModelId::SqueezeNet,
+            ModelId::ShuffleNet,
+            ModelId::EfficientNet,
+            ModelId::ResNet34,
+            ModelId::MobileBert,
+            ModelId::MobileViT,
+            ModelId::EfficientFormer,
+            ModelId::ResNet152,
+            ModelId::DenseNet161,
+            ModelId::Bert,
+        ]
+    }
+
+    pub fn ls_models() -> [ModelId; 8] {
+        [
+            ModelId::MobileNetV3,
+            ModelId::SqueezeNet,
+            ModelId::ShuffleNet,
+            ModelId::EfficientNet,
+            ModelId::ResNet34,
+            ModelId::MobileBert,
+            ModelId::MobileViT,
+            ModelId::EfficientFormer,
+        ]
+    }
+
+    pub fn be_models() -> [ModelId; 3] {
+        [ModelId::ResNet152, ModelId::DenseNet161, ModelId::Bert]
+    }
+}
+
+/// A fully-specified model: kernels in execution order plus tensor list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Model {
+    pub id: ModelId,
+    pub batch: u32,
+    pub kernels: Vec<KernelDesc>,
+    pub tensors: Vec<TensorDesc>,
+}
+
+impl Model {
+    pub fn class(&self) -> TaskClass {
+        self.id.class()
+    }
+
+    /// Total weight bytes (≈ 4 × parameter count).
+    pub fn weight_bytes(&self) -> u64 {
+        self.tensors
+            .iter()
+            .filter(|t| t.role == TensorRole::Weight)
+            .map(|t| t.bytes)
+            .sum()
+    }
+
+    /// Total FLOPs per inference (whole batch).
+    pub fn total_flops(&self) -> f64 {
+        self.kernels.iter().map(|k| k.flops).sum()
+    }
+}
+
+/// Builds a model at its default batch size.
+pub fn build(id: ModelId) -> Model {
+    build_with_batch(id, id.default_batch())
+}
+
+/// Builds a model at an explicit batch size.
+pub fn build_with_batch(id: ModelId, batch: u32) -> Model {
+    let mut b = ModelBuilder::new(id.name(), batch);
+    match id {
+        ModelId::MobileNetV3 => mobilenet_v3(&mut b),
+        ModelId::SqueezeNet => squeezenet(&mut b),
+        ModelId::ShuffleNet => shufflenet_v2(&mut b),
+        ModelId::EfficientNet => efficientnet_b0(&mut b),
+        ModelId::ResNet34 => resnet34(&mut b),
+        ModelId::MobileBert => mobilebert(&mut b),
+        ModelId::MobileViT => mobilevit(&mut b),
+        ModelId::EfficientFormer => efficientformer(&mut b),
+        ModelId::ResNet152 => resnet152(&mut b),
+        ModelId::DenseNet161 => densenet161(&mut b),
+        ModelId::Bert => bert_base(&mut b),
+    }
+    Model {
+        id,
+        batch,
+        kernels: b.kernels,
+        tensors: b.tensors,
+    }
+}
+
+/// The full Tab. 3 zoo at default batch sizes.
+pub fn full_zoo() -> Vec<Model> {
+    ModelId::all().iter().map(|&id| build(id)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Architectures (dimensions follow the published configurations)
+// ---------------------------------------------------------------------------
+
+fn inverted_residual(
+    b: &mut ModelBuilder,
+    tag: &str,
+    cin: f64,
+    exp: f64,
+    cout: f64,
+    k: f64,
+    stride: f64,
+    hw: f64,
+) -> f64 {
+    let skip = (stride == 1.0 && cin == cout).then(|| b.checkpoint());
+    b.pw(&format!("{tag}.expand"), cin, exp, hw);
+    b.dwconv(&format!("{tag}.dw"), exp, k, stride, hw);
+    let ohw = hw / stride;
+    b.pw(&format!("{tag}.project"), exp, cout, ohw);
+    if let Some(s) = skip {
+        b.add(&format!("{tag}.residual"), ohw * ohw * cout, s);
+    }
+    ohw
+}
+
+fn mobilenet_v3(b: &mut ModelBuilder) {
+    b.input(3.0 * 224.0 * 224.0);
+    b.conv("stem", 3.0, 16.0, 3.0, 2.0, 224.0);
+    let mut hw = 112.0;
+    let cfg: [(f64, f64, f64, f64, f64); 11] = [
+        (16.0, 16.0, 16.0, 3.0, 1.0),
+        (16.0, 64.0, 24.0, 3.0, 2.0),
+        (24.0, 72.0, 24.0, 3.0, 1.0),
+        (24.0, 72.0, 40.0, 5.0, 2.0),
+        (40.0, 120.0, 40.0, 5.0, 1.0),
+        (40.0, 240.0, 80.0, 3.0, 2.0),
+        (80.0, 480.0, 112.0, 3.0, 1.0),
+        (112.0, 672.0, 112.0, 5.0, 1.0),
+        (112.0, 672.0, 160.0, 5.0, 2.0),
+        (160.0, 960.0, 160.0, 5.0, 1.0),
+        (160.0, 960.0, 160.0, 5.0, 1.0),
+    ];
+    for (i, &(cin, exp, cout, k, s)) in cfg.iter().enumerate() {
+        hw = inverted_residual(b, &format!("block{i}"), cin, exp, cout, k, s, hw);
+    }
+    b.pw("head.expand", 160.0, 960.0, hw);
+    b.pool("head.pool", 960.0, hw);
+    b.gemm("head.fc1", 1.0, 1280.0, 960.0);
+    b.gemm("classifier", 1.0, 1000.0, 1280.0);
+}
+
+fn squeezenet(b: &mut ModelBuilder) {
+    b.input(3.0 * 224.0 * 224.0);
+    b.conv("stem", 3.0, 96.0, 7.0, 2.0, 224.0);
+    let fire = |b: &mut ModelBuilder, tag: &str, cin: f64, s: f64, e: f64, hw: f64| {
+        b.pw(&format!("{tag}.squeeze"), cin, s, hw);
+        let sq = b.checkpoint();
+        b.pw(&format!("{tag}.expand1"), s, e, hw);
+        b.rewind(sq);
+        b.conv(&format!("{tag}.expand3"), s, e, 3.0, 1.0, hw);
+    };
+    let mut hw = 56.0;
+    fire(b, "fire2", 96.0, 16.0, 64.0, hw);
+    fire(b, "fire3", 128.0, 16.0, 64.0, hw);
+    fire(b, "fire4", 128.0, 32.0, 128.0, hw);
+    hw = 28.0;
+    fire(b, "fire5", 256.0, 32.0, 128.0, hw);
+    fire(b, "fire6", 256.0, 48.0, 192.0, hw);
+    fire(b, "fire7", 384.0, 48.0, 192.0, hw);
+    fire(b, "fire8", 384.0, 64.0, 256.0, hw);
+    hw = 14.0;
+    fire(b, "fire9", 512.0, 64.0, 256.0, hw);
+    b.conv("classifier", 512.0, 1000.0, 1.0, 1.0, hw);
+    b.pool("final.pool", 1000.0, hw);
+}
+
+fn shufflenet_v2(b: &mut ModelBuilder) {
+    b.input(3.0 * 224.0 * 224.0);
+    b.conv("stem", 3.0, 24.0, 3.0, 2.0, 224.0);
+    let unit = |b: &mut ModelBuilder, tag: &str, c: f64, stride: f64, hw: f64| {
+        let half = c / 2.0;
+        b.pw(&format!("{tag}.pw1"), half, half, hw);
+        b.dwconv(&format!("{tag}.dw"), half, 3.0, stride, hw);
+        b.pw(&format!("{tag}.pw2"), half, half, hw / stride);
+    };
+    let mut hw = 56.0;
+    for (stage, (c, reps)) in [(116.0, 4), (232.0, 8), (464.0, 4)].iter().enumerate() {
+        for r in 0..*reps {
+            let stride = if r == 0 { 2.0 } else { 1.0 };
+            unit(b, &format!("s{stage}.u{r}"), *c, stride, hw);
+            if r == 0 {
+                hw /= 2.0;
+            }
+        }
+    }
+    b.pw("conv5", 464.0, 1024.0, hw);
+    b.pool("pool", 1024.0, hw);
+    b.gemm("classifier", 1.0, 1000.0, 1024.0);
+}
+
+fn efficientnet_b0(b: &mut ModelBuilder) {
+    b.input(3.0 * 224.0 * 224.0);
+    b.conv("stem", 3.0, 32.0, 3.0, 2.0, 224.0);
+    let mut hw = 112.0;
+    let mut cin = 32.0;
+    let cfg: [(f64, f64, f64, f64, usize); 7] = [
+        (1.0, 16.0, 3.0, 1.0, 1),
+        (6.0, 24.0, 3.0, 2.0, 2),
+        (6.0, 40.0, 5.0, 2.0, 2),
+        (6.0, 80.0, 3.0, 2.0, 3),
+        (6.0, 112.0, 5.0, 1.0, 3),
+        (6.0, 192.0, 5.0, 2.0, 4),
+        (6.0, 320.0, 3.0, 1.0, 1),
+    ];
+    for (si, &(t, c, k, s, reps)) in cfg.iter().enumerate() {
+        for r in 0..reps {
+            let stride = if r == 0 { s } else { 1.0 };
+            hw = inverted_residual(
+                b,
+                &format!("mb{si}.{r}"),
+                cin,
+                (cin * t).max(cin),
+                c,
+                k,
+                stride,
+                hw,
+            );
+            cin = c;
+        }
+    }
+    b.pw("head", 320.0, 1280.0, hw);
+    b.pool("pool", 1280.0, hw);
+    b.gemm("classifier", 1.0, 1000.0, 1280.0);
+}
+
+fn basic_block(b: &mut ModelBuilder, tag: &str, cin: f64, cout: f64, stride: f64, hw: f64) -> f64 {
+    let skip = (stride == 1.0 && cin == cout).then(|| b.checkpoint());
+    b.conv(&format!("{tag}.conv1"), cin, cout, 3.0, stride, hw);
+    let ohw = hw / stride;
+    b.conv(&format!("{tag}.conv2"), cout, cout, 3.0, 1.0, ohw);
+    if let Some(s) = skip {
+        b.add(&format!("{tag}.residual"), ohw * ohw * cout, s);
+    }
+    ohw
+}
+
+fn resnet34(b: &mut ModelBuilder) {
+    b.input(3.0 * 224.0 * 224.0);
+    b.conv("stem", 3.0, 64.0, 7.0, 2.0, 224.0);
+    let mut hw = 56.0;
+    let mut cin = 64.0;
+    for (si, (c, reps)) in [(64.0, 3), (128.0, 4), (256.0, 6), (512.0, 3)].iter().enumerate() {
+        for r in 0..*reps {
+            let stride = if r == 0 && si > 0 { 2.0 } else { 1.0 };
+            hw = basic_block(b, &format!("s{si}.b{r}"), cin, *c, stride, hw);
+            cin = *c;
+        }
+    }
+    b.pool("pool", 512.0, hw);
+    b.gemm("classifier", 1.0, 1000.0, 512.0);
+}
+
+fn bottleneck(b: &mut ModelBuilder, tag: &str, cin: f64, mid: f64, stride: f64, hw: f64) -> f64 {
+    let cout = mid * 4.0;
+    let skip = (stride == 1.0 && cin == cout).then(|| b.checkpoint());
+    b.pw(&format!("{tag}.conv1"), cin, mid, hw);
+    b.conv(&format!("{tag}.conv2"), mid, mid, 3.0, stride, hw);
+    let ohw = hw / stride;
+    b.pw(&format!("{tag}.conv3"), mid, cout, ohw);
+    if let Some(s) = skip {
+        b.add(&format!("{tag}.residual"), ohw * ohw * cout, s);
+    }
+    ohw
+}
+
+fn resnet152(b: &mut ModelBuilder) {
+    b.input(3.0 * 224.0 * 224.0);
+    b.conv("stem", 3.0, 64.0, 7.0, 2.0, 224.0);
+    let mut hw = 56.0;
+    let mut cin = 64.0;
+    for (si, (mid, reps)) in [(64.0, 3), (128.0, 8), (256.0, 36), (512.0, 3)].iter().enumerate() {
+        for r in 0..*reps {
+            let stride = if r == 0 && si > 0 { 2.0 } else { 1.0 };
+            hw = bottleneck(b, &format!("s{si}.b{r}"), cin, *mid, stride, hw);
+            cin = mid * 4.0;
+        }
+    }
+    b.pool("pool", 2048.0, hw);
+    b.gemm("classifier", 1.0, 1000.0, 2048.0);
+}
+
+fn densenet161(b: &mut ModelBuilder) {
+    b.input(3.0 * 224.0 * 224.0);
+    b.conv("stem", 3.0, 96.0, 7.0, 2.0, 224.0);
+    let growth = 48.0;
+    let mut c = 96.0;
+    let mut hw = 56.0;
+    for (bi, reps) in [6usize, 12, 36, 24].iter().enumerate() {
+        for r in 0..*reps {
+            // Dense layer: BN + 1×1 (4k) + 3×3 (k); concat grows channels.
+            b.pw(&format!("d{bi}.{r}.pw"), c, 4.0 * growth, hw);
+            b.conv(&format!("d{bi}.{r}.conv"), 4.0 * growth, growth, 3.0, 1.0, hw);
+            c += growth;
+        }
+        if bi < 3 {
+            // Transition: 1×1 halving channels + 2×2 pool.
+            c = (c / 2.0).floor();
+            b.pw(&format!("t{bi}.pw"), c * 2.0, c, hw);
+            hw /= 2.0;
+        }
+    }
+    b.pool("pool", c, hw);
+    b.gemm("classifier", 1.0, 1000.0, c);
+}
+
+fn transformer_stack(b: &mut ModelBuilder, tag: &str, layers: usize, seq: f64, dim: f64, heads: f64, ffn: f64) {
+    for l in 0..layers {
+        let skip = b.checkpoint();
+        b.attention(&format!("{tag}.l{l}.attn"), seq, dim, heads);
+        b.add(&format!("{tag}.l{l}.res1"), seq * dim, skip);
+        b.norm(&format!("{tag}.l{l}.ln1"), seq * dim);
+        let skip2 = b.checkpoint();
+        b.ffn(&format!("{tag}.l{l}.ffn"), seq, dim, ffn);
+        b.add(&format!("{tag}.l{l}.res2"), seq * dim, skip2);
+        b.norm(&format!("{tag}.l{l}.ln2"), seq * dim);
+    }
+}
+
+fn mobilebert(b: &mut ModelBuilder) {
+    // MobileBERT narrows the transformer body through bottlenecks; the
+    // effective width below reproduces the published 25M parameters.
+    let (seq, dim) = (128.0, 384.0);
+    b.input(seq);
+    b.embedding("embed", 30522.0, seq, 128.0);
+    b.gemm("embed.up", seq, dim, 128.0);
+    transformer_stack(b, "body", 24, seq, dim, 4.0, 512.0);
+    b.gemm("pooler", 1.0, dim, dim);
+}
+
+fn bert_base(b: &mut ModelBuilder) {
+    let (seq, dim) = (128.0, 768.0);
+    b.input(seq);
+    b.embedding("embed", 30522.0, seq, dim);
+    transformer_stack(b, "body", 12, seq, dim, 12.0, 3072.0);
+    b.gemm("pooler", 1.0, dim, dim);
+}
+
+fn mobilevit(b: &mut ModelBuilder) {
+    b.input(3.0 * 256.0 * 256.0);
+    b.conv("stem", 3.0, 16.0, 3.0, 2.0, 256.0);
+    let mut hw = 128.0;
+    hw = inverted_residual(b, "mv2.0", 16.0, 64.0, 32.0, 3.0, 1.0, hw);
+    hw = inverted_residual(b, "mv2.1", 32.0, 128.0, 64.0, 3.0, 2.0, hw);
+    hw = inverted_residual(b, "mv2.2", 64.0, 256.0, 96.0, 3.0, 2.0, hw);
+    // MobileViT block 1: local conv + 2 transformer layers on unfolded
+    // patches (dim 144).
+    b.conv("mvit1.local", 96.0, 96.0, 3.0, 1.0, hw);
+    b.pw("mvit1.proj", 96.0, 144.0, hw);
+    transformer_stack(b, "mvit1", 2, hw * hw / 4.0, 144.0, 4.0, 288.0);
+    b.pw("mvit1.out", 144.0, 96.0, hw);
+    hw = inverted_residual(b, "mv2.3", 96.0, 384.0, 128.0, 3.0, 2.0, hw);
+    b.conv("mvit2.local", 128.0, 128.0, 3.0, 1.0, hw);
+    b.pw("mvit2.proj", 128.0, 192.0, hw);
+    transformer_stack(b, "mvit2", 4, hw * hw / 4.0, 192.0, 4.0, 384.0);
+    b.pw("mvit2.out", 192.0, 128.0, hw);
+    hw = inverted_residual(b, "mv2.4", 128.0, 512.0, 160.0, 3.0, 2.0, hw);
+    b.conv("mvit3.local", 160.0, 160.0, 3.0, 1.0, hw);
+    b.pw("mvit3.proj", 160.0, 240.0, hw);
+    transformer_stack(b, "mvit3", 3, hw * hw / 4.0, 240.0, 4.0, 480.0);
+    b.pw("mvit3.out", 240.0, 160.0, hw);
+    b.pw("head", 160.0, 640.0, hw);
+    b.pool("pool", 640.0, hw);
+    b.gemm("classifier", 1.0, 1000.0, 640.0);
+}
+
+fn efficientformer(b: &mut ModelBuilder) {
+    b.input(3.0 * 224.0 * 224.0);
+    b.conv("stem1", 3.0, 24.0, 3.0, 2.0, 224.0);
+    b.conv("stem2", 24.0, 48.0, 3.0, 2.0, 112.0);
+    let mut hw = 56.0;
+    // Conv-style token mixer stages (pool + MLP blocks).
+    let mut c = 48.0;
+    for (si, (cout, reps)) in [(48.0, 3), (96.0, 2), (224.0, 6), (448.0, 4)].iter().enumerate() {
+        if si > 0 {
+            b.conv(&format!("down{si}"), c, *cout, 3.0, 2.0, hw);
+            hw /= 2.0;
+            c = *cout;
+        }
+        for r in 0..*reps {
+            let skip = b.checkpoint();
+            b.pool(&format!("s{si}.{r}.mixer"), c, hw);
+            b.pw(&format!("s{si}.{r}.mlp1"), c, 4.0 * c, hw);
+            b.pw(&format!("s{si}.{r}.mlp2"), 4.0 * c, c, hw);
+            b.add(&format!("s{si}.{r}.res"), hw * hw * c, skip);
+        }
+    }
+    // Final stage: one attention block on 7×7 tokens.
+    transformer_stack(b, "attn", 1, hw * hw, 448.0, 8.0, 1792.0);
+    b.pool("pool", 448.0, hw);
+    b.gemm("classifier", 1.0, 1000.0, 448.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf;
+    use gpu_spec::GpuModel;
+
+    #[test]
+    fn zoo_has_eleven_models() {
+        let zoo = full_zoo();
+        assert_eq!(zoo.len(), 11);
+        let letters: String = zoo.iter().map(|m| m.id.letter()).collect();
+        assert_eq!(letters, "ABCDEFGHIJK");
+    }
+
+    #[test]
+    fn ls_be_split_matches_tab3() {
+        assert_eq!(ModelId::ls_models().len(), 8);
+        assert_eq!(ModelId::be_models().len(), 3);
+        for id in ModelId::ls_models() {
+            assert_eq!(id.class(), TaskClass::Ls);
+            assert_eq!(id.default_batch(), 1);
+        }
+        for id in ModelId::be_models() {
+            assert_eq!(id.class(), TaskClass::Be);
+            assert!(id.default_batch() > 1);
+        }
+    }
+
+    #[test]
+    fn parameter_counts_are_plausible() {
+        // ±40% of the published parameter counts (millions).
+        let expect = [
+            (ModelId::MobileNetV3, 5.4),
+            (ModelId::SqueezeNet, 1.2),
+            (ModelId::ShuffleNet, 2.3),
+            (ModelId::EfficientNet, 5.3),
+            (ModelId::ResNet34, 21.8),
+            (ModelId::MobileBert, 25.0),
+            (ModelId::MobileViT, 5.6),
+            (ModelId::EfficientFormer, 12.0),
+            (ModelId::ResNet152, 60.0),
+            (ModelId::DenseNet161, 28.7),
+            (ModelId::Bert, 110.0),
+        ];
+        for (id, millions) in expect {
+            let m = build(id);
+            let params = m.weight_bytes() as f64 / 4.0 / 1e6;
+            assert!(
+                params > millions * 0.6 && params < millions * 1.4,
+                "{}: {params:.1}M params vs published {millions}M",
+                id.name()
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_counts_are_realistic() {
+        for m in full_zoo() {
+            let n = m.kernels.len();
+            assert!(
+                (20..400).contains(&n),
+                "{}: {n} kernels",
+                m.id.name()
+            );
+        }
+        // DenseNet161 has the most kernels of the CNNs (dense layers).
+        let dense = build(ModelId::DenseNet161).kernels.len();
+        let res34 = build(ModelId::ResNet34).kernels.len();
+        assert!(dense > res34);
+    }
+
+    #[test]
+    fn isolated_latencies_are_ordered_sanely() {
+        let spec = GpuModel::RtxA2000.spec();
+        let e2e = |id: ModelId| -> f64 {
+            build(id)
+                .kernels
+                .iter()
+                .map(|k| perf::isolated_runtime_us(k, &spec))
+                .sum()
+        };
+        let mobilenet = e2e(ModelId::MobileNetV3);
+        let resnet152 = e2e(ModelId::ResNet152);
+        let bert = e2e(ModelId::Bert);
+        assert!(mobilenet < resnet152, "{mobilenet} vs {resnet152}");
+        assert!(mobilenet > 200.0 && mobilenet < 5_000.0, "MobileNetV3 {mobilenet}µs");
+        assert!(resnet152 > 5_000.0 && resnet152 < 200_000.0, "ResNet152 {resnet152}µs");
+        assert!(bert > 2_000.0, "Bert {bert}µs");
+    }
+
+    #[test]
+    fn memory_bound_mix_is_nontrivial() {
+        // Both bound classes must be represented (the scheduler depends on
+        // the distinction).
+        let spec = GpuModel::RtxA2000.spec();
+        for m in full_zoo() {
+            let mb = m.kernels.iter().filter(|k| k.is_memory_bound(&spec)).count();
+            assert!(mb > 0, "{} has no memory-bound kernels", m.id.name());
+            assert!(
+                mb < m.kernels.len(),
+                "{} is entirely memory-bound",
+                m.id.name()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_scales_flops_linearly() {
+        let b1 = build_with_batch(ModelId::ResNet152, 1);
+        let b8 = build_with_batch(ModelId::ResNet152, 8);
+        let ratio = b8.total_flops() / b1.total_flops();
+        assert!((ratio - 8.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn tensors_have_valid_liveness() {
+        for m in full_zoo() {
+            for t in &m.tensors {
+                assert!(t.first_use <= t.last_use, "{}", t.name);
+                assert!(t.last_use < m.kernels.len(), "{}", t.name);
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_reference_valid_tensors() {
+        for m in full_zoo() {
+            for k in &m.kernels {
+                assert!(!k.tensor_refs.is_empty(), "{}", k.name);
+                for &t in &k.tensor_refs {
+                    assert!(t < m.tensors.len(), "{}", k.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flops_magnitudes_are_plausible() {
+        // Published MACs ×2, batch 1 (±50%).
+        let m = build_with_batch(ModelId::ResNet34, 1);
+        let gflops = m.total_flops() / 1e9;
+        assert!((4.0..12.0).contains(&gflops), "ResNet34 {gflops} GFLOPs");
+        let m = build_with_batch(ModelId::MobileNetV3, 1);
+        let gflops = m.total_flops() / 1e9;
+        assert!((0.2..1.5).contains(&gflops), "MobileNetV3 {gflops} GFLOPs");
+    }
+}

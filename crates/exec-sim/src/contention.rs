@@ -1,0 +1,338 @@
+//! The contention model: execution rates of concurrently running kernels.
+//!
+//! Reproduces the resource-conflict behaviour the paper characterizes:
+//!
+//! * **Intra-SM conflicts** (Fig. 3a): kernels whose TPC masks overlap slow
+//!   each other down; L1-thrashing co-runners hurt more than compute
+//!   co-runners.
+//! * **Inter-SM / VRAM channel conflicts** (Fig. 3b): kernels whose channel
+//!   sets overlap contend for per-channel bandwidth, L2 slices, MSHRs and
+//!   DRAM banks; an overlapping thrasher inflates a victim's memory time
+//!   even when bandwidth is nominally sufficient.
+//! * **MPS thread-level partitioning**: thread fractions scale compute
+//!   throughput but do *not* remove intra-SM or channel conflicts (§2.2,
+//!   §9.3).
+//!
+//! The engine integrates kernel progress with piecewise-constant rates:
+//! whenever the running set changes, [`compute_rates`] re-evaluates every
+//! kernel's instantaneous duration and thus its rate.
+
+use crate::types::{ChannelSet, TpcMask};
+use dnn::kernel::KernelDesc;
+use dnn::perf::{self, ResourceCtx};
+use gpu_spec::GpuSpec;
+
+/// A kernel as the contention model sees it.
+#[derive(Debug, Clone)]
+pub struct RunningCtx {
+    pub kernel: KernelDesc,
+    pub mask: TpcMask,
+    pub channels: ChannelSet,
+    /// MPS active-thread fraction (1.0 = full SMs).
+    pub thread_fraction: f64,
+}
+
+impl RunningCtx {
+    /// DRAM bandwidth demand at full resources, GB/s.
+    fn bw_demand_gbps(&self, spec: &GpuSpec) -> f64 {
+        let body = perf::memory_time_us(&self.kernel, spec)
+            .max(perf::compute_time_us(&self.kernel, spec))
+            .max(1e-9);
+        self.kernel.bytes / (body * 1e-6) / 1e9
+    }
+
+    /// How aggressively this kernel thrashes shared L2/MSHR resources
+    /// (0..1): its bandwidth demand relative to the whole GPU.
+    fn thrash_intensity(&self, spec: &GpuSpec) -> f64 {
+        (self.bw_demand_gbps(spec) / spec.mem_bandwidth_gbps).min(1.0)
+    }
+}
+
+/// Per-kernel instantaneous execution state.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelRate {
+    /// Wall-clock duration the kernel would need under current conditions
+    /// (µs, including launch overhead).
+    pub duration_us: f64,
+    /// Progress per wall-µs, in units of "intrinsic work" where the
+    /// kernel's total work is its current-conditions duration at rate 1.
+    /// Defined as `exclusive_duration / current_duration`.
+    pub relative_speed: f64,
+}
+
+/// Computes each running kernel's instantaneous duration and speed.
+pub fn compute_rates(spec: &GpuSpec, running: &[RunningCtx]) -> Vec<KernelRate> {
+    let cp = &spec.contention;
+    let mut out = Vec::with_capacity(running.len());
+
+    // Per-channel aggregate bandwidth demand (GB/s).
+    let mut channel_demand = vec![0.0f64; spec.num_channels as usize];
+    for r in running {
+        let per_channel = r.bw_demand_gbps(spec) / r.channels.count().max(1) as f64;
+        for c in 0..spec.num_channels {
+            if r.channels.0 & (1 << c) != 0 {
+                channel_demand[c as usize] += per_channel;
+            }
+        }
+    }
+    let channel_cap = spec.channel_bandwidth_gbps();
+
+    // Per-TPC occupancy: the sum of thread fractions resident on each TPC.
+    // Overlapping kernels split a TPC's compute throughput fairly; a lone
+    // MPS client is still capped by its thread fraction.
+    let mut tpc_occupancy = vec![0.0f64; spec.num_tpcs as usize];
+    for r in running {
+        for t in 0..spec.num_tpcs {
+            if r.mask.0 & (1 << t) != 0 {
+                tpc_occupancy[t as usize] += r.thread_fraction;
+            }
+        }
+    }
+
+    for (i, r) in running.iter().enumerate() {
+        // ---- intra-SM interference (Fig. 3a) --------------------------
+        let mut intra = 1.0;
+        for (j, o) in running.iter().enumerate() {
+            if i == j || !r.mask.overlaps(o.mask) {
+                continue;
+            }
+            let overlap_frac =
+                r.mask.intersect(o.mask).count() as f64 / r.mask.count().max(1) as f64;
+            // L1-heavy co-runners interfere more than compute co-runners.
+            let l1ness = o.kernel.memory_instr_share();
+            let per_kernel = cp.intra_sm_compute + (cp.intra_sm_l1 - cp.intra_sm_compute) * l1ness;
+            intra += per_kernel * overlap_frac * o.thread_fraction;
+        }
+
+        // ---- VRAM bandwidth share + inter-SM conflicts (Fig. 3b) ------
+        let demand = r.bw_demand_gbps(spec);
+        let per_channel_demand = demand / r.channels.count().max(1) as f64;
+        let mut granted = 0.0;
+        for c in 0..spec.num_channels as usize {
+            if r.channels.0 & (1 << c) == 0 {
+                continue;
+            }
+            let d = channel_demand[c];
+            granted += if d <= channel_cap {
+                per_channel_demand
+            } else {
+                per_channel_demand * channel_cap / d
+            };
+        }
+        // Fraction of the kernel's demand it actually receives. A
+        // restricted channel set is captured naturally: the demand
+        // concentrates on fewer channels, whose caps bind sooner.
+        let bw_share = if demand > 0.0 {
+            (granted / demand).clamp(1e-6, 1.0)
+        } else {
+            1.0
+        };
+
+        // L2/MSHR/bank conflict penalty from overlapping channel sets.
+        let mut l2_penalty = 1.0;
+        for (j, o) in running.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let shared = r.channels.overlap(o.channels) as f64;
+            if shared == 0.0 {
+                continue;
+            }
+            let frac = shared / r.channels.count().max(1) as f64;
+            l2_penalty +=
+                (cp.l2_overlap_penalty + cp.bank_serialization) * frac * o.thrash_intensity(spec);
+        }
+
+        // ---- roofline under current conditions ------------------------
+        // Effective TPCs: fair share of every TPC in the mask.
+        let mut eff_tpcs = 0.0;
+        for t in 0..spec.num_tpcs as usize {
+            if r.mask.0 & (1 << t) != 0 {
+                eff_tpcs += r.thread_fraction / tpc_occupancy[t].max(1.0);
+            }
+        }
+        let eff_bw_share = bw_share / l2_penalty;
+        let ctx = ResourceCtx {
+            tpcs: eff_tpcs.max(0.05),
+            bw_share: eff_bw_share.clamp(1e-6, 1.0),
+            intra_sm_factor: intra,
+        };
+        let duration = perf::runtime_us(&r.kernel, spec, ctx);
+        let exclusive = perf::isolated_runtime_us(&r.kernel, spec);
+        out.push(KernelRate {
+            duration_us: duration,
+            relative_speed: exclusive / duration.max(1e-9),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn::kernel::{KernelDesc, KernelKind};
+    use gpu_spec::GpuModel;
+
+    fn kernel(kind: KernelKind, flops: f64, bytes: f64) -> KernelDesc {
+        KernelDesc {
+            id: 7,
+            name: "k".into(),
+            kind,
+            flops,
+            bytes,
+            thread_blocks: 256,
+            persistent_threads: true,
+            colored: false,
+            extra_registers: 0,
+            tensor_refs: vec![],
+        }
+    }
+
+    fn victim(spec: &GpuSpec) -> RunningCtx {
+        RunningCtx {
+            kernel: kernel(KernelKind::Gemm, 2e9, 1e7),
+            mask: TpcMask::first(spec.num_tpcs / 2),
+            channels: ChannelSet::all(spec),
+            thread_fraction: 1.0,
+        }
+    }
+
+    fn thrasher(spec: &GpuSpec, mask: TpcMask, channels: ChannelSet) -> RunningCtx {
+        RunningCtx {
+            kernel: kernel(KernelKind::Elementwise, 1e7, 3e8),
+            mask,
+            channels,
+            thread_fraction: 1.0,
+        }
+    }
+
+    #[test]
+    fn alone_matches_isolated_runtime() {
+        let spec = GpuModel::RtxA2000.spec();
+        let v = RunningCtx {
+            kernel: kernel(KernelKind::Gemm, 2e9, 1e7),
+            mask: TpcMask::all(&spec),
+            channels: ChannelSet::all(&spec),
+            thread_fraction: 1.0,
+        };
+        let rates = compute_rates(&spec, &[v.clone()]);
+        let isolated = perf::isolated_runtime_us(&v.kernel, &spec);
+        assert!((rates[0].duration_us - isolated).abs() / isolated < 1e-6);
+        assert!((rates[0].relative_speed - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn intra_sm_interference_grows_with_co_runners() {
+        // Fig. 3a: victim latency grows with the number of interferers on
+        // shared SMs, and L1 thrashers hurt more than compute kernels.
+        let spec = GpuModel::RtxA2000.spec();
+        let mask = TpcMask::first(spec.num_tpcs);
+        let v = RunningCtx { mask, ..victim(&spec) };
+        let comp = RunningCtx {
+            kernel: kernel(KernelKind::Gemm, 2e9, 1e6),
+            mask,
+            channels: ChannelSet::all(&spec),
+            thread_fraction: 1.0,
+        };
+        let l1 = RunningCtx {
+            kernel: kernel(KernelKind::Elementwise, 1e8, 2e7),
+            mask,
+            channels: ChannelSet::all(&spec),
+            thread_fraction: 1.0,
+        };
+        let alone = compute_rates(&spec, &[v.clone()])[0].duration_us;
+        let with1 = compute_rates(&spec, &[v.clone(), comp.clone()])[0].duration_us;
+        let with2 = compute_rates(&spec, &[v.clone(), comp.clone(), comp.clone()])[0].duration_us;
+        let with_l1 = compute_rates(&spec, &[v.clone(), l1])[0].duration_us;
+        assert!(with1 > alone * 1.15, "{with1} vs {alone}");
+        assert!(with2 > with1 * 1.1);
+        assert!(with_l1 > with1, "L1 interference must exceed compute");
+    }
+
+    #[test]
+    fn disjoint_masks_remove_intra_sm_interference() {
+        let spec = GpuModel::RtxA2000.spec();
+        let v = RunningCtx {
+            mask: TpcMask::first(6),
+            channels: ChannelSet::from_channels(&[2, 3, 4, 5]),
+            ..victim(&spec)
+        };
+        let other = RunningCtx {
+            kernel: kernel(KernelKind::Gemm, 2e9, 1e6),
+            mask: TpcMask::range(6, 7),
+            channels: ChannelSet::from_channels(&[0, 1]),
+            thread_fraction: 1.0,
+        };
+        let alone = compute_rates(&spec, &[v.clone()])[0].duration_us;
+        let together = compute_rates(&spec, &[v, other])[0].duration_us;
+        assert!(
+            (together - alone).abs() / alone < 0.02,
+            "full partitioning ⇒ no interference ({together} vs {alone})"
+        );
+    }
+
+    #[test]
+    fn channel_overlap_slows_memory_bound_victims() {
+        // Fig. 3b: with disjoint SMs (MPS-style), a VRAM thrasher still
+        // hurts a victim whose channels overlap.
+        let spec = GpuModel::RtxA2000.spec();
+        let v = RunningCtx {
+            kernel: kernel(KernelKind::Elementwise, 1e7, 1e8),
+            mask: TpcMask::first(6),
+            channels: ChannelSet::all(&spec),
+            thread_fraction: 1.0,
+        };
+        let t = thrasher(&spec, TpcMask::range(6, 7), ChannelSet::all(&spec));
+        let alone = compute_rates(&spec, &[v.clone()])[0].duration_us;
+        let together = compute_rates(&spec, &[v.clone(), t.clone()])[0].duration_us;
+        assert!(together > alone * 1.3, "{together} vs {alone}");
+
+        // Channel isolation removes most of the slowdown (Fig. 15a).
+        let v_iso = RunningCtx {
+            channels: ChannelSet::from_channels(&[2, 3, 4, 5]),
+            ..v
+        };
+        let t_iso = thrasher(&spec, TpcMask::range(6, 7), ChannelSet::from_channels(&[0, 1]));
+        let isolated_together = compute_rates(&spec, &[v_iso.clone(), t_iso])[0].duration_us;
+        let isolated_alone = compute_rates(&spec, &[v_iso])[0].duration_us;
+        let interference = together / alone;
+        let iso_interference = isolated_together / isolated_alone;
+        assert!(
+            iso_interference < 1.0 + (interference - 1.0) * 0.35,
+            "isolation must remove most interference: {iso_interference} vs {interference}"
+        );
+    }
+
+    #[test]
+    fn restricted_channel_set_caps_bandwidth() {
+        let spec = GpuModel::RtxA2000.spec();
+        let v = RunningCtx {
+            kernel: kernel(KernelKind::Elementwise, 1e7, 2e8),
+            mask: TpcMask::all(&spec),
+            channels: ChannelSet::from_channels(&[0, 1]),
+            thread_fraction: 1.0,
+        };
+        let full = RunningCtx {
+            channels: ChannelSet::all(&spec),
+            ..v.clone()
+        };
+        let restricted = compute_rates(&spec, &[v])[0].duration_us;
+        let unrestricted = compute_rates(&spec, &[full])[0].duration_us;
+        let ratio = restricted / unrestricted;
+        assert!(
+            (2.2..4.0).contains(&ratio),
+            "1/3 of channels ⇒ ~3× memory time ({ratio})"
+        );
+    }
+
+    #[test]
+    fn mps_thread_fraction_scales_compute() {
+        let spec = GpuModel::RtxA2000.spec();
+        let mut v = victim(&spec);
+        v.mask = TpcMask::all(&spec);
+        let full = compute_rates(&spec, &[v.clone()])[0].duration_us;
+        v.thread_fraction = 0.5;
+        let half = compute_rates(&spec, &[v])[0].duration_us;
+        assert!(half > full * 1.6, "{half} vs {full}");
+    }
+}

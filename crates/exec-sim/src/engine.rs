@@ -1,0 +1,434 @@
+//! The discrete-event execution engine.
+//!
+//! Schedulers (SGDRC and the baselines) drive the engine: they launch
+//! kernels with TPC masks / channel sets, advance virtual time, and react
+//! to completion or preemption events. Progress is integrated with
+//! piecewise-constant rates — exact for the roofline contention model,
+//! independent of wall-clock.
+
+use crate::contention::{compute_rates, RunningCtx};
+use crate::types::{ChannelSet, EngineEvent, LaunchId, TpcMask};
+use dnn::kernel::KernelDesc;
+use gpu_spec::GpuSpec;
+
+/// Launch-time configuration of a kernel instance.
+#[derive(Debug, Clone)]
+pub struct LaunchConfig {
+    pub mask: TpcMask,
+    pub channels: ChannelSet,
+    /// MPS active-thread fraction (1.0 unless emulating MPS).
+    pub thread_fraction: f64,
+    /// BE kernels poll the eviction flag every this many µs (§7.1). `None`
+    /// makes the kernel non-preemptible (LS kernels).
+    pub preempt_poll_us: Option<f64>,
+}
+
+impl LaunchConfig {
+    /// Full GPU, not preemptible.
+    pub fn exclusive(spec: &GpuSpec) -> Self {
+        Self {
+            mask: TpcMask::all(spec),
+            channels: ChannelSet::all(spec),
+            thread_fraction: 1.0,
+            preempt_poll_us: None,
+        }
+    }
+}
+
+struct Running {
+    id: LaunchId,
+    ctx: RunningCtx,
+    /// Remaining work in "exclusive-runtime µs".
+    remaining: f64,
+    /// Total work (for restart bookkeeping).
+    total: f64,
+    poll_us: Option<f64>,
+    /// Eviction flag raised; kernel will terminate at its next poll.
+    evicting: Option<f64 /* absolute deadline */>,
+}
+
+/// The engine.
+pub struct Engine {
+    spec: GpuSpec,
+    now: f64,
+    next_id: u64,
+    running: Vec<Running>,
+    /// Rates valid for the current running set (parallel to `running`).
+    speeds: Vec<f64>,
+}
+
+impl Engine {
+    pub fn new(spec: GpuSpec) -> Self {
+        Self {
+            spec,
+            now: 0.0,
+            next_id: 1,
+            running: Vec::new(),
+            speeds: Vec::new(),
+        }
+    }
+
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Current virtual time in µs.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Kernels currently resident on the GPU.
+    pub fn running_count(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Union of all running kernels' TPC masks.
+    pub fn busy_tpcs(&self) -> TpcMask {
+        self.running
+            .iter()
+            .fold(TpcMask(0), |m, r| m.union(r.ctx.mask))
+    }
+
+    /// IDs of the currently running kernels.
+    pub fn running_ids(&self) -> Vec<LaunchId> {
+        self.running.iter().map(|r| r.id).collect()
+    }
+
+    fn refresh_rates(&mut self) {
+        let ctxs: Vec<RunningCtx> = self.running.iter().map(|r| r.ctx.clone()).collect();
+        let rates = compute_rates(&self.spec, &ctxs);
+        self.speeds = rates.iter().map(|r| r.relative_speed).collect();
+    }
+
+    /// Launches a kernel; work equals its exclusive-resource runtime.
+    pub fn launch(&mut self, kernel: &KernelDesc, cfg: &LaunchConfig) -> LaunchId {
+        assert!(!cfg.mask.is_empty(), "kernel launched with empty TPC mask");
+        let id = LaunchId(self.next_id);
+        self.next_id += 1;
+        let total = dnn::perf::isolated_runtime_us(kernel, &self.spec);
+        self.running.push(Running {
+            id,
+            ctx: RunningCtx {
+                kernel: kernel.clone(),
+                mask: cfg.mask,
+                channels: cfg.channels,
+                thread_fraction: cfg.thread_fraction,
+            },
+            remaining: total,
+            total,
+            poll_us: cfg.preempt_poll_us,
+            evicting: None,
+        });
+        self.refresh_rates();
+        id
+    }
+
+    /// Writes the eviction flag for a running preemptible kernel (§7.1).
+    /// The kernel observes it at its next poll and terminates; progress is
+    /// discarded (reset-based preemption). Returns `false` if the kernel is
+    /// not running or not preemptible.
+    pub fn raise_eviction_flag(&mut self, id: LaunchId) -> bool {
+        for r in &mut self.running {
+            if r.id == id {
+                match r.poll_us {
+                    Some(poll) => {
+                        if r.evicting.is_none() {
+                            r.evicting = Some(self.now + poll);
+                        }
+                        return true;
+                    }
+                    None => return false,
+                }
+            }
+        }
+        false
+    }
+
+    /// Re-masks a running kernel (the engine models SGDRC's relaunch-with-
+    /// new-mask as an in-place update; the relaunch latency is folded into
+    /// the preemption poll delay).
+    pub fn remask(&mut self, id: LaunchId, mask: TpcMask, channels: ChannelSet) -> bool {
+        let mut found = false;
+        for r in &mut self.running {
+            if r.id == id {
+                r.ctx.mask = mask;
+                r.ctx.channels = channels;
+                found = true;
+            }
+        }
+        if found {
+            self.refresh_rates();
+        }
+        found
+    }
+
+    /// Time of the next event, if any kernel is resident.
+    pub fn next_event_at(&self) -> Option<f64> {
+        self.running
+            .iter()
+            .zip(&self.speeds)
+            .map(|(r, &s)| {
+                let finish = self.now + r.remaining / s.max(1e-9);
+                match r.evicting {
+                    Some(evict) => finish.min(evict),
+                    None => finish,
+                }
+            })
+            .fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |a| a.min(t)))
+            })
+    }
+
+    /// Advances virtual time to the next completion/preemption and returns
+    /// it; `None` when the GPU is idle.
+    pub fn step(&mut self) -> Option<EngineEvent> {
+        let target = self.next_event_at()?;
+        self.advance_to(target);
+        // Find the kernel that finished or got evicted (remaining ≤ ε or
+        // eviction deadline reached).
+        let mut fired: Option<(usize, bool)> = None;
+        for (i, r) in self.running.iter().enumerate() {
+            if let Some(evict) = r.evicting {
+                if evict <= self.now + 1e-9 {
+                    fired = Some((i, true));
+                    break;
+                }
+            }
+            if r.remaining <= 1e-6 {
+                fired = Some((i, false));
+                break;
+            }
+        }
+        let (idx, preempted) = fired.expect("an event was due");
+        let r = self.running.remove(idx);
+        self.refresh_rates();
+        Some(if preempted {
+            EngineEvent::Preempted {
+                id: r.id,
+                at_us: self.now,
+            }
+        } else {
+            EngineEvent::Finished {
+                id: r.id,
+                at_us: self.now,
+            }
+        })
+    }
+
+    /// Advances time to `t` (≤ next event), integrating progress.
+    fn advance_to(&mut self, t: f64) {
+        let dt = t - self.now;
+        debug_assert!(dt >= -1e-9, "time went backwards");
+        if dt > 0.0 {
+            for (r, &s) in self.running.iter_mut().zip(&self.speeds) {
+                r.remaining -= dt * s;
+                if r.remaining < 0.0 {
+                    r.remaining = 0.0;
+                }
+            }
+            self.now = t;
+        }
+    }
+
+    /// Advances to `t` without expecting events (panics if one was due
+    /// strictly before `t`). Used to model request arrivals while idle.
+    pub fn advance_idle(&mut self, t: f64) {
+        debug_assert!(
+            self.next_event_at().is_none_or(|e| e >= t - 1e-9),
+            "advance_idle skipped an engine event"
+        );
+        if t > self.now {
+            self.advance_to(t.min(self.next_event_at().unwrap_or(t)));
+            self.now = t;
+        }
+    }
+
+    /// Progress fraction of a running kernel (1.0 = done), if running.
+    pub fn progress(&self, id: LaunchId) -> Option<f64> {
+        self.running
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| 1.0 - r.remaining / r.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn::kernel::{KernelDesc, KernelKind};
+    use gpu_spec::GpuModel;
+
+    fn kernel(flops: f64, bytes: f64) -> KernelDesc {
+        KernelDesc {
+            id: 1,
+            name: "k".into(),
+            kind: KernelKind::Gemm,
+            flops,
+            bytes,
+            thread_blocks: 512,
+            persistent_threads: true,
+            colored: false,
+            extra_registers: 0,
+            tensor_refs: vec![],
+        }
+    }
+
+    fn engine() -> Engine {
+        Engine::new(GpuModel::RtxA2000.spec())
+    }
+
+    #[test]
+    fn single_kernel_runs_for_its_isolated_time() {
+        let mut e = engine();
+        let k = kernel(2e9, 1e7);
+        let expect = dnn::perf::isolated_runtime_us(&k, e.spec());
+        let id = e.launch(&k, &LaunchConfig::exclusive(e.spec()));
+        match e.step() {
+            Some(EngineEvent::Finished { id: fid, at_us }) => {
+                assert_eq!(fid, id);
+                assert!((at_us - expect).abs() / expect < 1e-6);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(e.step().is_none());
+    }
+
+    #[test]
+    fn two_disjoint_kernels_do_not_interfere() {
+        let mut e = engine();
+        let k = kernel(2e9, 1e7);
+        let expect = dnn::perf::isolated_runtime_us(&k, e.spec());
+        let spec = e.spec().clone();
+        let a = LaunchConfig {
+            mask: TpcMask::first(6),
+            channels: ChannelSet::from_channels(&[0, 1, 2]),
+            thread_fraction: 1.0,
+            preempt_poll_us: None,
+        };
+        let b = LaunchConfig {
+            mask: TpcMask::range(6, 6),
+            channels: ChannelSet::from_channels(&[3, 4, 5]),
+            thread_fraction: 1.0,
+            preempt_poll_us: None,
+        };
+        e.launch(&k, &a);
+        e.launch(&k, &b);
+        let _ = spec;
+        let t1 = match e.step().unwrap() {
+            EngineEvent::Finished { at_us, .. } => at_us,
+            other => panic!("{other:?}"),
+        };
+        let t2 = match e.step().unwrap() {
+            EngineEvent::Finished { at_us, .. } => at_us,
+            other => panic!("{other:?}"),
+        };
+        // Both limited by block parallelism (512 blocks saturate >6 TPCs),
+        // so each takes longer than exclusive, but they finish together.
+        assert!(t1 >= expect);
+        assert!((t2 - t1) / t1 < 0.05, "symmetric kernels finish together");
+    }
+
+    #[test]
+    fn sharing_slows_both_down() {
+        let mut e = engine();
+        let k = kernel(2e9, 1e7);
+        let expect = dnn::perf::isolated_runtime_us(&k, e.spec());
+        let cfg = LaunchConfig::exclusive(e.spec());
+        e.launch(&k, &cfg);
+        e.launch(&k, &cfg);
+        let t = match e.step().unwrap() {
+            EngineEvent::Finished { at_us, .. } => at_us,
+            other => panic!("{other:?}"),
+        };
+        // Two identical kernels on shared SMs: > 2× exclusive (compute
+        // split + intra-SM interference).
+        assert!(t > expect * 2.0, "{t} vs {expect}");
+    }
+
+    #[test]
+    fn eviction_flag_preempts_at_poll_boundary() {
+        let mut e = engine();
+        let k = kernel(5e9, 1e7); // long kernel
+        let cfg = LaunchConfig {
+            preempt_poll_us: Some(3.0),
+            ..LaunchConfig::exclusive(e.spec())
+        };
+        let id = e.launch(&k, &cfg);
+        // Let it run a little, then evict.
+        let evict_time = 50.0;
+        // No event before 50µs (kernel runs for hundreds of µs).
+        e.advance_idle(evict_time);
+        assert!(e.raise_eviction_flag(id));
+        match e.step().unwrap() {
+            EngineEvent::Preempted { id: pid, at_us } => {
+                assert_eq!(pid, id);
+                assert!((at_us - (evict_time + 3.0)).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(e.running_count(), 0);
+    }
+
+    #[test]
+    fn ls_kernels_are_not_preemptible() {
+        let mut e = engine();
+        let k = kernel(2e9, 1e7);
+        let id = e.launch(&k, &LaunchConfig::exclusive(e.spec()));
+        assert!(!e.raise_eviction_flag(id));
+    }
+
+    #[test]
+    fn remask_changes_rates() {
+        let mut e = engine();
+        let k = kernel(5e9, 1e7);
+        let id = e.launch(&k, &LaunchConfig::exclusive(e.spec()));
+        let full_finish = e.next_event_at().unwrap();
+        e.remask(id, TpcMask::first(2), ChannelSet::all(e.spec()));
+        let masked_finish = e.next_event_at().unwrap();
+        assert!(masked_finish > full_finish * 2.0);
+    }
+
+    #[test]
+    fn progress_is_monotonic() {
+        let mut e = engine();
+        let k = kernel(5e9, 1e7);
+        let id = e.launch(&k, &LaunchConfig::exclusive(e.spec()));
+        let finish = e.next_event_at().unwrap();
+        e.advance_idle(finish * 0.25);
+        let p1 = e.progress(id).unwrap();
+        e.advance_idle(finish * 0.5);
+        let p2 = e.progress(id).unwrap();
+        assert!(p1 > 0.2 && p1 < 0.3, "{p1}");
+        assert!(p2 > p1);
+    }
+
+    #[test]
+    fn work_conservation_under_preemption_and_relaunch() {
+        // Preempting and relaunching a BE kernel discards progress: the
+        // total occupied time exceeds one exclusive run.
+        let mut e = engine();
+        let k = kernel(5e9, 1e7);
+        let exclusive = dnn::perf::isolated_runtime_us(&k, e.spec());
+        let cfg = LaunchConfig {
+            preempt_poll_us: Some(2.0),
+            ..LaunchConfig::exclusive(e.spec())
+        };
+        let id = e.launch(&k, &cfg);
+        e.advance_idle(exclusive * 0.6);
+        e.raise_eviction_flag(id);
+        match e.step().unwrap() {
+            EngineEvent::Preempted { .. } => {}
+            other => panic!("{other:?}"),
+        }
+        // Relaunch from scratch.
+        let t_relaunch = e.now();
+        e.launch(&k, &cfg);
+        match e.step().unwrap() {
+            EngineEvent::Finished { at_us, .. } => {
+                assert!((at_us - t_relaunch - exclusive).abs() / exclusive < 1e-6);
+                assert!(at_us > exclusive * 1.5, "progress was discarded");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Core types of the kernel-grain GPU engine.
+
+use gpu_spec::GpuSpec;
+
+/// A TPC bitmask — the TMD/libsmctrl SM-masking interface (§7.1). Bit `i`
+/// set means the kernel's blocks may be scheduled on TPC `i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TpcMask(pub u32);
+
+impl TpcMask {
+    /// All TPCs of a GPU.
+    pub fn all(spec: &GpuSpec) -> Self {
+        TpcMask(if spec.num_tpcs >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << spec.num_tpcs) - 1
+        })
+    }
+
+    /// The first `n` TPCs.
+    pub fn first(n: u32) -> Self {
+        TpcMask(if n >= 32 { u32::MAX } else { (1u32 << n) - 1 })
+    }
+
+    /// `n` TPCs starting at `start`.
+    pub fn range(start: u32, n: u32) -> Self {
+        TpcMask(Self::first(n).0 << start)
+    }
+
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    pub fn intersect(self, other: TpcMask) -> TpcMask {
+        TpcMask(self.0 & other.0)
+    }
+
+    pub fn union(self, other: TpcMask) -> TpcMask {
+        TpcMask(self.0 | other.0)
+    }
+
+    pub fn minus(self, other: TpcMask) -> TpcMask {
+        TpcMask(self.0 & !other.0)
+    }
+
+    pub fn overlaps(self, other: TpcMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// A VRAM channel bitmask (≤16 channels on the modelled GPUs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChannelSet(pub u16);
+
+impl ChannelSet {
+    pub fn all(spec: &GpuSpec) -> Self {
+        ChannelSet((1u16 << spec.num_channels) - 1)
+    }
+
+    pub fn from_channels(channels: &[u16]) -> Self {
+        ChannelSet(channels.iter().fold(0, |m, &c| m | (1 << c)))
+    }
+
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    pub fn overlap(self, other: ChannelSet) -> u32 {
+        (self.0 & other.0).count_ones()
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Handle of a launched kernel instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LaunchId(pub u64);
+
+/// Scheduler-visible engine events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineEvent {
+    /// A kernel ran to completion.
+    Finished { id: LaunchId, at_us: f64 },
+    /// A kernel observed the eviction flag and terminated (its progress is
+    /// discarded — REEF-style reset preemption, §7.1).
+    Preempted { id: LaunchId, at_us: f64 },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_spec::GpuModel;
+
+    #[test]
+    fn masks_cover_gpu() {
+        let spec = GpuModel::RtxA2000.spec();
+        assert_eq!(TpcMask::all(&spec).count(), 13);
+        assert_eq!(TpcMask::first(4).count(), 4);
+        assert_eq!(TpcMask::range(4, 3).0, 0b111_0000);
+    }
+
+    #[test]
+    fn mask_algebra() {
+        let a = TpcMask(0b1111);
+        let b = TpcMask(0b1100);
+        assert_eq!(a.minus(b).0, 0b0011);
+        assert_eq!(a.intersect(b).0, 0b1100);
+        assert!(a.overlaps(b));
+        assert!(!TpcMask(0b0011).overlaps(b));
+    }
+
+    #[test]
+    fn channel_sets() {
+        let spec = GpuModel::RtxA2000.spec();
+        let all = ChannelSet::all(&spec);
+        assert_eq!(all.count(), 6);
+        let be = ChannelSet::from_channels(&[0, 1]);
+        let ls = ChannelSet::from_channels(&[2, 3, 4, 5]);
+        assert_eq!(be.overlap(ls), 0);
+        assert_eq!(be.overlap(all), 2);
+    }
+}

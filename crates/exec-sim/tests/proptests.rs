@@ -1,0 +1,70 @@
+//! Property-based tests for the execution engine.
+use dnn::kernel::{KernelDesc, KernelKind};
+use exec_sim::{compute_rates, ChannelSet, Engine, LaunchConfig, RunningCtx, TpcMask};
+use gpu_spec::GpuModel;
+use proptest::prelude::*;
+
+fn kernel(flops: f64, bytes: f64, blocks: u32) -> KernelDesc {
+    KernelDesc {
+        id: 1,
+        name: "p".into(),
+        kind: KernelKind::Gemm,
+        flops,
+        bytes,
+        thread_blocks: blocks,
+        persistent_threads: true,
+        colored: false,
+        extra_registers: 0,
+        tensor_refs: vec![],
+    }
+}
+
+proptest! {
+    /// Rates are always positive and never exceed the exclusive rate.
+    #[test]
+    fn rates_bounded(
+        n in 1usize..4,
+        flops in 1e6f64..1e10,
+        bytes in 1e4f64..1e8,
+        blocks in 1u32..512,
+    ) {
+        let spec = GpuModel::RtxA2000.spec();
+        let running: Vec<RunningCtx> = (0..n)
+            .map(|_| RunningCtx {
+                kernel: kernel(flops, bytes, blocks),
+                mask: TpcMask::all(&spec),
+                channels: ChannelSet::all(&spec),
+                thread_fraction: 1.0,
+            })
+            .collect();
+        for r in compute_rates(&spec, &running) {
+            prop_assert!(r.relative_speed > 0.0);
+            prop_assert!(r.relative_speed <= 1.0 + 1e-9, "speed {} > exclusive", r.relative_speed);
+            prop_assert!(r.duration_us.is_finite());
+        }
+    }
+
+    /// Time is monotone and no kernel is lost: every launch eventually
+    /// produces exactly one Finished event.
+    #[test]
+    fn work_conservation(launches in prop::collection::vec((1e6f64..5e8, 1u32..256), 1..6)) {
+        let spec = GpuModel::RtxA2000.spec();
+        let mut e = Engine::new(spec.clone());
+        let mut ids = std::collections::BTreeSet::new();
+        for &(flops, blocks) in &launches {
+            ids.insert(e.launch(&kernel(flops, 1e6, blocks), &LaunchConfig::exclusive(&spec)));
+        }
+        let mut last = 0.0f64;
+        while let Some(ev) = e.step() {
+            match ev {
+                exec_sim::EngineEvent::Finished { id, at_us } => {
+                    prop_assert!(at_us >= last - 1e-9, "time went backwards");
+                    last = at_us;
+                    prop_assert!(ids.remove(&id), "unknown or duplicate completion");
+                }
+                other => prop_assert!(false, "unexpected event {other:?}"),
+            }
+        }
+        prop_assert!(ids.is_empty(), "lost kernels: {ids:?}");
+    }
+}

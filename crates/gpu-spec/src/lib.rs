@@ -1,0 +1,26 @@
+//! # gpu-spec — GPU hardware model for the SGDRC reproduction
+//!
+//! Foundation crate: physical-address bit structure (paper Fig. 10),
+//! ground-truth VRAM channel hash mappings (§5.2 findings), GPU model
+//! specifications (Tab. 1 / Tab. 4 / §9.2 testbeds) and the MMU / page
+//! table model used by both the memory-hierarchy simulator and the
+//! coloring driver.
+//!
+//! Everything downstream — the address-level simulator (`sgdrc-mem-sim`),
+//! the reverse-engineering pipeline (`sgdrc-reveng`), the coloring driver
+//! (`sgdrc-coloring`) and the kernel-grain engine (`sgdrc-exec-sim`) —
+//! builds on these types.
+//!
+//! The channel-hash oracles in [`hash`] are ground truth that only the
+//! *simulator* may consult; reverse engineering code observes the GPU
+//! solely through memory latencies, as on real hardware.
+
+pub mod address;
+pub mod hash;
+pub mod pagetable;
+pub mod specs;
+
+pub use address::{PhysAddr, VirtAddr, CACHELINE_BYTES, PAGE_BYTES, PARTITION_BYTES};
+pub use hash::{ChannelHash, HashKind, PermutationChannelHash, XorChannelHash};
+pub use pagetable::{MmuError, PageTable};
+pub use specs::{Architecture, ContentionParams, GpuModel, GpuSpec};

@@ -1,0 +1,404 @@
+//! GPU model specifications (paper Tab. 1, Tab. 4 and §9.2 testbeds).
+//!
+//! Three GPUs appear in the paper: the GTX 1080 (the only GPU FGPU
+//! supports), the Tesla P40 (deprecated Pascal data-center card) and the
+//! RTX A2000 (current Ampere card). The spec bundles the public data-sheet
+//! facts (Tab. 1), the reverse-engineered layout facts (Tab. 4), the
+//! memory-hierarchy parameters used by the address-level simulator, and the
+//! contention coefficients used by the kernel-grain engine (calibrated to
+//! the shapes of Fig. 3 and Fig. 15a).
+
+use crate::hash::{ChannelHash, PermutationChannelHash, XorChannelHash};
+use serde::{Deserialize, Serialize};
+
+/// GPU micro-architecture generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Architecture {
+    Pascal,
+    Ampere,
+}
+
+/// The three GPU models used throughout the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuModel {
+    Gtx1080,
+    TeslaP40,
+    RtxA2000,
+}
+
+impl GpuModel {
+    /// All models, in paper order (Tab. 1).
+    pub fn all() -> [GpuModel; 3] {
+        [GpuModel::Gtx1080, GpuModel::TeslaP40, GpuModel::RtxA2000]
+    }
+
+    /// The two end-to-end evaluation testbeds (§9.2).
+    pub fn testbeds() -> [GpuModel; 2] {
+        [GpuModel::TeslaP40, GpuModel::RtxA2000]
+    }
+
+    /// Full hardware specification.
+    pub fn spec(self) -> GpuSpec {
+        match self {
+            GpuModel::Gtx1080 => GpuSpec::gtx1080(),
+            GpuModel::TeslaP40 => GpuSpec::tesla_p40(),
+            GpuModel::RtxA2000 => GpuSpec::rtx_a2000(),
+        }
+    }
+
+    /// Ground-truth channel hash oracle (simulator side only).
+    pub fn channel_hash(self) -> Box<dyn ChannelHash> {
+        match self {
+            GpuModel::Gtx1080 => Box::new(XorChannelHash::gtx1080()),
+            GpuModel::TeslaP40 => Box::new(PermutationChannelHash::tesla_p40()),
+            GpuModel::RtxA2000 => Box::new(PermutationChannelHash::rtx_a2000()),
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            GpuModel::Gtx1080 => "GTX 1080",
+            GpuModel::TeslaP40 => "Tesla P40",
+            GpuModel::RtxA2000 => "RTX A2000",
+        }
+    }
+}
+
+/// Contention coefficients for the kernel-grain engine.
+///
+/// These scale the slowdowns measured by the paper's micro-benchmarks:
+/// Fig. 3a (intra-SM compute / L1 interference), Fig. 3b (inter-SM L2 and
+/// DRAM-bank conflicts) and Fig. 15a (the channel-isolation speedups, which
+/// are larger on the A2000 than on the P40 — 47.5% vs 28.7% mean).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ContentionParams {
+    /// Fractional p99 slowdown added per unit of co-resident *compute*
+    /// occupancy on the same SM (Fig. 3a, "Comp.").
+    pub intra_sm_compute: f64,
+    /// Fractional p99 slowdown added per unit of co-resident *L1-thrashing*
+    /// occupancy on the same SM (Fig. 3a, "L1C"; larger than compute).
+    pub intra_sm_l1: f64,
+    /// Maximum extra latency factor a memory-bound kernel suffers when its
+    /// VRAM channel set fully overlaps a thrashing co-runner's (Fig. 3b:
+    /// L2 cacheline + MSHR conflicts).
+    pub l2_overlap_penalty: f64,
+    /// Additional serialization factor from DRAM bank-row conflicts at full
+    /// channel overlap (Fig. 3b).
+    pub bank_serialization: f64,
+    /// Slowdown from black-box hardware scheduler block placement when a
+    /// kernel with many thread blocks is *not* transformed to the
+    /// persistent-thread style (§7.1).
+    pub sched_conflict: f64,
+}
+
+/// Static hardware description of one GPU model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GpuSpec {
+    pub model: GpuModel,
+    pub name: &'static str,
+    pub architecture: Architecture,
+    /// Texture Processing Clusters; the paper's compute-allocation unit.
+    pub num_tpcs: u32,
+    /// SMs per TPC (two throughout the paper, Fig. 2).
+    pub sms_per_tpc: u32,
+    /// Total VRAM capacity in bytes (Tab. 1).
+    pub vram_bytes: u64,
+    /// VRAM bus width in bits (Tab. 1).
+    pub vram_bus_width_bits: u32,
+    /// Bus width per GDDR unit in bits (32 for all three GPUs, Tab. 1).
+    pub bus_width_per_gddr_bits: u32,
+    /// Number of VRAM channels (= GDDR chips, Fig. 18).
+    pub num_channels: u16,
+    /// L2 slice capacity per VRAM channel in bytes.
+    pub l2_bytes_per_channel: u64,
+    /// L2 associativity.
+    pub l2_ways: u32,
+    /// DRAM banks per channel.
+    pub dram_banks_per_channel: u32,
+    /// Miss Status Holding Registers per channel (§2.1).
+    pub mshrs_per_channel: u32,
+    /// Aggregate VRAM bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Peak FP32 throughput in TFLOP/s.
+    pub fp32_tflops: f64,
+    /// Tab. 4: minimum coloring granularity in KiB (= channel partition).
+    pub min_coloring_granularity_kib: u32,
+    /// Tab. 4: maximum coloring granularity in KiB (= contiguous channels).
+    pub max_coloring_granularity_kib: u32,
+    /// Tab. 4: number of contiguous VRAM channels (the group size).
+    pub contiguous_channels: u16,
+    /// Whether NVIDIA MIG is available (only flagship GPUs; none of these).
+    pub mig_support: bool,
+    /// Whether NVIDIA MPS still receives driver support (§9.3 notes MPS is
+    /// no longer supported on the P40).
+    pub mps_support: bool,
+    /// L2 hit latency in simulator cycles.
+    pub l2_hit_latency: u64,
+    /// DRAM row-hit latency in simulator cycles.
+    pub dram_latency: u64,
+    /// Extra cycles for a DRAM bank-row conflict.
+    pub bank_conflict_penalty: u64,
+    /// Fraction of L2 fills that evict a random line instead of LRU —
+    /// the black-box cache-policy noise. §3.2 reports ~1% false-positive
+    /// conflict samples on Pascal and ~5% on Ampere.
+    pub cache_noise_rate: f64,
+    pub contention: ContentionParams,
+}
+
+impl GpuSpec {
+    pub fn gtx1080() -> Self {
+        GpuSpec {
+            model: GpuModel::Gtx1080,
+            name: "GTX 1080",
+            architecture: Architecture::Pascal,
+            num_tpcs: 10,
+            sms_per_tpc: 2,
+            vram_bytes: 8 << 30,
+            vram_bus_width_bits: 256,
+            bus_width_per_gddr_bits: 32,
+            num_channels: 8,
+            l2_bytes_per_channel: 256 << 10,
+            l2_ways: 16,
+            dram_banks_per_channel: 16,
+            mshrs_per_channel: 32,
+            mem_bandwidth_gbps: 320.0,
+            fp32_tflops: 8.87,
+            min_coloring_granularity_kib: 1,
+            max_coloring_granularity_kib: 4,
+            contiguous_channels: 4,
+            mig_support: false,
+            mps_support: true,
+            l2_hit_latency: 216,
+            dram_latency: 434,
+            bank_conflict_penalty: 180,
+            cache_noise_rate: 0.01,
+            contention: ContentionParams {
+                intra_sm_compute: 0.32,
+                intra_sm_l1: 0.55,
+                l2_overlap_penalty: 0.55,
+                bank_serialization: 0.30,
+                sched_conflict: 0.08,
+            },
+        }
+    }
+
+    pub fn tesla_p40() -> Self {
+        GpuSpec {
+            model: GpuModel::TeslaP40,
+            name: "Tesla P40",
+            architecture: Architecture::Pascal,
+            num_tpcs: 15,
+            sms_per_tpc: 2,
+            vram_bytes: 24 << 30,
+            vram_bus_width_bits: 384,
+            bus_width_per_gddr_bits: 32,
+            num_channels: 12,
+            l2_bytes_per_channel: 256 << 10,
+            l2_ways: 16,
+            dram_banks_per_channel: 16,
+            mshrs_per_channel: 32,
+            mem_bandwidth_gbps: 346.0,
+            fp32_tflops: 11.76,
+            min_coloring_granularity_kib: 1,
+            max_coloring_granularity_kib: 4,
+            contiguous_channels: 4,
+            mig_support: false,
+            mps_support: false,
+            l2_hit_latency: 216,
+            dram_latency: 434,
+            bank_conflict_penalty: 180,
+            cache_noise_rate: 0.01,
+            contention: ContentionParams {
+                intra_sm_compute: 0.30,
+                intra_sm_l1: 0.52,
+                l2_overlap_penalty: 0.42,
+                bank_serialization: 0.25,
+                sched_conflict: 0.08,
+            },
+        }
+    }
+
+    pub fn rtx_a2000() -> Self {
+        GpuSpec {
+            model: GpuModel::RtxA2000,
+            name: "RTX A2000",
+            architecture: Architecture::Ampere,
+            num_tpcs: 13,
+            sms_per_tpc: 2,
+            vram_bytes: 12 << 30,
+            vram_bus_width_bits: 192,
+            bus_width_per_gddr_bits: 32,
+            num_channels: 6,
+            l2_bytes_per_channel: 512 << 10,
+            l2_ways: 16,
+            dram_banks_per_channel: 16,
+            mshrs_per_channel: 32,
+            mem_bandwidth_gbps: 288.0,
+            fp32_tflops: 7.99,
+            min_coloring_granularity_kib: 1,
+            max_coloring_granularity_kib: 2,
+            contiguous_channels: 2,
+            mig_support: false,
+            mps_support: true,
+            l2_hit_latency: 192,
+            dram_latency: 404,
+            bank_conflict_penalty: 170,
+            cache_noise_rate: 0.05,
+            contention: ContentionParams {
+                intra_sm_compute: 0.34,
+                intra_sm_l1: 0.58,
+                l2_overlap_penalty: 0.68,
+                bank_serialization: 0.34,
+                sched_conflict: 0.08,
+            },
+        }
+    }
+
+    /// Total SM count.
+    pub fn num_sms(&self) -> u32 {
+        self.num_tpcs * self.sms_per_tpc
+    }
+
+    /// Per-channel VRAM bandwidth in GB/s.
+    pub fn channel_bandwidth_gbps(&self) -> f64 {
+        self.mem_bandwidth_gbps / self.num_channels as f64
+    }
+
+    /// Total L2 capacity in bytes.
+    pub fn l2_total_bytes(&self) -> u64 {
+        self.l2_bytes_per_channel * self.num_channels as u64
+    }
+
+    /// L2 sets per channel slice (128 B lines).
+    pub fn l2_sets_per_channel(&self) -> u64 {
+        self.l2_bytes_per_channel / (crate::address::CACHELINE_BYTES * self.l2_ways as u64)
+    }
+
+    /// Cross-validation of the channel count from the bus width (Tab. 1:
+    /// "VRAM bus width divided by the bus width per memory unit").
+    pub fn channels_from_bus_width(&self) -> u16 {
+        (self.vram_bus_width_bits / self.bus_width_per_gddr_bits) as u16
+    }
+
+    /// Roofline ridge point in FLOP/byte: kernels below it are
+    /// memory-bound.
+    pub fn ridge_flop_per_byte(&self) -> f64 {
+        self.fp32_tflops * 1e12 / (self.mem_bandwidth_gbps * 1e9)
+    }
+
+    /// One row of the paper's Tab. 1.
+    pub fn tab1_row(&self) -> String {
+        format!(
+            "{:<10} | {:<6?} | {:>4} GiB | {:>4} bit | {:>2} bit/GDDR | {:>2} channels",
+            self.name,
+            self.architecture,
+            self.vram_bytes >> 30,
+            self.vram_bus_width_bits,
+            self.bus_width_per_gddr_bits,
+            self.num_channels,
+        )
+    }
+
+    /// One row of the paper's Tab. 4.
+    pub fn tab4_row(&self) -> String {
+        format!(
+            "{:<10} | min {:>2} KiB | max {:>2} KiB | {:>2} contiguous | {:>2} channels",
+            self.name,
+            self.min_coloring_granularity_kib,
+            self.max_coloring_granularity_kib,
+            self.contiguous_channels,
+            self.num_channels,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tab1_channel_counts_cross_validate() {
+        // Tab. 1 / Fig. 18: channels == bus width / per-GDDR width.
+        for m in GpuModel::all() {
+            let s = m.spec();
+            assert_eq!(s.num_channels, s.channels_from_bus_width(), "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn tab1_values_match_paper() {
+        let p40 = GpuSpec::tesla_p40();
+        assert_eq!(p40.vram_bytes >> 30, 24);
+        assert_eq!(p40.vram_bus_width_bits, 384);
+        assert_eq!(p40.num_channels, 12);
+        let a2000 = GpuSpec::rtx_a2000();
+        assert_eq!(a2000.vram_bytes >> 30, 12);
+        assert_eq!(a2000.vram_bus_width_bits, 192);
+        assert_eq!(a2000.num_channels, 6);
+        let gtx = GpuSpec::gtx1080();
+        assert_eq!(gtx.vram_bytes >> 30, 8);
+        assert_eq!(gtx.vram_bus_width_bits, 256);
+        assert_eq!(gtx.num_channels, 8);
+    }
+
+    #[test]
+    fn tab4_values_match_paper() {
+        let p40 = GpuSpec::tesla_p40();
+        assert_eq!(
+            (p40.min_coloring_granularity_kib, p40.max_coloring_granularity_kib),
+            (1, 4)
+        );
+        assert_eq!(p40.contiguous_channels, 4);
+        let a2000 = GpuSpec::rtx_a2000();
+        assert_eq!(
+            (a2000.min_coloring_granularity_kib, a2000.max_coloring_granularity_kib),
+            (1, 2)
+        );
+        assert_eq!(a2000.contiguous_channels, 2);
+    }
+
+    #[test]
+    fn hash_matches_spec_channel_count() {
+        for m in GpuModel::all() {
+            let s = m.spec();
+            let h = m.channel_hash();
+            assert_eq!(h.num_channels(), s.num_channels, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn ampere_is_noisier_than_pascal() {
+        // §3.2: ~1% false positives on Pascal, ~5% on Ampere.
+        assert!(GpuSpec::rtx_a2000().cache_noise_rate > GpuSpec::tesla_p40().cache_noise_rate);
+    }
+
+    #[test]
+    fn a2000_isolation_gain_exceeds_p40() {
+        // Fig. 15a: isolation helps more on the A2000 (47.5% vs 28.7%);
+        // encoded as a larger overlap penalty.
+        assert!(
+            GpuSpec::rtx_a2000().contention.l2_overlap_penalty
+                > GpuSpec::tesla_p40().contention.l2_overlap_penalty
+        );
+    }
+
+    #[test]
+    fn l2_geometry_is_consistent() {
+        for m in GpuModel::all() {
+            let s = m.spec();
+            assert!(s.l2_sets_per_channel().is_power_of_two());
+            assert_eq!(
+                s.l2_sets_per_channel() * s.l2_ways as u64 * 128,
+                s.l2_bytes_per_channel
+            );
+        }
+    }
+
+    #[test]
+    fn ridge_point_sane() {
+        for m in GpuModel::all() {
+            let r = m.spec().ridge_flop_per_byte();
+            assert!(r > 10.0 && r < 60.0, "ridge {r} out of range");
+        }
+    }
+}

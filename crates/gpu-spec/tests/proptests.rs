@@ -1,0 +1,75 @@
+//! Property-based tests for the address model and channel hashes.
+use gpu_spec::{hash::ChannelHash, PermutationChannelHash, PhysAddr, XorChannelHash};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every address inside one 1 KiB partition maps to the same channel
+    /// (the §5.2 partition invariant), for all three hash families.
+    #[test]
+    fn partition_invariant(partition in 0u64..(1 << 22), offset in 0u64..1024) {
+        for hash in [
+            Box::new(XorChannelHash::gtx1080()) as Box<dyn ChannelHash>,
+            Box::new(PermutationChannelHash::tesla_p40()),
+            Box::new(PermutationChannelHash::rtx_a2000()),
+        ] {
+            let base = hash.channel_of(PhysAddr(partition * 1024));
+            let inner = hash.channel_of(PhysAddr(partition * 1024 + offset));
+            prop_assert_eq!(base, inner);
+        }
+    }
+
+    /// Channel IDs are always in range.
+    #[test]
+    fn channel_in_range(addr in 0u64..(1 << 34)) {
+        for hash in [
+            Box::new(XorChannelHash::gtx1080()) as Box<dyn ChannelHash>,
+            Box::new(PermutationChannelHash::tesla_p40()),
+            Box::new(PermutationChannelHash::rtx_a2000()),
+        ] {
+            prop_assert!(hash.channel_of(PhysAddr(addr)) < hash.num_channels());
+        }
+    }
+
+    /// Group blocks never straddle: a g-KiB aligned block covers each
+    /// channel of exactly one group once (Tab. 4's granularity invariant).
+    #[test]
+    fn block_invariant_a2000(block in 0u64..(1 << 20)) {
+        let h = PermutationChannelHash::rtx_a2000();
+        let c0 = h.channel_of_partition(block * 2);
+        let c1 = h.channel_of_partition(block * 2 + 1);
+        prop_assert_ne!(c0, c1);
+        prop_assert_eq!(c0 / 2, c1 / 2, "same group");
+    }
+
+    /// The hashed L2 set geometry keeps a partition's 8 lines in 8
+    /// distinct sets of one aligned set-group.
+    #[test]
+    fn set_group_invariant(partition in 0u64..(1 << 24)) {
+        let sets = 256u64;
+        let group = gpu_spec::address::l2_set_group_of_partition(partition, sets);
+        let mut seen = std::collections::BTreeSet::new();
+        for line in 0..8u64 {
+            let set = gpu_spec::address::l2_set_of(partition * 8 + line, sets);
+            prop_assert_eq!(set >> 3, group);
+            seen.insert(set);
+        }
+        prop_assert_eq!(seen.len(), 8);
+    }
+
+    /// `same_set_line_offset` really lands in the candidate's base set
+    /// (for a same-set-group partner found near the random start).
+    #[test]
+    fn same_set_line_lands(cand in 0u64..(1 << 22), start in 0u64..(1 << 22)) {
+        let sets = 256u64;
+        let group = gpu_spec::address::l2_set_group_of_partition(cand, sets);
+        let other = (start..start + 4096)
+            .find(|&p| {
+                p != cand && gpu_spec::address::l2_set_group_of_partition(p, sets) == group
+            })
+            .expect("a same-group partner exists within any 4096-partition span");
+        let cand_set = gpu_spec::address::l2_set_of(cand * 8, sets);
+        let off = gpu_spec::address::same_set_line_offset(cand, other);
+        let line = other * 8 + off / 128;
+        prop_assert_eq!(gpu_spec::address::l2_set_of(line, sets), cand_set);
+    }
+}

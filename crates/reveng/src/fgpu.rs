@@ -1,0 +1,235 @@
+//! FGPU's reverse-engineering approach (paper §3.2, Fig. 11) — the
+//! baseline SGDRC improves on.
+//!
+//! FGPU assumes every channel bit is a pure XOR fold of physical address
+//! bits and solves for the fold masks with Gaussian elimination over GF(2).
+//! Two failure modes, both demonstrated here:
+//!
+//! 1. **Non-linearity.** GPUs whose channel count is not a power of two
+//!    (Tesla P40, RTX A2000) use non-GF(2)-linear mappings; the equation
+//!    system is inconsistent and the solve fails outright.
+//! 2. **Noise fragility.** "Even one false positive sample can pollute the
+//!    equation system" — a single mislabelled sample makes the system of a
+//!    *linear* GPU (GTX 1080) inconsistent or yields wrong masks.
+
+use crate::learner::Sample;
+
+/// Number of partition-index bits the solver considers (paper Fig. 10:
+/// bits 10–34 of the physical address ⇒ 25 partition bits).
+pub const HASH_BITS: u32 = 25;
+
+/// Outcome of the GF(2) solve.
+#[derive(Debug, Clone)]
+pub enum FgpuOutcome {
+    /// Masks recovered (per channel bit, plus an affine constant bit).
+    Solved(XorHashModel),
+    /// The equation system is inconsistent — the mapping is not a pure XOR
+    /// fold (or the samples are noisy).
+    Inconsistent {
+        /// Channel bit whose system failed first.
+        channel_bit: usize,
+        /// Number of samples absorbed before the contradiction.
+        samples_consumed: usize,
+    },
+}
+
+/// A solved pure-XOR hash model.
+#[derive(Debug, Clone)]
+pub struct XorHashModel {
+    /// Per channel bit: the XOR fold mask over partition-index bits.
+    pub masks: Vec<u64>,
+    /// Per channel bit: the affine constant.
+    pub constants: Vec<bool>,
+}
+
+impl XorHashModel {
+    pub fn predict(&self, partition: u64) -> u16 {
+        let mut ch = 0u16;
+        for (i, (&m, &c)) in self.masks.iter().zip(&self.constants).enumerate() {
+            let bit = ((partition & m).count_ones() & 1) as u16 ^ c as u16;
+            ch |= bit << i;
+        }
+        ch
+    }
+
+    pub fn accuracy(&self, samples: &[Sample]) -> f64 {
+        let ok = samples
+            .iter()
+            .filter(|s| self.predict(s.partition) == s.label)
+            .count();
+        ok as f64 / samples.len().max(1) as f64
+    }
+}
+
+/// GF(2) Gaussian elimination for one channel bit. Row representation:
+/// low `HASH_BITS` bits are the mask coefficients, bit `HASH_BITS` is the
+/// affine constant coefficient (always 1), and the RHS is carried
+/// separately.
+struct Gf2System {
+    /// Pivot rows indexed by leading-bit position.
+    pivots: Vec<Option<(u64, bool)>>,
+}
+
+impl Gf2System {
+    fn new() -> Self {
+        Self {
+            pivots: vec![None; HASH_BITS as usize + 1],
+        }
+    }
+
+    /// Adds an equation; returns `false` on contradiction.
+    fn add(&mut self, mut row: u64, mut rhs: bool) -> bool {
+        while row != 0 {
+            let lead = 63 - row.leading_zeros() as usize;
+            match self.pivots[lead] {
+                Some((prow, prhs)) => {
+                    row ^= prow;
+                    rhs ^= prhs;
+                }
+                None => {
+                    self.pivots[lead] = Some((row, rhs));
+                    return true;
+                }
+            }
+        }
+        !rhs // 0 = 1 is the contradiction
+    }
+
+    /// Back-substitution with free variables set to zero. Pivot rows only
+    /// contain bits *below* their leading bit, so ascending order resolves
+    /// every dependency before it is consumed.
+    fn solve(&self) -> (u64, bool) {
+        let mut assignment = 0u64; // includes the constant bit at HASH_BITS
+        for lead in 0..self.pivots.len() {
+            if let Some((row, rhs)) = self.pivots[lead] {
+                let mut v = rhs;
+                let mut rest = row & !(1 << lead);
+                while rest != 0 {
+                    let b = 63 - rest.leading_zeros() as usize;
+                    if (assignment >> b) & 1 == 1 {
+                        v = !v;
+                    }
+                    rest &= !(1 << b);
+                }
+                if v {
+                    assignment |= 1 << lead;
+                }
+            }
+        }
+        let constant = (assignment >> HASH_BITS) & 1 == 1;
+        (assignment & ((1 << HASH_BITS) - 1), constant)
+    }
+}
+
+/// FGPU's attack: solve for XOR fold masks from conflict samples.
+pub fn solve_xor_hash(samples: &[Sample], num_channels: u16) -> FgpuOutcome {
+    assert!(num_channels > 1);
+    let channel_bits = (num_channels as f64).log2().ceil() as usize;
+    let mut models = Vec::with_capacity(channel_bits);
+    for bit in 0..channel_bits {
+        let mut sys = Gf2System::new();
+        for (i, s) in samples.iter().enumerate() {
+            let row = (s.partition & ((1 << HASH_BITS) - 1)) | (1 << HASH_BITS);
+            let rhs = (s.label >> bit) & 1 == 1;
+            if !sys.add(row, rhs) {
+                return FgpuOutcome::Inconsistent {
+                    channel_bit: bit,
+                    samples_consumed: i + 1,
+                };
+            }
+        }
+        models.push(sys.solve());
+    }
+    FgpuOutcome::Solved(XorHashModel {
+        masks: models.iter().map(|&(m, _)| m).collect(),
+        constants: models.iter().map(|&(_, c)| c).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learner::{oracle_test_set, synthetic_samples};
+    use gpu_spec::GpuModel;
+
+    #[test]
+    fn fgpu_succeeds_on_gtx1080() {
+        // FGPU's home turf: a pure-XOR GPU with clean samples.
+        let oracle = GpuModel::Gtx1080.channel_hash();
+        let train = synthetic_samples(oracle.as_ref(), 1 << 24, 4_096, 0.0, 1);
+        match solve_xor_hash(&train, 8) {
+            FgpuOutcome::Solved(model) => {
+                let test = oracle_test_set(oracle.as_ref(), 1 << 24, 4_096, 2);
+                let acc = model.accuracy(&test);
+                assert!(acc > 0.9999, "accuracy {acc}");
+            }
+            other => panic!("expected solve, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fgpu_fails_on_non_linear_gpus() {
+        // §3.2: "We attempted to reverse engineer other GPUs using FGPU's
+        // approach, but all failed."
+        for (model, channels) in [(GpuModel::TeslaP40, 12u16), (GpuModel::RtxA2000, 6)] {
+            let oracle = model.channel_hash();
+            let train = synthetic_samples(oracle.as_ref(), 1 << 20, 4_096, 0.0, 3);
+            match solve_xor_hash(&train, channels) {
+                FgpuOutcome::Inconsistent { .. } => {}
+                FgpuOutcome::Solved(m) => {
+                    // If free variables mask the contradiction, accuracy
+                    // must still be near chance.
+                    let test = oracle_test_set(oracle.as_ref(), 1 << 20, 4_096, 4);
+                    let acc = m.accuracy(&test);
+                    panic!("{model:?}: solve unexpectedly succeeded (acc {acc})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_false_positive_poisons_fgpu() {
+        // Fig. 11: "Even one false positive sample can pollute the equation
+        // system and the reverse-engineered hash function."
+        let oracle = GpuModel::Gtx1080.channel_hash();
+        let mut train = synthetic_samples(oracle.as_ref(), 1 << 24, 4_096, 0.0, 5);
+        // Flip one label.
+        train[100].label ^= 0b011;
+        match solve_xor_hash(&train, 8) {
+            FgpuOutcome::Inconsistent { samples_consumed, .. } => {
+                assert!(samples_consumed > 100, "contradiction found after the bad sample");
+            }
+            FgpuOutcome::Solved(m) => {
+                let test = oracle_test_set(oracle.as_ref(), 1 << 24, 4_096, 6);
+                let acc = m.accuracy(&test);
+                assert!(acc < 0.9, "poisoned solve should not stay accurate (acc {acc})");
+            }
+        }
+    }
+
+    #[test]
+    fn realistic_noise_rates_break_fgpu() {
+        // Pascal-level 1% noise already defeats the approach.
+        let oracle = GpuModel::Gtx1080.channel_hash();
+        let train = synthetic_samples(oracle.as_ref(), 1 << 24, 4_096, 0.01, 7);
+        assert!(
+            matches!(solve_xor_hash(&train, 8), FgpuOutcome::Inconsistent { .. }),
+            "1% noise must make the system inconsistent"
+        );
+    }
+
+    #[test]
+    fn solver_recovers_exact_masks_on_clean_linear_data() {
+        let oracle = GpuModel::Gtx1080.channel_hash();
+        let train = synthetic_samples(oracle.as_ref(), 1 << 24, 8_192, 0.0, 8);
+        if let FgpuOutcome::Solved(m) = solve_xor_hash(&train, 8) {
+            // Functional equivalence on a dense range (mask representation
+            // may differ in untouched high bits).
+            for p in 0..4096u64 {
+                assert_eq!(m.predict(p), oracle.channel_of_partition(p));
+            }
+        } else {
+            panic!("solve failed on clean data");
+        }
+    }
+}

@@ -1,0 +1,558 @@
+//! §5.3 — learning the VRAM channel hash mapping from noisy samples.
+//!
+//! Marking the whole VRAM space is infeasible (the paper estimates over a
+//! year for 24 GiB), so SGDRC collects ~15K `(physical address, channel)`
+//! samples — about 1–5% of which are mislabelled by cache noise — trains a
+//! DNN to approximate the hash function, and emits a full lookup table with
+//! >99.9% accuracy on unseen addresses.
+//!
+//! Two learners are provided:
+//!
+//! * [`MlpHashLearner`] — a small MLP over *generic periodic features*
+//!   (one-hot residues of the partition index modulo a fixed 2^a·3^b grid,
+//!   plus raw address bits). Hardware interleavings are built from
+//!   power-of-two folds and small-modulus distributors (paper refs
+//!   [2, 13, 29]), so this encoding is the DNN analogue of a Fourier
+//!   positional encoding — it assumes periodicity, not any specific hash
+//!   structure.
+//! * [`PeriodLearner`] — an ablation: detect the layout period by label
+//!   consistency and majority-vote per residue. Simpler, but *does* assume
+//!   strict periodicity.
+//!
+//! Neither learner ever consults the ground-truth oracle; accuracy
+//! evaluation against the oracle happens only in tests and benches.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// One labelled observation: a physical partition index and the channel
+/// class the marking pipeline assigned to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    pub partition: u64,
+    pub label: u16,
+}
+
+/// Generic periodic feature map: one-hot residues for every modulus in a
+/// fixed 2^a·3^b grid, plus the raw partition-index bits.
+#[derive(Debug, Clone)]
+pub struct FeatureMap {
+    moduli: Vec<u64>,
+    bits: u32,
+    dim: usize,
+}
+
+impl FeatureMap {
+    /// The default grid: all modulus values 2^a·3^b ≤ `max_modulus` with
+    /// a ≥ 0, b ∈ {0, 1, 2}, in increasing order.
+    pub fn new(max_modulus: u64, bits: u32) -> Self {
+        let mut moduli = Vec::new();
+        for b in 0..3u32 {
+            let three = 3u64.pow(b);
+            let mut m = three;
+            while m <= max_modulus {
+                if m >= 2 {
+                    moduli.push(m);
+                }
+                m *= 2;
+            }
+        }
+        moduli.sort_unstable();
+        moduli.dedup();
+        let dim = moduli.iter().map(|&m| m as usize).sum::<usize>() + bits as usize;
+        Self { moduli, bits, dim }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Indices of the active (non-zero) features for a partition index;
+    /// residue one-hots are exactly one per modulus, bit features are the
+    /// set bits. All active features have value 1.
+    pub fn active_features(&self, p: u64, out: &mut Vec<usize>) {
+        out.clear();
+        let mut base = 0usize;
+        for &m in &self.moduli {
+            out.push(base + (p % m) as usize);
+            base += m as usize;
+        }
+        for b in 0..self.bits {
+            if (p >> b) & 1 == 1 {
+                out.push(base + b as usize);
+            }
+        }
+    }
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct MlpConfig {
+    pub hidden: usize,
+    pub epochs: usize,
+    pub batch: usize,
+    pub lr: f32,
+    pub seed: u64,
+    pub max_modulus: u64,
+    /// Per-epoch multiplicative weight decay (0 disables).
+    pub weight_decay: f32,
+    /// Number of raw partition-index bit features. Bit features let the
+    /// model express XOR-fold structure but also invite memorization of
+    /// noisy samples; the default keeps them off and relies on the
+    /// periodic residue grid.
+    pub bit_features: u32,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 96,
+            epochs: 80,
+            batch: 64,
+            lr: 0.08,
+            seed: 7,
+            max_modulus: 576,
+            weight_decay: 0.05,
+            bit_features: 0,
+        }
+    }
+}
+
+/// A trained two-layer MLP (ReLU hidden layer, softmax output, linear skip
+/// connection) over the periodic feature map. The skip path lets the model
+/// express residue tables exactly; the hidden path captures interactions
+/// between features.
+#[derive(Debug, Clone)]
+pub struct MlpHashLearner {
+    feat: FeatureMap,
+    hidden: usize,
+    classes: usize,
+    /// `w1[f * hidden + h]` — input→hidden weights (row per feature).
+    w1: Vec<f32>,
+    b1: Vec<f32>,
+    /// `w2[h * classes + c]` — hidden→output weights.
+    w2: Vec<f32>,
+    b2: Vec<f32>,
+    /// `skip[f * classes + c]` — direct input→output weights.
+    skip: Vec<f32>,
+}
+
+impl MlpHashLearner {
+    /// Trains on the samples with plain mini-batch SGD + momentum.
+    pub fn train(samples: &[Sample], cfg: &MlpConfig) -> Self {
+        assert!(!samples.is_empty());
+        let classes = samples.iter().map(|s| s.label).max().unwrap() as usize + 1;
+        let feat = FeatureMap::new(cfg.max_modulus, cfg.bit_features);
+        let dim = feat.dim();
+        let hidden = cfg.hidden;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let scale1 = (2.0 / dim as f32).sqrt();
+        let scale2 = (2.0 / hidden as f32).sqrt();
+        let mut model = Self {
+            feat,
+            hidden,
+            classes,
+            w1: (0..dim * hidden).map(|_| rng.gen_range(-scale1..scale1)).collect(),
+            b1: vec![0.0; hidden],
+            w2: (0..hidden * classes)
+                .map(|_| rng.gen_range(-scale2..scale2))
+                .collect(),
+            b2: vec![0.0; classes],
+            skip: vec![0.0; dim * classes],
+        };
+        let mut vel_w1 = vec![0.0f32; model.w1.len()];
+        let mut vel_b1 = vec![0.0f32; hidden];
+        let mut vel_w2 = vec![0.0f32; model.w2.len()];
+        let mut vel_b2 = vec![0.0f32; classes];
+        let momentum = 0.9f32;
+
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut active = Vec::with_capacity(64);
+        let mut h_pre = vec![0.0f32; hidden];
+        let mut h_act = vec![0.0f32; hidden];
+        let mut logits = vec![0.0f32; classes];
+        let mut dlogits = vec![0.0f32; classes];
+        let mut dhidden = vec![0.0f32; hidden];
+
+        for epoch in 0..cfg.epochs {
+            // Epoch-level weight decay: shrinking all weights slightly each
+            // epoch suppresses rarely-reinforced noise fits while the
+            // per-residue majority signal is re-learned immediately.
+            if cfg.weight_decay > 0.0 {
+                let k = 1.0 - cfg.weight_decay;
+                for w in model
+                    .w1
+                    .iter_mut()
+                    .chain(model.w2.iter_mut())
+                    .chain(model.skip.iter_mut())
+                {
+                    *w *= k;
+                }
+            }
+            order.shuffle(&mut rng);
+            // Step-decay schedule: halve the rate every quarter of training
+            // so the model settles onto the per-residue majority labels.
+            let lr_epoch = cfg.lr * 0.5f32.powi((4 * epoch / cfg.epochs.max(1)) as i32);
+            for chunk in order.chunks(cfg.batch) {
+                // Accumulate gradients over the mini-batch via immediate
+                // momentum updates scaled by 1/batch (equivalent for SGD).
+                let lr = lr_epoch / chunk.len() as f32;
+                for &idx in chunk {
+                    let s = samples[idx];
+                    model.feat.active_features(s.partition, &mut active);
+                    // Forward.
+                    h_pre.copy_from_slice(&model.b1);
+                    for &f in &active {
+                        let row = &model.w1[f * hidden..(f + 1) * hidden];
+                        for (h, &w) in h_pre.iter_mut().zip(row) {
+                            *h += w;
+                        }
+                    }
+                    for (a, &p) in h_act.iter_mut().zip(&h_pre) {
+                        *a = p.max(0.0);
+                    }
+                    logits.copy_from_slice(&model.b2);
+                    for (h, &a) in h_act.iter().enumerate() {
+                        if a > 0.0 {
+                            let row = &model.w2[h * classes..(h + 1) * classes];
+                            for (l, &w) in logits.iter_mut().zip(row) {
+                                *l += a * w;
+                            }
+                        }
+                    }
+                    for &f in &active {
+                        let row = &model.skip[f * classes..(f + 1) * classes];
+                        for (l, &w) in logits.iter_mut().zip(row) {
+                            *l += w;
+                        }
+                    }
+                    // Softmax + CE gradient.
+                    let max = logits.iter().cloned().fold(f32::MIN, f32::max);
+                    let mut sum = 0.0;
+                    for (d, &l) in dlogits.iter_mut().zip(&logits) {
+                        *d = (l - max).exp();
+                        sum += *d;
+                    }
+                    for d in dlogits.iter_mut() {
+                        *d /= sum;
+                    }
+                    dlogits[s.label as usize] -= 1.0;
+                    // Backward: output layer.
+                    for h in 0..hidden {
+                        let a = h_act[h];
+                        let row = &model.w2[h * classes..(h + 1) * classes];
+                        let mut g = 0.0;
+                        for (w, &d) in row.iter().zip(&dlogits) {
+                            g += w * d;
+                        }
+                        dhidden[h] = if h_pre[h] > 0.0 { g } else { 0.0 };
+                        if a > 0.0 {
+                            let vrow = &mut vel_w2[h * classes..(h + 1) * classes];
+                            let wrow = &mut model.w2[h * classes..(h + 1) * classes];
+                            for ((v, w), &d) in vrow.iter_mut().zip(wrow).zip(&dlogits) {
+                                *v = momentum * *v - lr * a * d;
+                                *w += *v;
+                            }
+                        }
+                    }
+                    for ((v, b), &d) in vel_b2.iter_mut().zip(&mut model.b2).zip(&dlogits) {
+                        *v = momentum * *v - lr * d;
+                        *b += *v;
+                    }
+                    // Backward: skip path (sparse inputs, plain SGD).
+                    for &f in &active {
+                        let row = &mut model.skip[f * classes..(f + 1) * classes];
+                        for (w, &d) in row.iter_mut().zip(&dlogits) {
+                            *w -= lr * d;
+                        }
+                    }
+                    // Backward: hidden layer (sparse inputs).
+                    for &f in &active {
+                        let vrow = &mut vel_w1[f * hidden..(f + 1) * hidden];
+                        let wrow = &mut model.w1[f * hidden..(f + 1) * hidden];
+                        for ((v, w), &d) in vrow.iter_mut().zip(wrow).zip(&dhidden) {
+                            *v = momentum * *v - lr * d;
+                            *w += *v;
+                        }
+                    }
+                    for ((v, b), &d) in vel_b1.iter_mut().zip(&mut model.b1).zip(&dhidden) {
+                        *v = momentum * *v - lr * d;
+                        *b += *v;
+                    }
+                }
+            }
+        }
+        model
+    }
+
+    /// Predicted channel class for a partition index.
+    pub fn predict(&self, partition: u64) -> u16 {
+        let mut active = Vec::with_capacity(64);
+        self.feat.active_features(partition, &mut active);
+        let mut h_pre = self.b1.clone();
+        for &f in &active {
+            let row = &self.w1[f * self.hidden..(f + 1) * self.hidden];
+            for (h, &w) in h_pre.iter_mut().zip(row) {
+                *h += w;
+            }
+        }
+        let mut logits = self.b2.clone();
+        for (h, p) in h_pre.iter().enumerate() {
+            let a = p.max(0.0);
+            if a > 0.0 {
+                let row = &self.w2[h * self.classes..(h + 1) * self.classes];
+                for (l, &w) in logits.iter_mut().zip(row) {
+                    *l += a * w;
+                }
+            }
+        }
+        for &f in &active {
+            let row = &self.skip[f * self.classes..(f + 1) * self.classes];
+            for (l, &w) in logits.iter_mut().zip(row) {
+                *l += w;
+            }
+        }
+        logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i as u16)
+            .unwrap()
+    }
+
+    /// Fraction of samples predicted correctly.
+    pub fn accuracy(&self, samples: &[Sample]) -> f64 {
+        let ok = samples
+            .iter()
+            .filter(|s| self.predict(s.partition) == s.label)
+            .count();
+        ok as f64 / samples.len().max(1) as f64
+    }
+
+    /// The §5.3 lookup table: predicted channel of every partition in
+    /// `0..n_partitions` (1 KiB granularity across the VRAM space).
+    pub fn lookup_table(&self, n_partitions: u64) -> Vec<u16> {
+        (0..n_partitions).map(|p| self.predict(p)).collect()
+    }
+
+    pub fn num_classes(&self) -> usize {
+        self.classes
+    }
+}
+
+/// Ablation learner: detect the layout period, majority-vote per residue.
+#[derive(Debug, Clone)]
+pub struct PeriodLearner {
+    pub period: u64,
+    table: Vec<u16>,
+    pub consistency: f64,
+}
+
+impl PeriodLearner {
+    /// Searches periods `2..=max_period` and keeps the smallest whose
+    /// majority-vote consistency is within `tolerance` of the best.
+    pub fn train(samples: &[Sample], max_period: u64, tolerance: f64) -> Self {
+        assert!(!samples.is_empty());
+        let mut best: (u64, f64) = (1, 0.0);
+        let mut scores: Vec<(u64, f64)> = Vec::new();
+        for period in 2..=max_period {
+            let mut votes: HashMap<u64, HashMap<u16, u32>> = HashMap::new();
+            for s in samples {
+                *votes
+                    .entry(s.partition % period)
+                    .or_default()
+                    .entry(s.label)
+                    .or_insert(0) += 1;
+            }
+            let agree: u64 = votes
+                .values()
+                .map(|v| *v.values().max().unwrap() as u64)
+                .sum();
+            let score = agree as f64 / samples.len() as f64;
+            scores.push((period, score));
+            if score > best.1 {
+                best = (period, score);
+            }
+        }
+        let period = scores
+            .iter()
+            .filter(|&&(_, s)| s >= best.1 - tolerance)
+            .map(|&(p, _)| p)
+            .min()
+            .unwrap_or(best.0);
+        // Final table by majority vote.
+        let mut votes: Vec<HashMap<u16, u32>> = vec![HashMap::new(); period as usize];
+        for s in samples {
+            *votes[(s.partition % period) as usize].entry(s.label).or_insert(0) += 1;
+        }
+        let table: Vec<u16> = votes
+            .iter()
+            .map(|v| v.iter().max_by_key(|(_, &c)| c).map(|(&l, _)| l).unwrap_or(0))
+            .collect();
+        let consistency = scores
+            .iter()
+            .find(|&&(p, _)| p == period)
+            .map(|&(_, s)| s)
+            .unwrap_or(0.0);
+        Self {
+            period,
+            table,
+            consistency,
+        }
+    }
+
+    pub fn predict(&self, partition: u64) -> u16 {
+        self.table[(partition % self.period) as usize]
+    }
+
+    pub fn accuracy(&self, samples: &[Sample]) -> f64 {
+        let ok = samples
+            .iter()
+            .filter(|s| self.predict(s.partition) == s.label)
+            .count();
+        ok as f64 / samples.len().max(1) as f64
+    }
+}
+
+/// Draws `n` oracle-labelled samples over `span_partitions` and flips
+/// `noise` of the labels uniformly — the controlled-noise sample sets used
+/// by the §5.3 experiments (the paper's real samples carry the same ~1–5%
+/// mislabel rate from cache noise).
+pub fn synthetic_samples(
+    oracle: &dyn gpu_spec::ChannelHash,
+    span_partitions: u64,
+    n: usize,
+    noise: f64,
+    seed: u64,
+) -> Vec<Sample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let channels = oracle.num_channels();
+    (0..n)
+        .map(|_| {
+            let p = rng.gen_range(0..span_partitions);
+            let mut label = oracle.channel_of_partition(p);
+            if rng.gen_bool(noise) {
+                label = (label + rng.gen_range(1..channels)) % channels;
+            }
+            Sample { partition: p, label }
+        })
+        .collect()
+}
+
+/// Clean oracle-labelled evaluation set over unseen partitions.
+pub fn oracle_test_set(
+    oracle: &dyn gpu_spec::ChannelHash,
+    span_partitions: u64,
+    n: usize,
+    seed: u64,
+) -> Vec<Sample> {
+    synthetic_samples(oracle, span_partitions, n, 0.0, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_spec::GpuModel;
+
+    /// Debug builds train ~30× slower; cut epochs there (sample counts
+    /// must stay at paper scale so every residue class is covered) and
+    /// keep the full runs for release (`cargo test --release`, the benches
+    /// and EXPERIMENTS.md).
+    fn scaled(n: usize) -> usize {
+        n
+    }
+
+    fn test_config() -> MlpConfig {
+        MlpConfig {
+            epochs: if cfg!(debug_assertions) { 16 } else { 80 },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn feature_map_has_one_hot_residues() {
+        let f = FeatureMap::new(48, 8);
+        let mut a = Vec::new();
+        f.active_features(5, &mut a);
+        // One active residue per modulus; bit features for 5 = 0b101.
+        let residue_count = a.iter().filter(|&&i| i < f.dim() - 8).count();
+        assert_eq!(residue_count, f.moduli.len());
+        assert_eq!(a.len(), residue_count + 2);
+    }
+
+    #[test]
+    fn feature_grid_contains_crt_moduli() {
+        // 16·9 = 144 (A2000 period) and 64·9 = 576 (P40 period) must be
+        // representable: the grid has 2^a·3^b members including 144, 576.
+        let f = FeatureMap::new(576, 25);
+        assert!(f.moduli.contains(&144));
+        assert!(f.moduli.contains(&576));
+        assert!(f.moduli.contains(&9));
+        assert!(f.moduli.contains(&64));
+    }
+
+    #[test]
+    fn mlp_learns_a2000_hash_from_noisy_samples() {
+        // The §5.3 headline: 15K samples, ~5% noise, >99.9% test accuracy.
+        let oracle = GpuModel::RtxA2000.channel_hash();
+        let span = 96 * 1024; // 96 MiB worth of partitions
+        let train = synthetic_samples(oracle.as_ref(), span, scaled(15_000), 0.05, 1);
+        let model = MlpHashLearner::train(&train, &test_config());
+        let test = oracle_test_set(oracle.as_ref(), span, scaled(4_000), 2);
+        let acc = model.accuracy(&test);
+        let floor = if cfg!(debug_assertions) { 0.98 } else { 0.999 };
+        assert!(acc > floor, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn mlp_learns_p40_hash_from_noisy_samples() {
+        let oracle = GpuModel::TeslaP40.channel_hash();
+        let span = 96 * 1024;
+        let train = synthetic_samples(oracle.as_ref(), span, scaled(15_000), 0.01, 3);
+        let model = MlpHashLearner::train(&train, &test_config());
+        let test = oracle_test_set(oracle.as_ref(), span, scaled(4_000), 4);
+        let acc = model.accuracy(&test);
+        let floor = if cfg!(debug_assertions) { 0.98 } else { 0.999 };
+        assert!(acc > floor, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn period_learner_finds_layout_period() {
+        let oracle = GpuModel::RtxA2000.channel_hash();
+        let train = synthetic_samples(oracle.as_ref(), 1 << 20, scaled(15_000), 0.05, 5);
+        let model = PeriodLearner::train(&train, 256, 0.002);
+        assert_eq!(model.period, 144, "A2000 layout period = 12 windows × 12");
+        let test = oracle_test_set(oracle.as_ref(), 1 << 20, 4_000, 6);
+        assert!(model.accuracy(&test) > 0.999);
+    }
+
+    #[test]
+    fn lookup_table_matches_predictions() {
+        let oracle = GpuModel::RtxA2000.channel_hash();
+        let train = synthetic_samples(oracle.as_ref(), 1 << 16, scaled(8_000), 0.02, 7);
+        let model = MlpHashLearner::train(
+            &train,
+            &MlpConfig {
+                epochs: 15,
+                ..Default::default()
+            },
+        );
+        let lut = model.lookup_table(512);
+        for p in 0..512u64 {
+            assert_eq!(lut[p as usize], model.predict(p));
+        }
+    }
+
+    #[test]
+    fn noise_free_training_is_also_fine() {
+        let oracle = GpuModel::RtxA2000.channel_hash();
+        let train = synthetic_samples(oracle.as_ref(), 1 << 18, scaled(10_000), 0.0, 8);
+        let model = MlpHashLearner::train(&train, &test_config());
+        let test = oracle_test_set(oracle.as_ref(), 1 << 18, scaled(2_000), 9);
+        let floor = if cfg!(debug_assertions) { 0.98 } else { 0.999 };
+        assert!(model.accuracy(&test) > floor);
+    }
+}

@@ -1,0 +1,34 @@
+//! # reveng — VRAM channel reverse engineering (paper §5)
+//!
+//! Recovers the black-box VRAM channel hash mapping of a (simulated)
+//! NVIDIA GPU using only load latencies:
+//!
+//! * [`probe`] — Algo 1 (DRAM bank-conflict pairs) and Algo 2 (L2
+//!   cacheline-conflict binary search);
+//! * [`marking`] — Algo 3: channel-class discovery and region marking with
+//!   noise-tolerant conflict pools (Fig. 11);
+//! * `permutation` — §5.2 structure analysis: partition granularity,
+//!   channel groups, m-permutation patterns (Fig. 8/19) and their
+//!   uniformity histogram (Fig. 9);
+//! * `learner` — §5.3: the DNN that learns the hash mapping from 15K noisy
+//!   samples and emits the full lookup table (>99.9% accuracy);
+//! * `fgpu` — the pure-XOR Gaussian-elimination attack FGPU uses, which
+//!   succeeds on the GTX 1080, fails on non-power-of-2 channel GPUs and is
+//!   poisoned by a single false-positive sample (§3.2).
+
+pub mod fgpu;
+pub mod learner;
+pub mod marking;
+pub mod permutation;
+pub mod probe;
+
+pub use fgpu::{solve_xor_hash, FgpuOutcome, XorHashModel};
+pub use learner::{
+    oracle_test_set, synthetic_samples, MlpConfig, MlpHashLearner, PeriodLearner, Sample,
+};
+pub use marking::{align_classes, ChannelMarker, ClassId, MarkError, MarkerConfig};
+pub use permutation::{analyze, render_fig8, PermutationReport};
+pub use probe::{
+    find_cache_conflict_addrs, find_dram_conflict_addrs, is_cacheline_evicted,
+    is_cacheline_evicted_voted, is_dram_bank_conflicted,
+};

@@ -1,0 +1,313 @@
+//! §5.2 structure analysis: channel groups, m-permutations and uniformity.
+//!
+//! Takes a physically contiguous sequence of `(partition, channel-class)`
+//! labels (from [`crate::marking`], or from a learned lookup table) and
+//! recovers the structural findings of the paper:
+//!
+//! * the **block size** `g`: the largest aligned span whose partitions map
+//!   to pairwise distinct channels of one recurring channel *set* — Tab. 4's
+//!   "# contiguous VRAM channels" and the maximum coloring granularity;
+//! * the **channel groups** (P40: A–D, E–H, I–L; A2000: A–B, C–D, E–F);
+//! * the **window size** and the per-group **m-permutation patterns** of
+//!   Fig. 8 / Fig. 19 (24 patterns on the P40, 12 on the A2000);
+//! * the **pattern frequency histogram** of Fig. 9 (uniformly distributed).
+
+use gpu_spec::PhysAddr;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A labelled, physically contiguous partition sequence.
+pub type Labels = [(PhysAddr, u16)];
+
+/// Structural report of a marked region (the Fig. 8/9 payload).
+#[derive(Debug, Clone)]
+pub struct PermutationReport {
+    /// Number of distinct channel classes observed.
+    pub num_channels: usize,
+    /// Block size in partitions (= max coloring granularity in KiB).
+    pub block_size: u64,
+    /// Channel groups: disjoint sets of classes covering all channels.
+    pub groups: Vec<Vec<u16>>,
+    /// Window size in partitions.
+    pub window: u64,
+    /// Distinct per-group patterns (the paper's m-permutations), per group.
+    pub patterns_per_group: Vec<usize>,
+    /// Window-pattern histogram: signature → occurrence count (Fig. 9).
+    pub histogram: BTreeMap<Vec<u16>, u64>,
+}
+
+impl PermutationReport {
+    /// Max/min occurrence ratio over the histogram — 1.0 means perfectly
+    /// uniform pattern distribution (Fig. 9's finding).
+    pub fn uniformity_ratio(&self) -> f64 {
+        let max = self.histogram.values().max().copied().unwrap_or(0) as f64;
+        let min = self.histogram.values().min().copied().unwrap_or(0) as f64;
+        if min == 0.0 {
+            f64::INFINITY
+        } else {
+            max / min
+        }
+    }
+}
+
+fn classes_of(labels: &Labels) -> BTreeSet<u16> {
+    labels.iter().map(|&(_, c)| c).collect()
+}
+
+/// Detects the block size: the largest `g` in {8,4,2,1} such that every
+/// `g`-aligned block has `g` pairwise distinct classes and the observed
+/// block channel-sets are pairwise disjoint (each class belongs to exactly
+/// one recurring set).
+pub fn detect_block_size(labels: &Labels) -> u64 {
+    'outer: for &g in &[8u64, 4, 2] {
+        let mut sets: Vec<BTreeSet<u16>> = Vec::new();
+        let mut any_block = false;
+        for chunk in aligned_blocks(labels, g) {
+            any_block = true;
+            let set: BTreeSet<u16> = chunk.iter().map(|&(_, c)| c).collect();
+            if set.len() != g as usize {
+                continue 'outer; // repeated class within a block
+            }
+            if !sets.contains(&set) {
+                sets.push(set);
+            }
+        }
+        if !any_block {
+            continue;
+        }
+        // Sets must be pairwise disjoint.
+        for i in 0..sets.len() {
+            for j in (i + 1)..sets.len() {
+                if sets[i].intersection(&sets[j]).next().is_some() {
+                    continue 'outer;
+                }
+            }
+        }
+        return g;
+    }
+    1
+}
+
+/// Iterator over `g`-aligned full blocks inside the labelled region
+/// (alignment is with respect to the *absolute* physical partition index).
+fn aligned_blocks(labels: &Labels, g: u64) -> impl Iterator<Item = &[(PhysAddr, u16)]> {
+    let start_part = labels.first().map(|&(pa, _)| pa.partition()).unwrap_or(0);
+    let skip = ((g - start_part % g) % g) as usize;
+    labels[skip.min(labels.len())..].chunks_exact(g as usize)
+}
+
+/// Recovers the channel groups from the block channel-sets.
+pub fn detect_groups(labels: &Labels, block_size: u64) -> Vec<Vec<u16>> {
+    let mut groups: Vec<BTreeSet<u16>> = Vec::new();
+    for chunk in aligned_blocks(labels, block_size) {
+        let set: BTreeSet<u16> = chunk.iter().map(|&(_, c)| c).collect();
+        if !groups.contains(&set) {
+            groups.push(set);
+        }
+    }
+    let mut out: Vec<Vec<u16>> = groups
+        .into_iter()
+        .map(|s| s.into_iter().collect())
+        .collect();
+    out.sort();
+    out
+}
+
+/// Detects the window size: the smallest multiple of
+/// `block_size × num_groups` (tried up to ×8) in which every aligned window
+/// contains each group's blocks equally often.
+pub fn detect_window(labels: &Labels, block_size: u64, groups: &[Vec<u16>]) -> u64 {
+    let base = block_size * groups.len() as u64;
+    'cand: for mult in 1..=8u64 {
+        let w = base * mult;
+        let blocks_per_window = (w / block_size) as usize;
+        let expected = blocks_per_window / groups.len();
+        let mut any = false;
+        for win in aligned_windows(labels, w) {
+            any = true;
+            let mut counts = vec![0usize; groups.len()];
+            for block in win.chunks_exact(block_size as usize) {
+                let cls = block[0].1;
+                let Some(gi) = groups.iter().position(|grp| grp.contains(&cls)) else {
+                    continue 'cand;
+                };
+                counts[gi] += 1;
+            }
+            if counts.iter().any(|&c| c != expected) {
+                continue 'cand;
+            }
+        }
+        if any {
+            return w;
+        }
+    }
+    base
+}
+
+fn aligned_windows(labels: &Labels, w: u64) -> impl Iterator<Item = &[(PhysAddr, u16)]> {
+    let start_part = labels.first().map(|&(pa, _)| pa.partition()).unwrap_or(0);
+    let skip = ((w - start_part % w) % w) as usize;
+    labels[skip.min(labels.len())..].chunks_exact(w as usize)
+}
+
+/// Full structural analysis of a labelled region.
+pub fn analyze(labels: &Labels) -> PermutationReport {
+    let num_channels = classes_of(labels).len();
+    let block_size = detect_block_size(labels);
+    let groups = detect_groups(labels, block_size);
+    let window = detect_window(labels, block_size, &groups);
+
+    let mut histogram: BTreeMap<Vec<u16>, u64> = BTreeMap::new();
+    let mut per_group: Vec<BTreeSet<Vec<(u64, u16)>>> = vec![BTreeSet::new(); groups.len()];
+    for win in aligned_windows(labels, window) {
+        let sig: Vec<u16> = win.iter().map(|&(_, c)| c).collect();
+        *histogram.entry(sig).or_insert(0) += 1;
+        for (gi, grp) in groups.iter().enumerate() {
+            let gsig: Vec<(u64, u16)> = win
+                .iter()
+                .enumerate()
+                .filter(|(_, &(_, c))| grp.contains(&c))
+                .map(|(slot, &(_, c))| (slot as u64, c))
+                .collect();
+            per_group[gi].insert(gsig);
+        }
+    }
+    PermutationReport {
+        num_channels,
+        block_size,
+        groups,
+        window,
+        patterns_per_group: per_group.iter().map(BTreeSet::len).collect(),
+        histogram,
+    }
+}
+
+/// Renders a Fig. 8-style ASCII table: one row per distinct window pattern,
+/// with the channels of `group_index` lettered and other channels shown as
+/// `?`.
+pub fn render_fig8(report: &PermutationReport, group_index: usize) -> String {
+    let group = &report.groups[group_index];
+    let letter = |c: u16| -> char {
+        group
+            .iter()
+            .position(|&x| x == c)
+            .map(|i| (b'A' + (group_index * group.len() + i) as u8) as char)
+            .unwrap_or('?')
+    };
+    let mut rows: BTreeSet<Vec<u16>> = BTreeSet::new();
+    for sig in report.histogram.keys() {
+        rows.insert(sig.clone());
+    }
+    let mut out = String::new();
+    let w = report.window as usize;
+    out.push_str("      ");
+    for slot in 0..w {
+        out.push_str(&format!("{slot:>2} "));
+    }
+    out.push('\n');
+    // Deduplicate rows by their group signature (Fig. 8 shows per-group
+    // placements, several full layouts can share one).
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for sig in rows {
+        let rendered: String = sig
+            .iter()
+            .map(|&c| format!(" {} ", letter(c)))
+            .collect();
+        if seen.insert(rendered.clone()) {
+            out.push_str(&format!("{:>4}: {}\n", seen.len() - 1, rendered));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_spec::{ChannelHash, GpuModel, PARTITION_BYTES};
+
+    /// Oracle-labelled contiguous region (analysis is label-agnostic, so
+    /// testing against the oracle is legitimate here; the end-to-end probe
+    /// path is covered by the integration tests).
+    fn oracle_labels(model: GpuModel, partitions: u64) -> Vec<(PhysAddr, u16)> {
+        let h = model.channel_hash();
+        (0..partitions)
+            .map(|p| (PhysAddr(p * PARTITION_BYTES), h.channel_of_partition(p)))
+            .collect()
+    }
+
+    #[test]
+    fn a2000_structure_recovered() {
+        let labels = oracle_labels(GpuModel::RtxA2000, 12 * 12 * 16);
+        let r = analyze(&labels);
+        assert_eq!(r.num_channels, 6);
+        assert_eq!(r.block_size, 2, "2 KiB blocks (Tab. 4)");
+        assert_eq!(r.groups.len(), 3, "three channel groups");
+        assert_eq!(r.window, 12);
+        for &p in &r.patterns_per_group {
+            assert_eq!(p, 12, "12-permutations (Fig. 8b)");
+        }
+    }
+
+    #[test]
+    fn p40_structure_recovered() {
+        let labels = oracle_labels(GpuModel::TeslaP40, 24 * 24 * 16);
+        let r = analyze(&labels);
+        assert_eq!(r.num_channels, 12);
+        assert_eq!(r.block_size, 4, "4 KiB blocks (Tab. 4)");
+        assert_eq!(r.groups.len(), 3);
+        assert_eq!(r.window, 24);
+        for &p in &r.patterns_per_group {
+            assert_eq!(p, 24, "24-permutations (Fig. 8a)");
+        }
+    }
+
+    #[test]
+    fn patterns_uniformly_distributed() {
+        // Fig. 9: every pattern appears equally often.
+        for model in [GpuModel::TeslaP40, GpuModel::RtxA2000] {
+            let labels = oracle_labels(model, 24 * 24 * 32);
+            let r = analyze(&labels);
+            assert!(
+                r.uniformity_ratio() <= 1.5,
+                "{model:?}: ratio {}",
+                r.uniformity_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn gtx1080_blocks_of_four() {
+        let labels = oracle_labels(GpuModel::Gtx1080, 4096);
+        let r = analyze(&labels);
+        assert_eq!(r.num_channels, 8);
+        assert_eq!(r.block_size, 4, "Tab. 4: 4 contiguous channels");
+        assert_eq!(r.groups.len(), 2);
+    }
+
+    #[test]
+    fn analysis_tolerates_unaligned_start() {
+        let h = GpuModel::RtxA2000.channel_hash();
+        let labels: Vec<(PhysAddr, u16)> = (5..5 + 12 * 12 * 8)
+            .map(|p| (PhysAddr(p * PARTITION_BYTES), h.channel_of_partition(p)))
+            .collect();
+        let r = analyze(&labels);
+        assert_eq!(r.block_size, 2);
+        assert_eq!(r.window, 12);
+    }
+
+    #[test]
+    fn fig8_rendering_mentions_group_letters() {
+        let labels = oracle_labels(GpuModel::RtxA2000, 12 * 12 * 4);
+        let r = analyze(&labels);
+        let fig = render_fig8(&r, 0);
+        assert!(fig.contains('A') && fig.contains('B'));
+        assert!(fig.contains('?'));
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_windows() {
+        let labels = oracle_labels(GpuModel::RtxA2000, 12 * 12 * 4);
+        let r = analyze(&labels);
+        let total: u64 = r.histogram.values().sum();
+        assert_eq!(total, 12 * 4);
+    }
+}

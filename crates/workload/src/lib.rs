@@ -1,0 +1,14 @@
+//! # workload — traces, metrics and the end-to-end experiment runner
+//!
+//! The §9 evaluation harness: Apollo-like bursty request traces
+//! ([`trace`]), SLO/latency/throughput metrics ([`metrics`]) and the
+//! Fig. 17 runner that deploys the Tab. 3 zoo against every system
+//! ([`runner`]).
+
+pub mod metrics;
+pub mod runner;
+pub mod trace;
+
+pub use metrics::{ls_metrics, percentile, slo_for, LsMetrics, SystemResult};
+pub use runner::{run_cell, run_system, Deployment, EndToEndConfig, Load, SystemKind};
+pub use trace::{generate, per_service_traces, TraceConfig};

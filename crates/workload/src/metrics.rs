@@ -1,0 +1,130 @@
+//! Evaluation metrics (paper §9.2).
+//!
+//! * **p99 latency** including queueing delay;
+//! * **SLO attainment rate**: the SLO of an LS service is
+//!   `n × p99-isolated-runtime`, with `n` the number of DNN services
+//!   concurrently running on the GPU (following refs [6, 8]);
+//! * **throughput** (samples/s) and **goodput** (SLO-meeting LS
+//!   requests/s).
+
+use serde::{Deserialize, Serialize};
+use sgdrc_core::serving::CompletedRequest;
+
+/// Percentile of a latency population (p in 0..=100).
+pub fn percentile(latencies: &[f64], p: f64) -> f64 {
+    if latencies.is_empty() {
+        return f64::NAN;
+    }
+    let mut v = latencies.to_vec();
+    v.sort_by(f64::total_cmp);
+    let idx = ((v.len() as f64 * p / 100.0).ceil() as usize).clamp(1, v.len()) - 1;
+    v[idx]
+}
+
+/// Aggregated metrics of one LS service in one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LsMetrics {
+    pub model: String,
+    pub requests: usize,
+    pub p99_latency_us: f64,
+    pub mean_latency_us: f64,
+    pub slo_us: f64,
+    pub slo_attainment: f64,
+    /// SLO-meeting completions per second.
+    pub goodput_hz: f64,
+}
+
+/// Computes LS metrics from completed requests.
+pub fn ls_metrics(
+    model: &str,
+    completed: &[CompletedRequest],
+    slo_us: f64,
+    horizon_us: f64,
+) -> LsMetrics {
+    let lat: Vec<f64> = completed.iter().map(|r| r.latency_us()).collect();
+    let met = lat.iter().filter(|&&l| l <= slo_us).count();
+    LsMetrics {
+        model: model.to_string(),
+        requests: completed.len(),
+        p99_latency_us: percentile(&lat, 99.0),
+        mean_latency_us: lat.iter().sum::<f64>() / lat.len().max(1) as f64,
+        slo_us,
+        slo_attainment: met as f64 / lat.len().max(1) as f64,
+        goodput_hz: met as f64 / (horizon_us / 1e6),
+    }
+}
+
+/// §9.2's SLO: `n ×` the model's isolated p99 runtime.
+pub fn slo_for(isolated_p99_us: f64, services_on_gpu: usize) -> f64 {
+    isolated_p99_us * services_on_gpu as f64
+}
+
+/// Aggregated result of a full system run (one GPU, one load, one system).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemResult {
+    pub system: String,
+    pub gpu: String,
+    pub load: String,
+    pub ls: Vec<LsMetrics>,
+    /// Samples/s per BE model (batch × inferences / horizon).
+    pub be_throughput_hz: Vec<(String, f64)>,
+    /// LS goodput + BE throughput (paper's "overall throughput").
+    pub overall_throughput_hz: f64,
+}
+
+impl SystemResult {
+    /// Mean SLO attainment over LS services.
+    pub fn mean_slo_attainment(&self) -> f64 {
+        if self.ls.is_empty() {
+            return f64::NAN;
+        }
+        self.ls.iter().map(|m| m.slo_attainment).sum::<f64>() / self.ls.len() as f64
+    }
+
+    /// Total BE samples/s.
+    pub fn total_be_throughput(&self) -> f64 {
+        self.be_throughput_hz.iter().map(|(_, t)| t).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(arrival: f64, done: f64) -> CompletedRequest {
+        CompletedRequest {
+            arrival_us: arrival,
+            done_us: done,
+        }
+    }
+
+    #[test]
+    fn percentile_basics() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert!(percentile(&[], 99.0).is_nan());
+    }
+
+    #[test]
+    fn percentile_handles_single_sample() {
+        assert_eq!(percentile(&[42.0], 99.0), 42.0);
+    }
+
+    #[test]
+    fn ls_metrics_attainment() {
+        let completed: Vec<CompletedRequest> =
+            (0..100).map(|i| req(0.0, if i < 90 { 100.0 } else { 1000.0 })).collect();
+        let m = ls_metrics("test", &completed, 500.0, 1e6);
+        assert!((m.slo_attainment - 0.9).abs() < 1e-9);
+        assert_eq!(m.requests, 100);
+        assert!((m.goodput_hz - 90.0).abs() < 1e-9);
+        assert_eq!(m.p99_latency_us, 1000.0);
+    }
+
+    #[test]
+    fn slo_scales_with_colocation_degree() {
+        assert_eq!(slo_for(1000.0, 9), 9000.0);
+    }
+}

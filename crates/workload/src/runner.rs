@@ -1,0 +1,282 @@
+//! End-to-end experiment runner (paper §9.2/§9.3, Fig. 17).
+//!
+//! Deploys the 8 LS models (A–H) plus one BE model (I–K) per scenario,
+//! replays the Apollo-like trace against every evaluated system, and
+//! aggregates p99 latency, SLO attainment, BE throughput and overall
+//! throughput. BE tasks rotate round-robin across scenarios exactly as in
+//! the paper ("BE tasks are co-located with LS services in a round-robin
+//! manner"), so each system runs once per BE model and LS populations are
+//! merged.
+
+use crate::metrics::{ls_metrics, slo_for, LsMetrics, SystemResult};
+use crate::trace::{per_service_traces, TraceConfig};
+use baselines::{Mps, MultiStreaming, Orion, Tgs};
+use dnn::zoo::{build, ModelId};
+use dnn::CompileOptions;
+use gpu_spec::{GpuModel, GpuSpec};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use sgdrc_core::serving::{run, CompletedRequest, Policy, Scenario, Task};
+use sgdrc_core::{Sgdrc, SgdrcConfig};
+
+/// The systems of Fig. 17.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SystemKind {
+    MultiStreaming,
+    Tgs,
+    Mps,
+    Orion,
+    SgdrcStatic,
+    Sgdrc,
+}
+
+impl SystemKind {
+    pub fn all() -> [SystemKind; 6] {
+        [
+            SystemKind::MultiStreaming,
+            SystemKind::Tgs,
+            SystemKind::Mps,
+            SystemKind::Orion,
+            SystemKind::SgdrcStatic,
+            SystemKind::Sgdrc,
+        ]
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::MultiStreaming => "Multi-streaming",
+            SystemKind::Tgs => "TGS",
+            SystemKind::Mps => "MPS",
+            SystemKind::Orion => "Orion",
+            SystemKind::SgdrcStatic => "SGDRC (Static)",
+            SystemKind::Sgdrc => "SGDRC",
+        }
+    }
+
+    /// §9.3 note: "MPS is no longer supported on P40".
+    pub fn supported_on(self, spec: &GpuSpec) -> bool {
+        self != SystemKind::Mps || spec.mps_support
+    }
+
+    /// Instantiates the policy.
+    pub fn make(self, spec: &GpuSpec) -> Box<dyn Policy> {
+        match self {
+            SystemKind::MultiStreaming => Box::new(MultiStreaming),
+            SystemKind::Tgs => Box::new(Tgs::default()),
+            SystemKind::Mps => Box::new(Mps::default()),
+            SystemKind::Orion => Box::new(Orion::default()),
+            SystemKind::SgdrcStatic => Box::new(Sgdrc::new(
+                spec,
+                SgdrcConfig {
+                    static_partition: true,
+                    ..Default::default()
+                },
+            )),
+            SystemKind::Sgdrc => Box::new(Sgdrc::new(spec, SgdrcConfig::default())),
+        }
+    }
+}
+
+/// Workload intensity (§9.2 testing scenarios).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Load {
+    /// Apollo trace scaled to half its average rate.
+    Light,
+    /// The original trace.
+    Heavy,
+}
+
+impl Load {
+    pub fn scale(self) -> f64 {
+        match self {
+            Load::Light => 0.5,
+            Load::Heavy => 1.0,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Load::Light => "light",
+            Load::Heavy => "heavy",
+        }
+    }
+}
+
+/// End-to-end experiment configuration.
+#[derive(Debug, Clone)]
+pub struct EndToEndConfig {
+    pub gpu: GpuModel,
+    pub load: Load,
+    pub horizon_us: f64,
+    pub seed: u64,
+    /// LS instances per model (§9.2: 4).
+    pub ls_instances: usize,
+    /// Policy tuning for SGDRC runs.
+    pub sgdrc: SgdrcConfig,
+}
+
+impl EndToEndConfig {
+    pub fn new(gpu: GpuModel, load: Load) -> Self {
+        Self {
+            gpu,
+            load,
+            horizon_us: 8e6,
+            seed: 0xA110C,
+            ls_instances: 4,
+            sgdrc: SgdrcConfig::default(),
+        }
+    }
+}
+
+/// Compiled-and-profiled model sets for one GPU (reused across systems).
+pub struct Deployment {
+    pub spec: GpuSpec,
+    pub ls_tasks: Vec<Task>,
+    pub be_tasks: Vec<Task>,
+}
+
+impl Deployment {
+    pub fn new(gpu: GpuModel) -> Self {
+        let spec = gpu.spec();
+        let ls_tasks = ModelId::ls_models()
+            .iter()
+            .map(|&id| Task::new(dnn::compile(build(id), &spec, CompileOptions::default()), &spec))
+            .collect();
+        let be_tasks = ModelId::be_models()
+            .iter()
+            .map(|&id| Task::new(dnn::compile(build(id), &spec, CompileOptions::default()), &spec))
+            .collect();
+        Self {
+            spec,
+            ls_tasks,
+            be_tasks,
+        }
+    }
+}
+
+/// Runs one system across the three BE-model scenarios and aggregates.
+pub fn run_system(dep: &Deployment, cfg: &EndToEndConfig, system: SystemKind) -> SystemResult {
+    let trace_cfg = TraceConfig::apollo_like().scaled(cfg.load.scale());
+    let arrivals = per_service_traces(&trace_cfg, dep.ls_tasks.len(), cfg.horizon_us, cfg.seed);
+    // §9.2's SLO multiplier: 8 LS services + 1 BE task on the GPU.
+    let n_services = dep.ls_tasks.len() + 1;
+
+    let mut merged: Vec<Vec<CompletedRequest>> = vec![Vec::new(); dep.ls_tasks.len()];
+    let mut be_throughput = Vec::new();
+    for be_task in &dep.be_tasks {
+        let scenario = Scenario {
+            spec: dep.spec.clone(),
+            ls: dep.ls_tasks.clone(),
+            be: vec![be_task.clone()],
+            ls_instances: cfg.ls_instances,
+            arrivals: arrivals.clone(),
+            horizon_us: cfg.horizon_us,
+        };
+        let mut policy = match system {
+            SystemKind::Sgdrc => Box::new(Sgdrc::new(&dep.spec, cfg.sgdrc.clone())) as Box<dyn Policy>,
+            other => other.make(&dep.spec),
+        };
+        let stats = run(policy.as_mut(), &scenario);
+        for (t, reqs) in stats.ls_completed.iter().enumerate() {
+            merged[t].extend_from_slice(reqs);
+        }
+        let samples = stats.be_completed[0] * be_task.model.batch as u64;
+        be_throughput.push((
+            be_task.model.id.name().to_string(),
+            samples as f64 / (cfg.horizon_us / 1e6),
+        ));
+    }
+
+    let ls: Vec<LsMetrics> = dep
+        .ls_tasks
+        .iter()
+        .zip(&merged)
+        .map(|(task, reqs)| {
+            let slo = slo_for(task.profile.isolated_e2e_us, n_services);
+            // Latency population spans the 3 BE scenarios; the effective
+            // horizon for goodput is 3× the per-run horizon.
+            ls_metrics(task.model.id.name(), reqs, slo, cfg.horizon_us * dep.be_tasks.len() as f64)
+        })
+        .collect();
+
+    let goodput: f64 = ls.iter().map(|m| m.goodput_hz).sum();
+    let be_total: f64 =
+        be_throughput.iter().map(|(_, t)| t).sum::<f64>() / dep.be_tasks.len() as f64;
+    SystemResult {
+        system: system.name().to_string(),
+        gpu: dep.spec.name.to_string(),
+        load: cfg.load.name().to_string(),
+        overall_throughput_hz: goodput + be_total,
+        ls,
+        be_throughput_hz: be_throughput,
+    }
+}
+
+/// Runs every supported system for one (GPU, load) cell of Fig. 17.
+pub fn run_cell(dep: &Deployment, cfg: &EndToEndConfig) -> Vec<SystemResult> {
+    SystemKind::all()
+        .into_par_iter()
+        .filter(|s| s.supported_on(&dep.spec))
+        .map(|s| run_system(dep, cfg, s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One smallish end-to-end cell; asserts the paper's headline ordering.
+    /// This is the heaviest test in the workspace (a few seconds).
+    #[test]
+    fn fig17_shape_on_a2000_heavy() {
+        let dep = Deployment::new(GpuModel::RtxA2000);
+        let mut cfg = EndToEndConfig::new(GpuModel::RtxA2000, Load::Heavy);
+        cfg.horizon_us = if cfg!(debug_assertions) { 1.2e6 } else { 2.5e6 };
+        let results = run_cell(&dep, &cfg);
+        let get = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.system == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        let sgdrc = get("SGDRC");
+        let orion = get("Orion");
+        let ms = get("Multi-streaming");
+        let tgs = get("TGS");
+
+        // Headline 1: SGDRC has the highest SLO attainment.
+        for r in &results {
+            assert!(
+                sgdrc.mean_slo_attainment() >= r.mean_slo_attainment() - 0.02,
+                "SGDRC ({:.3}) vs {} ({:.3})",
+                sgdrc.mean_slo_attainment(),
+                r.system,
+                r.mean_slo_attainment()
+            );
+        }
+        assert!(
+            sgdrc.mean_slo_attainment() > 0.90,
+            "SGDRC attainment {:.3}",
+            sgdrc.mean_slo_attainment()
+        );
+        // Headline 2: SGDRC beats Orion on BE throughput.
+        assert!(
+            sgdrc.total_be_throughput() > orion.total_be_throughput(),
+            "SGDRC {} vs Orion {}",
+            sgdrc.total_be_throughput(),
+            orion.total_be_throughput()
+        );
+        // Multi-streaming sacrifices SLO attainment (Fig. 17b).
+        assert!(ms.mean_slo_attainment() < sgdrc.mean_slo_attainment());
+        // TGS has the lowest overall throughput (§9.3).
+        for r in &results {
+            assert!(
+                tgs.overall_throughput_hz <= r.overall_throughput_hz + 1.0,
+                "TGS ({:.1}) vs {} ({:.1})",
+                tgs.overall_throughput_hz,
+                r.system,
+                r.overall_throughput_hz
+            );
+        }
+    }
+}

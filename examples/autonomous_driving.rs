@@ -1,0 +1,38 @@
+//! Autonomous-driving serving scenario (the paper's motivating workload):
+//! all 8 LS models colocated with a BE training-style task, replaying the
+//! bursty Apollo-like trace, comparing SGDRC against Orion.
+//!
+//! ```sh
+//! cargo run --release --example autonomous_driving
+//! ```
+
+use sgdrc_repro::gpu_spec::GpuModel;
+use sgdrc_repro::workload::runner::{run_system, Deployment, EndToEndConfig, Load, SystemKind};
+
+fn main() {
+    let gpu = GpuModel::RtxA2000;
+    println!("deploying the Tab. 3 zoo on a simulated {} ...", gpu.name());
+    let dep = Deployment::new(gpu);
+    let mut cfg = EndToEndConfig::new(gpu, Load::Heavy);
+    cfg.horizon_us = 3e6;
+
+    for system in [SystemKind::Orion, SystemKind::Sgdrc] {
+        let r = run_system(&dep, &cfg, system);
+        println!("\n--- {} ---", r.system);
+        println!(
+            "mean SLO attainment: {:.1}% | BE throughput: {:.0} samples/s | overall: {:.0}/s",
+            r.mean_slo_attainment() * 100.0,
+            r.total_be_throughput(),
+            r.overall_throughput_hz
+        );
+        for m in &r.ls {
+            println!(
+                "  {:<16} p99 {:>7.0} µs (SLO {:>7.0} µs) attainment {:>5.1}%",
+                m.model,
+                m.p99_latency_us,
+                m.slo_us,
+                m.slo_attainment * 100.0
+            );
+        }
+    }
+}

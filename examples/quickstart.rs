@@ -1,0 +1,71 @@
+//! Quickstart: deploy one LS model and one BE model on a simulated RTX
+//! A2000 and serve a short trace with SGDRC.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sgdrc_repro::core::serving::{run, Scenario, Task};
+use sgdrc_repro::core::{Sgdrc, SgdrcConfig};
+use sgdrc_repro::dnn::zoo::{build, ModelId};
+use sgdrc_repro::dnn::CompileOptions;
+use sgdrc_repro::gpu_spec::GpuModel;
+use sgdrc_repro::workload::metrics::{ls_metrics, slo_for};
+use sgdrc_repro::workload::trace::{generate, TraceConfig};
+
+fn main() {
+    // 1. Pick a GPU and compile the models through the offline pipeline
+    //    (fusion, persistent threads, memory-bound classification, cache
+    //    coloring).
+    let spec = GpuModel::RtxA2000.spec();
+    let ls_model = sgdrc_repro::dnn::compile(
+        build(ModelId::MobileNetV3),
+        &spec,
+        CompileOptions::default(),
+    );
+    let be_model = sgdrc_repro::dnn::compile(
+        build(ModelId::DenseNet161),
+        &spec,
+        CompileOptions::default(),
+    );
+    println!(
+        "compiled {} ({} kernels) and {} ({} kernels)",
+        ls_model.id.name(),
+        ls_model.kernels.len(),
+        be_model.id.name(),
+        be_model.kernels.len()
+    );
+
+    // 2. Profile them offline (min-SM binary search + memory-bound probe)
+    //    and build the serving scenario.
+    let horizon_us = 2e6;
+    let trace = TraceConfig::apollo_like();
+    let scenario = Scenario {
+        ls: vec![Task::new(ls_model, &spec)],
+        be: vec![Task::new(be_model, &spec)],
+        ls_instances: 4,
+        arrivals: vec![generate(&trace, horizon_us, 1)],
+        horizon_us,
+        spec: spec.clone(),
+    };
+
+    // 3. Serve with SGDRC (tidal SM masking + bimodal channel switching).
+    let mut policy = Sgdrc::new(&spec, SgdrcConfig::default());
+    let stats = run(&mut policy, &scenario);
+
+    // 4. Report.
+    let slo = slo_for(scenario.ls[0].profile.isolated_e2e_us, 2);
+    let m = ls_metrics("MobileNetV3", &stats.ls_completed[0], slo, horizon_us);
+    println!(
+        "LS: {} requests, p99 {:.0} µs, SLO attainment {:.1}%",
+        m.requests,
+        m.p99_latency_us,
+        m.slo_attainment * 100.0
+    );
+    println!(
+        "BE: {} DenseNet161 inferences ({:.0} samples/s), {} preemptions",
+        stats.be_completed[0],
+        stats.be_completed[0] as f64 * 8.0 / (horizon_us / 1e6),
+        stats.be_preemptions
+    );
+}

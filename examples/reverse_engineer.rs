@@ -1,0 +1,56 @@
+//! Reverse engineering walkthrough (paper §5): probe a black-box simulated
+//! GPU with latency measurements only, mark a contiguous region, recover
+//! the permutation structure, then train the hash learner and build the
+//! lookup table.
+//!
+//! ```sh
+//! cargo run --release --example reverse_engineer
+//! ```
+
+use sgdrc_repro::gpu_spec::GpuModel;
+use sgdrc_repro::mem_sim::GpuDevice;
+use sgdrc_repro::reveng::{
+    align_classes, analyze, render_fig8, ChannelMarker, MarkerConfig, MlpConfig, MlpHashLearner,
+    Sample,
+};
+
+fn main() {
+    let model = GpuModel::RtxA2000;
+    let mut dev = GpuDevice::new(model, 96 << 20, 7);
+    println!("probing a simulated {} through load latencies only...", model.name());
+
+    // 1. Calibrate thresholds, build per-channel conflict pools, and mark
+    //    a physically contiguous region (Algo 1-3).
+    let mut marker = ChannelMarker::new(&mut dev, MarkerConfig::default()).expect("marker");
+    let (start, len) = marker.longest_contiguous_run();
+    let count = (12 * 12 * 2).min(len);
+    let labels = marker.mark_indexed(start, count).expect("marking");
+    println!("marked {count} partitions; discovered {} channel classes", marker.num_classes());
+
+    // 2. Recover the §5.2 structure: blocks, groups, m-permutations.
+    let report = analyze(&labels);
+    println!(
+        "block = {} KiB, {} groups, window = {} partitions, patterns/group = {:?}",
+        report.block_size,
+        report.groups.len(),
+        report.window,
+        report.patterns_per_group
+    );
+    print!("{}", render_fig8(&report, 0));
+
+    // 3. Train the MLP hash learner on the marked samples (raw labels are
+    //    noisy, exactly like the paper's 15K-sample collection).
+    let samples: Vec<Sample> = labels
+        .iter()
+        .map(|&(pa, label)| Sample { partition: pa.partition(), label })
+        .collect();
+    let learner = MlpHashLearner::train(&samples, &MlpConfig::default());
+    let lut = learner.lookup_table(4096);
+    println!("lookup table built for 4096 partitions (4 MiB of VRAM)");
+
+    // 4. Verify against the oracle — allowed here, never in the pipeline.
+    let hash = model.channel_hash();
+    let (_, acc) = align_classes(&labels, |pa| hash.channel_of(pa), hash.num_channels());
+    println!("marking agreement with ground truth: {:.2}%", acc * 100.0);
+    let _ = lut;
+}
