@@ -186,7 +186,9 @@ mod tests {
     #[test]
     fn matrix_has_all_tab2_rows() {
         let names: Vec<&str> = capability_matrix().iter().map(|c| c.name).collect();
-        for expect in ["MPS", "MIG", "FGPU", "TGS", "Reef", "Paella", "Orion", "KRISP", "SGDRC"] {
+        for expect in [
+            "MPS", "MIG", "FGPU", "TGS", "Reef", "Paella", "Orion", "KRISP", "SGDRC",
+        ] {
             assert!(names.contains(&expect), "{expect} missing");
         }
     }

@@ -19,8 +19,8 @@ pub mod capability;
 pub mod mps;
 pub mod multistream;
 pub mod orion;
-pub mod tgs;
 mod testutil;
+pub mod tgs;
 
 pub use capability::{capability_matrix, render_tab2, Capability};
 pub use mps::Mps;

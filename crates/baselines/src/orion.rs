@@ -144,8 +144,7 @@ impl Policy for Orion {
                 let allowed = match st.ls_launch {
                     None => true, // GPU free for BE
                     Some(ls) => {
-                        let ls_profile =
-                            &st.scenario.ls[ls.task].profile.kernels[ls.kernel_idx];
+                        let ls_profile = &st.scenario.ls[ls.task].profile.kernels[ls.kernel_idx];
                         !constraint_flags(
                             &be_kernel,
                             &be_profile,

@@ -10,8 +10,16 @@ use sgdrc_core::serving::{Scenario, Task};
 /// DenseNet161 (BE) on the RTX A2000, with periodic LS arrivals.
 pub fn smoke_scenario(arrival_period_us: f64, horizon_us: f64) -> Scenario {
     let spec = GpuModel::RtxA2000.spec();
-    let ls_model = dnn::compile(build(ModelId::MobileNetV3), &spec, CompileOptions::default());
-    let be_model = dnn::compile(build(ModelId::DenseNet161), &spec, CompileOptions::default());
+    let ls_model = dnn::compile(
+        build(ModelId::MobileNetV3),
+        &spec,
+        CompileOptions::default(),
+    );
+    let be_model = dnn::compile(
+        build(ModelId::DenseNet161),
+        &spec,
+        CompileOptions::default(),
+    );
     let arrivals: Vec<f64> = (0..)
         .map(|i| i as f64 * arrival_period_us)
         .take_while(|&t| t < horizon_us)

@@ -4,7 +4,7 @@
 //! serving-scenario step.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use gpu_spec::{ChannelHash, GpuModel, PhysAddr};
+use gpu_spec::{GpuModel, PhysAddr};
 
 fn bench_channel_hash(c: &mut Criterion) {
     let hash = GpuModel::RtxA2000.channel_hash();
@@ -68,7 +68,7 @@ fn bench_mlp_predict(c: &mut Criterion) {
 
 fn bench_contention_model(c: &mut Criterion) {
     use dnn::kernel::{KernelDesc, KernelKind};
-    use exec_sim::{compute_rates, ChannelSet, RunningCtx, TpcMask};
+    use exec_sim::{compute_rates, ChannelSet, RateState, RunningCtx, TpcMask};
     let spec = GpuModel::RtxA2000.spec();
     let k = KernelDesc {
         id: 1,
@@ -83,22 +83,56 @@ fn bench_contention_model(c: &mut Criterion) {
         tensor_refs: vec![],
     };
     let running = vec![
-        RunningCtx {
-            kernel: k.clone(),
-            mask: TpcMask::first(6),
-            channels: ChannelSet::from_channels(&[2, 3, 4, 5]),
-            thread_fraction: 1.0,
-        },
-        RunningCtx {
-            kernel: k,
-            mask: TpcMask::range(6, 7),
-            channels: ChannelSet::from_channels(&[0, 1]),
-            thread_fraction: 1.0,
-        },
+        RunningCtx::new(
+            &spec,
+            k.clone(),
+            TpcMask::first(6),
+            ChannelSet::from_channels(&[2, 3, 4, 5]),
+            1.0,
+        ),
+        RunningCtx::new(
+            &spec,
+            k.clone(),
+            TpcMask::range(6, 7),
+            ChannelSet::from_channels(&[0, 1]),
+            1.0,
+        ),
     ];
     c.bench_function("exec_sim/compute_rates_pair", |b| {
         b.iter(|| compute_rates(black_box(&spec), black_box(&running)))
     });
+
+    // The engine-style path (persistent state, caller-owned output) at
+    // 1/2/4 resident kernels — the per-event cost the serving loop pays.
+    for n in [1usize, 2, 4] {
+        let running: Vec<RunningCtx> = (0..n)
+            .map(|i| {
+                RunningCtx::new(
+                    &spec,
+                    KernelDesc {
+                        kind: if i % 2 == 0 {
+                            KernelKind::Gemm
+                        } else {
+                            KernelKind::Elementwise
+                        },
+                        bytes: 2e7 * (i + 1) as f64,
+                        ..k.clone()
+                    },
+                    TpcMask::range((3 * i) as u32 % 8, 6),
+                    ChannelSet::all(&spec),
+                    1.0,
+                )
+            })
+            .collect();
+        let mut state = RateState::default();
+        let mut out = Vec::new();
+        c.bench_function(&format!("exec_sim/compute_rates_into_{n}_kernels"), |b| {
+            b.iter(|| {
+                state.recompute_full(black_box(&spec), black_box(&running), &mut out);
+                out.len()
+            })
+        });
+    }
 }
 
 fn bench_serving_slice(c: &mut Criterion) {
@@ -108,11 +142,19 @@ fn bench_serving_slice(c: &mut Criterion) {
     use sgdrc_core::{Sgdrc, SgdrcConfig};
     let spec = GpuModel::RtxA2000.spec();
     let ls = Task::new(
-        dnn::compile(build(ModelId::MobileNetV3), &spec, CompileOptions::default()),
+        dnn::compile(
+            build(ModelId::MobileNetV3),
+            &spec,
+            CompileOptions::default(),
+        ),
         &spec,
     );
     let be = Task::new(
-        dnn::compile(build(ModelId::DenseNet161), &spec, CompileOptions::default()),
+        dnn::compile(
+            build(ModelId::DenseNet161),
+            &spec,
+            CompileOptions::default(),
+        ),
         &spec,
     );
     let arrivals: Vec<f64> = (0..20).map(|i| i as f64 * 4000.0).collect();

@@ -6,11 +6,17 @@ use workload::runner::{run_system, Deployment, EndToEndConfig, Load, SystemKind}
 fn main() {
     sgdrc_bench::header("ablation — Ch_BE channel fraction (A2000, heavy)");
     let dep = Deployment::new(GpuModel::RtxA2000);
-    println!("{:>8} {:>10} {:>12} {:>10}", "Ch_BE", "SLO att.", "BE (s/s)", "overall");
+    println!(
+        "{:>8} {:>10} {:>12} {:>10}",
+        "Ch_BE", "SLO att.", "BE (s/s)", "overall"
+    );
     for ch_be in [1.0 / 6.0, 1.0 / 3.0, 2.0 / 3.0] {
         let mut cfg = EndToEndConfig::new(GpuModel::RtxA2000, Load::Heavy);
         cfg.horizon_us = 3e6;
-        cfg.sgdrc = SgdrcConfig { ch_be, ..Default::default() };
+        cfg.sgdrc = SgdrcConfig {
+            ch_be,
+            ..Default::default()
+        };
         let r = run_system(&dep, &cfg, SystemKind::Sgdrc);
         println!(
             "{ch_be:>8.2} {:>10.3} {:>12.1} {:>10.1}",

@@ -6,11 +6,17 @@ use workload::runner::{run_system, Deployment, EndToEndConfig, Load, SystemKind}
 fn main() {
     sgdrc_bench::header("ablation — sliding window length (A2000, heavy)");
     let dep = Deployment::new(GpuModel::RtxA2000);
-    println!("{:>8} {:>10} {:>12} {:>10}", "window", "SLO att.", "BE (s/s)", "overall");
+    println!(
+        "{:>8} {:>10} {:>12} {:>10}",
+        "window", "SLO att.", "BE (s/s)", "overall"
+    );
     for window in [1usize, 2, 4, 8, 16] {
         let mut cfg = EndToEndConfig::new(GpuModel::RtxA2000, Load::Heavy);
         cfg.horizon_us = 3e6;
-        cfg.sgdrc = SgdrcConfig { window, ..Default::default() };
+        cfg.sgdrc = SgdrcConfig {
+            window,
+            ..Default::default()
+        };
         let r = run_system(&dep, &cfg, SystemKind::Sgdrc);
         println!(
             "{window:>8} {:>10.3} {:>12.1} {:>10.1}",

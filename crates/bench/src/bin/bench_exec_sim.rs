@@ -1,0 +1,224 @@
+//! End-to-end hot-path benchmark: events/sec on a fig17-style sweep,
+//! before (seed `RateMode::Reference` engine path) vs. after (the
+//! allocation-free `RateMode::Fast` path), plus the parallel-sweep
+//! speedup and `compute_rates` micro-timings at 1/2/4 resident kernels.
+//! Writes `BENCH_exec_sim.json` so every future PR has a perf trajectory
+//! to compare against.
+
+use dnn::kernel::{KernelDesc, KernelKind};
+use exec_sim::contention::reference;
+use exec_sim::{ChannelSet, RateMode, RateState, RunningCtx, TpcMask};
+use gpu_spec::GpuModel;
+use sgdrc_bench::json::Json;
+use sgdrc_core::serving::{run_with_mode, Scenario};
+use std::time::Instant;
+use workload::runner::{run_cell, Deployment, EndToEndConfig, Load, SystemKind};
+use workload::trace::{per_service_traces, TraceConfig};
+
+/// One full fig17-style sweep (every supported system × every BE
+/// co-location), sequential, under the given engine rate mode. Returns
+/// (total engine events, wall seconds).
+fn sweep(dep: &Deployment, cfg: &EndToEndConfig, mode: RateMode) -> (u64, f64) {
+    let trace_cfg = TraceConfig::apollo_like().scaled(cfg.load.scale());
+    let arrivals = per_service_traces(&trace_cfg, dep.ls_tasks.len(), cfg.horizon_us, cfg.seed);
+    let start = Instant::now();
+    let mut events = 0u64;
+    for system in SystemKind::all() {
+        if !system.supported_on(&dep.spec) {
+            continue;
+        }
+        for be_task in &dep.be_tasks {
+            let scenario = Scenario {
+                spec: dep.spec.clone(),
+                ls: dep.ls_tasks.clone(),
+                be: vec![be_task.clone()],
+                ls_instances: cfg.ls_instances,
+                arrivals: arrivals.clone(),
+                horizon_us: cfg.horizon_us,
+            };
+            let mut policy = system.make(&dep.spec);
+            let stats = run_with_mode(policy.as_mut(), &scenario, mode);
+            events += stats.engine_events;
+        }
+    }
+    (events, start.elapsed().as_secs_f64())
+}
+
+fn bench_kernel(kind: KernelKind, flops: f64, bytes: f64) -> KernelDesc {
+    KernelDesc {
+        id: 1,
+        name: "bench/contention".into(),
+        kind,
+        flops,
+        bytes,
+        thread_blocks: 256,
+        persistent_threads: true,
+        colored: false,
+        extra_registers: 0,
+        tensor_refs: vec![0, 1, 2],
+    }
+}
+
+/// Running set of `n` kernels with staggered masks/channels.
+fn running_set(n: usize) -> Vec<RunningCtx> {
+    let spec = GpuModel::RtxA2000.spec();
+    let kinds = [
+        KernelKind::Gemm,
+        KernelKind::Elementwise,
+        KernelKind::Conv,
+        KernelKind::DwConv,
+    ];
+    (0..n)
+        .map(|i| {
+            RunningCtx::new(
+                &spec,
+                bench_kernel(
+                    kinds[i % kinds.len()],
+                    2e9 / (i + 1) as f64,
+                    2e7 * (i + 1) as f64,
+                ),
+                TpcMask::range((3 * i) as u32 % 8, 6),
+                if i % 2 == 0 {
+                    ChannelSet::all(&spec)
+                } else {
+                    ChannelSet::from_channels(&[0, 1, (2 + i as u16) % 6])
+                },
+                1.0,
+            )
+        })
+        .collect()
+}
+
+/// Median-of-batches ns/call for `f`.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    const BATCH: u32 = 2000;
+    let mut samples: Vec<f64> = (0..9)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..BATCH {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / BATCH as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let gpu = GpuModel::RtxA2000;
+    let dep = Deployment::new(gpu);
+    let mut cfg = EndToEndConfig::new(gpu, Load::Heavy);
+    cfg.horizon_us = 1.0e6;
+
+    sgdrc_bench::header("BENCH_exec_sim — fig17-style sweep, before/after");
+    println!(
+        "gpu={} load={} horizon={}µs",
+        dep.spec.name,
+        cfg.load.name(),
+        cfg.horizon_us
+    );
+
+    // Warm once (page in model compilation paths etc.), then measure.
+    let _ = sweep(&dep, &cfg, RateMode::Fast);
+    let (ref_events, ref_wall) = sweep(&dep, &cfg, RateMode::Reference);
+    let (fast_events, fast_wall) = sweep(&dep, &cfg, RateMode::Fast);
+    let ref_eps = ref_events as f64 / ref_wall;
+    let fast_eps = fast_events as f64 / fast_wall;
+    let speedup = fast_eps / ref_eps;
+    println!("before (reference): {ref_events} events in {ref_wall:.2}s = {ref_eps:.0} events/s");
+    println!(
+        "after  (fast):      {fast_events} events in {fast_wall:.2}s = {fast_eps:.0} events/s"
+    );
+    println!("speedup: {speedup:.2}× (target ≥ 2×)");
+    // The two rate paths agree to 1e-9 relative per evaluation, not
+    // bit-for-bit; over a 1e6 µs sweep that can re-order a handful of
+    // photo-finish events. Demand near-identical totals, not exact.
+    let event_drift = ref_events.abs_diff(fast_events) as f64;
+    assert!(
+        event_drift <= ref_events.max(fast_events) as f64 * 1e-4 + 2.0,
+        "engine modes diverged: {ref_events} vs {fast_events} events"
+    );
+
+    // Parallel sweep: run_cell fans systems and BE scenarios out with
+    // rayon; compare against the serial fast sweep.
+    let start = Instant::now();
+    let results = run_cell(&dep, &cfg);
+    let par_wall = start.elapsed().as_secs_f64();
+    let par_speedup = fast_wall / par_wall;
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!(
+        "parallel sweep: {par_wall:.2}s vs {fast_wall:.2}s serial = {par_speedup:.2}× ({workers} cores, {} systems)",
+        results.len()
+    );
+
+    // compute_rates micro-timings at 1/2/4 resident kernels.
+    sgdrc_bench::header("compute_rates ns/call (fast vs reference)");
+    let spec = gpu.spec();
+    let mut micro = Json::obj();
+    for n in [1usize, 2, 4] {
+        let running = running_set(n);
+        let mut state = RateState::default();
+        let mut out = Vec::new();
+        let fast_ns = time_ns(|| state.recompute_full(&spec, &running, &mut out));
+        // The seed path deep-cloned every descriptor per evaluation —
+        // include that, as the engine did it on every event.
+        let ref_ns = time_ns(|| {
+            let ctxs: Vec<reference::Ctx> =
+                running.iter().map(reference::Ctx::from_running).collect();
+            std::hint::black_box(reference::compute_rates(&spec, &ctxs));
+        });
+        println!(
+            "n={n}: fast {fast_ns:>8.1} ns  reference {ref_ns:>8.1} ns  ({:.1}×)",
+            ref_ns / fast_ns
+        );
+        micro = micro.set(
+            &n.to_string(),
+            Json::obj()
+                .set("fast_ns", fast_ns)
+                .set("reference_ns", ref_ns)
+                .set("speedup", ref_ns / fast_ns),
+        );
+    }
+
+    let doc = Json::obj()
+        .set("benchmark", "exec_sim_fig17_sweep")
+        .set("gpu", dep.spec.name)
+        .set("load", cfg.load.name())
+        .set("horizon_us", cfg.horizon_us)
+        .set("scenarios", "all supported systems × 3 BE co-locations")
+        .set(
+            "before",
+            Json::obj()
+                .set("mode", "reference (seed hot path)")
+                .set("events", ref_events)
+                .set("wall_s", ref_wall)
+                .set("events_per_sec", ref_eps),
+        )
+        .set(
+            "after",
+            Json::obj()
+                .set("mode", "fast (allocation-free)")
+                .set("events", fast_events)
+                .set("wall_s", fast_wall)
+                .set("events_per_sec", fast_eps),
+        )
+        .set("events_per_sec_speedup", speedup)
+        .set(
+            "parallel_sweep",
+            Json::obj()
+                .set("serial_wall_s", fast_wall)
+                .set("parallel_wall_s", par_wall)
+                .set("speedup", par_speedup)
+                .set("worker_threads", workers),
+        )
+        .set("compute_rates_ns", micro);
+    std::fs::write("BENCH_exec_sim.json", doc.pretty()).expect("write BENCH_exec_sim.json");
+    println!("\nwrote BENCH_exec_sim.json");
+    if speedup < 2.0 {
+        eprintln!("WARNING: events/sec speedup {speedup:.2}× below the 2× target");
+        std::process::exit(1);
+    }
+}

@@ -9,11 +9,18 @@ use gpu_spec::GpuModel;
 fn main() {
     for gpu in GpuModel::testbeds() {
         let spec = gpu.spec();
-        sgdrc_bench::header(&format!("Fig. 15a — channel-isolation speedup CDF on {}", spec.name));
+        sgdrc_bench::header(&format!(
+            "Fig. 15a — channel-isolation speedup CDF on {}",
+            spec.name
+        ));
         // Memory-intensive BE kernels (high DRAM throughput) as conflict
         // sources, co-executed with every LS kernel; SMs evenly split via
         // libsmctrl in both groups (§9.1.1).
-        let be_model = dnn::compile(build(ModelId::DenseNet161), &spec, CompileOptions::default());
+        let be_model = dnn::compile(
+            build(ModelId::DenseNet161),
+            &spec,
+            CompileOptions::default(),
+        );
         let thrasher = be_model
             .kernels
             .iter()
@@ -21,40 +28,41 @@ fn main() {
             .expect("BE model has kernels")
             .clone();
         let half = spec.num_tpcs / 2;
-        let ls_set = ChannelSet::from_channels(
-            &coloring::split_channels(&spec, 1.0 / 3.0).ls_channels,
-        );
-        let be_set = ChannelSet::from_channels(
-            &coloring::split_channels(&spec, 1.0 / 3.0).be_channels,
-        );
+        let ls_set =
+            ChannelSet::from_channels(&coloring::split_channels(&spec, 1.0 / 3.0).ls_channels);
+        let be_set =
+            ChannelSet::from_channels(&coloring::split_channels(&spec, 1.0 / 3.0).be_channels);
         let mut speedups = Vec::new();
         for id in ModelId::ls_models() {
             let m = dnn::compile(build(id), &spec, CompileOptions::default());
             for k in &m.kernels {
-                let victim_shared = RunningCtx {
-                    kernel: k.clone(),
-                    mask: TpcMask::first(half),
-                    channels: ChannelSet::all(&spec),
-                    thread_fraction: 1.0,
-                };
-                let thrash_shared = RunningCtx {
-                    kernel: thrasher.clone(),
-                    mask: TpcMask::range(half, spec.num_tpcs - half),
-                    channels: ChannelSet::all(&spec),
-                    thread_fraction: 1.0,
-                };
+                let victim_shared = RunningCtx::new(
+                    &spec,
+                    k.clone(),
+                    TpcMask::first(half),
+                    ChannelSet::all(&spec),
+                    1.0,
+                );
+                let thrash_shared = RunningCtx::new(
+                    &spec,
+                    thrasher.clone(),
+                    TpcMask::range(half, spec.num_tpcs - half),
+                    ChannelSet::all(&spec),
+                    1.0,
+                );
                 let shared =
                     compute_rates(&spec, &[victim_shared.clone(), thrash_shared])[0].duration_us;
                 let victim_iso = RunningCtx {
                     channels: ls_set,
                     ..victim_shared
                 };
-                let thrash_iso = RunningCtx {
-                    kernel: thrasher.clone(),
-                    mask: TpcMask::range(half, spec.num_tpcs - half),
-                    channels: be_set,
-                    thread_fraction: 1.0,
-                };
+                let thrash_iso = RunningCtx::new(
+                    &spec,
+                    thrasher.clone(),
+                    TpcMask::range(half, spec.num_tpcs - half),
+                    be_set,
+                    1.0,
+                );
                 let isolated = compute_rates(&spec, &[victim_iso, thrash_iso])[0].duration_us;
                 speedups.push(shared / isolated - 1.0);
             }

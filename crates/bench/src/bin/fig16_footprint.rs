@@ -19,7 +19,11 @@ fn main() {
             .tensors
             .iter()
             .filter(|t| t.role == TensorRole::Intermediate && t.bytes > 0)
-            .map(|t| Interval { start: t.first_use, end: t.last_use, bytes: t.bytes })
+            .map(|t| Interval {
+                start: t.first_use,
+                end: t.last_use,
+                bytes: t.bytes,
+            })
             .collect();
         let raw_intermediate = no_reuse_bytes(&intermediates);
         let reused = plan_reuse(&intermediates).total_bytes();

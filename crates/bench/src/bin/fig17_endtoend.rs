@@ -11,7 +11,11 @@ fn main() {
         for load in [Load::Heavy, Load::Light] {
             let mut cfg = EndToEndConfig::new(gpu, load);
             cfg.horizon_us = 4e6;
-            sgdrc_bench::header(&format!("Fig. 17 — {} / {} workload", dep.spec.name, load.name()));
+            sgdrc_bench::header(&format!(
+                "Fig. 17 — {} / {} workload",
+                dep.spec.name,
+                load.name()
+            ));
             let mut results = run_cell(&dep, &cfg);
             results.sort_by(|a, b| a.system.cmp(&b.system));
             println!(
@@ -53,10 +57,11 @@ fn main() {
             all.extend(results);
         }
     }
-    std::fs::write(
-        "fig17_results.json",
-        serde_json::to_string_pretty(&all).expect("serialize"),
-    )
-    .expect("write results");
+    let doc = sgdrc_bench::json::Json::Arr(
+        all.iter()
+            .map(sgdrc_bench::json::system_result_json)
+            .collect(),
+    );
+    std::fs::write("fig17_results.json", doc.pretty()).expect("write results");
     println!("\nwrote fig17_results.json");
 }

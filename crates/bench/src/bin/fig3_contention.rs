@@ -24,66 +24,87 @@ fn main() {
     let spec = GpuModel::RtxA2000.spec();
     let all = TpcMask::all(&spec);
     let chans = ChannelSet::all(&spec);
-    let victim = RunningCtx {
-        kernel: kernel(KernelKind::Gemm, 2e9, 1e7), // matrix multiply victim
-        mask: all,
-        channels: chans,
-        thread_fraction: 1.0,
-    };
+    // Matrix-multiply victim.
+    let victim = RunningCtx::new(&spec, kernel(KernelKind::Gemm, 2e9, 1e7), all, chans, 1.0);
     let alone = compute_rates(&spec, std::slice::from_ref(&victim))[0].duration_us;
 
     sgdrc_bench::header("Fig. 3a — intra-SM conflicts (victim p99 slowdown)");
-    println!("{:<24} {:>12} {:>10}", "interference", "p99 (µs)", "slowdown");
+    println!(
+        "{:<24} {:>12} {:>10}",
+        "interference", "p99 (µs)", "slowdown"
+    );
     println!("{:<24} {:>12.1} {:>10.2}", "none", alone, 1.0);
     for n in 1..=3 {
         // Compute-unit interferers (matrix multiplication).
         let mut set = vec![victim.clone()];
         for _ in 0..n {
-            set.push(RunningCtx {
-                kernel: kernel(KernelKind::Gemm, 2e9, 1e6),
-                mask: all,
-                channels: chans,
-                thread_fraction: 1.0,
-            });
+            set.push(RunningCtx::new(
+                &spec,
+                kernel(KernelKind::Gemm, 2e9, 1e6),
+                all,
+                chans,
+                1.0,
+            ));
         }
         let t = compute_rates(&spec, &set)[0].duration_us;
-        println!("{:<24} {:>12.1} {:>10.2}", format!("{n}x Comp."), t, t / alone);
+        println!(
+            "{:<24} {:>12.1} {:>10.2}",
+            format!("{n}x Comp."),
+            t,
+            t / alone
+        );
         // L1-thrashing interferers.
         let mut set = vec![victim.clone()];
         for _ in 0..n {
-            set.push(RunningCtx {
-                kernel: kernel(KernelKind::Elementwise, 1e8, 2e7),
-                mask: all,
-                channels: chans,
-                thread_fraction: 1.0,
-            });
+            set.push(RunningCtx::new(
+                &spec,
+                kernel(KernelKind::Elementwise, 1e8, 2e7),
+                all,
+                chans,
+                1.0,
+            ));
         }
         let t = compute_rates(&spec, &set)[0].duration_us;
-        println!("{:<24} {:>12.1} {:>10.2}", format!("{n}x L1C"), t, t / alone);
+        println!(
+            "{:<24} {:>12.1} {:>10.2}",
+            format!("{n}x L1C"),
+            t,
+            t / alone
+        );
     }
 
     sgdrc_bench::header("Fig. 3b — inter-SM conflicts (disjoint SMs, shared channels)");
     let half = spec.num_tpcs / 2;
-    let victim = RunningCtx {
-        kernel: kernel(KernelKind::Gemm, 2e9, 4e7),
-        mask: TpcMask::first(half),
-        channels: chans,
-        thread_fraction: 1.0,
-    };
+    let victim = RunningCtx::new(
+        &spec,
+        kernel(KernelKind::Gemm, 2e9, 4e7),
+        TpcMask::first(half),
+        chans,
+        1.0,
+    );
     let alone = compute_rates(&spec, std::slice::from_ref(&victim))[0].duration_us;
-    println!("{:<24} {:>12} {:>10}", "VRAM thrashers", "p99 (µs)", "slowdown");
+    println!(
+        "{:<24} {:>12} {:>10}",
+        "VRAM thrashers", "p99 (µs)", "slowdown"
+    );
     println!("{:<24} {:>12.1} {:>10.2}", "none", alone, 1.0);
     for n in 1..=3 {
         let mut set = vec![victim.clone()];
         for i in 0..n {
-            set.push(RunningCtx {
-                kernel: kernel(KernelKind::Elementwise, 1e7, 3e8),
-                mask: TpcMask::range(half + i, 1),
-                channels: chans,
-                thread_fraction: 1.0,
-            });
+            set.push(RunningCtx::new(
+                &spec,
+                kernel(KernelKind::Elementwise, 1e7, 3e8),
+                TpcMask::range(half + i, 1),
+                chans,
+                1.0,
+            ));
         }
         let t = compute_rates(&spec, &set)[0].duration_us;
-        println!("{:<24} {:>12.1} {:>10.2}", format!("{n} thrashers"), t, t / alone);
+        println!(
+            "{:<24} {:>12.1} {:>10.2}",
+            format!("{n} thrashers"),
+            t,
+            t / alone
+        );
     }
 }

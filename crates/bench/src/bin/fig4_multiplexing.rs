@@ -11,9 +11,20 @@ use workload::trace::{generate, TraceConfig};
 
 fn scenario(rate_hz: f64, horizon_us: f64) -> Scenario {
     let spec = GpuModel::RtxA2000.spec();
-    let ls = dnn::compile(build(ModelId::MobileNetV3), &spec, CompileOptions::default());
-    let be = dnn::compile(build(ModelId::DenseNet161), &spec, CompileOptions::default());
-    let cfg = TraceConfig { mean_rate_hz: rate_hz, ..TraceConfig::apollo_like() };
+    let ls = dnn::compile(
+        build(ModelId::MobileNetV3),
+        &spec,
+        CompileOptions::default(),
+    );
+    let be = dnn::compile(
+        build(ModelId::DenseNet161),
+        &spec,
+        CompileOptions::default(),
+    );
+    let cfg = TraceConfig {
+        mean_rate_hz: rate_hz,
+        ..TraceConfig::apollo_like()
+    };
     Scenario {
         ls: vec![Task::new(ls, &spec)],
         be: vec![Task::new(be, &spec)],
@@ -35,13 +46,19 @@ fn row(policy: &mut dyn Policy, rate: f64) -> (f64, f64, f64) {
 
 fn main() {
     sgdrc_bench::header("Fig. 4a — temporal multiplexing (TGS-style) vs load");
-    println!("{:>10} {:>12} {:>10} {:>12}", "LS req/s", "p99 (µs)", "SLO att.", "BE (s/s)");
+    println!(
+        "{:>10} {:>12} {:>10} {:>12}",
+        "LS req/s", "p99 (µs)", "SLO att.", "BE (s/s)"
+    );
     for rate in [50.0, 100.0, 200.0, 400.0, 800.0] {
         let (p99, att, be) = row(&mut Tgs::default(), rate);
         println!("{rate:>10.0} {p99:>12.0} {att:>10.3} {be:>12.1}");
     }
     sgdrc_bench::header("Fig. 4b — spatial multiplexing (multi-streaming) vs load");
-    println!("{:>10} {:>12} {:>10} {:>12}", "LS req/s", "p99 (µs)", "SLO att.", "BE (s/s)");
+    println!(
+        "{:>10} {:>12} {:>10} {:>12}",
+        "LS req/s", "p99 (µs)", "SLO att.", "BE (s/s)"
+    );
     for rate in [50.0, 100.0, 200.0, 400.0, 800.0] {
         let (p99, att, be) = row(&mut MultiStreaming, rate);
         println!("{rate:>10.0} {p99:>12.0} {att:>10.3} {be:>12.1}");

@@ -13,13 +13,24 @@ fn main() {
     let spec = GpuModel::RtxA2000.spec();
     sgdrc_bench::header("Fig. 5a — Orion vs LS load (MobileNetV3 + DenseNet161)");
     println!("{:>10} {:>10} {:>12}", "LS req/s", "SLO att.", "BE (s/s)");
-    let ls = dnn::compile(build(ModelId::MobileNetV3), &spec, CompileOptions::default());
-    let be = dnn::compile(build(ModelId::DenseNet161), &spec, CompileOptions::default());
+    let ls = dnn::compile(
+        build(ModelId::MobileNetV3),
+        &spec,
+        CompileOptions::default(),
+    );
+    let be = dnn::compile(
+        build(ModelId::DenseNet161),
+        &spec,
+        CompileOptions::default(),
+    );
     let ls_task = Task::new(ls, &spec);
     let be_task = Task::new(be, &spec);
     for rate in [50.0, 100.0, 200.0, 400.0, 800.0] {
         let horizon = 3e6;
-        let cfg = TraceConfig { mean_rate_hz: rate, ..TraceConfig::apollo_like() };
+        let cfg = TraceConfig {
+            mean_rate_hz: rate,
+            ..TraceConfig::apollo_like()
+        };
         let sc = Scenario {
             spec: spec.clone(),
             ls: vec![ls_task.clone()],
@@ -42,7 +53,10 @@ fn main() {
         .collect();
     let mut total = 0usize;
     let mut any = 0usize;
-    println!("{:<14} {:>8} {:>6} {:>6} {:>8} {:>6}", "model", "kernels", "Res.", "SM", "Runtime", "any");
+    println!(
+        "{:<14} {:>8} {:>6} {:>6} {:>8} {:>6}",
+        "model", "kernels", "Res.", "SM", "Runtime", "any"
+    );
     for id in ModelId::be_models() {
         let bem = dnn::compile(build(id), &spec, CompileOptions::default());
         let census = constraint_census(&bem, &ls_models, &spec, &OrionConfig::default());
@@ -50,7 +64,15 @@ fn main() {
         let sm = census.iter().filter(|f| f.sm).count();
         let rt = census.iter().filter(|f| f.runtime).count();
         let a = census.iter().filter(|f| f.any()).count();
-        println!("{:<14} {:>8} {:>6} {:>6} {:>8} {:>6}", id.name(), census.len(), res, sm, rt, a);
+        println!(
+            "{:<14} {:>8} {:>6} {:>6} {:>8} {:>6}",
+            id.name(),
+            census.len(),
+            res,
+            sm,
+            rt,
+            a
+        );
         total += census.len();
         any += a;
     }

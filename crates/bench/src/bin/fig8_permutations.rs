@@ -9,7 +9,10 @@ fn main() {
         (GpuModel::RtxA2000, 96u64 << 20, 12 * 12 * 4usize),
         (GpuModel::TeslaP40, 192 << 20, 24 * 24 * 2),
     ] {
-        sgdrc_bench::header(&format!("Fig. 8 — channel permutations on {}", model.name()));
+        sgdrc_bench::header(&format!(
+            "Fig. 8 — channel permutations on {}",
+            model.name()
+        ));
         let mut dev = GpuDevice::new(model, window_bytes, 2025);
         let mut marker = ChannelMarker::new(&mut dev, MarkerConfig::default()).expect("marker");
         let (start, len) = marker.longest_contiguous_run();

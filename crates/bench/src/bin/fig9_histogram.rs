@@ -1,28 +1,41 @@
 //! Fig. 9: frequency histogram of the channel permutation patterns across
 //! a large VRAM span (learned lookup table census).
 use gpu_spec::GpuModel;
-use reveng::learner::{synthetic_samples, MlpConfig, MlpHashLearner};
-use reveng::analyze;
 use gpu_spec::PhysAddr;
+use reveng::analyze;
+use reveng::learner::{synthetic_samples, MlpConfig, MlpHashLearner};
 
 fn main() {
     for model in [GpuModel::RtxA2000, GpuModel::TeslaP40] {
         sgdrc_bench::header(&format!("Fig. 9 — pattern histogram on {}", model.name()));
         let oracle = model.channel_hash();
         let span: u64 = 1 << 20; // 1 GiB worth of partitions
-        let train = synthetic_samples(oracle.as_ref(), span, 15_000, model.spec().cache_noise_rate, 9);
+        let train = synthetic_samples(
+            oracle.as_ref(),
+            span,
+            15_000,
+            model.spec().cache_noise_rate,
+            9,
+        );
         let learner = MlpHashLearner::train(&train, &MlpConfig::default());
         let census_span = 24 * 24 * 64u64;
         let labels: Vec<(PhysAddr, u16)> = (0..census_span)
             .map(|p| (PhysAddr(p * 1024), learner.predict(p)))
             .collect();
         let report = analyze(&labels);
-        println!("window={} patterns: {}", report.window, report.histogram.len());
+        println!(
+            "window={} patterns: {}",
+            report.window,
+            report.histogram.len()
+        );
         let max_count = report.histogram.values().max().copied().unwrap_or(1);
         for (i, (_, count)) in report.histogram.iter().enumerate() {
             let bar = "#".repeat((count * 40 / max_count) as usize);
             println!("pattern {i:>2}: {count:>5} {bar}");
         }
-        println!("uniformity (max/min): {:.2}  (paper: uniform)", report.uniformity_ratio());
+        println!(
+            "uniformity (max/min): {:.2}  (paper: uniform)",
+            report.uniformity_ratio()
+        );
     }
 }

@@ -14,8 +14,14 @@ fn main() {
             let mut cfg = EndToEndConfig::new(gpu, load);
             cfg.horizon_us = 4e6;
             let results = run_cell(&dep, &cfg);
-            let sgdrc = results.iter().find(|r| r.system == "SGDRC").expect("SGDRC ran");
-            let orion = results.iter().find(|r| r.system == "Orion").expect("Orion ran");
+            let sgdrc = results
+                .iter()
+                .find(|r| r.system == "SGDRC")
+                .expect("SGDRC ran");
+            let orion = results
+                .iter()
+                .find(|r| r.system == "Orion")
+                .expect("Orion ran");
             sgdrc_att.push(sgdrc.mean_slo_attainment());
             overall_gain.push(sgdrc.overall_throughput_hz / orion.overall_throughput_hz);
             // Per-BE-model gain (the paper's "up to" is over models).
@@ -41,7 +47,10 @@ fn main() {
     }
     sgdrc_bench::header("headline numbers (paper values in parentheses)");
     let mean_att = sgdrc_att.iter().sum::<f64>() / sgdrc_att.len() as f64;
-    println!("SGDRC mean SLO attainment: {:.1}% (paper: 99.0%)", mean_att * 100.0);
+    println!(
+        "SGDRC mean SLO attainment: {:.1}% (paper: 99.0%)",
+        mean_att * 100.0
+    );
     let max_overall = overall_gain.iter().cloned().fold(0.0f64, f64::max);
     println!("overall throughput vs Orion: up to {max_overall:.2}x (paper: up to 1.47x)");
     let (at, max_be) = be_gain

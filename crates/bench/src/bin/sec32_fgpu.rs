@@ -16,9 +16,16 @@ fn main() {
         match solve_xor_hash(&train, channels) {
             FgpuOutcome::Solved(m) => {
                 let test = oracle_test_set(oracle.as_ref(), 1 << 22, 4096, 4);
-                println!("{:<10}: solved, accuracy {:.2}%", model.name(), m.accuracy(&test) * 100.0);
+                println!(
+                    "{:<10}: solved, accuracy {:.2}%",
+                    model.name(),
+                    m.accuracy(&test) * 100.0
+                );
             }
-            FgpuOutcome::Inconsistent { channel_bit, samples_consumed } => {
+            FgpuOutcome::Inconsistent {
+                channel_bit,
+                samples_consumed,
+            } => {
                 println!(
                     "{:<10}: INCONSISTENT (channel bit {channel_bit} after {samples_consumed} samples) — not a pure XOR hash",
                     model.name()
@@ -35,7 +42,9 @@ fn main() {
                 let test = oracle_test_set(oracle.as_ref(), 1 << 22, 4096, 6);
                 format!("solved, accuracy {:.2}%", m.accuracy(&test) * 100.0)
             }
-            FgpuOutcome::Inconsistent { samples_consumed, .. } => {
+            FgpuOutcome::Inconsistent {
+                samples_consumed, ..
+            } => {
                 format!("inconsistent after {samples_consumed} samples")
             }
         };

@@ -1,7 +1,9 @@
 //! §5.3: the DNN hash learner — 15K noisy samples, >99.9% test accuracy —
 //! plus the period-finding ablation.
 use gpu_spec::GpuModel;
-use reveng::learner::{oracle_test_set, synthetic_samples, MlpConfig, MlpHashLearner, PeriodLearner};
+use reveng::learner::{
+    oracle_test_set, synthetic_samples, MlpConfig, MlpHashLearner, PeriodLearner,
+};
 
 fn main() {
     sgdrc_bench::header("§5.3 — learning the VRAM channel hash mapping");

@@ -14,7 +14,10 @@ fn main() {
             let plain = dnn::compile(
                 build(id),
                 &spec,
-                CompileOptions { coloring: false, ..Default::default() },
+                CompileOptions {
+                    coloring: false,
+                    ..Default::default()
+                },
             );
             let colored = dnn::compile(build(id), &spec, CompileOptions::default());
             let mut plain_e2e = 0.0;

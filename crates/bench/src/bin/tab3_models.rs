@@ -10,7 +10,11 @@ fn main() {
         "ID", "Model", "Class", "Batch", "Kernels", "Params(M)", "GFLOPs", "e2e A2000(µs)"
     );
     for m in full_zoo() {
-        let e2e: f64 = m.kernels.iter().map(|k| dnn::isolated_runtime_us(k, &spec)).sum();
+        let e2e: f64 = m
+            .kernels
+            .iter()
+            .map(|k| dnn::isolated_runtime_us(k, &spec))
+            .sum();
         println!(
             "{:<3} {:<16} {:<5} {:>5} {:>8} {:>9.1} {:>10.2} {:>12.0}",
             m.id.letter(),

@@ -14,7 +14,11 @@ fn main() {
             .iter()
             .map(|g| format!("{} KiB", g.0))
             .collect();
-        println!("{:<10} valid granularities: {}", spec.name, valid.join(", "));
+        println!(
+            "{:<10} valid granularities: {}",
+            spec.name,
+            valid.join(", ")
+        );
         for ch in 1..=spec.num_channels {
             let g = granularity_for_allocation(&spec, ch);
             println!("  {ch:>2} channels -> {} KiB", g.0);

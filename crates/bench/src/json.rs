@@ -1,0 +1,250 @@
+//! A minimal JSON value builder + pretty-printer, replacing `serde_json`
+//! for the workspace's machine-readable outputs.
+//!
+//! Only what the bench binaries need: objects with insertion-ordered
+//! keys, arrays, strings, numbers and booleans, printed with two-space
+//! indentation. Non-finite floats serialize as `null` (matching what
+//! `serde_json` does for `f64::NAN` under its default configuration).
+
+use std::fmt::Write as _;
+
+/// A JSON document fragment.
+#[derive(Debug, Clone)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Int(i64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered object.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Adds/overwrites a field on an object (panics on non-objects).
+    pub fn set(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(fields) => {
+                let value = value.into();
+                if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+                    slot.1 = value;
+                } else {
+                    fields.push((key.to_string(), value));
+                }
+            }
+            other => panic!("Json::set on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    if *x == x.trunc() && x.abs() < 1e15 {
+                        let _ = write!(out, "{:.1}", x);
+                    } else {
+                        let _ = write!(out, "{x}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(x: i64) -> Json {
+        Json::Int(x)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(x: u64) -> Json {
+        Json::Int(x as i64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(x: usize) -> Json {
+        Json::Int(x as i64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(x: bool) -> Json {
+        Json::Bool(x)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(items: Vec<Json>) -> Json {
+        Json::Arr(items)
+    }
+}
+
+/// Serializes one end-to-end [`SystemResult`] (the `fig17_results.json`
+/// schema previously produced via serde).
+pub fn system_result_json(r: &workload::SystemResult) -> Json {
+    let ls: Vec<Json> =
+        r.ls.iter()
+            .map(|m| {
+                Json::obj()
+                    .set("model", m.model.as_str())
+                    .set("requests", m.requests)
+                    .set("p99_latency_us", m.p99_latency_us)
+                    .set("mean_latency_us", m.mean_latency_us)
+                    .set("slo_us", m.slo_us)
+                    .set("slo_attainment", m.slo_attainment)
+                    .set("goodput_hz", m.goodput_hz)
+            })
+            .collect();
+    let be: Vec<Json> = r
+        .be_throughput_hz
+        .iter()
+        .map(|(name, hz)| {
+            Json::obj()
+                .set("model", name.as_str())
+                .set("samples_per_s", *hz)
+        })
+        .collect();
+    Json::obj()
+        .set("system", r.system.as_str())
+        .set("gpu", r.gpu.as_str())
+        .set("load", r.load.as_str())
+        .set("ls", Json::Arr(ls))
+        .set("be_throughput_hz", Json::Arr(be))
+        .set("overall_throughput_hz", r.overall_throughput_hz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_documents() {
+        let doc = Json::obj()
+            .set("name", "fig17 \"sweep\"")
+            .set("count", 3u64)
+            .set("ratio", 2.5)
+            .set("whole", 4.0)
+            .set("items", Json::Arr(vec![Json::Int(1), Json::Null]));
+        let s = doc.pretty();
+        assert!(s.contains("\"name\": \"fig17 \\\"sweep\\\"\""), "{s}");
+        assert!(s.contains("\"count\": 3"), "{s}");
+        assert!(s.contains("\"ratio\": 2.5"), "{s}");
+        assert!(s.contains("\"whole\": 4.0"), "{s}");
+        assert!(s.ends_with("}\n"), "{s}");
+    }
+
+    #[test]
+    fn nan_becomes_null() {
+        assert_eq!(Json::Num(f64::NAN).pretty(), "null\n");
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let doc = Json::obj().set("a", 1u64).set("a", 2u64);
+        assert!(doc.pretty().contains("\"a\": 2"));
+    }
+}

@@ -3,6 +3,12 @@
 //! One binary per paper artefact (see DESIGN.md's per-experiment index):
 //! `cargo run --release -p sgdrc-bench --bin <target>`. Criterion
 //! micro-benchmarks live in `benches/`.
+//!
+//! Machine-readable outputs (`fig17_results.json`, `BENCH_exec_sim.json`)
+//! are emitted through the dependency-free [`json`] writer — the build
+//! environment has no network access, so serde is not available.
+
+pub mod json;
 
 /// Prints a section header in a uniform style.
 pub fn header(title: &str) {

@@ -14,10 +14,8 @@
 //! Intermediate tensors are reused aggressively to cap the footprint
 //! (Fig. 16); the reuse planner lives in [`crate::reuse`].
 
-use serde::{Deserialize, Serialize};
-
 /// Task class of the tensor's owner.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TaskClass {
     /// Latency-sensitive, high priority.
     Ls,
@@ -26,7 +24,7 @@ pub enum TaskClass {
 }
 
 /// Role of a tensor inside the model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TensorRole {
     /// Model weights: persistent, read-only, allocated once.
     Weight,
@@ -37,7 +35,7 @@ pub enum TensorRole {
 }
 
 /// A tensor descriptor as seen by the allocator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TensorDesc {
     pub name: String,
     pub bytes: u64,
@@ -52,7 +50,7 @@ pub struct TensorDesc {
 }
 
 /// Serving mode (Fig. 14).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
     /// No colocated LS work: all channels available.
     Monopolization,

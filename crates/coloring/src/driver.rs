@@ -108,8 +108,11 @@ impl ColoredPool {
             for sector in 0..sectors {
                 // All partitions of one sector share a color by the Tab. 4
                 // granularity rule; take the first partition's color.
-                let color = color_of_partition(first_partition + sector as u64 * partitions_per_sector);
-                free.entry((color, sector)).or_default().push(Chunk { pfn, sector });
+                let color =
+                    color_of_partition(first_partition + sector as u64 * partitions_per_sector);
+                free.entry((color, sector))
+                    .or_default()
+                    .push(Chunk { pfn, sector });
                 color_table.insert((pfn, sector), color);
                 total += 1;
             }
@@ -216,7 +219,10 @@ impl ColoredPool {
 
     fn reinsert(&mut self, chunk: Chunk) {
         let color = self.color_table[&(chunk.pfn, chunk.sector)];
-        self.free.entry((color, chunk.sector)).or_default().push(chunk);
+        self.free
+            .entry((color, chunk.sector))
+            .or_default()
+            .push(chunk);
     }
 
     /// Color of a pool chunk.
@@ -250,7 +256,7 @@ impl ColoredPool {
 mod tests {
     use super::*;
     use crate::granularity::GranularityKib;
-    use gpu_spec::{ChannelHash, GpuModel};
+    use gpu_spec::GpuModel;
 
     /// Pool over the A2000 oracle LUT at 2 KiB granularity: sector color =
     /// channel-group index.
@@ -275,7 +281,10 @@ mod tests {
         let total: usize = counts.iter().sum();
         assert_eq!(total, 384 * 2);
         for &c in &counts {
-            assert!(c * 4 > total, "uniform hash must balance colors: {counts:?}");
+            assert!(
+                c * 4 > total,
+                "uniform hash must balance colors: {counts:?}"
+            );
         }
     }
 

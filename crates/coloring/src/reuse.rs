@@ -177,8 +177,9 @@ mod tests {
 
     #[test]
     fn reuse_never_exceeds_raw_footprint() {
-        let intervals: Vec<Interval> =
-            (0..50).map(|i| iv(i, i + 1 + (i % 3), 64 + (i as u64 % 7) * 32)).collect();
+        let intervals: Vec<Interval> = (0..50)
+            .map(|i| iv(i, i + 1 + (i % 3), 64 + (i as u64 % 7) * 32))
+            .collect();
         let plan = plan_reuse(&intervals);
         assert!(plan.total_bytes() <= no_reuse_bytes(&intervals));
     }

@@ -17,8 +17,9 @@ pub mod serving;
 pub mod sgdrc;
 
 pub use profiler::{
-    is_memory_bound_probe, min_tpcs_for, profile_kernel, profile_model, KernelProfile,
-    ModelProfile,
+    is_memory_bound_probe, min_tpcs_for, profile_kernel, profile_model, KernelProfile, ModelProfile,
 };
-pub use serving::{run, CompletedRequest, Policy, RunStats, Scenario, ServingState, Task};
+pub use serving::{
+    run, run_with_mode, CompletedRequest, Policy, RunStats, Scenario, ServingState, Task,
+};
 pub use sgdrc::{Sgdrc, SgdrcConfig};

@@ -15,10 +15,9 @@ use dnn::perf;
 use dnn::zoo::Model;
 use exec_sim::{compute_rates, ChannelSet, RunningCtx, TpcMask};
 use gpu_spec::GpuSpec;
-use serde::{Deserialize, Serialize};
 
 /// Per-kernel offline profile.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KernelProfile {
     /// Minimum TPCs achieving near-optimal latency (§7.1's `SM_LS`).
     pub min_tpcs: u32,
@@ -31,7 +30,7 @@ pub struct KernelProfile {
 }
 
 /// Offline profile of a whole model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ModelProfile {
     pub kernels: Vec<KernelProfile>,
     /// Isolated end-to-end latency (sum of isolated kernel times), µs.
@@ -98,18 +97,20 @@ fn thrasher_kernel(spec: &GpuSpec) -> KernelDesc {
 /// compare against running alone with the same mask.
 pub fn is_memory_bound_probe(k: &KernelDesc, spec: &GpuSpec) -> bool {
     let half = spec.num_tpcs / 2;
-    let victim = RunningCtx {
-        kernel: k.clone(),
-        mask: TpcMask::first(half),
-        channels: ChannelSet::all(spec),
-        thread_fraction: 1.0,
-    };
-    let thrash = RunningCtx {
-        kernel: thrasher_kernel(spec),
-        mask: TpcMask::range(half, spec.num_tpcs - half),
-        channels: ChannelSet::all(spec),
-        thread_fraction: 1.0,
-    };
+    let victim = RunningCtx::new(
+        spec,
+        k.clone(),
+        TpcMask::first(half),
+        ChannelSet::all(spec),
+        1.0,
+    );
+    let thrash = RunningCtx::new(
+        spec,
+        thrasher_kernel(spec),
+        TpcMask::range(half, spec.num_tpcs - half),
+        ChannelSet::all(spec),
+        1.0,
+    );
     let alone = compute_rates(spec, std::slice::from_ref(&victim))[0].duration_us;
     let together = compute_rates(spec, &[victim, thrash])[0].duration_us;
     together > alone * 1.10
@@ -128,8 +129,11 @@ pub fn profile_kernel(k: &KernelDesc, spec: &GpuSpec) -> KernelProfile {
 
 /// Profiles a whole (compiled) model.
 pub fn profile_model(model: &Model, spec: &GpuSpec) -> ModelProfile {
-    let kernels: Vec<KernelProfile> =
-        model.kernels.iter().map(|k| profile_kernel(k, spec)).collect();
+    let kernels: Vec<KernelProfile> = model
+        .kernels
+        .iter()
+        .map(|k| profile_kernel(k, spec))
+        .collect();
     let isolated_e2e_us = kernels.iter().map(|k| k.isolated_us).sum();
     ModelProfile {
         kernels,
@@ -154,7 +158,11 @@ mod tests {
             let at_min = perf::runtime_us(
                 k,
                 &spec,
-                perf::ResourceCtx { tpcs: min as f64, bw_share: 1.0, intra_sm_factor: 1.0 },
+                perf::ResourceCtx {
+                    tpcs: min as f64,
+                    bw_share: 1.0,
+                    intra_sm_factor: 1.0,
+                },
             );
             assert!(at_min <= best * MIN_SM_TOLERANCE + 1e-9, "{}", k.name);
             if min > 1 {
@@ -176,9 +184,17 @@ mod tests {
     fn most_ls_kernels_need_few_tpcs() {
         // The premise of tidal masking: small LS kernels leave SMs for BE.
         let spec = GpuModel::RtxA2000.spec();
-        let m = dnn::compile(build(ModelId::MobileNetV3), &spec, CompileOptions::default());
+        let m = dnn::compile(
+            build(ModelId::MobileNetV3),
+            &spec,
+            CompileOptions::default(),
+        );
         let p = profile_model(&m, &spec);
-        let small = p.kernels.iter().filter(|k| k.min_tpcs <= spec.num_tpcs / 2).count();
+        let small = p
+            .kernels
+            .iter()
+            .filter(|k| k.min_tpcs <= spec.num_tpcs / 2)
+            .count();
         assert!(
             small * 2 > p.kernels.len(),
             "only {small}/{} kernels fit half the GPU",
@@ -191,7 +207,11 @@ mod tests {
         // The operational memory-bound test (§7.2) and the roofline
         // classification should agree on the vast majority of kernels.
         let spec = GpuModel::RtxA2000.spec();
-        let m = dnn::compile(build(ModelId::DenseNet161), &spec, CompileOptions::default());
+        let m = dnn::compile(
+            build(ModelId::DenseNet161),
+            &spec,
+            CompileOptions::default(),
+        );
         let mut agree = 0;
         for k in &m.kernels {
             if is_memory_bound_probe(k, &spec) == k.is_memory_bound(&spec) {

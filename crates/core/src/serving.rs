@@ -11,7 +11,9 @@
 use crate::profiler::ModelProfile;
 use dnn::kernel::KernelDesc;
 use dnn::zoo::Model;
-use exec_sim::{ChannelSet, Engine, EngineEvent, LaunchConfig, LaunchId, TpcMask};
+use exec_sim::{
+    ChannelSet, Engine, EngineEvent, LaunchConfig, LaunchId, PreparedKernel, RateMode, TpcMask,
+};
 use gpu_spec::GpuSpec;
 use std::collections::VecDeque;
 
@@ -20,12 +22,25 @@ use std::collections::VecDeque;
 pub struct Task {
     pub model: Model,
     pub profile: ModelProfile,
+    /// Launch-ready kernels (shared descriptor + precomputed performance
+    /// invariants), parallel to `model.kernels`. Dispatching one costs an
+    /// `Arc` bump — no descriptor copy, no invariant derivation.
+    pub kernels: Vec<PreparedKernel>,
 }
 
 impl Task {
     pub fn new(model: Model, spec: &GpuSpec) -> Self {
         let profile = crate::profiler::profile_model(&model, spec);
-        Self { model, profile }
+        let kernels = model
+            .kernels
+            .iter()
+            .map(|k| PreparedKernel::new(spec, k.clone()))
+            .collect();
+        Self {
+            model,
+            profile,
+            kernels,
+        }
     }
 }
 
@@ -44,7 +59,7 @@ pub struct Scenario {
 }
 
 /// A completed LS request.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CompletedRequest {
     pub arrival_us: f64,
     pub done_us: f64,
@@ -58,7 +73,7 @@ impl CompletedRequest {
 }
 
 /// Result of one serving run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     /// Completed requests per LS task.
     pub ls_completed: Vec<Vec<CompletedRequest>>,
@@ -68,6 +83,9 @@ pub struct RunStats {
     pub horizon_us: f64,
     /// BE kernel preemptions observed.
     pub be_preemptions: u64,
+    /// Engine events (kernel completions + preemptions) processed — the
+    /// denominator for events/sec throughput measurements.
+    pub engine_events: u64,
 }
 
 /// An in-flight inference.
@@ -121,6 +139,7 @@ impl<'s> ServingState<'s> {
                 be_completed: vec![0; scenario.be.len()],
                 horizon_us: scenario.horizon_us,
                 be_preemptions: 0,
+                engine_events: 0,
             },
         }
     }
@@ -173,8 +192,11 @@ impl<'s> ServingState<'s> {
 
     /// Upcoming LS kernels (for the tidal sliding window): the next kernel
     /// of every non-empty LS queue plus the successors of the head task.
-    pub fn upcoming_ls_kernels(&self, window: usize) -> Vec<(usize, usize)> {
-        let mut out = Vec::new();
+    ///
+    /// Fills a caller-owned buffer (cleared first) so policies invoking
+    /// this on every dispatch reuse one allocation across the whole run.
+    pub fn upcoming_ls_kernels_into(&self, window: usize, out: &mut Vec<(usize, usize)>) {
+        out.clear();
         let n = self.scenario.ls.len();
         for off in 0..n {
             let t = (self.ls_rr + off) % n;
@@ -183,11 +205,18 @@ impl<'s> ServingState<'s> {
                 for c in inf.cursor..kernels.min(inf.cursor + window) {
                     out.push((t, c));
                     if out.len() >= window {
-                        return out;
+                        return;
                     }
                 }
             }
         }
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`upcoming_ls_kernels_into`](Self::upcoming_ls_kernels_into).
+    pub fn upcoming_ls_kernels(&self, window: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(window);
+        self.upcoming_ls_kernels_into(window, &mut out);
         out
     }
 
@@ -212,8 +241,8 @@ impl<'s> ServingState<'s> {
     pub fn launch_ls(&mut self, mask: TpcMask, channels: ChannelSet, thread_fraction: f64) {
         assert!(self.ls_launch.is_none(), "one LS kernel at a time");
         let (task, kernel_idx) = self.peek_ls().expect("no LS kernel ready");
-        let kernel = &self.scenario.ls[task].model.kernels[kernel_idx];
-        let id = self.engine.launch(
+        let kernel = &self.scenario.ls[task].kernels[kernel_idx];
+        let id = self.engine.launch_prepared(
             kernel,
             &LaunchConfig {
                 mask,
@@ -241,8 +270,8 @@ impl<'s> ServingState<'s> {
     ) {
         assert!(self.be_launch.is_none(), "one BE kernel at a time");
         let (task, kernel_idx) = self.peek_be().expect("no BE task");
-        let kernel = &self.scenario.be[task].model.kernels[kernel_idx];
-        let id = self.engine.launch(
+        let kernel = &self.scenario.be[task].kernels[kernel_idx];
+        let id = self.engine.launch_prepared(
             kernel,
             &LaunchConfig {
                 mask,
@@ -342,7 +371,16 @@ pub trait Policy {
 
 /// Runs a scenario under a policy to the horizon; returns the statistics.
 pub fn run(policy: &mut dyn Policy, scenario: &Scenario) -> RunStats {
+    run_with_mode(policy, scenario, RateMode::Fast)
+}
+
+/// [`run`] with an explicit engine rate mode. `RateMode::Reference`
+/// replays the seed engine's per-event behaviour (descriptor deep-clones,
+/// allocating rate evaluation, no memoization) — the "before" arm of the
+/// `BENCH_exec_sim` measurement.
+pub fn run_with_mode(policy: &mut dyn Policy, scenario: &Scenario, mode: RateMode) -> RunStats {
     let mut st = ServingState::new(scenario);
+    st.engine.set_rate_mode(mode);
     // Arrival iterators.
     let mut cursors = vec![0usize; scenario.arrivals.len()];
     let next_arrival = |cursors: &[usize]| -> Option<(usize, f64)> {
@@ -360,24 +398,26 @@ pub fn run(policy: &mut dyn Policy, scenario: &Scenario) -> RunStats {
     policy.dispatch(&mut st);
     loop {
         let arrival = next_arrival(&cursors);
+        // Memoized inside the engine — the same value serves the min fold
+        // below and the engine's own integration this iteration.
         let event = st.engine.next_event_at();
         // Stale (non-future) timers cannot make progress; drop them.
         let timer = policy.next_timer().filter(|&t| t > st.now() + 1e-9);
-        let mut candidates = vec![];
+        // Earliest of the three candidate times, without materializing a
+        // candidate list (this runs once per simulated event).
+        let mut next = f64::INFINITY;
         if let Some((_, at)) = arrival {
-            candidates.push(at);
+            next = at;
         }
         if let Some(at) = event {
-            candidates.push(at);
+            next = next.min(at);
         }
         if let Some(at) = timer {
-            candidates.push(at);
+            next = next.min(at);
         }
-        let Some(next) = candidates.iter().cloned().fold(None::<f64>, |acc, t| {
-            Some(acc.map_or(t, |a| a.min(t)))
-        }) else {
+        if next == f64::INFINITY {
             break; // idle with no arrivals left
-        };
+        }
         if next > scenario.horizon_us {
             break;
         }
@@ -400,6 +440,9 @@ pub fn run(policy: &mut dyn Policy, scenario: &Scenario) -> RunStats {
         }
         policy.dispatch(&mut st);
     }
-    st.stats.horizon_us = st.now().min(scenario.horizon_us).max(scenario.horizon_us);
+    // Record the actually simulated time (the loop can end early when the
+    // trace drains), not unconditionally the configured horizon.
+    st.stats.horizon_us = st.now().min(scenario.horizon_us);
+    st.stats.engine_events = st.engine.events_processed();
     st.stats
 }

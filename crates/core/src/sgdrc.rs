@@ -58,6 +58,9 @@ pub struct Sgdrc {
     /// window (§7.1): consecutive LS kernels fit inside it without
     /// re-preempting BE work.
     ls_region: u32,
+    /// Reusable buffer for the sliding window query (the dispatch path
+    /// runs once per engine event and must not allocate).
+    window_buf: Vec<(usize, usize)>,
 }
 
 impl Sgdrc {
@@ -70,16 +73,18 @@ impl Sgdrc {
             num_tpcs: spec.num_tpcs,
             cfg,
             ls_region: 0,
+            window_buf: Vec::new(),
         }
     }
 
     /// §7.1: `SM_LS` for the next LS kernel — the max of the profiled
     /// minimum TPC counts over the sliding window of upcoming LS kernels.
-    fn sm_ls(&self, st: &ServingState) -> u32 {
+    fn sm_ls(&mut self, st: &ServingState) -> u32 {
         if self.cfg.static_partition {
             return self.num_tpcs / 2;
         }
-        st.upcoming_ls_kernels(self.cfg.window)
+        st.upcoming_ls_kernels_into(self.cfg.window, &mut self.window_buf);
+        self.window_buf
             .iter()
             .map(|&(t, k)| st.scenario.ls[t].profile.kernels[k].min_tpcs)
             .max()
@@ -242,13 +247,13 @@ mod tests {
         let isolated = sc.ls[0].profile.isolated_e2e_us;
         let mut policy = Sgdrc::new(&sc.spec, SgdrcConfig::default());
         let stats = run(&mut policy, &sc);
-        let mut lat: Vec<f64> = stats.ls_completed[0].iter().map(|r| r.latency_us()).collect();
+        let mut lat: Vec<f64> = stats.ls_completed[0]
+            .iter()
+            .map(|r| r.latency_us())
+            .collect();
         lat.sort_by(f64::total_cmp);
         let p99 = lat[((lat.len() as f64 * 0.99) as usize).min(lat.len() - 1)];
-        assert!(
-            p99 < isolated * 3.0,
-            "p99 {p99} vs isolated {isolated}"
-        );
+        assert!(p99 < isolated * 3.0, "p99 {p99} vs isolated {isolated}");
     }
 
     #[test]
@@ -275,10 +280,32 @@ mod tests {
     }
 
     #[test]
+    fn identical_runs_are_deterministic() {
+        // The serving loop and engine share no hidden global state: two
+        // invocations of the same scenario produce identical statistics
+        // (including every completion timestamp), which is what makes
+        // sweep results reproducible across parallel runs.
+        let sc = scenario(5_000.0, 150_000.0);
+        let mut a = Sgdrc::new(&sc.spec, SgdrcConfig::default());
+        let first = run(&mut a, &sc);
+        let mut b = Sgdrc::new(&sc.spec, SgdrcConfig::default());
+        let second = run(&mut b, &sc);
+        assert_eq!(first, second);
+        assert!(first.engine_events > 0, "events were counted");
+        assert!(
+            first.horizon_us <= sc.horizon_us,
+            "recorded horizon is the simulated time"
+        );
+    }
+
+    #[test]
     fn be_preemptions_happen_under_load() {
         let sc = scenario(3_000.0, 200_000.0);
         let mut policy = Sgdrc::new(&sc.spec, SgdrcConfig::default());
         let stats = run(&mut policy, &sc);
-        assert!(stats.be_preemptions > 0, "tidal masking must evict BE kernels");
+        assert!(
+            stats.be_preemptions > 0,
+            "tidal masking must evict BE kernels"
+        );
     }
 }

@@ -209,7 +209,14 @@ impl ModelBuilder {
 
     /// Standalone normalization kernel (LayerNorm at inference).
     pub fn norm(&mut self, name: &str, elems: f64) -> usize {
-        self.op(name, KernelKind::Norm, 8.0 * elems, 2.0 * elems.sqrt(), elems, &[])
+        self.op(
+            name,
+            KernelKind::Norm,
+            8.0 * elems,
+            2.0 * elems.sqrt(),
+            elems,
+            &[],
+        )
     }
 
     /// Global average pool.
@@ -258,6 +265,13 @@ impl ModelBuilder {
 
     /// Token embedding gather.
     pub fn embedding(&mut self, name: &str, vocab: f64, seq: f64, dim: f64) -> usize {
-        self.op(name, KernelKind::Embedding, seq * dim, vocab * dim, seq * dim, &[])
+        self.op(
+            name,
+            KernelKind::Embedding,
+            seq * dim,
+            vocab * dim,
+            seq * dim,
+            &[],
+        )
     }
 }

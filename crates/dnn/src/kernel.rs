@@ -7,10 +7,9 @@
 //! the discrete-event execution model and the offline profiler.
 
 use gpu_spec::GpuSpec;
-use serde::{Deserialize, Serialize};
 
 /// Operator category of a kernel (affects achievable efficiency).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KernelKind {
     /// Dense convolution (implicit GEMM).
     Conv,
@@ -76,7 +75,7 @@ impl KernelKind {
 }
 
 /// A compiled GPU kernel's static resource profile.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KernelDesc {
     /// Stable identity (hash of model + layer + variant).
     pub id: u64,
@@ -123,7 +122,9 @@ impl KernelDesc {
     pub fn saturation_tpcs(&self, spec: &GpuSpec) -> u32 {
         // ~4 resident blocks per SM, 2 SMs per TPC.
         let blocks_per_tpc = 8;
-        self.thread_blocks.div_ceil(blocks_per_tpc).clamp(1, spec.num_tpcs)
+        self.thread_blocks
+            .div_ceil(blocks_per_tpc)
+            .clamp(1, spec.num_tpcs)
     }
 }
 

@@ -94,6 +94,80 @@ pub fn isolated_runtime_us(k: &KernelDesc, spec: &GpuSpec) -> f64 {
     runtime_us(k, spec, ResourceCtx::exclusive(spec))
 }
 
+/// Precomputed per-kernel performance invariants.
+///
+/// Everything [`runtime_us`] derives from the kernel descriptor alone
+/// (× the GPU spec), captured once so the execution engine's hot path
+/// re-evaluates a kernel's rate without touching the descriptor or the
+/// `perf::` derivations again: pure compute/memory time, the isolated
+/// runtime, block-parallelism saturation, the static coloring/scheduler
+/// multipliers, and the contention-model inputs (full-resource DRAM
+/// bandwidth demand, thrash intensity, memory-instruction share).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelPerfInvariants {
+    /// Pure compute time at full SM allocation, µs.
+    pub compute_us: f64,
+    /// Pure memory time at full bandwidth, µs.
+    pub memory_us: f64,
+    /// [`isolated_runtime_us`] of the kernel.
+    pub isolated_us: f64,
+    /// TPCs beyond which extra SMs cannot help (block parallelism).
+    pub saturation_tpcs: f64,
+    /// Static multiplier: coloring overhead × hardware-scheduler penalty.
+    pub static_factor: f64,
+    /// DRAM bandwidth demand at full resources, GB/s.
+    pub bw_demand_gbps: f64,
+    /// `bw_demand` relative to the whole GPU, clamped to 0..1.
+    pub thrash_intensity: f64,
+    /// Share of issued instructions touching global memory.
+    pub memory_instr_share: f64,
+    /// Cached `spec.num_tpcs` (f64) for the MLP bandwidth limit.
+    num_tpcs: f64,
+}
+
+impl KernelPerfInvariants {
+    pub fn new(k: &KernelDesc, spec: &GpuSpec) -> Self {
+        let compute_us = compute_time_us(k, spec);
+        let memory_us = memory_time_us(k, spec);
+        let coloring_overhead = if k.colored {
+            1.0 + coloring::runtime_overhead_fraction(k.memory_instr_share())
+        } else {
+            1.0
+        };
+        let sched_penalty = if k.persistent_threads || k.thread_blocks <= 64 {
+            1.0
+        } else {
+            1.0 + spec.contention.sched_conflict
+        };
+        let body = memory_us.max(compute_us).max(1e-9);
+        let bw_demand_gbps = k.bytes / (body * 1e-6) / 1e9;
+        Self {
+            compute_us,
+            memory_us,
+            isolated_us: isolated_runtime_us(k, spec),
+            saturation_tpcs: k.saturation_tpcs(spec) as f64,
+            static_factor: coloring_overhead * sched_penalty,
+            bw_demand_gbps,
+            thrash_intensity: (bw_demand_gbps / spec.mem_bandwidth_gbps).min(1.0),
+            memory_instr_share: k.memory_instr_share(),
+            num_tpcs: spec.num_tpcs as f64,
+        }
+    }
+
+    /// Kernel runtime under a resource context — same roofline as
+    /// [`runtime_us`] (bit-for-bit up to float associativity in the
+    /// static multipliers), with every descriptor-derived term served
+    /// from the precomputed block.
+    pub fn runtime_us(&self, ctx: ResourceCtx) -> f64 {
+        let tpcs = ctx.tpcs.clamp(0.05, self.num_tpcs);
+        let scale = tpcs.min(self.saturation_tpcs) / self.saturation_tpcs;
+        let compute = self.compute_us / scale.max(1e-9);
+        let mlp_limit = (ctx.tpcs / self.num_tpcs * 3.0).min(1.0);
+        let memory = self.memory_us / (ctx.bw_share.min(mlp_limit)).max(1e-9);
+        LAUNCH_OVERHEAD_US + compute.max(memory) * ctx.intra_sm_factor * self.static_factor
+    }
+}
+
 /// Average DRAM bandwidth demand while running, in GB/s.
 pub fn bandwidth_demand_gbps(k: &KernelDesc, spec: &GpuSpec, ctx: ResourceCtx) -> f64 {
     let t = runtime_us(k, spec, ctx) - LAUNCH_OVERHEAD_US;
@@ -148,9 +222,28 @@ mod tests {
     fn runtime_saturates_at_block_parallelism() {
         let spec = GpuModel::RtxA2000.spec();
         let k = gemm(5e9, 2e7, 16); // saturates at 2 TPCs
-        let t2 = runtime_us(&k, &spec, ResourceCtx { tpcs: 2.0, bw_share: 1.0, intra_sm_factor: 1.0 });
-        let t13 = runtime_us(&k, &spec, ResourceCtx { tpcs: 13.0, bw_share: 1.0, intra_sm_factor: 1.0 });
-        assert!((t2 - t13).abs() < 1e-6, "extra TPCs beyond saturation are useless");
+        let t2 = runtime_us(
+            &k,
+            &spec,
+            ResourceCtx {
+                tpcs: 2.0,
+                bw_share: 1.0,
+                intra_sm_factor: 1.0,
+            },
+        );
+        let t13 = runtime_us(
+            &k,
+            &spec,
+            ResourceCtx {
+                tpcs: 13.0,
+                bw_share: 1.0,
+                intra_sm_factor: 1.0,
+            },
+        );
+        assert!(
+            (t2 - t13).abs() < 1e-6,
+            "extra TPCs beyond saturation are useless"
+        );
     }
 
     #[test]
@@ -161,10 +254,21 @@ mod tests {
             ..gemm(1e6, 5e7, 512)
         };
         let full = runtime_us(&k, &spec, ResourceCtx::exclusive(&spec));
-        let third = runtime_us(&k, &spec, ResourceCtx { tpcs: 13.0, bw_share: 1.0 / 3.0, intra_sm_factor: 1.0 });
+        let third = runtime_us(
+            &k,
+            &spec,
+            ResourceCtx {
+                tpcs: 13.0,
+                bw_share: 1.0 / 3.0,
+                intra_sm_factor: 1.0,
+            },
+        );
         let body_full = full - LAUNCH_OVERHEAD_US;
         let body_third = third - LAUNCH_OVERHEAD_US;
-        assert!((body_third / body_full - 3.0).abs() < 0.05, "{body_third} vs {body_full}");
+        assert!(
+            (body_third / body_full - 3.0).abs() < 0.05,
+            "{body_third} vs {body_full}"
+        );
     }
 
     #[test]
@@ -172,7 +276,15 @@ mod tests {
         let spec = GpuModel::TeslaP40.spec();
         let k = gemm(5e9, 2e7, 512);
         let alone = runtime_us(&k, &spec, ResourceCtx::exclusive(&spec));
-        let shared = runtime_us(&k, &spec, ResourceCtx { tpcs: spec.num_tpcs as f64, bw_share: 1.0, intra_sm_factor: 1.4 });
+        let shared = runtime_us(
+            &k,
+            &spec,
+            ResourceCtx {
+                tpcs: spec.num_tpcs as f64,
+                bw_share: 1.0,
+                intra_sm_factor: 1.4,
+            },
+        );
         assert!(shared > alone * 1.3);
     }
 
@@ -197,14 +309,77 @@ mod tests {
     }
 
     #[test]
+    fn invariants_match_direct_derivation() {
+        // The precomputed block must agree with the straight-line
+        // `runtime_us` across kernel shapes and resource contexts — the
+        // execution engine's hot path relies on it.
+        let spec = GpuModel::RtxA2000.spec();
+        let kernels = [
+            gemm(5e9, 2e7, 512),
+            gemm(1e6, 5e7, 16),
+            KernelDesc {
+                kind: KernelKind::Elementwise,
+                persistent_threads: false,
+                thread_blocks: 512,
+                ..gemm(1e6, 5e7, 512)
+            },
+            KernelDesc {
+                colored: true,
+                ..gemm(2e9, 1e7, 128)
+            },
+        ];
+        for k in &kernels {
+            let inv = KernelPerfInvariants::new(k, &spec);
+            assert_eq!(inv.isolated_us, isolated_runtime_us(k, &spec));
+            for tpcs in [0.5, 1.0, 3.7, 13.0] {
+                for bw_share in [1.0, 0.4, 1e-3] {
+                    for intra in [1.0, 1.6] {
+                        let ctx = ResourceCtx {
+                            tpcs,
+                            bw_share,
+                            intra_sm_factor: intra,
+                        };
+                        let direct = runtime_us(k, &spec, ctx);
+                        let fast = inv.runtime_us(ctx);
+                        assert!(
+                            (fast - direct).abs() / direct < 1e-12,
+                            "{}: {fast} vs {direct} at {ctx:?}",
+                            k.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn few_tpcs_limit_memory_parallelism() {
         let spec = GpuModel::RtxA2000.spec();
         let k = KernelDesc {
             kind: KernelKind::Elementwise,
             ..gemm(1e6, 5e7, 512)
         };
-        let one = runtime_us(&k, &spec, ResourceCtx { tpcs: 1.0, bw_share: 1.0, intra_sm_factor: 1.0 });
-        let all = runtime_us(&k, &spec, ResourceCtx { tpcs: 13.0, bw_share: 1.0, intra_sm_factor: 1.0 });
-        assert!(one > all * 2.0, "a single TPC cannot sustain full bandwidth");
+        let one = runtime_us(
+            &k,
+            &spec,
+            ResourceCtx {
+                tpcs: 1.0,
+                bw_share: 1.0,
+                intra_sm_factor: 1.0,
+            },
+        );
+        let all = runtime_us(
+            &k,
+            &spec,
+            ResourceCtx {
+                tpcs: 13.0,
+                bw_share: 1.0,
+                intra_sm_factor: 1.0,
+            },
+        );
+        assert!(
+            one > all * 2.0,
+            "a single TPC cannot sustain full bandwidth"
+        );
     }
 }

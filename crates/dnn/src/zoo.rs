@@ -22,10 +22,9 @@
 use crate::build::ModelBuilder;
 use crate::kernel::KernelDesc;
 use coloring::{TaskClass, TensorDesc, TensorRole};
-use serde::{Deserialize, Serialize};
 
 /// Paper model identifiers (Tab. 3 letters).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ModelId {
     MobileNetV3,
     SqueezeNet,
@@ -112,7 +111,7 @@ impl ModelId {
 }
 
 /// A fully-specified model: kernels in execution order plus tensor list.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Model {
     pub id: ModelId,
     pub batch: u32,
@@ -178,6 +177,7 @@ pub fn full_zoo() -> Vec<Model> {
 // Architectures (dimensions follow the published configurations)
 // ---------------------------------------------------------------------------
 
+#[allow(clippy::too_many_arguments)]
 fn inverted_residual(
     b: &mut ModelBuilder,
     tag: &str,
@@ -325,7 +325,10 @@ fn resnet34(b: &mut ModelBuilder) {
     b.conv("stem", 3.0, 64.0, 7.0, 2.0, 224.0);
     let mut hw = 56.0;
     let mut cin = 64.0;
-    for (si, (c, reps)) in [(64.0, 3), (128.0, 4), (256.0, 6), (512.0, 3)].iter().enumerate() {
+    for (si, (c, reps)) in [(64.0, 3), (128.0, 4), (256.0, 6), (512.0, 3)]
+        .iter()
+        .enumerate()
+    {
         for r in 0..*reps {
             let stride = if r == 0 && si > 0 { 2.0 } else { 1.0 };
             hw = basic_block(b, &format!("s{si}.b{r}"), cin, *c, stride, hw);
@@ -354,7 +357,10 @@ fn resnet152(b: &mut ModelBuilder) {
     b.conv("stem", 3.0, 64.0, 7.0, 2.0, 224.0);
     let mut hw = 56.0;
     let mut cin = 64.0;
-    for (si, (mid, reps)) in [(64.0, 3), (128.0, 8), (256.0, 36), (512.0, 3)].iter().enumerate() {
+    for (si, (mid, reps)) in [(64.0, 3), (128.0, 8), (256.0, 36), (512.0, 3)]
+        .iter()
+        .enumerate()
+    {
         for r in 0..*reps {
             let stride = if r == 0 && si > 0 { 2.0 } else { 1.0 };
             hw = bottleneck(b, &format!("s{si}.b{r}"), cin, *mid, stride, hw);
@@ -375,7 +381,14 @@ fn densenet161(b: &mut ModelBuilder) {
         for r in 0..*reps {
             // Dense layer: BN + 1×1 (4k) + 3×3 (k); concat grows channels.
             b.pw(&format!("d{bi}.{r}.pw"), c, 4.0 * growth, hw);
-            b.conv(&format!("d{bi}.{r}.conv"), 4.0 * growth, growth, 3.0, 1.0, hw);
+            b.conv(
+                &format!("d{bi}.{r}.conv"),
+                4.0 * growth,
+                growth,
+                3.0,
+                1.0,
+                hw,
+            );
             c += growth;
         }
         if bi < 3 {
@@ -389,7 +402,15 @@ fn densenet161(b: &mut ModelBuilder) {
     b.gemm("classifier", 1.0, 1000.0, c);
 }
 
-fn transformer_stack(b: &mut ModelBuilder, tag: &str, layers: usize, seq: f64, dim: f64, heads: f64, ffn: f64) {
+fn transformer_stack(
+    b: &mut ModelBuilder,
+    tag: &str,
+    layers: usize,
+    seq: f64,
+    dim: f64,
+    heads: f64,
+    ffn: f64,
+) {
     for l in 0..layers {
         let skip = b.checkpoint();
         b.attention(&format!("{tag}.l{l}.attn"), seq, dim, heads);
@@ -456,7 +477,10 @@ fn efficientformer(b: &mut ModelBuilder) {
     let mut hw = 56.0;
     // Conv-style token mixer stages (pool + MLP blocks).
     let mut c = 48.0;
-    for (si, (cout, reps)) in [(48.0, 3), (96.0, 2), (224.0, 6), (448.0, 4)].iter().enumerate() {
+    for (si, (cout, reps)) in [(48.0, 3), (96.0, 2), (224.0, 6), (448.0, 4)]
+        .iter()
+        .enumerate()
+    {
         if si > 0 {
             b.conv(&format!("down{si}"), c, *cout, 3.0, 2.0, hw);
             hw /= 2.0;
@@ -535,11 +559,7 @@ mod tests {
     fn kernel_counts_are_realistic() {
         for m in full_zoo() {
             let n = m.kernels.len();
-            assert!(
-                (20..400).contains(&n),
-                "{}: {n} kernels",
-                m.id.name()
-            );
+            assert!((20..400).contains(&n), "{}: {n} kernels", m.id.name());
         }
         // DenseNet161 has the most kernels of the CNNs (dense layers).
         let dense = build(ModelId::DenseNet161).kernels.len();
@@ -561,8 +581,14 @@ mod tests {
         let resnet152 = e2e(ModelId::ResNet152);
         let bert = e2e(ModelId::Bert);
         assert!(mobilenet < resnet152, "{mobilenet} vs {resnet152}");
-        assert!(mobilenet > 200.0 && mobilenet < 5_000.0, "MobileNetV3 {mobilenet}µs");
-        assert!(resnet152 > 5_000.0 && resnet152 < 200_000.0, "ResNet152 {resnet152}µs");
+        assert!(
+            mobilenet > 200.0 && mobilenet < 5_000.0,
+            "MobileNetV3 {mobilenet}µs"
+        );
+        assert!(
+            resnet152 > 5_000.0 && resnet152 < 200_000.0,
+            "ResNet152 {resnet152}µs"
+        );
         assert!(bert > 2_000.0, "Bert {bert}µs");
     }
 
@@ -572,7 +598,11 @@ mod tests {
         // the distinction).
         let spec = GpuModel::RtxA2000.spec();
         for m in full_zoo() {
-            let mb = m.kernels.iter().filter(|k| k.is_memory_bound(&spec)).count();
+            let mb = m
+                .kernels
+                .iter()
+                .filter(|k| k.is_memory_bound(&spec))
+                .count();
             assert!(mb > 0, "{} has no memory-bound kernels", m.id.name());
             assert!(
                 mb < m.kernels.len(),

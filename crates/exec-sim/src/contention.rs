@@ -14,42 +14,122 @@
 //!   §9.3).
 //!
 //! The engine integrates kernel progress with piecewise-constant rates:
-//! whenever the running set changes, [`compute_rates`] re-evaluates every
-//! kernel's instantaneous duration and thus its rate.
+//! whenever the running set changes, every kernel's instantaneous duration
+//! is re-evaluated.
+//!
+//! ## Hot-path design
+//!
+//! Rate evaluation runs on every launch/finish/remask event, so the
+//! implementation is allocation-free and re-derives nothing:
+//!
+//! * each [`RunningCtx`] carries an `Arc`'d descriptor plus a
+//!   [`KernelPerfInvariants`] block precomputed at construction — the
+//!   model never touches `perf::` derivations or clones a descriptor;
+//! * aggregates (per-channel demand, per-TPC occupancy) live in
+//!   fixed-size arrays inside a caller-owned [`RateState`], and mask
+//!   walks iterate set bits only (`trailing_zeros`), never all slots;
+//! * when a single kernel is re-masked, [`RateState::update_one`]
+//!   adjusts the aggregates and pairwise sums incrementally instead of
+//!   recomputing the O(n²) interference terms from scratch.
+//!
+//! The original straight-line evaluation survives in [`reference`]: it is
+//! the oracle for equivalence tests/assertions and the "before" arm of
+//! the `BENCH_exec_sim` harness.
 
 use crate::types::{ChannelSet, TpcMask};
 use dnn::kernel::KernelDesc;
-use dnn::perf::{self, ResourceCtx};
+use dnn::perf::{KernelPerfInvariants, ResourceCtx};
 use gpu_spec::GpuSpec;
+use std::sync::Arc;
+
+/// Upper bound on `GpuSpec::num_tpcs` ([`TpcMask`] is a `u32`).
+pub const MAX_TPCS: usize = 32;
+/// Upper bound on `GpuSpec::num_channels` ([`ChannelSet`] is a `u16`).
+pub const MAX_CHANNELS: usize = 16;
 
 /// A kernel as the contention model sees it.
 #[derive(Debug, Clone)]
 pub struct RunningCtx {
-    pub kernel: KernelDesc,
+    pub kernel: Arc<KernelDesc>,
     pub mask: TpcMask,
     pub channels: ChannelSet,
     /// MPS active-thread fraction (1.0 = full SMs).
     pub thread_fraction: f64,
+    /// Per-kernel invariants precomputed at construction.
+    pub perf: KernelPerfInvariants,
 }
 
 impl RunningCtx {
+    /// Builds a running-kernel context, precomputing the per-kernel
+    /// invariant block once. Accepts an owned descriptor or an existing
+    /// `Arc` (no deep copy in the latter case).
+    pub fn new(
+        spec: &GpuSpec,
+        kernel: impl Into<Arc<KernelDesc>>,
+        mask: TpcMask,
+        channels: ChannelSet,
+        thread_fraction: f64,
+    ) -> Self {
+        let kernel = kernel.into();
+        let perf = KernelPerfInvariants::new(&kernel, spec);
+        Self {
+            kernel,
+            mask,
+            channels,
+            thread_fraction,
+            perf,
+        }
+    }
+
+    /// Builds the context from an already-prepared kernel: no descriptor
+    /// copy, no invariant derivation — the per-launch cost is two `Arc`
+    /// bumps. This is the serving loop's steady-state path.
+    pub fn from_prepared(
+        prepared: &PreparedKernel,
+        mask: TpcMask,
+        channels: ChannelSet,
+        thread_fraction: f64,
+    ) -> Self {
+        Self {
+            kernel: Arc::clone(&prepared.desc),
+            mask,
+            channels,
+            thread_fraction,
+            perf: prepared.perf,
+        }
+    }
+
     /// DRAM bandwidth demand at full resources, GB/s.
-    fn bw_demand_gbps(&self, spec: &GpuSpec) -> f64 {
-        let body = perf::memory_time_us(&self.kernel, spec)
-            .max(perf::compute_time_us(&self.kernel, spec))
-            .max(1e-9);
-        self.kernel.bytes / (body * 1e-6) / 1e9
+    pub fn bw_demand_gbps(&self) -> f64 {
+        self.perf.bw_demand_gbps
     }
 
     /// How aggressively this kernel thrashes shared L2/MSHR resources
     /// (0..1): its bandwidth demand relative to the whole GPU.
-    fn thrash_intensity(&self, spec: &GpuSpec) -> f64 {
-        (self.bw_demand_gbps(spec) / spec.mem_bandwidth_gbps).min(1.0)
+    pub fn thrash_intensity(&self) -> f64 {
+        self.perf.thrash_intensity
+    }
+}
+
+/// A kernel descriptor bundled with its precomputed performance
+/// invariants for one GPU — ready to launch over and over with zero
+/// per-launch derivation. Deployments prepare every model kernel once.
+#[derive(Debug, Clone)]
+pub struct PreparedKernel {
+    pub desc: Arc<KernelDesc>,
+    pub perf: KernelPerfInvariants,
+}
+
+impl PreparedKernel {
+    pub fn new(spec: &GpuSpec, kernel: impl Into<Arc<KernelDesc>>) -> Self {
+        let desc = kernel.into();
+        let perf = KernelPerfInvariants::new(&desc, spec);
+        Self { desc, perf }
     }
 }
 
 /// Per-kernel instantaneous execution state.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KernelRate {
     /// Wall-clock duration the kernel would need under current conditions
     /// (µs, including launch overhead).
@@ -60,111 +140,382 @@ pub struct KernelRate {
     pub relative_speed: f64,
 }
 
-/// Computes each running kernel's instantaneous duration and speed.
-pub fn compute_rates(spec: &GpuSpec, running: &[RunningCtx]) -> Vec<KernelRate> {
+/// Caller-owned rate-computation state: fixed-size resource aggregates
+/// plus per-kernel pairwise interference sums. Reusing one `RateState`
+/// across events makes rate evaluation allocation-free (the `Vec`s reach
+/// steady-state capacity after the first few events) and enables the
+/// incremental [`update_one`](RateState::update_one) path.
+#[derive(Debug, Clone, Default)]
+pub struct RateState {
+    /// Aggregate bandwidth demand per VRAM channel, GB/s.
+    channel_demand: [f64; MAX_CHANNELS],
+    /// Sum of resident thread fractions per TPC.
+    tpc_occupancy: [f64; MAX_TPCS],
+    /// Σ of intra-SM interference terms against each kernel
+    /// (`intra_sm_factor = 1 + intra_sum`).
+    intra_sum: Vec<f64>,
+    /// Σ of L2/MSHR/bank conflict terms against each kernel
+    /// (`l2_penalty = 1 + l2_sum`).
+    l2_sum: Vec<f64>,
+}
+
+/// Intra-SM interference inflicted *on* `victim` *by* `other` (Fig. 3a).
+#[inline]
+fn intra_term(spec: &GpuSpec, victim: &RunningCtx, other: &RunningCtx) -> f64 {
+    if !victim.mask.overlaps(other.mask) {
+        return 0.0;
+    }
     let cp = &spec.contention;
-    let mut out = Vec::with_capacity(running.len());
+    let overlap_frac =
+        victim.mask.intersect(other.mask).count() as f64 / victim.mask.count().max(1) as f64;
+    // L1-heavy co-runners interfere more than compute co-runners.
+    let l1ness = other.perf.memory_instr_share;
+    let per_kernel = cp.intra_sm_compute + (cp.intra_sm_l1 - cp.intra_sm_compute) * l1ness;
+    per_kernel * overlap_frac * other.thread_fraction
+}
 
-    // Per-channel aggregate bandwidth demand (GB/s).
-    let mut channel_demand = vec![0.0f64; spec.num_channels as usize];
-    for r in running {
-        let per_channel = r.bw_demand_gbps(spec) / r.channels.count().max(1) as f64;
-        for c in 0..spec.num_channels {
-            if r.channels.0 & (1 << c) != 0 {
-                channel_demand[c as usize] += per_channel;
-            }
-        }
+/// L2/MSHR/bank conflict penalty inflicted *on* `victim` *by* `other`
+/// through overlapping channel sets (Fig. 3b).
+#[inline]
+fn l2_term(spec: &GpuSpec, victim: &RunningCtx, other: &RunningCtx) -> f64 {
+    let shared = victim.channels.overlap(other.channels) as f64;
+    if shared == 0.0 {
+        return 0.0;
     }
-    let channel_cap = spec.channel_bandwidth_gbps();
+    let cp = &spec.contention;
+    let frac = shared / victim.channels.count().max(1) as f64;
+    (cp.l2_overlap_penalty + cp.bank_serialization) * frac * other.perf.thrash_intensity
+}
 
-    // Per-TPC occupancy: the sum of thread fractions resident on each TPC.
-    // Overlapping kernels split a TPC's compute throughput fairly; a lone
-    // MPS client is still capped by its thread fraction.
-    let mut tpc_occupancy = vec![0.0f64; spec.num_tpcs as usize];
-    for r in running {
-        for t in 0..spec.num_tpcs {
-            if r.mask.0 & (1 << t) != 0 {
-                tpc_occupancy[t as usize] += r.thread_fraction;
-            }
+impl RateState {
+    /// Full recomputation of aggregates, pairwise sums and rates.
+    /// Appends one [`KernelRate`] per running kernel to `out` (cleared
+    /// first); no allocation once `out` and the sums reach capacity.
+    pub fn recompute_full(
+        &mut self,
+        spec: &GpuSpec,
+        running: &[RunningCtx],
+        out: &mut Vec<KernelRate>,
+    ) {
+        self.channel_demand = [0.0; MAX_CHANNELS];
+        self.tpc_occupancy = [0.0; MAX_TPCS];
+        for r in running {
+            self.add_aggregates(r);
         }
+        self.intra_sum.clear();
+        self.intra_sum.resize(running.len(), 0.0);
+        self.l2_sum.clear();
+        self.l2_sum.resize(running.len(), 0.0);
+        for (i, r) in running.iter().enumerate() {
+            let mut intra = 0.0;
+            let mut l2 = 0.0;
+            for (j, o) in running.iter().enumerate() {
+                if i != j {
+                    intra += intra_term(spec, r, o);
+                    l2 += l2_term(spec, r, o);
+                }
+            }
+            self.intra_sum[i] = intra;
+            self.l2_sum[i] = l2;
+        }
+        self.emit_rates(spec, running, out);
     }
 
-    for (i, r) in running.iter().enumerate() {
-        // ---- intra-SM interference (Fig. 3a) --------------------------
-        let mut intra = 1.0;
+    /// Incremental update after kernel `i` changed its TPC mask and/or
+    /// channel set in place (everything else — the running set, every
+    /// descriptor, every thread fraction — unchanged). Adjusts the
+    /// aggregates and the pairwise sums by delta instead of re-walking
+    /// all O(n²) kernel pairs, then re-emits the rates.
+    ///
+    /// `running[i]` must already hold the *new* mask/channels;
+    /// `old_mask`/`old_channels` are the values being replaced.
+    pub fn update_one(
+        &mut self,
+        spec: &GpuSpec,
+        running: &[RunningCtx],
+        i: usize,
+        old_mask: TpcMask,
+        old_channels: ChannelSet,
+        out: &mut Vec<KernelRate>,
+    ) {
+        debug_assert_eq!(
+            self.intra_sum.len(),
+            running.len(),
+            "state tracks this running set"
+        );
+        let changed = &running[i];
+        // Resource aggregates: retract the old contribution, add the new.
+        let old = RunningCtx {
+            mask: old_mask,
+            channels: old_channels,
+            ..changed.clone()
+        };
+        self.remove_aggregates(&old);
+        self.add_aggregates(changed);
+        // Pairwise sums: only terms involving kernel `i` change.
+        let mut intra_i = 0.0;
+        let mut l2_i = 0.0;
         for (j, o) in running.iter().enumerate() {
-            if i == j || !r.mask.overlaps(o.mask) {
+            if j == i {
                 continue;
             }
-            let overlap_frac =
-                r.mask.intersect(o.mask).count() as f64 / r.mask.count().max(1) as f64;
-            // L1-heavy co-runners interfere more than compute co-runners.
-            let l1ness = o.kernel.memory_instr_share();
-            let per_kernel = cp.intra_sm_compute + (cp.intra_sm_l1 - cp.intra_sm_compute) * l1ness;
-            intra += per_kernel * overlap_frac * o.thread_fraction;
+            self.intra_sum[j] += intra_term(spec, o, changed) - intra_term(spec, o, &old);
+            self.l2_sum[j] += l2_term(spec, o, changed) - l2_term(spec, o, &old);
+            intra_i += intra_term(spec, changed, o);
+            l2_i += l2_term(spec, changed, o);
         }
+        self.intra_sum[i] = intra_i;
+        self.l2_sum[i] = l2_i;
+        self.emit_rates(spec, running, out);
+    }
 
-        // ---- VRAM bandwidth share + inter-SM conflicts (Fig. 3b) ------
-        let demand = r.bw_demand_gbps(spec);
-        let per_channel_demand = demand / r.channels.count().max(1) as f64;
-        let mut granted = 0.0;
-        for c in 0..spec.num_channels as usize {
-            if r.channels.0 & (1 << c) == 0 {
-                continue;
+    #[inline]
+    fn add_aggregates(&mut self, r: &RunningCtx) {
+        let per_channel = r.perf.bw_demand_gbps / r.channels.count().max(1) as f64;
+        for c in r.channels.iter_ones() {
+            self.channel_demand[c as usize] += per_channel;
+        }
+        for t in r.mask.iter_ones() {
+            self.tpc_occupancy[t as usize] += r.thread_fraction;
+        }
+    }
+
+    #[inline]
+    fn remove_aggregates(&mut self, r: &RunningCtx) {
+        let per_channel = r.perf.bw_demand_gbps / r.channels.count().max(1) as f64;
+        for c in r.channels.iter_ones() {
+            self.channel_demand[c as usize] -= per_channel;
+        }
+        for t in r.mask.iter_ones() {
+            self.tpc_occupancy[t as usize] -= r.thread_fraction;
+        }
+    }
+
+    /// Evaluates every kernel's rate from the current aggregates/sums.
+    fn emit_rates(&self, spec: &GpuSpec, running: &[RunningCtx], out: &mut Vec<KernelRate>) {
+        out.clear();
+        let channel_cap = spec.channel_bandwidth_gbps();
+        for (i, r) in running.iter().enumerate() {
+            // ---- VRAM bandwidth share (Fig. 3b) -----------------------
+            let demand = r.perf.bw_demand_gbps;
+            let per_channel_demand = demand / r.channels.count().max(1) as f64;
+            let mut granted = 0.0;
+            for c in r.channels.iter_ones() {
+                let d = self.channel_demand[c as usize];
+                granted += if d <= channel_cap {
+                    per_channel_demand
+                } else {
+                    per_channel_demand * channel_cap / d
+                };
             }
-            let d = channel_demand[c];
-            granted += if d <= channel_cap {
-                per_channel_demand
+            // Fraction of the kernel's demand it actually receives. A
+            // restricted channel set is captured naturally: the demand
+            // concentrates on fewer channels, whose caps bind sooner.
+            let bw_share = if demand > 0.0 {
+                (granted / demand).clamp(1e-6, 1.0)
             } else {
-                per_channel_demand * channel_cap / d
+                1.0
             };
-        }
-        // Fraction of the kernel's demand it actually receives. A
-        // restricted channel set is captured naturally: the demand
-        // concentrates on fewer channels, whose caps bind sooner.
-        let bw_share = if demand > 0.0 {
-            (granted / demand).clamp(1e-6, 1.0)
-        } else {
-            1.0
-        };
+            let l2_penalty = 1.0 + self.l2_sum[i];
+            let intra = 1.0 + self.intra_sum[i];
 
-        // L2/MSHR/bank conflict penalty from overlapping channel sets.
-        let mut l2_penalty = 1.0;
-        for (j, o) in running.iter().enumerate() {
-            if i == j {
-                continue;
+            // ---- roofline under current conditions --------------------
+            // Effective TPCs: fair share of every TPC in the mask.
+            let mut eff_tpcs = 0.0;
+            for t in r.mask.iter_ones() {
+                eff_tpcs += r.thread_fraction / self.tpc_occupancy[t as usize].max(1.0);
             }
-            let shared = r.channels.overlap(o.channels) as f64;
-            if shared == 0.0 {
-                continue;
-            }
-            let frac = shared / r.channels.count().max(1) as f64;
-            l2_penalty +=
-                (cp.l2_overlap_penalty + cp.bank_serialization) * frac * o.thrash_intensity(spec);
+            let eff_bw_share = bw_share / l2_penalty;
+            let ctx = ResourceCtx {
+                tpcs: eff_tpcs.max(0.05),
+                bw_share: eff_bw_share.clamp(1e-6, 1.0),
+                intra_sm_factor: intra,
+            };
+            let duration = r.perf.runtime_us(ctx);
+            out.push(KernelRate {
+                duration_us: duration,
+                relative_speed: r.perf.isolated_us / duration.max(1e-9),
+            });
         }
-
-        // ---- roofline under current conditions ------------------------
-        // Effective TPCs: fair share of every TPC in the mask.
-        let mut eff_tpcs = 0.0;
-        for t in 0..spec.num_tpcs as usize {
-            if r.mask.0 & (1 << t) != 0 {
-                eff_tpcs += r.thread_fraction / tpc_occupancy[t].max(1.0);
-            }
-        }
-        let eff_bw_share = bw_share / l2_penalty;
-        let ctx = ResourceCtx {
-            tpcs: eff_tpcs.max(0.05),
-            bw_share: eff_bw_share.clamp(1e-6, 1.0),
-            intra_sm_factor: intra,
-        };
-        let duration = perf::runtime_us(&r.kernel, spec, ctx);
-        let exclusive = perf::isolated_runtime_us(&r.kernel, spec);
-        out.push(KernelRate {
-            duration_us: duration,
-            relative_speed: exclusive / duration.max(1e-9),
-        });
     }
+}
+
+/// Computes each running kernel's instantaneous duration and speed.
+///
+/// Convenience wrapper that allocates a fresh [`RateState`] and output
+/// vector; event loops should own both and call
+/// [`RateState::recompute_full`] / [`RateState::update_one`] directly.
+pub fn compute_rates(spec: &GpuSpec, running: &[RunningCtx]) -> Vec<KernelRate> {
+    let mut state = RateState::default();
+    let mut out = Vec::with_capacity(running.len());
+    state.recompute_full(spec, running, &mut out);
     out
+}
+
+pub mod reference {
+    //! The pre-optimization contention model, preserved verbatim.
+    //!
+    //! This is the seed implementation: per-call `Vec` aggregates,
+    //! per-bit loops over every TPC/channel slot, and full `perf::`
+    //! re-derivation from the (deep-cloned) kernel descriptor. It serves
+    //! two purposes: the *oracle* that the optimized [`RateState`] paths
+    //! are asserted against (debug assertions + property tests), and the
+    //! honest "before" arm of the `BENCH_exec_sim` speedup measurement.
+
+    use super::KernelRate;
+    use crate::types::{ChannelSet, TpcMask};
+    use dnn::kernel::KernelDesc;
+    use dnn::perf::{self, ResourceCtx};
+    use gpu_spec::GpuSpec;
+
+    /// A running kernel with an owned (deep-cloned) descriptor, exactly
+    /// as the seed engine carried it.
+    #[derive(Debug, Clone)]
+    pub struct Ctx {
+        pub kernel: KernelDesc,
+        pub mask: TpcMask,
+        pub channels: ChannelSet,
+        pub thread_fraction: f64,
+    }
+
+    impl Ctx {
+        /// Deep-copies the shared context into the seed representation.
+        pub fn from_running(r: &super::RunningCtx) -> Self {
+            Self {
+                kernel: (*r.kernel).clone(),
+                mask: r.mask,
+                channels: r.channels,
+                thread_fraction: r.thread_fraction,
+            }
+        }
+
+        fn bw_demand_gbps(&self, spec: &GpuSpec) -> f64 {
+            let body = perf::memory_time_us(&self.kernel, spec)
+                .max(perf::compute_time_us(&self.kernel, spec))
+                .max(1e-9);
+            self.kernel.bytes / (body * 1e-6) / 1e9
+        }
+
+        fn thrash_intensity(&self, spec: &GpuSpec) -> f64 {
+            (self.bw_demand_gbps(spec) / spec.mem_bandwidth_gbps).min(1.0)
+        }
+    }
+
+    /// The seed `compute_rates`, operation for operation.
+    #[allow(clippy::needless_range_loop)] // seed-verbatim on purpose
+    pub fn compute_rates(spec: &GpuSpec, running: &[Ctx]) -> Vec<KernelRate> {
+        let cp = &spec.contention;
+        let mut out = Vec::with_capacity(running.len());
+
+        let mut channel_demand = vec![0.0f64; spec.num_channels as usize];
+        for r in running {
+            let per_channel = r.bw_demand_gbps(spec) / r.channels.count().max(1) as f64;
+            for c in 0..spec.num_channels {
+                if r.channels.0 & (1 << c) != 0 {
+                    channel_demand[c as usize] += per_channel;
+                }
+            }
+        }
+        let channel_cap = spec.channel_bandwidth_gbps();
+
+        let mut tpc_occupancy = vec![0.0f64; spec.num_tpcs as usize];
+        for r in running {
+            for t in 0..spec.num_tpcs {
+                if r.mask.0 & (1 << t) != 0 {
+                    tpc_occupancy[t as usize] += r.thread_fraction;
+                }
+            }
+        }
+
+        for (i, r) in running.iter().enumerate() {
+            let mut intra = 1.0;
+            for (j, o) in running.iter().enumerate() {
+                if i == j || !r.mask.overlaps(o.mask) {
+                    continue;
+                }
+                let overlap_frac =
+                    r.mask.intersect(o.mask).count() as f64 / r.mask.count().max(1) as f64;
+                let l1ness = o.kernel.memory_instr_share();
+                let per_kernel =
+                    cp.intra_sm_compute + (cp.intra_sm_l1 - cp.intra_sm_compute) * l1ness;
+                intra += per_kernel * overlap_frac * o.thread_fraction;
+            }
+
+            let demand = r.bw_demand_gbps(spec);
+            let per_channel_demand = demand / r.channels.count().max(1) as f64;
+            let mut granted = 0.0;
+            for c in 0..spec.num_channels as usize {
+                if r.channels.0 & (1 << c) == 0 {
+                    continue;
+                }
+                let d = channel_demand[c];
+                granted += if d <= channel_cap {
+                    per_channel_demand
+                } else {
+                    per_channel_demand * channel_cap / d
+                };
+            }
+            let bw_share = if demand > 0.0 {
+                (granted / demand).clamp(1e-6, 1.0)
+            } else {
+                1.0
+            };
+
+            let mut l2_penalty = 1.0;
+            for (j, o) in running.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let shared = r.channels.overlap(o.channels) as f64;
+                if shared == 0.0 {
+                    continue;
+                }
+                let frac = shared / r.channels.count().max(1) as f64;
+                l2_penalty += (cp.l2_overlap_penalty + cp.bank_serialization)
+                    * frac
+                    * o.thrash_intensity(spec);
+            }
+
+            let mut eff_tpcs = 0.0;
+            for t in 0..spec.num_tpcs as usize {
+                if r.mask.0 & (1 << t) != 0 {
+                    eff_tpcs += r.thread_fraction / tpc_occupancy[t].max(1.0);
+                }
+            }
+            let eff_bw_share = bw_share / l2_penalty;
+            let ctx = ResourceCtx {
+                tpcs: eff_tpcs.max(0.05),
+                bw_share: eff_bw_share.clamp(1e-6, 1.0),
+                intra_sm_factor: intra,
+            };
+            let duration = perf::runtime_us(&r.kernel, spec, ctx);
+            let exclusive = perf::isolated_runtime_us(&r.kernel, spec);
+            out.push(KernelRate {
+                duration_us: duration,
+                relative_speed: exclusive / duration.max(1e-9),
+            });
+        }
+        out
+    }
+}
+
+/// Maximum relative divergence tolerated between the optimized rate
+/// paths and the [`reference`] oracle (float-associativity headroom).
+pub const RATE_EQUIVALENCE_TOL: f64 = 1e-9;
+
+/// Relative divergence between two rate vectors (∞ on length mismatch).
+pub fn max_relative_divergence(a: &[KernelRate], b: &[KernelRate]) -> f64 {
+    if a.len() != b.len() {
+        return f64::INFINITY;
+    }
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = (x.duration_us - y.duration_us).abs() / x.duration_us.abs().max(1e-12);
+            let s = (x.relative_speed - y.relative_speed).abs() / x.relative_speed.abs().max(1e-12);
+            d.max(s)
+        })
+        .fold(0.0, f64::max)
 }
 
 #[cfg(test)]
@@ -188,35 +539,39 @@ mod tests {
         }
     }
 
+    fn ctx(spec: &GpuSpec, k: KernelDesc, mask: TpcMask, channels: ChannelSet) -> RunningCtx {
+        RunningCtx::new(spec, k, mask, channels, 1.0)
+    }
+
     fn victim(spec: &GpuSpec) -> RunningCtx {
-        RunningCtx {
-            kernel: kernel(KernelKind::Gemm, 2e9, 1e7),
-            mask: TpcMask::first(spec.num_tpcs / 2),
-            channels: ChannelSet::all(spec),
-            thread_fraction: 1.0,
-        }
+        ctx(
+            spec,
+            kernel(KernelKind::Gemm, 2e9, 1e7),
+            TpcMask::first(spec.num_tpcs / 2),
+            ChannelSet::all(spec),
+        )
     }
 
     fn thrasher(spec: &GpuSpec, mask: TpcMask, channels: ChannelSet) -> RunningCtx {
-        RunningCtx {
-            kernel: kernel(KernelKind::Elementwise, 1e7, 3e8),
+        ctx(
+            spec,
+            kernel(KernelKind::Elementwise, 1e7, 3e8),
             mask,
             channels,
-            thread_fraction: 1.0,
-        }
+        )
     }
 
     #[test]
     fn alone_matches_isolated_runtime() {
         let spec = GpuModel::RtxA2000.spec();
-        let v = RunningCtx {
-            kernel: kernel(KernelKind::Gemm, 2e9, 1e7),
-            mask: TpcMask::all(&spec),
-            channels: ChannelSet::all(&spec),
-            thread_fraction: 1.0,
-        };
-        let rates = compute_rates(&spec, &[v.clone()]);
-        let isolated = perf::isolated_runtime_us(&v.kernel, &spec);
+        let v = ctx(
+            &spec,
+            kernel(KernelKind::Gemm, 2e9, 1e7),
+            TpcMask::all(&spec),
+            ChannelSet::all(&spec),
+        );
+        let rates = compute_rates(&spec, std::slice::from_ref(&v));
+        let isolated = dnn::perf::isolated_runtime_us(&v.kernel, &spec);
         assert!((rates[0].duration_us - isolated).abs() / isolated < 1e-6);
         assert!((rates[0].relative_speed - 1.0).abs() < 1e-6);
     }
@@ -227,20 +582,25 @@ mod tests {
         // shared SMs, and L1 thrashers hurt more than compute kernels.
         let spec = GpuModel::RtxA2000.spec();
         let mask = TpcMask::first(spec.num_tpcs);
-        let v = RunningCtx { mask, ..victim(&spec) };
-        let comp = RunningCtx {
-            kernel: kernel(KernelKind::Gemm, 2e9, 1e6),
+        let v = ctx(
+            &spec,
+            kernel(KernelKind::Gemm, 2e9, 1e7),
             mask,
-            channels: ChannelSet::all(&spec),
-            thread_fraction: 1.0,
-        };
-        let l1 = RunningCtx {
-            kernel: kernel(KernelKind::Elementwise, 1e8, 2e7),
+            ChannelSet::all(&spec),
+        );
+        let comp = ctx(
+            &spec,
+            kernel(KernelKind::Gemm, 2e9, 1e6),
             mask,
-            channels: ChannelSet::all(&spec),
-            thread_fraction: 1.0,
-        };
-        let alone = compute_rates(&spec, &[v.clone()])[0].duration_us;
+            ChannelSet::all(&spec),
+        );
+        let l1 = ctx(
+            &spec,
+            kernel(KernelKind::Elementwise, 1e8, 2e7),
+            mask,
+            ChannelSet::all(&spec),
+        );
+        let alone = compute_rates(&spec, std::slice::from_ref(&v))[0].duration_us;
         let with1 = compute_rates(&spec, &[v.clone(), comp.clone()])[0].duration_us;
         let with2 = compute_rates(&spec, &[v.clone(), comp.clone(), comp.clone()])[0].duration_us;
         let with_l1 = compute_rates(&spec, &[v.clone(), l1])[0].duration_us;
@@ -252,18 +612,19 @@ mod tests {
     #[test]
     fn disjoint_masks_remove_intra_sm_interference() {
         let spec = GpuModel::RtxA2000.spec();
-        let v = RunningCtx {
-            mask: TpcMask::first(6),
-            channels: ChannelSet::from_channels(&[2, 3, 4, 5]),
-            ..victim(&spec)
-        };
-        let other = RunningCtx {
-            kernel: kernel(KernelKind::Gemm, 2e9, 1e6),
-            mask: TpcMask::range(6, 7),
-            channels: ChannelSet::from_channels(&[0, 1]),
-            thread_fraction: 1.0,
-        };
-        let alone = compute_rates(&spec, &[v.clone()])[0].duration_us;
+        let v = ctx(
+            &spec,
+            kernel(KernelKind::Gemm, 2e9, 1e7),
+            TpcMask::first(6),
+            ChannelSet::from_channels(&[2, 3, 4, 5]),
+        );
+        let other = ctx(
+            &spec,
+            kernel(KernelKind::Gemm, 2e9, 1e6),
+            TpcMask::range(6, 7),
+            ChannelSet::from_channels(&[0, 1]),
+        );
+        let alone = compute_rates(&spec, std::slice::from_ref(&v))[0].duration_us;
         let together = compute_rates(&spec, &[v, other])[0].duration_us;
         assert!(
             (together - alone).abs() / alone < 0.02,
@@ -276,14 +637,14 @@ mod tests {
         // Fig. 3b: with disjoint SMs (MPS-style), a VRAM thrasher still
         // hurts a victim whose channels overlap.
         let spec = GpuModel::RtxA2000.spec();
-        let v = RunningCtx {
-            kernel: kernel(KernelKind::Elementwise, 1e7, 1e8),
-            mask: TpcMask::first(6),
-            channels: ChannelSet::all(&spec),
-            thread_fraction: 1.0,
-        };
+        let v = ctx(
+            &spec,
+            kernel(KernelKind::Elementwise, 1e7, 1e8),
+            TpcMask::first(6),
+            ChannelSet::all(&spec),
+        );
         let t = thrasher(&spec, TpcMask::range(6, 7), ChannelSet::all(&spec));
-        let alone = compute_rates(&spec, &[v.clone()])[0].duration_us;
+        let alone = compute_rates(&spec, std::slice::from_ref(&v))[0].duration_us;
         let together = compute_rates(&spec, &[v.clone(), t.clone()])[0].duration_us;
         assert!(together > alone * 1.3, "{together} vs {alone}");
 
@@ -292,7 +653,11 @@ mod tests {
             channels: ChannelSet::from_channels(&[2, 3, 4, 5]),
             ..v
         };
-        let t_iso = thrasher(&spec, TpcMask::range(6, 7), ChannelSet::from_channels(&[0, 1]));
+        let t_iso = thrasher(
+            &spec,
+            TpcMask::range(6, 7),
+            ChannelSet::from_channels(&[0, 1]),
+        );
         let isolated_together = compute_rates(&spec, &[v_iso.clone(), t_iso])[0].duration_us;
         let isolated_alone = compute_rates(&spec, &[v_iso])[0].duration_us;
         let interference = together / alone;
@@ -306,12 +671,12 @@ mod tests {
     #[test]
     fn restricted_channel_set_caps_bandwidth() {
         let spec = GpuModel::RtxA2000.spec();
-        let v = RunningCtx {
-            kernel: kernel(KernelKind::Elementwise, 1e7, 2e8),
-            mask: TpcMask::all(&spec),
-            channels: ChannelSet::from_channels(&[0, 1]),
-            thread_fraction: 1.0,
-        };
+        let v = ctx(
+            &spec,
+            kernel(KernelKind::Elementwise, 1e7, 2e8),
+            TpcMask::all(&spec),
+            ChannelSet::from_channels(&[0, 1]),
+        );
         let full = RunningCtx {
             channels: ChannelSet::all(&spec),
             ..v.clone()
@@ -330,9 +695,78 @@ mod tests {
         let spec = GpuModel::RtxA2000.spec();
         let mut v = victim(&spec);
         v.mask = TpcMask::all(&spec);
-        let full = compute_rates(&spec, &[v.clone()])[0].duration_us;
+        let full = compute_rates(&spec, std::slice::from_ref(&v))[0].duration_us;
         v.thread_fraction = 0.5;
         let half = compute_rates(&spec, &[v])[0].duration_us;
         assert!(half > full * 1.6, "{half} vs {full}");
+    }
+
+    #[test]
+    fn optimized_matches_reference_model() {
+        // The allocation-free fast path and the preserved seed
+        // implementation are the same model.
+        let spec = GpuModel::RtxA2000.spec();
+        let configs = [
+            vec![victim(&spec)],
+            vec![
+                victim(&spec),
+                thrasher(&spec, TpcMask::range(6, 7), ChannelSet::all(&spec)),
+            ],
+            vec![
+                ctx(
+                    &spec,
+                    kernel(KernelKind::Gemm, 2e9, 1e7),
+                    TpcMask::first(4),
+                    ChannelSet::from_channels(&[0, 1]),
+                ),
+                ctx(
+                    &spec,
+                    kernel(KernelKind::DwConv, 4e8, 6e7),
+                    TpcMask::range(2, 8),
+                    ChannelSet::all(&spec),
+                ),
+                thrasher(
+                    &spec,
+                    TpcMask::all(&spec),
+                    ChannelSet::from_channels(&[1, 2, 3]),
+                ),
+            ],
+        ];
+        for running in &configs {
+            let fast = compute_rates(&spec, running);
+            let seed: Vec<reference::Ctx> =
+                running.iter().map(reference::Ctx::from_running).collect();
+            let slow = reference::compute_rates(&spec, &seed);
+            let div = max_relative_divergence(&fast, &slow);
+            assert!(div < RATE_EQUIVALENCE_TOL, "divergence {div}");
+        }
+    }
+
+    #[test]
+    fn incremental_update_matches_full_recompute() {
+        let spec = GpuModel::RtxA2000.spec();
+        let mut running = vec![
+            victim(&spec),
+            thrasher(&spec, TpcMask::range(6, 7), ChannelSet::all(&spec)),
+            ctx(
+                &spec,
+                kernel(KernelKind::Attention, 1e9, 4e7),
+                TpcMask::first(3),
+                ChannelSet::from_channels(&[4, 5]),
+            ),
+        ];
+        let mut state = RateState::default();
+        let mut out = Vec::new();
+        state.recompute_full(&spec, &running, &mut out);
+        // Re-mask the thrasher onto fewer TPCs and the BE channels.
+        let old_mask = running[1].mask;
+        let old_channels = running[1].channels;
+        running[1].mask = TpcMask::range(8, 5);
+        running[1].channels = ChannelSet::from_channels(&[0, 1]);
+        let mut incremental = Vec::new();
+        state.update_one(&spec, &running, 1, old_mask, old_channels, &mut incremental);
+        let full = compute_rates(&spec, &running);
+        let div = max_relative_divergence(&incremental, &full);
+        assert!(div < RATE_EQUIVALENCE_TOL, "divergence {div}");
     }
 }

@@ -5,11 +5,33 @@
 //! to completion or preemption events. Progress is integrated with
 //! piecewise-constant rates — exact for the roofline contention model,
 //! independent of wall-clock.
+//!
+//! ## Hot-path design
+//!
+//! The engine processes millions of events per experiment sweep, so the
+//! per-event path allocates nothing and recomputes nothing it can keep:
+//!
+//! * running kernels are stored struct-of-arrays ([`RunningCtx`] contexts
+//!   parallel to integration bookkeeping), each context sharing its
+//!   descriptor via `Arc` with per-kernel invariants precomputed at
+//!   launch;
+//! * rates live in a persistent [`RateState`] — full recomputation only
+//!   on launch/finish, an incremental O(n) update on [`Engine::remask`]
+//!   (checked against the full recompute in debug builds);
+//! * [`Engine::next_event_at`] is memoized; integration keeps it valid
+//!   (absolute finish times are invariant under `advance_to`), so the
+//!   serving loop's repeated queries cost a `Cell` read.
+//!
+//! [`RateMode::Reference`] switches the engine back to the seed rate
+//! path (deep-cloned descriptors, allocating evaluation) — the "before"
+//! arm for `BENCH_exec_sim.json` and the oracle for equivalence tests.
 
-use crate::contention::{compute_rates, RunningCtx};
+use crate::contention::{reference, KernelRate, PreparedKernel, RateState, RunningCtx};
 use crate::types::{ChannelSet, EngineEvent, LaunchId, TpcMask};
 use dnn::kernel::KernelDesc;
 use gpu_spec::GpuSpec;
+use std::cell::Cell;
+use std::sync::Arc;
 
 /// Launch-time configuration of a kernel instance.
 #[derive(Debug, Clone)]
@@ -35,9 +57,22 @@ impl LaunchConfig {
     }
 }
 
-struct Running {
+/// Which contention-model implementation the engine evaluates rates with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RateMode {
+    /// Allocation-free incremental path (the default).
+    #[default]
+    Fast,
+    /// The preserved seed path: deep-clones every descriptor and
+    /// re-derives all invariants on every event. Exists for before/after
+    /// benchmarking and as the equivalence oracle.
+    Reference,
+}
+
+/// Per-kernel integration bookkeeping (parallel to the context array).
+#[derive(Debug, Clone, Copy)]
+struct RunningMeta {
     id: LaunchId,
-    ctx: RunningCtx,
     /// Remaining work in "exclusive-runtime µs".
     remaining: f64,
     /// Total work (for restart bookkeeping).
@@ -52,9 +87,19 @@ pub struct Engine {
     spec: GpuSpec,
     now: f64,
     next_id: u64,
-    running: Vec<Running>,
-    /// Rates valid for the current running set (parallel to `running`).
-    speeds: Vec<f64>,
+    /// Contention-model view of the running kernels.
+    ctxs: Vec<RunningCtx>,
+    /// Integration bookkeeping, parallel to `ctxs`.
+    meta: Vec<RunningMeta>,
+    /// Rates valid for the current running set (parallel to `ctxs`).
+    rates: Vec<KernelRate>,
+    /// Persistent aggregates backing the fast rate path.
+    state: RateState,
+    mode: RateMode,
+    /// Memoized next-event time (`None` = stale, recompute on demand).
+    next_event: Cell<Option<Option<f64>>>,
+    /// Completion/preemption events delivered so far.
+    events: u64,
 }
 
 impl Engine {
@@ -63,9 +108,20 @@ impl Engine {
             spec,
             now: 0.0,
             next_id: 1,
-            running: Vec::new(),
-            speeds: Vec::new(),
+            ctxs: Vec::new(),
+            meta: Vec::new(),
+            rates: Vec::new(),
+            state: RateState::default(),
+            mode: RateMode::Fast,
+            next_event: Cell::new(Some(None)),
+            events: 0,
         }
+    }
+
+    /// Selects the rate-evaluation implementation (see [`RateMode`]).
+    pub fn set_rate_mode(&mut self, mode: RateMode) {
+        self.mode = mode;
+        self.refresh_rates_full();
     }
 
     pub fn spec(&self) -> &GpuSpec {
@@ -79,47 +135,85 @@ impl Engine {
 
     /// Kernels currently resident on the GPU.
     pub fn running_count(&self) -> usize {
-        self.running.len()
+        self.ctxs.len()
+    }
+
+    /// Completion + preemption events delivered since construction.
+    pub fn events_processed(&self) -> u64 {
+        self.events
     }
 
     /// Union of all running kernels' TPC masks.
     pub fn busy_tpcs(&self) -> TpcMask {
-        self.running
-            .iter()
-            .fold(TpcMask(0), |m, r| m.union(r.ctx.mask))
+        self.ctxs.iter().fold(TpcMask(0), |m, r| m.union(r.mask))
     }
 
     /// IDs of the currently running kernels.
     pub fn running_ids(&self) -> Vec<LaunchId> {
-        self.running.iter().map(|r| r.id).collect()
+        self.meta.iter().map(|r| r.id).collect()
     }
 
-    fn refresh_rates(&mut self) {
-        let ctxs: Vec<RunningCtx> = self.running.iter().map(|r| r.ctx.clone()).collect();
-        let rates = compute_rates(&self.spec, &ctxs);
-        self.speeds = rates.iter().map(|r| r.relative_speed).collect();
+    /// Current per-kernel rates, parallel to [`Engine::running_ids`].
+    /// Exposed for equivalence tests and diagnostics.
+    pub fn current_rates(&self) -> &[KernelRate] {
+        &self.rates
+    }
+
+    fn index_of(&self, id: LaunchId) -> Option<usize> {
+        self.meta.iter().position(|r| r.id == id)
+    }
+
+    /// Full rate recomputation (running set changed).
+    fn refresh_rates_full(&mut self) {
+        match self.mode {
+            RateMode::Fast => {
+                self.state
+                    .recompute_full(&self.spec, &self.ctxs, &mut self.rates);
+            }
+            RateMode::Reference => self.refresh_rates_reference(),
+        }
+        self.invalidate_next_event();
+    }
+
+    /// The seed refresh: deep-clone every running kernel's descriptor and
+    /// evaluate the allocating reference model.
+    fn refresh_rates_reference(&mut self) {
+        let ctxs: Vec<reference::Ctx> =
+            self.ctxs.iter().map(reference::Ctx::from_running).collect();
+        self.rates = reference::compute_rates(&self.spec, &ctxs);
     }
 
     /// Launches a kernel; work equals its exclusive-resource runtime.
+    /// Deep-copies the descriptor — prefer [`Engine::launch_shared`] when
+    /// an `Arc` is already at hand (the serving layer's steady state).
     pub fn launch(&mut self, kernel: &KernelDesc, cfg: &LaunchConfig) -> LaunchId {
+        self.launch_shared(&Arc::new(kernel.clone()), cfg)
+    }
+
+    /// Launches a kernel from a shared descriptor without copying it
+    /// (derives the invariant block; prefer [`Engine::launch_prepared`]
+    /// for descriptors launched repeatedly).
+    pub fn launch_shared(&mut self, kernel: &Arc<KernelDesc>, cfg: &LaunchConfig) -> LaunchId {
+        self.launch_prepared(&PreparedKernel::new(&self.spec, Arc::clone(kernel)), cfg)
+    }
+
+    /// Launches a prepared kernel: no descriptor copy, no invariant
+    /// derivation — the serving loop's steady-state path.
+    pub fn launch_prepared(&mut self, kernel: &PreparedKernel, cfg: &LaunchConfig) -> LaunchId {
         assert!(!cfg.mask.is_empty(), "kernel launched with empty TPC mask");
         let id = LaunchId(self.next_id);
         self.next_id += 1;
-        let total = dnn::perf::isolated_runtime_us(kernel, &self.spec);
-        self.running.push(Running {
+        let ctx = RunningCtx::from_prepared(kernel, cfg.mask, cfg.channels, cfg.thread_fraction);
+        let total = ctx.perf.isolated_us;
+        self.ctxs.push(ctx);
+        self.meta.push(RunningMeta {
             id,
-            ctx: RunningCtx {
-                kernel: kernel.clone(),
-                mask: cfg.mask,
-                channels: cfg.channels,
-                thread_fraction: cfg.thread_fraction,
-            },
             remaining: total,
             total,
             poll_us: cfg.preempt_poll_us,
             evicting: None,
         });
-        self.refresh_rates();
+        self.refresh_rates_full();
         id
     }
 
@@ -128,47 +222,84 @@ impl Engine {
     /// discarded (reset-based preemption). Returns `false` if the kernel is
     /// not running or not preemptible.
     pub fn raise_eviction_flag(&mut self, id: LaunchId) -> bool {
-        for r in &mut self.running {
-            if r.id == id {
-                match r.poll_us {
-                    Some(poll) => {
-                        if r.evicting.is_none() {
-                            r.evicting = Some(self.now + poll);
-                        }
-                        return true;
-                    }
-                    None => return false,
+        let Some(i) = self.index_of(id) else {
+            return false;
+        };
+        let r = &mut self.meta[i];
+        match r.poll_us {
+            Some(poll) => {
+                if r.evicting.is_none() {
+                    r.evicting = Some(self.now + poll);
+                    self.invalidate_next_event();
                 }
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Re-masks a running kernel (the engine models SGDRC's relaunch-with-
     /// new-mask as an in-place update; the relaunch latency is folded into
-    /// the preemption poll delay).
+    /// the preemption poll delay). Rates refresh through the incremental
+    /// path — only the interference terms involving this kernel are
+    /// recomputed.
     pub fn remask(&mut self, id: LaunchId, mask: TpcMask, channels: ChannelSet) -> bool {
-        let mut found = false;
-        for r in &mut self.running {
-            if r.id == id {
-                r.ctx.mask = mask;
-                r.ctx.channels = channels;
-                found = true;
+        let Some(i) = self.index_of(id) else {
+            return false;
+        };
+        let old_mask = self.ctxs[i].mask;
+        let old_channels = self.ctxs[i].channels;
+        if old_mask == mask && old_channels == channels {
+            return true;
+        }
+        self.ctxs[i].mask = mask;
+        self.ctxs[i].channels = channels;
+        match self.mode {
+            RateMode::Fast => {
+                self.state.update_one(
+                    &self.spec,
+                    &self.ctxs,
+                    i,
+                    old_mask,
+                    old_channels,
+                    &mut self.rates,
+                );
+                #[cfg(debug_assertions)]
+                {
+                    let full = crate::contention::compute_rates(&self.spec, &self.ctxs);
+                    let div = crate::contention::max_relative_divergence(&self.rates, &full);
+                    debug_assert!(
+                        div < crate::contention::RATE_EQUIVALENCE_TOL,
+                        "incremental remask diverged from full recompute: {div}"
+                    );
+                }
             }
+            RateMode::Reference => self.refresh_rates_reference(),
         }
-        if found {
-            self.refresh_rates();
-        }
-        found
+        self.invalidate_next_event();
+        true
     }
 
-    /// Time of the next event, if any kernel is resident.
+    fn invalidate_next_event(&self) {
+        self.next_event.set(None);
+    }
+
+    /// Time of the next event, if any kernel is resident. Memoized: the
+    /// event loop queries this several times between events, and absolute
+    /// finish times do not change under [`Engine::advance_idle`].
+    /// (`Reference` mode recomputes every call, as the seed engine did.)
     pub fn next_event_at(&self) -> Option<f64> {
-        self.running
+        if self.mode == RateMode::Fast {
+            if let Some(cached) = self.next_event.get() {
+                return cached;
+            }
+        }
+        let computed = self
+            .meta
             .iter()
-            .zip(&self.speeds)
-            .map(|(r, &s)| {
-                let finish = self.now + r.remaining / s.max(1e-9);
+            .zip(&self.rates)
+            .map(|(r, rate)| {
+                let finish = self.now + r.remaining / rate.relative_speed.max(1e-9);
                 match r.evicting {
                     Some(evict) => finish.min(evict),
                     None => finish,
@@ -176,7 +307,9 @@ impl Engine {
             })
             .fold(None, |acc: Option<f64>, t| {
                 Some(acc.map_or(t, |a| a.min(t)))
-            })
+            });
+        self.next_event.set(Some(computed));
+        computed
     }
 
     /// Advances virtual time to the next completion/preemption and returns
@@ -187,7 +320,7 @@ impl Engine {
         // Find the kernel that finished or got evicted (remaining ≤ ε or
         // eviction deadline reached).
         let mut fired: Option<(usize, bool)> = None;
-        for (i, r) in self.running.iter().enumerate() {
+        for (i, r) in self.meta.iter().enumerate() {
             if let Some(evict) = r.evicting {
                 if evict <= self.now + 1e-9 {
                     fired = Some((i, true));
@@ -200,8 +333,10 @@ impl Engine {
             }
         }
         let (idx, preempted) = fired.expect("an event was due");
-        let r = self.running.remove(idx);
-        self.refresh_rates();
+        let r = self.meta.remove(idx);
+        self.ctxs.remove(idx);
+        self.refresh_rates_full();
+        self.events += 1;
         Some(if preempted {
             EngineEvent::Preempted {
                 id: r.id,
@@ -215,13 +350,15 @@ impl Engine {
         })
     }
 
-    /// Advances time to `t` (≤ next event), integrating progress.
+    /// Advances time to `t` (≤ next event), integrating progress. Keeps
+    /// the memoized next-event time valid: integration shifts `now` and
+    /// `remaining` together, leaving absolute finish times unchanged.
     fn advance_to(&mut self, t: f64) {
         let dt = t - self.now;
         debug_assert!(dt >= -1e-9, "time went backwards");
         if dt > 0.0 {
-            for (r, &s) in self.running.iter_mut().zip(&self.speeds) {
-                r.remaining -= dt * s;
+            for (r, rate) in self.meta.iter_mut().zip(&self.rates) {
+                r.remaining -= dt * rate.relative_speed;
                 if r.remaining < 0.0 {
                     r.remaining = 0.0;
                 }
@@ -233,22 +370,21 @@ impl Engine {
     /// Advances to `t` without expecting events (panics if one was due
     /// strictly before `t`). Used to model request arrivals while idle.
     pub fn advance_idle(&mut self, t: f64) {
+        let next = self.next_event_at();
         debug_assert!(
-            self.next_event_at().is_none_or(|e| e >= t - 1e-9),
+            next.is_none_or(|e| e >= t - 1e-9),
             "advance_idle skipped an engine event"
         );
         if t > self.now {
-            self.advance_to(t.min(self.next_event_at().unwrap_or(t)));
+            self.advance_to(t.min(next.unwrap_or(t)));
             self.now = t;
         }
     }
 
     /// Progress fraction of a running kernel (1.0 = done), if running.
     pub fn progress(&self, id: LaunchId) -> Option<f64> {
-        self.running
-            .iter()
-            .find(|r| r.id == id)
-            .map(|r| 1.0 - r.remaining / r.total)
+        self.index_of(id)
+            .map(|i| 1.0 - self.meta[i].remaining / self.meta[i].total)
     }
 }
 
@@ -291,6 +427,7 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(e.step().is_none());
+        assert_eq!(e.events_processed(), 1);
     }
 
     #[test]
@@ -429,6 +566,61 @@ mod tests {
                 assert!(at_us > exclusive * 1.5, "progress was discarded");
             }
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reference_mode_reproduces_fast_mode_events() {
+        // The same launch/remask/evict script under both rate modes must
+        // deliver the same events at the same (±1e-9-relative) times.
+        let script = |mode: RateMode| {
+            let mut e = engine();
+            e.set_rate_mode(mode);
+            let spec = e.spec().clone();
+            let a = e.launch(
+                &kernel(3e9, 2e7),
+                &LaunchConfig {
+                    mask: TpcMask::first(8),
+                    channels: ChannelSet::all(&spec),
+                    thread_fraction: 1.0,
+                    preempt_poll_us: None,
+                },
+            );
+            let b = e.launch(
+                &kernel(8e9, 3e8),
+                &LaunchConfig {
+                    mask: TpcMask::range(4, 9),
+                    channels: ChannelSet::from_channels(&[0, 1, 2]),
+                    thread_fraction: 1.0,
+                    preempt_poll_us: Some(2.0),
+                },
+            );
+            e.remask(b, TpcMask::range(8, 5), ChannelSet::from_channels(&[0, 1]));
+            let _ = a;
+            let mut events = Vec::new();
+            while let Some(ev) = e.step() {
+                events.push(ev);
+            }
+            events
+        };
+        let fast = script(RateMode::Fast);
+        let slow = script(RateMode::Reference);
+        assert_eq!(fast.len(), slow.len());
+        for (f, s) in fast.iter().zip(&slow) {
+            match (f, s) {
+                (
+                    EngineEvent::Finished { id: fi, at_us: ft },
+                    EngineEvent::Finished { id: si, at_us: st },
+                )
+                | (
+                    EngineEvent::Preempted { id: fi, at_us: ft },
+                    EngineEvent::Preempted { id: si, at_us: st },
+                ) => {
+                    assert_eq!(fi, si);
+                    assert!((ft - st).abs() / st.max(1e-9) < 1e-9, "{ft} vs {st}");
+                }
+                other => panic!("event kind mismatch {other:?}"),
+            }
         }
     }
 }

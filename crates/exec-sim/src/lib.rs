@@ -19,6 +19,9 @@ pub mod contention;
 pub mod engine;
 pub mod types;
 
-pub use contention::{compute_rates, KernelRate, RunningCtx};
-pub use engine::{Engine, LaunchConfig};
-pub use types::{ChannelSet, EngineEvent, LaunchId, TpcMask};
+pub use contention::{
+    compute_rates, max_relative_divergence, KernelRate, PreparedKernel, RateState, RunningCtx,
+    RATE_EQUIVALENCE_TOL,
+};
+pub use engine::{Engine, LaunchConfig, RateMode};
+pub use types::{BitIter, ChannelSet, EngineEvent, LaunchId, TpcMask};

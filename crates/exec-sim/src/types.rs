@@ -50,7 +50,38 @@ impl TpcMask {
     pub fn is_empty(self) -> bool {
         self.0 == 0
     }
+
+    /// Iterates the indices of set bits, lowest first.
+    pub fn iter_ones(self) -> BitIter {
+        BitIter(self.0)
+    }
 }
+
+/// Iterator over set-bit indices of a mask (lowest first), driven by
+/// `trailing_zeros` — the hot path never walks cleared bits.
+#[derive(Debug, Clone, Copy)]
+pub struct BitIter(u32);
+
+impl Iterator for BitIter {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.0 == 0 {
+            return None;
+        }
+        let bit = self.0.trailing_zeros();
+        self.0 &= self.0 - 1;
+        Some(bit)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for BitIter {}
 
 /// A VRAM channel bitmask (≤16 channels on the modelled GPUs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -75,6 +106,11 @@ impl ChannelSet {
 
     pub fn is_empty(self) -> bool {
         self.0 == 0
+    }
+
+    /// Iterates the indices of set bits, lowest first.
+    pub fn iter_ones(self) -> BitIter {
+        BitIter(self.0 as u32)
     }
 }
 

@@ -1,6 +1,9 @@
 //! Property-based tests for the execution engine.
 use dnn::kernel::{KernelDesc, KernelKind};
-use exec_sim::{compute_rates, ChannelSet, Engine, LaunchConfig, RunningCtx, TpcMask};
+use exec_sim::{
+    compute_rates, max_relative_divergence, ChannelSet, Engine, LaunchConfig, RateState,
+    RunningCtx, TpcMask, RATE_EQUIVALENCE_TOL,
+};
 use gpu_spec::GpuModel;
 use proptest::prelude::*;
 
@@ -30,12 +33,7 @@ proptest! {
     ) {
         let spec = GpuModel::RtxA2000.spec();
         let running: Vec<RunningCtx> = (0..n)
-            .map(|_| RunningCtx {
-                kernel: kernel(flops, bytes, blocks),
-                mask: TpcMask::all(&spec),
-                channels: ChannelSet::all(&spec),
-                thread_fraction: 1.0,
-            })
+            .map(|_| RunningCtx::new(&spec, kernel(flops, bytes, blocks), TpcMask::all(&spec), ChannelSet::all(&spec), 1.0))
             .collect();
         for r in compute_rates(&spec, &running) {
             prop_assert!(r.relative_speed > 0.0);
@@ -66,5 +64,88 @@ proptest! {
             }
         }
         prop_assert!(ids.is_empty(), "lost kernels: {ids:?}");
+    }
+
+    /// The incremental re-mask path ([`RateState::update_one`]) matches a
+    /// from-scratch `compute_rates` within 1e-9 relative, for arbitrary
+    /// running sets and arbitrary single-kernel mask/channel changes.
+    #[test]
+    fn incremental_update_matches_full_recompute(
+        shapes in prop::collection::vec(
+            // (flops, bytes, blocks, mask_start, mask_len, channel_bits)
+            (1e6f64..1e10, 1e4f64..3e8, 1u32..512, 0u32..10, 1u32..13, 1u16..64),
+            1..5,
+        ),
+        changed in 0usize..5,
+        new_mask_start in 0u32..10,
+        new_mask_len in 1u32..13,
+        new_channel_bits in 1u16..64,
+    ) {
+        let spec = GpuModel::RtxA2000.spec();
+        let clamp_mask = |start: u32, len: u32| {
+            let m = TpcMask::range(start, len).intersect(TpcMask::all(&spec));
+            if m.is_empty() { TpcMask::first(1) } else { m }
+        };
+        let clamp_channels = |bits: u16| {
+            let c = ChannelSet(bits & ChannelSet::all(&spec).0);
+            if c.is_empty() { ChannelSet::from_channels(&[0]) } else { c }
+        };
+        let mut running: Vec<RunningCtx> = shapes
+            .iter()
+            .map(|&(flops, bytes, blocks, start, len, chans)| {
+                RunningCtx::new(
+                    &spec,
+                    kernel(flops, bytes, blocks),
+                    clamp_mask(start, len),
+                    clamp_channels(chans),
+                    1.0,
+                )
+            })
+            .collect();
+        let i = changed % running.len();
+        let mut state = RateState::default();
+        let mut rates = Vec::new();
+        state.recompute_full(&spec, &running, &mut rates);
+        let old_mask = running[i].mask;
+        let old_channels = running[i].channels;
+        running[i].mask = clamp_mask(new_mask_start, new_mask_len);
+        running[i].channels = clamp_channels(new_channel_bits);
+        let mut incremental = Vec::new();
+        state.update_one(&spec, &running, i, old_mask, old_channels, &mut incremental);
+        let full = compute_rates(&spec, &running);
+        let div = max_relative_divergence(&incremental, &full);
+        prop_assert!(div < RATE_EQUIVALENCE_TOL, "divergence {div}");
+    }
+
+    /// The optimized fast path agrees with the preserved seed model
+    /// (`contention::reference`) on arbitrary running sets.
+    #[test]
+    fn fast_path_matches_reference_model(
+        shapes in prop::collection::vec(
+            (1e6f64..1e10, 1e4f64..3e8, 1u32..512, 0u32..13, 1u32..13, 1u16..64),
+            1..5,
+        ),
+    ) {
+        use exec_sim::contention::reference;
+        let spec = GpuModel::RtxA2000.spec();
+        let running: Vec<RunningCtx> = shapes
+            .iter()
+            .map(|&(flops, bytes, blocks, start, len, chans)| {
+                let mask = TpcMask::range(start, len).intersect(TpcMask::all(&spec));
+                let mask = if mask.is_empty() { TpcMask::first(1) } else { mask };
+                let channels = ChannelSet(chans & ChannelSet::all(&spec).0);
+                let channels = if channels.is_empty() {
+                    ChannelSet::from_channels(&[0])
+                } else {
+                    channels
+                };
+                RunningCtx::new(&spec, kernel(flops, bytes, blocks), mask, channels, 1.0)
+            })
+            .collect();
+        let fast = compute_rates(&spec, &running);
+        let seed: Vec<reference::Ctx> = running.iter().map(reference::Ctx::from_running).collect();
+        let slow = reference::compute_rates(&spec, &seed);
+        let div = max_relative_divergence(&fast, &slow);
+        prop_assert!(div < RATE_EQUIVALENCE_TOL, "divergence {div}");
     }
 }

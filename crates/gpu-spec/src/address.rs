@@ -15,8 +15,6 @@
 //! a single VRAM channel (paper §5.2). This module provides strongly typed
 //! address wrappers and the bit arithmetic shared by the whole workspace.
 
-use serde::{Deserialize, Serialize};
-
 /// log2 of the L2 cacheline size (128 B).
 pub const CACHELINE_SHIFT: u32 = 7;
 /// L2 cacheline size in bytes.
@@ -38,15 +36,11 @@ pub const PAGE_BYTES: u64 = 1 << PAGE_SHIFT;
 pub const MAX_HASH_BIT: u32 = 34;
 
 /// A physical VRAM address.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PhysAddr(pub u64);
 
 /// A virtual address inside one GPU context.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct VirtAddr(pub u64);
 
 impl PhysAddr {
@@ -155,7 +149,7 @@ pub fn l2_set_key(cacheline: u64) -> u64 {
 #[inline]
 pub fn l2_set_group_of_partition(partition: u64, sets_per_slice: u64) -> u64 {
     let base_line = partition << 3;
-    (((base_line ^ (partition >> 5)) & (sets_per_slice - 1)) >> 3)
+    ((base_line ^ (partition >> 5)) & (sets_per_slice - 1)) >> 3
 }
 
 /// Byte offset of the cacheline inside partition `other` that maps to the

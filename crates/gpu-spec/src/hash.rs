@@ -218,8 +218,8 @@ impl PermutationChannelHash {
                 seen_per_group[grp as usize] += 1;
                 // Each of the group's two blocks gets a distinct channel
                 // order derived from the pattern's order class.
-                let pidx =
-                    (order_class + grp as usize + occurrence * (perms.len() / 2).max(1)) % perms.len();
+                let pidx = (order_class + grp as usize + occurrence * (perms.len() / 2).max(1))
+                    % perms.len();
                 for &local in &perms[pidx] {
                     layout.push(grp as u16 * group_size + local);
                 }
@@ -494,8 +494,9 @@ mod tests {
             let w = h.window_partitions();
             let mut seen = std::collections::BTreeSet::new();
             for win in 0..(expect as u64 * 8) {
-                let sig: Vec<u16> =
-                    (0..w).map(|s| h.channel_of_partition(win * w + s)).collect();
+                let sig: Vec<u16> = (0..w)
+                    .map(|s| h.channel_of_partition(win * w + s))
+                    .collect();
                 seen.insert(sig);
             }
             assert_eq!(seen.len(), expect, "observed pattern count");

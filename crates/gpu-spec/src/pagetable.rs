@@ -115,7 +115,10 @@ impl PageTable {
 
     /// Page walk: virtual → physical.
     pub fn translate(&self, va: VirtAddr) -> Result<PhysAddr, MmuError> {
-        let pfn = self.vpn_to_pfn.get(&va.vpn()).ok_or(MmuError::Unmapped(va))?;
+        let pfn = self
+            .vpn_to_pfn
+            .get(&va.vpn())
+            .ok_or(MmuError::Unmapped(va))?;
         Ok(PhysAddr((pfn << PAGE_SHIFT) | va.page_offset()))
     }
 
@@ -123,7 +126,11 @@ impl PageTable {
     /// the (virtual page, physical frame base) pairs covering
     /// `[va, va + bytes)`. This is what gives the reverse-engineering code
     /// physical addresses without trusting the allocator.
-    pub fn parse_entries(&self, va: VirtAddr, bytes: u64) -> Result<Vec<(VirtAddr, PhysAddr)>, MmuError> {
+    pub fn parse_entries(
+        &self,
+        va: VirtAddr,
+        bytes: u64,
+    ) -> Result<Vec<(VirtAddr, PhysAddr)>, MmuError> {
         let pages = bytes.div_ceil(PAGE_BYTES).max(1);
         let mut out = Vec::with_capacity(pages as usize);
         for i in 0..pages {

@@ -9,17 +9,16 @@
 //! the shapes of Fig. 3 and Fig. 15a).
 
 use crate::hash::{ChannelHash, PermutationChannelHash, XorChannelHash};
-use serde::{Deserialize, Serialize};
 
 /// GPU micro-architecture generation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Architecture {
     Pascal,
     Ampere,
 }
 
 /// The three GPU models used throughout the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GpuModel {
     Gtx1080,
     TeslaP40,
@@ -70,7 +69,7 @@ impl GpuModel {
 /// Fig. 3a (intra-SM compute / L1 interference), Fig. 3b (inter-SM L2 and
 /// DRAM-bank conflicts) and Fig. 15a (the channel-isolation speedups, which
 /// are larger on the A2000 than on the P40 — 47.5% vs 28.7% mean).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ContentionParams {
     /// Fractional p99 slowdown added per unit of co-resident *compute*
     /// occupancy on the same SM (Fig. 3a, "Comp.").
@@ -92,7 +91,7 @@ pub struct ContentionParams {
 }
 
 /// Static hardware description of one GPU model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GpuSpec {
     pub model: GpuModel,
     pub name: &'static str,
@@ -345,13 +344,19 @@ mod tests {
     fn tab4_values_match_paper() {
         let p40 = GpuSpec::tesla_p40();
         assert_eq!(
-            (p40.min_coloring_granularity_kib, p40.max_coloring_granularity_kib),
+            (
+                p40.min_coloring_granularity_kib,
+                p40.max_coloring_granularity_kib
+            ),
             (1, 4)
         );
         assert_eq!(p40.contiguous_channels, 4);
         let a2000 = GpuSpec::rtx_a2000();
         assert_eq!(
-            (a2000.min_coloring_granularity_kib, a2000.max_coloring_granularity_kib),
+            (
+                a2000.min_coloring_granularity_kib,
+                a2000.max_coloring_granularity_kib
+            ),
             (1, 2)
         );
         assert_eq!(a2000.contiguous_channels, 2);

@@ -60,7 +60,13 @@ impl GpuDevice {
         );
         let hash = model.channel_hash();
         let l2 = (0..spec.num_channels)
-            .map(|_| L2Slice::new(spec.l2_sets_per_channel(), spec.l2_ways, spec.cache_noise_rate))
+            .map(|_| {
+                L2Slice::new(
+                    spec.l2_sets_per_channel(),
+                    spec.l2_ways,
+                    spec.cache_noise_rate,
+                )
+            })
             .collect();
         let dram = (0..spec.num_channels)
             .map(|_| DramChannel::new(spec.dram_banks_per_channel, ROW_SHIFT))

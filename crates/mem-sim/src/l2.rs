@@ -31,7 +31,9 @@ impl L2Slice {
     pub fn new(sets: u64, ways: u32, noise_rate: f64) -> Self {
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Self {
-            sets: (0..sets).map(|_| Vec::with_capacity(ways as usize)).collect(),
+            sets: (0..sets)
+                .map(|_| Vec::with_capacity(ways as usize))
+                .collect(),
             ways: ways as usize,
             set_mask: sets - 1,
             noise_rate,

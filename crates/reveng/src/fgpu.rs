@@ -196,13 +196,21 @@ mod tests {
         // Flip one label.
         train[100].label ^= 0b011;
         match solve_xor_hash(&train, 8) {
-            FgpuOutcome::Inconsistent { samples_consumed, .. } => {
-                assert!(samples_consumed > 100, "contradiction found after the bad sample");
+            FgpuOutcome::Inconsistent {
+                samples_consumed, ..
+            } => {
+                assert!(
+                    samples_consumed > 100,
+                    "contradiction found after the bad sample"
+                );
             }
             FgpuOutcome::Solved(m) => {
                 let test = oracle_test_set(oracle.as_ref(), 1 << 24, 4_096, 6);
                 let acc = m.accuracy(&test);
-                assert!(acc < 0.9, "poisoned solve should not stay accurate (acc {acc})");
+                assert!(
+                    acc < 0.9,
+                    "poisoned solve should not stay accurate (acc {acc})"
+                );
             }
         }
     }

@@ -155,7 +155,9 @@ impl MlpHashLearner {
             feat,
             hidden,
             classes,
-            w1: (0..dim * hidden).map(|_| rng.gen_range(-scale1..scale1)).collect(),
+            w1: (0..dim * hidden)
+                .map(|_| rng.gen_range(-scale1..scale1))
+                .collect(),
             b1: vec![0.0; hidden],
             w2: (0..hidden * classes)
                 .map(|_| rng.gen_range(-scale2..scale2))
@@ -386,11 +388,18 @@ impl PeriodLearner {
         // Final table by majority vote.
         let mut votes: Vec<HashMap<u16, u32>> = vec![HashMap::new(); period as usize];
         for s in samples {
-            *votes[(s.partition % period) as usize].entry(s.label).or_insert(0) += 1;
+            *votes[(s.partition % period) as usize]
+                .entry(s.label)
+                .or_insert(0) += 1;
         }
         let table: Vec<u16> = votes
             .iter()
-            .map(|v| v.iter().max_by_key(|(_, &c)| c).map(|(&l, _)| l).unwrap_or(0))
+            .map(|v| {
+                v.iter()
+                    .max_by_key(|(_, &c)| c)
+                    .map(|(&l, _)| l)
+                    .unwrap_or(0)
+            })
             .collect();
         let consistency = scores
             .iter()
@@ -437,7 +446,10 @@ pub fn synthetic_samples(
             if rng.gen_bool(noise) {
                 label = (label + rng.gen_range(1..channels)) % channels;
             }
-            Sample { partition: p, label }
+            Sample {
+                partition: p,
+                label,
+            }
         })
         .collect()
 }

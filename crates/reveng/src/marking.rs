@@ -127,7 +127,11 @@ impl std::fmt::Display for MarkError {
                 "pool for class {class} incomplete: shallowest bin {shallowest_bin} < {needed}"
             ),
             MarkError::UncoveredRange(pa) => {
-                write!(f, "physical address {:#x} not covered by the probe buffer", pa.0)
+                write!(
+                    f,
+                    "physical address {:#x} not covered by the probe buffer",
+                    pa.0
+                )
             }
         }
     }
@@ -167,7 +171,10 @@ impl<'d> ChannelMarker<'d> {
         let mut partitions = Vec::with_capacity(pages.len() * 4);
         for (pva, ppa) in pages {
             for i in 0..PAGE_BYTES / PARTITION_BYTES {
-                partitions.push((ppa.offset(i * PARTITION_BYTES), pva.offset(i * PARTITION_BYTES)));
+                partitions.push((
+                    ppa.offset(i * PARTITION_BYTES),
+                    pva.offset(i * PARTITION_BYTES),
+                ));
             }
         }
         partitions.sort_by_key(|&(pa, _)| pa.0);
@@ -305,9 +312,14 @@ impl<'d> ChannelMarker<'d> {
         for &(pa, va) in &self.partitions {
             let p = pa.partition();
             if self.set_group(pa) == g && !known.contains(&p) {
-                let line =
-                    va.offset(gpu_spec::address::same_set_line_offset(anchor.partition, p));
-                origin.insert(line.0, PoolEntry { partition: p, base: va });
+                let line = va.offset(gpu_spec::address::same_set_line_offset(anchor.partition, p));
+                origin.insert(
+                    line.0,
+                    PoolEntry {
+                        partition: p,
+                        base: va,
+                    },
+                );
                 window.push(line);
                 if window.len() >= 512 {
                     break;
@@ -315,8 +327,7 @@ impl<'d> ChannelMarker<'d> {
             }
         }
         let need = self.bin_depth + 2 - pool.bins[g].len();
-        let found =
-            crate::probe::find_cache_conflict_addrs(self.dev, &self.th, &window, need)?;
+        let found = crate::probe::find_cache_conflict_addrs(self.dev, &self.th, &window, need)?;
         for f in found {
             if let Some(&entry) = origin.get(&f.0) {
                 pool.bins[g].push(entry);
@@ -342,8 +353,10 @@ impl<'d> ChannelMarker<'d> {
             .filter(|e| e.partition != cand_partition)
             .take(self.bin_depth)
             .map(|e| {
-                e.base
-                    .offset(gpu_spec::address::same_set_line_offset(cand_partition, e.partition))
+                e.base.offset(gpu_spec::address::same_set_line_offset(
+                    cand_partition,
+                    e.partition,
+                ))
             })
             .collect();
         let mut window = Vec::with_capacity(lines.len() + 1);
@@ -352,7 +365,12 @@ impl<'d> ChannelMarker<'d> {
         is_cacheline_evicted(self.dev, &self.th, &window, window.len() - 1)
     }
 
-    fn evicts(&mut self, class: ClassId, cand_pa: PhysAddr, cand_va: VirtAddr) -> Result<bool, MmuError> {
+    fn evicts(
+        &mut self,
+        class: ClassId,
+        cand_pa: PhysAddr,
+        cand_va: VirtAddr,
+    ) -> Result<bool, MmuError> {
         let bin = self.set_group(cand_pa);
         let cand_partition = cand_pa.partition();
         let rounds = self.cfg.vote_rounds.max(1);
@@ -454,7 +472,11 @@ pub fn align_classes(
     oracle: impl Fn(PhysAddr) -> u16,
     num_channels: u16,
 ) -> (Vec<Option<u16>>, f64) {
-    let num_classes = labels.iter().map(|&(_, c)| c).max().map_or(0, |m| m as usize + 1);
+    let num_classes = labels
+        .iter()
+        .map(|&(_, c)| c)
+        .max()
+        .map_or(0, |m| m as usize + 1);
     let mut votes = vec![vec![0u64; num_channels as usize]; num_classes];
     for &(pa, class) in labels {
         votes[class as usize][oracle(pa) as usize] += 1;
@@ -467,7 +489,7 @@ pub fn align_classes(
         .enumerate()
         .flat_map(|(c, row)| row.iter().enumerate().map(move |(ch, &v)| (v, c, ch)))
         .collect();
-    entries.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+    entries.sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
     for (v, class, ch) in entries {
         if v == 0 || mapping[class].is_some() || taken[ch] {
             continue;
@@ -522,6 +544,9 @@ mod tests {
         // two distinct classes overall (group size 2 ⇒ pairs differ).
         let labels = marker.mark_indexed(start, 4).unwrap();
         let distinct: std::collections::BTreeSet<_> = labels.iter().map(|&(_, c)| c).collect();
-        assert!(distinct.len() >= 2, "adjacent partitions must hit ≥2 channels");
+        assert!(
+            distinct.len() >= 2,
+            "adjacent partitions must hit ≥2 channels"
+        );
     }
 }

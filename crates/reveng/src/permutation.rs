@@ -208,10 +208,7 @@ pub fn render_fig8(report: &PermutationReport, group_index: usize) -> String {
     // placements, several full layouts can share one).
     let mut seen: BTreeSet<String> = BTreeSet::new();
     for sig in rows {
-        let rendered: String = sig
-            .iter()
-            .map(|&c| format!(" {} ", letter(c)))
-            .collect();
+        let rendered: String = sig.iter().map(|&c| format!(" {} ", letter(c))).collect();
         if seen.insert(rendered.clone()) {
             out.push_str(&format!("{:>4}: {}\n", seen.len() - 1, rendered));
         }
@@ -222,7 +219,7 @@ pub fn render_fig8(report: &PermutationReport, group_index: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpu_spec::{ChannelHash, GpuModel, PARTITION_BYTES};
+    use gpu_spec::{GpuModel, PARTITION_BYTES};
 
     /// Oracle-labelled contiguous region (analysis is label-agnostic, so
     /// testing against the oracle is legitimate here; the end-to-end probe

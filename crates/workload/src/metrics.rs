@@ -7,7 +7,6 @@
 //! * **throughput** (samples/s) and **goodput** (SLO-meeting LS
 //!   requests/s).
 
-use serde::{Deserialize, Serialize};
 use sgdrc_core::serving::CompletedRequest;
 
 /// Percentile of a latency population (p in 0..=100).
@@ -22,7 +21,7 @@ pub fn percentile(latencies: &[f64], p: f64) -> f64 {
 }
 
 /// Aggregated metrics of one LS service in one run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LsMetrics {
     pub model: String,
     pub requests: usize,
@@ -60,7 +59,7 @@ pub fn slo_for(isolated_p99_us: f64, services_on_gpu: usize) -> f64 {
 }
 
 /// Aggregated result of a full system run (one GPU, one load, one system).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SystemResult {
     pub system: String,
     pub gpu: String,
@@ -114,8 +113,9 @@ mod tests {
 
     #[test]
     fn ls_metrics_attainment() {
-        let completed: Vec<CompletedRequest> =
-            (0..100).map(|i| req(0.0, if i < 90 { 100.0 } else { 1000.0 })).collect();
+        let completed: Vec<CompletedRequest> = (0..100)
+            .map(|i| req(0.0, if i < 90 { 100.0 } else { 1000.0 }))
+            .collect();
         let m = ls_metrics("test", &completed, 500.0, 1e6);
         assert!((m.slo_attainment - 0.9).abs() < 1e-9);
         assert_eq!(m.requests, 100);

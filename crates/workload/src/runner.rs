@@ -15,12 +15,11 @@ use dnn::zoo::{build, ModelId};
 use dnn::CompileOptions;
 use gpu_spec::{GpuModel, GpuSpec};
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 use sgdrc_core::serving::{run, CompletedRequest, Policy, Scenario, Task};
 use sgdrc_core::{Sgdrc, SgdrcConfig};
 
 /// The systems of Fig. 17.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SystemKind {
     MultiStreaming,
     Tgs,
@@ -78,7 +77,7 @@ impl SystemKind {
 }
 
 /// Workload intensity (§9.2 testing scenarios).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Load {
     /// Apollo trace scaled to half its average rate.
     Light,
@@ -140,11 +139,21 @@ impl Deployment {
         let spec = gpu.spec();
         let ls_tasks = ModelId::ls_models()
             .iter()
-            .map(|&id| Task::new(dnn::compile(build(id), &spec, CompileOptions::default()), &spec))
+            .map(|&id| {
+                Task::new(
+                    dnn::compile(build(id), &spec, CompileOptions::default()),
+                    &spec,
+                )
+            })
             .collect();
         let be_tasks = ModelId::be_models()
             .iter()
-            .map(|&id| Task::new(dnn::compile(build(id), &spec, CompileOptions::default()), &spec))
+            .map(|&id| {
+                Task::new(
+                    dnn::compile(build(id), &spec, CompileOptions::default()),
+                    &spec,
+                )
+            })
             .collect();
         Self {
             spec,
@@ -161,22 +170,34 @@ pub fn run_system(dep: &Deployment, cfg: &EndToEndConfig, system: SystemKind) ->
     // §9.2's SLO multiplier: 8 LS services + 1 BE task on the GPU.
     let n_services = dep.ls_tasks.len() + 1;
 
+    // The BE co-location scenarios are independent runs — sweep them in
+    // parallel (each is a multi-second simulation; `run_cell` additionally
+    // parallelizes over systems).
+    let scenario_stats: Vec<_> = dep
+        .be_tasks
+        .par_iter()
+        .map(|be_task| {
+            let scenario = Scenario {
+                spec: dep.spec.clone(),
+                ls: dep.ls_tasks.clone(),
+                be: vec![be_task.clone()],
+                ls_instances: cfg.ls_instances,
+                arrivals: arrivals.clone(),
+                horizon_us: cfg.horizon_us,
+            };
+            let mut policy = match system {
+                SystemKind::Sgdrc => {
+                    Box::new(Sgdrc::new(&dep.spec, cfg.sgdrc.clone())) as Box<dyn Policy>
+                }
+                other => other.make(&dep.spec),
+            };
+            run(policy.as_mut(), &scenario)
+        })
+        .collect();
+
     let mut merged: Vec<Vec<CompletedRequest>> = vec![Vec::new(); dep.ls_tasks.len()];
     let mut be_throughput = Vec::new();
-    for be_task in &dep.be_tasks {
-        let scenario = Scenario {
-            spec: dep.spec.clone(),
-            ls: dep.ls_tasks.clone(),
-            be: vec![be_task.clone()],
-            ls_instances: cfg.ls_instances,
-            arrivals: arrivals.clone(),
-            horizon_us: cfg.horizon_us,
-        };
-        let mut policy = match system {
-            SystemKind::Sgdrc => Box::new(Sgdrc::new(&dep.spec, cfg.sgdrc.clone())) as Box<dyn Policy>,
-            other => other.make(&dep.spec),
-        };
-        let stats = run(policy.as_mut(), &scenario);
+    for (be_task, stats) in dep.be_tasks.iter().zip(&scenario_stats) {
         for (t, reqs) in stats.ls_completed.iter().enumerate() {
             merged[t].extend_from_slice(reqs);
         }
@@ -195,7 +216,12 @@ pub fn run_system(dep: &Deployment, cfg: &EndToEndConfig, system: SystemKind) ->
             let slo = slo_for(task.profile.isolated_e2e_us, n_services);
             // Latency population spans the 3 BE scenarios; the effective
             // horizon for goodput is 3× the per-run horizon.
-            ls_metrics(task.model.id.name(), reqs, slo, cfg.horizon_us * dep.be_tasks.len() as f64)
+            ls_metrics(
+                task.model.id.name(),
+                reqs,
+                slo,
+                cfg.horizon_us * dep.be_tasks.len() as f64,
+            )
         })
         .collect();
 

@@ -54,7 +54,8 @@ impl TraceConfig {
         let phase = (t_us % period_us) / period_us;
         // Solve base rate so the long-run mean matches `mean_rate_hz`:
         // mean = base × (1 - duty) + base × factor × duty.
-        let base = self.mean_rate_hz / (1.0 - self.burst_duty + self.burst_factor * self.burst_duty);
+        let base =
+            self.mean_rate_hz / (1.0 - self.burst_duty + self.burst_factor * self.burst_duty);
         if phase < self.burst_duty {
             base * self.burst_factor
         } else {

@@ -9,12 +9,13 @@
 use sgdrc_repro::coloring::{plan_reuse, split_channels, ColoredPool, GranularityKib, Interval};
 use sgdrc_repro::dnn::kernel::{KernelDesc, KernelKind};
 use sgdrc_repro::exec_sim::{compute_rates, ChannelSet, RunningCtx, TpcMask};
-use sgdrc_repro::gpu_spec::{ChannelHash, GpuModel};
+use sgdrc_repro::gpu_spec::GpuModel;
 
 fn main() {
     let spec = GpuModel::RtxA2000.spec();
-    let victim = RunningCtx {
-        kernel: KernelDesc {
+    let victim = RunningCtx::new(
+        &spec,
+        KernelDesc {
             id: 1,
             name: "victim/gemm".into(),
             kind: KernelKind::Gemm,
@@ -26,12 +27,13 @@ fn main() {
             extra_registers: 0,
             tensor_refs: vec![],
         },
-        mask: TpcMask::first(spec.num_tpcs / 2),
-        channels: ChannelSet::all(&spec),
-        thread_fraction: 1.0,
-    };
-    let thrasher = RunningCtx {
-        kernel: KernelDesc {
+        TpcMask::first(spec.num_tpcs / 2),
+        ChannelSet::all(&spec),
+        1.0,
+    );
+    let thrasher = RunningCtx::new(
+        &spec,
+        KernelDesc {
             id: 2,
             name: "thrasher/stream".into(),
             kind: KernelKind::Elementwise,
@@ -43,10 +45,10 @@ fn main() {
             extra_registers: 0,
             tensor_refs: vec![],
         },
-        mask: TpcMask::range(spec.num_tpcs / 2, spec.num_tpcs - spec.num_tpcs / 2),
-        channels: ChannelSet::all(&spec),
-        thread_fraction: 1.0,
-    };
+        TpcMask::range(spec.num_tpcs / 2, spec.num_tpcs - spec.num_tpcs / 2),
+        ChannelSet::all(&spec),
+        1.0,
+    );
 
     let alone = compute_rates(&spec, std::slice::from_ref(&victim))[0].duration_us;
     let shared = compute_rates(&spec, &[victim.clone(), thrasher.clone()])[0].duration_us;
@@ -64,8 +66,14 @@ fn main() {
 
     println!("victim GEMM on half the TPCs of a simulated {}:", spec.name);
     println!("  alone:                       {alone:>8.1} µs");
-    println!("  + VRAM thrasher (shared ch): {shared:>8.1} µs  ({:+.1}%)", (shared / alone - 1.0) * 100.0);
-    println!("  + VRAM thrasher (isolated):  {isolated:>8.1} µs  ({:+.1}%)", (isolated / alone - 1.0) * 100.0);
+    println!(
+        "  + VRAM thrasher (shared ch): {shared:>8.1} µs  ({:+.1}%)",
+        (shared / alone - 1.0) * 100.0
+    );
+    println!(
+        "  + VRAM thrasher (isolated):  {isolated:>8.1} µs  ({:+.1}%)",
+        (isolated / alone - 1.0) * 100.0
+    );
 
     // The driver side: a colored pool over the learned layout, and the
     // intermediate-tensor reuse that keeps bimodal footprints in check.
@@ -84,7 +92,11 @@ fn main() {
     );
 
     let intervals: Vec<Interval> = (0..16)
-        .map(|i| Interval { start: i, end: i + 1, bytes: 1 << 20 })
+        .map(|i| Interval {
+            start: i,
+            end: i + 1,
+            bytes: 1 << 20,
+        })
         .collect();
     let plan = plan_reuse(&intervals);
     println!(

@@ -17,7 +17,10 @@ use sgdrc_repro::reveng::{
 fn main() {
     let model = GpuModel::RtxA2000;
     let mut dev = GpuDevice::new(model, 96 << 20, 7);
-    println!("probing a simulated {} through load latencies only...", model.name());
+    println!(
+        "probing a simulated {} through load latencies only...",
+        model.name()
+    );
 
     // 1. Calibrate thresholds, build per-channel conflict pools, and mark
     //    a physically contiguous region (Algo 1-3).
@@ -25,7 +28,10 @@ fn main() {
     let (start, len) = marker.longest_contiguous_run();
     let count = (12 * 12 * 2).min(len);
     let labels = marker.mark_indexed(start, count).expect("marking");
-    println!("marked {count} partitions; discovered {} channel classes", marker.num_classes());
+    println!(
+        "marked {count} partitions; discovered {} channel classes",
+        marker.num_classes()
+    );
 
     // 2. Recover the §5.2 structure: blocks, groups, m-permutations.
     let report = analyze(&labels);
@@ -42,7 +48,10 @@ fn main() {
     //    noisy, exactly like the paper's 15K-sample collection).
     let samples: Vec<Sample> = labels
         .iter()
-        .map(|&(pa, label)| Sample { partition: pa.partition(), label })
+        .map(|&(pa, label)| Sample {
+            partition: pa.partition(),
+            label,
+        })
         .collect();
     let learner = MlpHashLearner::train(&samples, &MlpConfig::default());
     let lut = learner.lookup_table(4096);

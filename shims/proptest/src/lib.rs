@@ -1,0 +1,237 @@
+//! Offline shim for the subset of `proptest` this workspace uses: the
+//! container builds without network access, so the real crate cannot be
+//! fetched.
+//!
+//! Supported surface:
+//!
+//! * the [`proptest!`] macro over `#[test] fn name(arg in strategy, ...)`
+//!   items;
+//! * range strategies over primitive ints and floats (`0u64..100`),
+//!   tuples of strategies, `prop::collection::vec(strategy, len_range)`
+//!   and `prop::sample::select(vec![...])`;
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Unlike real proptest there is no shrinking: each test runs a fixed
+//! number of deterministically seeded cases (override with
+//! `PROPTEST_CASES`), and a failing case panics with its inputs printed
+//! via the assertion message. Every sampled case is reproducible: the
+//! seed derives from the test name alone.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+use std::ops::Range;
+
+/// Default number of cases per property (matches proptest's 256).
+pub const DEFAULT_CASES: u32 = 256;
+
+/// Cases to run: `PROPTEST_CASES` env var or [`DEFAULT_CASES`].
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_CASES)
+}
+
+/// Deterministic per-test RNG: seeded from the test's name via FNV-1a.
+pub fn rng_for(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A value generator. Mirrors `proptest::strategy::Strategy` in spirit,
+/// minus shrinking.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F),
+    (A, B, C, D, E, F, G),
+    (A, B, C, D, E, F, G, H)
+);
+
+/// The `prop::` namespace (`use proptest::prelude::*` exposes it).
+pub mod prop {
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+        use std::ops::Range;
+
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// `prop::collection::vec(strategy, len_range)`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let n = rng.gen_range(self.len.start..self.len.end);
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    pub mod sample {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        /// `prop::sample::select(vec![...])`: one of the given values.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select of zero options");
+            Select { options }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut StdRng) -> T {
+                self.options[rng.gen_range(0..self.options.len())].clone()
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Runs each contained `#[test] fn name(arg in strategy, ...)` item over
+/// [`cases`] deterministically sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __strategies = ($($strat,)+);
+            let mut __rng = $crate::rng_for(stringify!($name));
+            for __case in 0..$crate::cases() {
+                let ($($arg,)+) = $crate::Strategy::sample(&__strategies, &mut __rng);
+                let __case_inputs = format!(
+                    concat!("case #{}: ", $(stringify!($arg), " = {:?} "),+),
+                    __case $(, $arg)+
+                );
+                let __guard = $crate::CaseGuard::new(&__case_inputs);
+                $body
+                __guard.disarm();
+            }
+        }
+    )*};
+}
+
+/// Prints the failing case's inputs if the body panics (poor man's
+/// counterexample report, since there is no shrinking).
+pub struct CaseGuard {
+    inputs: String,
+    armed: bool,
+}
+
+impl CaseGuard {
+    pub fn new(inputs: &str) -> Self {
+        Self {
+            inputs: inputs.to_string(),
+            armed: true,
+        }
+    }
+
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            eprintln!("proptest failure in {}", self.inputs);
+        }
+    }
+}
+
+/// `prop_assert!` — no early-return plumbing; panics like `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Range, tuple, vec and select strategies all sample in-range.
+        #[test]
+        fn strategies_sample_in_range(
+            x in 3u64..17,
+            f in -1.0f64..1.0,
+            pair in (0u32..4, 10usize..20),
+            v in prop::collection::vec(0u8..5, 1..9),
+            g in prop::sample::select(vec![1u32, 2, 4]),
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+            prop_assert!(pair.0 < 4 && (10..20).contains(&pair.1));
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(v.iter().all(|&b| b < 5));
+            prop_assert!([1u32, 2, 4].contains(&g));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let strat = (0u64..1000, 0.0f64..1.0);
+        let mut a = crate::rng_for("determinism");
+        let mut b = crate::rng_for("determinism");
+        for _ in 0..100 {
+            assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Offline shim for the subset of `rayon` this workspace uses: the
+//! container builds without network access, so the real crate cannot be
+//! fetched. Call sites stay source-compatible
+//! (`collection.into_par_iter().filter(..).map(..).collect()` and
+//! `slice.par_iter().map(..).collect()`).
+//!
+//! Unlike real rayon there is no work-stealing pool: `map` fans the items
+//! out over `std::thread::scope` workers pulling indices from a shared
+//! queue, which is exactly right for this workspace's coarse-grained
+//! experiment sweeps (each item is a multi-millisecond simulation run).
+//! Worker panics propagate to the caller, as with rayon.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// An eagerly materialized "parallel" iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Conversion into [`ParIter`] — covers `Vec<T>`, arrays and anything else
+/// `IntoIterator`, mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<C> IntoParallelIterator for C
+where
+    C: IntoIterator,
+    C::Item: Send,
+{
+    type Item = C::Item;
+    fn into_par_iter(self) -> ParIter<C::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// `par_iter()` on borrowed collections (`&Vec<T>`, `&[T]`).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The combinator subset used by the workspace. Named like rayon's trait
+/// but implemented inherently on [`ParIter`]; re-exported through
+/// [`prelude`] so `use rayon::prelude::*` keeps compiling.
+pub trait ParallelIterator {}
+
+impl<T: Send> ParIter<T> {
+    /// Sequential filter — predicates in this workspace are trivial
+    /// (capability checks); the expensive stage is `map`.
+    pub fn filter<F: Fn(&T) -> bool>(self, f: F) -> Self {
+        ParIter {
+            items: self.items.into_iter().filter(|t| f(t)).collect(),
+        }
+    }
+
+    /// Applies `f` to every item across scoped worker threads, preserving
+    /// input order in the output.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter {
+            items: par_map_vec(self.items, &f),
+        }
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Order-preserving parallel map over a `Vec`.
+fn par_map_vec<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    // Items are handed out through per-slot takeable cells so workers can
+    // claim them by index without cloning.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("slot claimed once");
+                let out = f(item);
+                *results[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<i64> = (0..100)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|x| x * 2)
+            .collect();
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_then_map() {
+        let out: Vec<i32> = vec![1, 2, 3, 4, 5, 6]
+            .into_par_iter()
+            .filter(|x| x % 2 == 0)
+            .map(|x| x + 10)
+            .collect();
+        assert_eq!(out, vec![12, 14, 16]);
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v = vec![String::from("a"), String::from("bb"), String::from("ccc")];
+        let out: Vec<usize> = v.par_iter().map(|s| s.len()).collect();
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn map_actually_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let _: Vec<()> = (0..64)
+            .collect::<Vec<i32>>()
+            .into_par_iter()
+            .map(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            })
+            .collect();
+        if std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            > 1
+        {
+            assert!(seen.lock().unwrap().len() > 1, "expected >1 worker thread");
+        }
+    }
+}

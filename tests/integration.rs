@@ -5,10 +5,10 @@
 use sgdrc_repro::baselines::{MultiStreaming, Orion};
 use sgdrc_repro::core::serving::{run, Scenario, Task};
 use sgdrc_repro::core::{Sgdrc, SgdrcConfig};
-use sgdrc_repro::dnn as dnn;
+use sgdrc_repro::dnn;
 use sgdrc_repro::dnn::zoo::{build, ModelId};
 use sgdrc_repro::dnn::CompileOptions;
-use sgdrc_repro::gpu_spec::{ChannelHash, GpuModel};
+use sgdrc_repro::gpu_spec::GpuModel;
 use sgdrc_repro::mem_sim::GpuDevice;
 use sgdrc_repro::reveng::{
     align_classes, analyze, ChannelMarker, MarkerConfig, MlpConfig, MlpHashLearner, Sample,
@@ -62,8 +62,16 @@ fn reverse_engineering_pipeline_end_to_end() {
 
 fn smoke_scenario(rate_hz: f64, horizon_us: f64) -> Scenario {
     let spec = GpuModel::RtxA2000.spec();
-    let ls = dnn::compile(build(ModelId::MobileNetV3), &spec, CompileOptions::default());
-    let be = dnn::compile(build(ModelId::DenseNet161), &spec, CompileOptions::default());
+    let ls = dnn::compile(
+        build(ModelId::MobileNetV3),
+        &spec,
+        CompileOptions::default(),
+    );
+    let be = dnn::compile(
+        build(ModelId::DenseNet161),
+        &spec,
+        CompileOptions::default(),
+    );
     let cfg = TraceConfig {
         mean_rate_hz: rate_hz,
         ..TraceConfig::apollo_like()
@@ -89,7 +97,11 @@ fn sgdrc_serves_within_slo() {
     let m = ls_metrics("A", &stats.ls_completed[0], slo, sc.horizon_us);
     assert!(m.requests > 100, "requests {}", m.requests);
     assert!(m.slo_attainment > 0.95, "attainment {}", m.slo_attainment);
-    assert!(stats.be_completed[0] > 5, "BE inferences {}", stats.be_completed[0]);
+    assert!(
+        stats.be_completed[0] > 5,
+        "BE inferences {}",
+        stats.be_completed[0]
+    );
 }
 
 /// Fig. 17 shape: SGDRC dominates Orion on BE throughput at equal-or-
@@ -140,7 +152,11 @@ fn sgdrc_beats_orion_and_multistreaming_shapes() {
 fn learned_lut_drives_correct_coloring() {
     let model = GpuModel::RtxA2000;
     let oracle = model.channel_hash();
-    let n = if cfg!(debug_assertions) { 3_000 } else { 12_000 };
+    let n = if cfg!(debug_assertions) {
+        3_000
+    } else {
+        12_000
+    };
     let train = sgdrc_repro::reveng::synthetic_samples(oracle.as_ref(), 1 << 18, n, 0.05, 3);
     let learner = MlpHashLearner::train(
         &train,
@@ -219,22 +235,25 @@ fn mem_sim_and_exec_sim_contention_shapes_agree() {
 
     // -- kernel level: the same experiment through the contention model.
     let spec = GpuModel::RtxA2000.spec();
-    let stream = |mask: TpcMask| RunningCtx {
-        kernel: KernelDesc {
-            id: 3,
-            name: "stream".into(),
-            kind: KernelKind::Elementwise,
-            flops: 1e7,
-            bytes: 2e8,
-            thread_blocks: 256,
-            persistent_threads: true,
-            colored: false,
-            extra_registers: 0,
-            tensor_refs: vec![],
-        },
-        mask,
-        channels: ChannelSet::all(&spec),
-        thread_fraction: 1.0,
+    let stream = |mask: TpcMask| {
+        RunningCtx::new(
+            &spec,
+            KernelDesc {
+                id: 3,
+                name: "stream".into(),
+                kind: KernelKind::Elementwise,
+                flops: 1e7,
+                bytes: 2e8,
+                thread_blocks: 256,
+                persistent_threads: true,
+                colored: false,
+                extra_registers: 0,
+                tensor_refs: vec![],
+            },
+            mask,
+            ChannelSet::all(&spec),
+            1.0,
+        )
     };
     let v = stream(TpcMask::first(6));
     let t = stream(TpcMask::range(6, 7));
