@@ -27,10 +27,13 @@ impl Policy for Mps {
         "MPS"
     }
 
+    fn has_timers(&self) -> bool {
+        false
+    }
+
     fn dispatch(&mut self, st: &mut ServingState) {
-        let spec = st.spec().clone();
-        let mask = TpcMask::all(&spec);
-        let channels = ChannelSet::all(&spec);
+        let mask = TpcMask::all(st.spec());
+        let channels = ChannelSet::all(st.spec());
         if st.ls_launch.is_none() && st.peek_ls().is_some() {
             st.launch_ls(mask, channels, self.ls_fraction);
         }

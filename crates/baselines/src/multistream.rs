@@ -15,10 +15,13 @@ impl Policy for MultiStreaming {
         "Multi-streaming"
     }
 
+    fn has_timers(&self) -> bool {
+        false
+    }
+
     fn dispatch(&mut self, st: &mut ServingState) {
-        let spec = st.spec().clone();
-        let mask = TpcMask::all(&spec);
-        let channels = ChannelSet::all(&spec);
+        let mask = TpcMask::all(st.spec());
+        let channels = ChannelSet::all(st.spec());
         // Higher-priority LS stream dispatches first.
         if st.ls_launch.is_none() && st.peek_ls().is_some() {
             st.launch_ls(mask, channels, 1.0);

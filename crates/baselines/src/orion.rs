@@ -128,10 +128,13 @@ impl Policy for Orion {
         "Orion"
     }
 
+    fn has_timers(&self) -> bool {
+        false
+    }
+
     fn dispatch(&mut self, st: &mut ServingState) {
-        let spec = st.spec().clone();
-        let all_mask = TpcMask::all(&spec);
-        let all_channels = ChannelSet::all(&spec);
+        let all_mask = TpcMask::all(st.spec());
+        let all_channels = ChannelSet::all(st.spec());
         // LS kernels run unrestricted, highest priority.
         if st.ls_launch.is_none() && st.peek_ls().is_some() {
             st.launch_ls(all_mask, all_channels, 1.0);
@@ -139,16 +142,16 @@ impl Policy for Orion {
         // BE kernels co-execute only when mildly interfering.
         if st.be_launch.is_none() {
             if let Some((task, kidx)) = st.peek_be() {
-                let be_kernel = st.be_kernel(task, kidx).clone();
-                let be_profile = st.scenario.be[task].profile.kernels[kidx].clone();
                 let allowed = match st.ls_launch {
                     None => true, // GPU free for BE
                     Some(ls) => {
+                        let be_kernel = st.be_kernel(task, kidx);
+                        let be_profile = &st.scenario.be[task].profile.kernels[kidx];
                         let ls_profile = &st.scenario.ls[ls.task].profile.kernels[ls.kernel_idx];
                         !constraint_flags(
-                            &be_kernel,
-                            &be_profile,
-                            &spec,
+                            be_kernel,
+                            be_profile,
+                            st.spec(),
                             &self.cfg,
                             ls_profile.isolated_us,
                         )

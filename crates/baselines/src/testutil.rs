@@ -24,12 +24,7 @@ pub fn smoke_scenario(arrival_period_us: f64, horizon_us: f64) -> Scenario {
         .map(|i| i as f64 * arrival_period_us)
         .take_while(|&t| t < horizon_us)
         .collect();
-    Scenario {
-        ls: vec![Task::new(ls_model, &spec)],
-        be: vec![Task::new(be_model, &spec)],
-        ls_instances: 4,
-        arrivals: vec![arrivals],
-        horizon_us,
-        spec,
-    }
+    let ls = vec![Task::new(ls_model, &spec)];
+    let be = vec![Task::new(be_model, &spec)];
+    Scenario::new(spec, ls, be, 4, vec![arrivals], horizon_us)
 }

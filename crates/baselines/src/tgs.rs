@@ -51,6 +51,19 @@ impl Policy for Tgs {
         "TGS"
     }
 
+    fn has_timers(&self) -> bool {
+        true
+    }
+
+    fn on_run_start(&mut self, _st: &mut ServingState) {
+        // The container clocks are absolute times of one run; reset them
+        // so a reused policy instance doesn't start mid-quantum.
+        self.owner = Owner::Ls;
+        self.switching_until = None;
+        self.be_owns_until = 0.0;
+        self.last_seen_now = 0.0;
+    }
+
     fn next_timer(&self) -> Option<f64> {
         // Only future deadlines: the quantum expiry matters while the BE
         // container owns the GPU and LS work may be waiting.
@@ -94,9 +107,8 @@ impl Policy for Tgs {
             }
             return;
         }
-        let spec = st.spec().clone();
-        let mask = TpcMask::all(&spec);
-        let channels = ChannelSet::all(&spec);
+        let mask = TpcMask::all(st.spec());
+        let channels = ChannelSet::all(st.spec());
         match self.owner {
             Owner::Ls => {
                 if st.ls_launch.is_none() && st.peek_ls().is_some() && st.be_launch.is_none() {

@@ -158,14 +158,14 @@ fn bench_serving_slice(c: &mut Criterion) {
         &spec,
     );
     let arrivals: Vec<f64> = (0..20).map(|i| i as f64 * 4000.0).collect();
-    let sc = Scenario {
-        spec: spec.clone(),
-        ls: vec![ls],
-        be: vec![be],
-        ls_instances: 4,
-        arrivals: vec![arrivals],
-        horizon_us: 100_000.0,
-    };
+    let sc = Scenario::new(
+        spec.clone(),
+        vec![ls],
+        vec![be],
+        4,
+        vec![arrivals],
+        100_000.0,
+    );
     c.bench_function("serving/sgdrc_100ms_scenario", |b| {
         b.iter(|| {
             let mut policy = Sgdrc::new(&sc.spec, SgdrcConfig::default());

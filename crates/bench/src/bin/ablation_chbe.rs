@@ -5,7 +5,7 @@ use workload::runner::{run_system, Deployment, EndToEndConfig, Load, SystemKind}
 
 fn main() {
     sgdrc_bench::header("ablation — Ch_BE channel fraction (A2000, heavy)");
-    let dep = Deployment::new(GpuModel::RtxA2000);
+    let dep = Deployment::cached(GpuModel::RtxA2000);
     println!(
         "{:>8} {:>10} {:>12} {:>10}",
         "Ch_BE", "SLO att.", "BE (s/s)", "overall"

@@ -5,7 +5,7 @@ use workload::runner::{run_system, Deployment, EndToEndConfig, Load, SystemKind}
 
 fn main() {
     sgdrc_bench::header("ablation — sliding window length (A2000, heavy)");
-    let dep = Deployment::new(GpuModel::RtxA2000);
+    let dep = Deployment::cached(GpuModel::RtxA2000);
     println!(
         "{:>8} {:>10} {:>12} {:>10}",
         "window", "SLO att.", "BE (s/s)", "overall"

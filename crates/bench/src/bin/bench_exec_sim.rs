@@ -11,29 +11,28 @@ use exec_sim::{ChannelSet, RateMode, RateState, RunningCtx, TpcMask};
 use gpu_spec::GpuModel;
 use sgdrc_bench::json::Json;
 use sgdrc_core::serving::{run_with_mode, Scenario};
+use std::sync::Arc;
 use std::time::Instant;
-use workload::runner::{run_cell, Deployment, EndToEndConfig, Load, SystemKind};
-use workload::trace::{per_service_traces, TraceConfig};
+use workload::runner::{cell_trace, run_cell, Deployment, EndToEndConfig, Load, SystemKind};
 
 /// One full fig17-style sweep (every supported system × every BE
 /// co-location), sequential, under the given engine rate mode. Returns
 /// (total engine events, wall seconds).
 fn sweep(dep: &Deployment, cfg: &EndToEndConfig, mode: RateMode) -> (u64, f64) {
-    let trace_cfg = TraceConfig::apollo_like().scaled(cfg.load.scale());
-    let arrivals = per_service_traces(&trace_cfg, dep.ls_tasks.len(), cfg.horizon_us, cfg.seed);
+    let trace = cell_trace(dep, cfg);
     let start = Instant::now();
     let mut events = 0u64;
     for system in SystemKind::all() {
         if !system.supported_on(&dep.spec) {
             continue;
         }
-        for be_task in &dep.be_tasks {
+        for i in 0..dep.be_tasks.len() {
             let scenario = Scenario {
                 spec: dep.spec.clone(),
-                ls: dep.ls_tasks.clone(),
-                be: vec![be_task.clone()],
+                ls: Arc::clone(&dep.ls_tasks),
+                be: dep.be_singleton(i),
                 ls_instances: cfg.ls_instances,
-                arrivals: arrivals.clone(),
+                arrivals: Arc::clone(&trace),
                 horizon_us: cfg.horizon_us,
             };
             let mut policy = system.make(&dep.spec);
@@ -107,7 +106,7 @@ fn time_ns(mut f: impl FnMut()) -> f64 {
 
 fn main() {
     let gpu = GpuModel::RtxA2000;
-    let dep = Deployment::new(gpu);
+    let dep = Deployment::cached(gpu);
     let mut cfg = EndToEndConfig::new(gpu, Load::Heavy);
     cfg.horizon_us = 1.0e6;
 
@@ -141,18 +140,39 @@ fn main() {
     );
 
     // Parallel sweep: run_cell fans systems and BE scenarios out with
-    // rayon; compare against the serial fast sweep.
-    let start = Instant::now();
-    let results = run_cell(&dep, &cfg);
-    let par_wall = start.elapsed().as_secs_f64();
-    let par_speedup = fast_wall / par_wall;
-    let workers = std::thread::available_parallelism()
+    // rayon; compare against the serial fast sweep. On a single-core box
+    // a parallel-vs-serial comparison is meaningless, so it is skipped
+    // (and flagged in the JSON) rather than reported as a "speedup".
+    let detected_cpus = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
-    println!(
-        "parallel sweep: {par_wall:.2}s vs {fast_wall:.2}s serial = {par_speedup:.2}× ({workers} cores, {} systems)",
-        results.len()
-    );
+    let parallel_json = if detected_cpus <= 1 {
+        println!("parallel sweep: skipped (1 CPU detected — no parallelism to measure)");
+        Json::obj()
+            .set("skipped", true)
+            .set(
+                "reason",
+                "single CPU detected; a parallel-vs-serial speedup would be noise",
+            )
+            .set("detected_cpus", detected_cpus)
+            .set("worker_threads", 1usize)
+    } else {
+        let start = Instant::now();
+        let results = run_cell(&dep, &cfg);
+        let par_wall = start.elapsed().as_secs_f64();
+        let par_speedup = fast_wall / par_wall;
+        println!(
+            "parallel sweep: {par_wall:.2}s vs {fast_wall:.2}s serial = {par_speedup:.2}× ({detected_cpus} cores, {} systems)",
+            results.len()
+        );
+        Json::obj()
+            .set("skipped", false)
+            .set("serial_wall_s", fast_wall)
+            .set("parallel_wall_s", par_wall)
+            .set("speedup", par_speedup)
+            .set("detected_cpus", detected_cpus)
+            .set("worker_threads", detected_cpus)
+    };
 
     // compute_rates micro-timings at 1/2/4 resident kernels.
     sgdrc_bench::header("compute_rates ns/call (fast vs reference)");
@@ -206,14 +226,8 @@ fn main() {
                 .set("events_per_sec", fast_eps),
         )
         .set("events_per_sec_speedup", speedup)
-        .set(
-            "parallel_sweep",
-            Json::obj()
-                .set("serial_wall_s", fast_wall)
-                .set("parallel_wall_s", par_wall)
-                .set("speedup", par_speedup)
-                .set("worker_threads", workers),
-        )
+        .set("detected_cpus", detected_cpus)
+        .set("parallel_sweep", parallel_json)
         .set("compute_rates_ns", micro);
     std::fs::write("BENCH_exec_sim.json", doc.pretty()).expect("write BENCH_exec_sim.json");
     println!("\nwrote BENCH_exec_sim.json");

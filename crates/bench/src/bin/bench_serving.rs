@@ -1,0 +1,275 @@
+//! Serving-layer before/after benchmark: the seed scan/clone serving
+//! path (per-event O(n_ls) arrival scans, full re-admission walks, deep
+//! task/trace clones per scenario) vs. the merged-stream, `Arc`-shared
+//! path, on a Fig. 17 heavy-load sweep. Also times deployment setup
+//! (compile + profile) cold vs. through the memoized builder. Writes
+//! `BENCH_serving.json` so every future PR has a serving-layer perf
+//! trajectory to compare against.
+//!
+//! `--smoke` runs a tiny horizon and skips the speedup gate; CI uses it
+//! on every push so the harness and the JSON emitter cannot silently rot.
+
+use exec_sim::RateMode;
+use gpu_spec::GpuModel;
+use sgdrc_bench::json::Json;
+use sgdrc_core::serving::{run_configured, RunStats, Scenario, ServingMode};
+use std::sync::Arc;
+use std::time::Instant;
+use workload::runner::{cell_trace, Deployment, EndToEndConfig, Load, SystemKind};
+use workload::trace::{per_service_traces, TraceConfig};
+
+struct Sweep {
+    events: u64,
+    scenarios: usize,
+    wall_s: f64,
+    stats: Vec<RunStats>,
+    /// (system name, events, wall seconds) per system — where the sweep
+    /// time actually goes.
+    per_system: Vec<(&'static str, u64, f64)>,
+}
+
+/// The seed serving layer, reproduced faithfully: the trace is
+/// regenerated per system, and every BE co-location scenario deep-clones
+/// the full LS task set (compiled models, profiles, kernel lists) and
+/// all arrival lists — exactly what `runner.rs` did before the refactor.
+/// The loop itself runs `ServingMode::Seed` (per-event arrival scan plus
+/// a full re-admission walk after every event).
+fn sweep_seed(dep: &Deployment, cfg: &EndToEndConfig) -> Sweep {
+    let start = Instant::now();
+    let mut sweep = Sweep {
+        events: 0,
+        scenarios: 0,
+        wall_s: 0.0,
+        stats: Vec::new(),
+        per_system: Vec::new(),
+    };
+    for system in SystemKind::all() {
+        if !system.supported_on(&dep.spec) {
+            continue;
+        }
+        let sys_start = Instant::now();
+        let mut sys_events = 0u64;
+        let trace_cfg = TraceConfig::apollo_like().scaled(cfg.load.scale());
+        let arrivals = per_service_traces(&trace_cfg, dep.ls_tasks.len(), cfg.horizon_us, cfg.seed);
+        for i in 0..dep.be_tasks.len() {
+            let scenario = Scenario::new(
+                dep.spec.clone(),
+                dep.ls_tasks.to_vec(),
+                vec![dep.be_tasks[i].clone()],
+                cfg.ls_instances,
+                arrivals.clone(),
+                cfg.horizon_us,
+            );
+            let mut policy = system.make(&dep.spec);
+            let stats = run_configured(
+                policy.as_mut(),
+                &scenario,
+                RateMode::Fast,
+                ServingMode::Seed,
+            );
+            sys_events += stats.engine_events;
+            sweep.scenarios += 1;
+            sweep.stats.push(stats);
+        }
+        sweep.events += sys_events;
+        sweep
+            .per_system
+            .push((system.name(), sys_events, sys_start.elapsed().as_secs_f64()));
+    }
+    sweep.wall_s = start.elapsed().as_secs_f64();
+    sweep
+}
+
+/// The refactored path: one shared trace per cell, `Arc`ed task sets
+/// (scenario construction is pointer bumps), the pre-merged arrival
+/// stream and incremental admission.
+fn sweep_fast(dep: &Deployment, cfg: &EndToEndConfig) -> Sweep {
+    let start = Instant::now();
+    let mut sweep = Sweep {
+        events: 0,
+        scenarios: 0,
+        wall_s: 0.0,
+        stats: Vec::new(),
+        per_system: Vec::new(),
+    };
+    let trace = cell_trace(dep, cfg);
+    for system in SystemKind::all() {
+        if !system.supported_on(&dep.spec) {
+            continue;
+        }
+        let sys_start = Instant::now();
+        let mut sys_events = 0u64;
+        for i in 0..dep.be_tasks.len() {
+            let scenario = Scenario {
+                spec: dep.spec.clone(),
+                ls: Arc::clone(&dep.ls_tasks),
+                be: dep.be_singleton(i),
+                ls_instances: cfg.ls_instances,
+                arrivals: Arc::clone(&trace),
+                horizon_us: cfg.horizon_us,
+            };
+            let mut policy = system.make(&dep.spec);
+            let stats = run_configured(
+                policy.as_mut(),
+                &scenario,
+                RateMode::Fast,
+                ServingMode::Fast,
+            );
+            sys_events += stats.engine_events;
+            sweep.scenarios += 1;
+            sweep.stats.push(stats);
+        }
+        sweep.events += sys_events;
+        sweep
+            .per_system
+            .push((system.name(), sys_events, sys_start.elapsed().as_secs_f64()));
+    }
+    sweep.wall_s = start.elapsed().as_secs_f64();
+    sweep
+}
+
+fn arm_json(label: &str, s: &Sweep) -> Json {
+    let mut per_system = Json::obj();
+    for &(name, events, wall) in &s.per_system {
+        per_system = per_system.set(
+            name,
+            Json::obj()
+                .set("events", events)
+                .set("wall_s", wall)
+                .set("events_per_sec", events as f64 / wall),
+        );
+    }
+    Json::obj()
+        .set("mode", label)
+        .set("events", s.events)
+        .set("scenarios", s.scenarios)
+        .set("wall_s", s.wall_s)
+        .set("events_per_sec", s.events as f64 / s.wall_s)
+        .set("scenarios_per_sec", s.scenarios as f64 / s.wall_s)
+        .set("per_system", per_system)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let gpu = GpuModel::RtxA2000;
+
+    // Deployment setup: cold compile + profile of the 11-model zoo vs. a
+    // memoized-builder hit.
+    sgdrc_bench::header("BENCH_serving — deployment setup");
+    let t = Instant::now();
+    let dep = Deployment::cached(gpu);
+    let setup_cold_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let dep_again = Deployment::cached(gpu);
+    let setup_cached_s = t.elapsed().as_secs_f64();
+    assert!(
+        Arc::ptr_eq(&dep, &dep_again),
+        "memoized builder must return the cached deployment"
+    );
+    println!("cold compile+profile: {setup_cold_s:.3}s; memoized hit: {setup_cached_s:.6}s");
+
+    let mut cfg = EndToEndConfig::new(gpu, Load::Heavy);
+    // Long enough that each sweep arm runs for a sizeable fraction of a
+    // second — short sweeps are dominated by scheduler noise on small
+    // boxes and the before/after ratio becomes a coin flip.
+    cfg.horizon_us = if smoke { 3e4 } else { 4.0e6 };
+
+    sgdrc_bench::header("BENCH_serving — fig17-style heavy sweep, before/after");
+    println!(
+        "gpu={} load={} horizon={}µs{}",
+        dep.spec.name,
+        cfg.load.name(),
+        cfg.horizon_us,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // Warm once, then measure: best of three alternating passes per arm,
+    // so a stray scheduler hiccup on either side doesn't decide the
+    // comparison (runs are deterministic, so every rep produces the same
+    // stats and only the wall time varies).
+    let _ = sweep_fast(&dep, &cfg);
+    let mut before = sweep_seed(&dep, &cfg);
+    let mut after = sweep_fast(&dep, &cfg);
+    for _ in 0..2 {
+        let b = sweep_seed(&dep, &cfg);
+        if b.wall_s < before.wall_s {
+            before = b;
+        }
+        let a = sweep_fast(&dep, &cfg);
+        if a.wall_s < after.wall_s {
+            after = a;
+        }
+    }
+
+    // The two serving paths must be indistinguishable in results — same
+    // completions, same preemptions, same event counts, per scenario.
+    assert_eq!(
+        before.stats, after.stats,
+        "seed and fast serving paths diverged"
+    );
+
+    let before_eps = before.events as f64 / before.wall_s;
+    let after_eps = after.events as f64 / after.wall_s;
+    let events_speedup = after_eps / before_eps;
+    let scenarios_speedup =
+        (after.scenarios as f64 / after.wall_s) / (before.scenarios as f64 / before.wall_s);
+    println!(
+        "before (seed scan/clone): {} events, {} scenarios in {:.2}s = {:.0} events/s",
+        before.events, before.scenarios, before.wall_s, before_eps
+    );
+    println!(
+        "after  (merged, shared):  {} events, {} scenarios in {:.2}s = {:.0} events/s",
+        after.events, after.scenarios, after.wall_s, after_eps
+    );
+    println!("events/sec speedup: {events_speedup:.2}× (target ≥ 1.3×)");
+    println!("scenarios/sec speedup: {scenarios_speedup:.2}×");
+    println!("\nper-system events/s (before → after):");
+    for (&(name, b_ev, b_wall), &(_, a_ev, a_wall)) in
+        before.per_system.iter().zip(&after.per_system)
+    {
+        println!(
+            "  {name:<16} {:>9.0} → {:>9.0}  ({:.2}×)",
+            b_ev as f64 / b_wall,
+            a_ev as f64 / a_wall,
+            (a_ev as f64 / a_wall) / (b_ev as f64 / b_wall)
+        );
+    }
+
+    let detected_cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let doc = Json::obj()
+        .set("benchmark", "serving_fig17_sweep")
+        .set("gpu", dep.spec.name)
+        .set("load", cfg.load.name())
+        .set("horizon_us", cfg.horizon_us)
+        .set("smoke", smoke)
+        .set("detected_cpus", detected_cpus)
+        .set(
+            "scenarios",
+            "all supported systems × 3 BE co-locations, sequential",
+        )
+        .set(
+            "setup",
+            Json::obj()
+                .set("cold_compile_profile_s", setup_cold_s)
+                .set("memoized_hit_s", setup_cached_s),
+        )
+        .set(
+            "before",
+            arm_json("seed (arrival scan + deep clones)", &before),
+        )
+        .set(
+            "after",
+            arm_json("fast (merged stream + Arc sharing)", &after),
+        )
+        .set("events_per_sec_speedup", events_speedup)
+        .set("scenarios_per_sec_speedup", scenarios_speedup);
+    std::fs::write("BENCH_serving.json", doc.pretty()).expect("write BENCH_serving.json");
+    println!("\nwrote BENCH_serving.json");
+
+    if !smoke && events_speedup.max(scenarios_speedup) < 1.3 {
+        eprintln!("WARNING: serving speedup {events_speedup:.2}× below the 1.3× target");
+        std::process::exit(1);
+    }
+}

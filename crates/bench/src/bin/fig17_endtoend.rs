@@ -7,7 +7,7 @@ use workload::runner::{run_cell, Deployment, EndToEndConfig, Load};
 fn main() {
     let mut all = Vec::new();
     for gpu in GpuModel::testbeds() {
-        let dep = Deployment::new(gpu);
+        let dep = Deployment::cached(gpu);
         for load in [Load::Heavy, Load::Light] {
             let mut cfg = EndToEndConfig::new(gpu, load);
             cfg.horizon_us = 4e6;

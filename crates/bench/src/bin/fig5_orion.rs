@@ -31,14 +31,14 @@ fn main() {
             mean_rate_hz: rate,
             ..TraceConfig::apollo_like()
         };
-        let sc = Scenario {
-            spec: spec.clone(),
-            ls: vec![ls_task.clone()],
-            be: vec![be_task.clone()],
-            ls_instances: 4,
-            arrivals: vec![generate(&cfg, horizon, 13)],
-            horizon_us: horizon,
-        };
+        let sc = Scenario::new(
+            spec.clone(),
+            vec![ls_task.clone()],
+            vec![be_task.clone()],
+            4,
+            vec![generate(&cfg, horizon, 13)],
+            horizon,
+        );
         let stats = run(&mut Orion::default(), &sc);
         let slo = slo_for(sc.ls[0].profile.isolated_e2e_us, 2);
         let m = ls_metrics("MobileNetV3", &stats.ls_completed[0], slo, horizon);

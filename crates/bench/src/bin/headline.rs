@@ -9,7 +9,7 @@ fn main() {
     let mut overall_gain = Vec::new();
     let mut be_gain = Vec::new();
     for gpu in GpuModel::testbeds() {
-        let dep = Deployment::new(gpu);
+        let dep = Deployment::cached(gpu);
         for load in [Load::Heavy, Load::Light] {
             let mut cfg = EndToEndConfig::new(gpu, load);
             cfg.horizon_us = 4e6;

@@ -1,0 +1,85 @@
+//! Property tests for the merged arrival stream: it must yield exactly
+//! the (task, time) sequence the seed per-task cursor scan produced,
+//! including tie-breaking, for arbitrary sorted traces.
+
+use proptest::prelude::*;
+use sgdrc_core::serving::{merge_arrivals, ArrivalTrace};
+
+/// The seed algorithm, verbatim: repeatedly scan every per-task cursor
+/// and consume the earliest head (strict `<`, so the lowest task index
+/// wins time ties).
+fn seed_scan(per_task: &[Vec<f64>]) -> Vec<(usize, f64)> {
+    let mut cursors = vec![0usize; per_task.len()];
+    let mut out = Vec::new();
+    loop {
+        let mut best: Option<(usize, f64)> = None;
+        for (t, &c) in cursors.iter().enumerate() {
+            if let Some(&at) = per_task[t].get(c) {
+                if best.is_none_or(|(_, b)| at < b) {
+                    best = Some((t, at));
+                }
+            }
+        }
+        match best {
+            Some((t, at)) => {
+                cursors[t] += 1;
+                out.push((t, at));
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Random traces with deliberately collision-prone timestamps (small
+    /// integer grid, so cross-task and within-task ties are common).
+    #[test]
+    fn merged_stream_matches_seed_scan(
+        raw in prop::collection::vec(prop::collection::vec(0u32..64, 0..48), 0..6),
+    ) {
+        let per_task: Vec<Vec<f64>> = raw
+            .into_iter()
+            .map(|mut v| {
+                v.sort_unstable();
+                v.into_iter().map(|x| x as f64 * 0.5).collect()
+            })
+            .collect();
+        let merged = merge_arrivals(&per_task);
+        let seed = seed_scan(&per_task);
+        prop_assert_eq!(merged.len(), seed.len());
+        for (m, s) in merged.iter().zip(&seed) {
+            prop_assert_eq!(m.task as usize, s.0);
+            prop_assert_eq!(m.at_us, s.1);
+        }
+        // The lazily built trace agrees with the free function.
+        let trace = ArrivalTrace::new(per_task);
+        prop_assert_eq!(trace.merged().len(), seed.len());
+        for (m, s) in trace.merged().iter().zip(&seed) {
+            prop_assert_eq!((m.task as usize, m.at_us), *s);
+        }
+    }
+
+    /// The merged stream is globally time-sorted with ties ordered by
+    /// task index — the invariant the O(1) serving cursor relies on.
+    #[test]
+    fn merged_stream_is_sorted(
+        raw in prop::collection::vec(prop::collection::vec(0u32..32, 0..32), 1..5),
+    ) {
+        let per_task: Vec<Vec<f64>> = raw
+            .into_iter()
+            .map(|mut v| {
+                v.sort_unstable();
+                v.into_iter().map(f64::from).collect()
+            })
+            .collect();
+        let merged = merge_arrivals(&per_task);
+        for w in merged.windows(2) {
+            prop_assert!(
+                w[0].at_us < w[1].at_us
+                    || (w[0].at_us == w[1].at_us && w[0].task <= w[1].task),
+                "out of order: {:?} then {:?}", w[0], w[1]
+            );
+        }
+    }
+}

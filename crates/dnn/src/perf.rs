@@ -121,8 +121,17 @@ pub struct KernelPerfInvariants {
     pub thrash_intensity: f64,
     /// Share of issued instructions touching global memory.
     pub memory_instr_share: f64,
+    /// `1 / bw_demand_gbps` (0 when the kernel demands no bandwidth) —
+    /// turns the contention model's per-evaluation bandwidth-share
+    /// division into a multiply.
+    pub inv_bw_demand_gbps: f64,
     /// Cached `spec.num_tpcs` (f64) for the MLP bandwidth limit.
     num_tpcs: f64,
+    /// `compute_us × saturation_tpcs`: folds the SM-scale division
+    /// (`compute_us / (tpcs/sat)`) into a single divide per evaluation.
+    compute_scaled: f64,
+    /// `3 / num_tpcs`: the MLP limit's slope, precomputed.
+    mlp_per_tpc: f64,
 }
 
 impl KernelPerfInvariants {
@@ -141,28 +150,38 @@ impl KernelPerfInvariants {
         };
         let body = memory_us.max(compute_us).max(1e-9);
         let bw_demand_gbps = k.bytes / (body * 1e-6) / 1e9;
+        let saturation_tpcs = k.saturation_tpcs(spec) as f64;
+        let num_tpcs = spec.num_tpcs as f64;
         Self {
             compute_us,
             memory_us,
             isolated_us: isolated_runtime_us(k, spec),
-            saturation_tpcs: k.saturation_tpcs(spec) as f64,
+            saturation_tpcs,
             static_factor: coloring_overhead * sched_penalty,
             bw_demand_gbps,
             thrash_intensity: (bw_demand_gbps / spec.mem_bandwidth_gbps).min(1.0),
             memory_instr_share: k.memory_instr_share(),
-            num_tpcs: spec.num_tpcs as f64,
+            inv_bw_demand_gbps: if bw_demand_gbps > 0.0 {
+                1.0 / bw_demand_gbps
+            } else {
+                0.0
+            },
+            num_tpcs,
+            compute_scaled: compute_us * saturation_tpcs,
+            mlp_per_tpc: 3.0 / num_tpcs,
         }
     }
 
     /// Kernel runtime under a resource context — same roofline as
-    /// [`runtime_us`] (bit-for-bit up to float associativity in the
-    /// static multipliers), with every descriptor-derived term served
-    /// from the precomputed block.
+    /// [`runtime_us`] (equal up to float associativity in the scale
+    /// terms), with every descriptor-derived term served from the
+    /// precomputed block and the invariant divisions pre-folded.
     pub fn runtime_us(&self, ctx: ResourceCtx) -> f64 {
         let tpcs = ctx.tpcs.clamp(0.05, self.num_tpcs);
-        let scale = tpcs.min(self.saturation_tpcs) / self.saturation_tpcs;
-        let compute = self.compute_us / scale.max(1e-9);
-        let mlp_limit = (ctx.tpcs / self.num_tpcs * 3.0).min(1.0);
+        // compute_us / (tpcs.min(sat)/sat), with the numerator prefolded;
+        // the clamped tpcs keep the denominator strictly positive.
+        let compute = self.compute_scaled / tpcs.min(self.saturation_tpcs);
+        let mlp_limit = (ctx.tpcs * self.mlp_per_tpc).min(1.0);
         let memory = self.memory_us / (ctx.bw_share.min(mlp_limit)).max(1e-9);
         LAUNCH_OVERHEAD_US + compute.max(memory) * ctx.intra_sm_factor * self.static_factor
     }

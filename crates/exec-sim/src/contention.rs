@@ -157,6 +157,28 @@ pub struct RateState {
     /// Σ of L2/MSHR/bank conflict terms against each kernel
     /// (`l2_penalty = 1 + l2_sum`).
     l2_sum: Vec<f64>,
+    /// Number of co-runners whose TPC mask *partially* overlaps each
+    /// kernel's (neither disjoint nor a superset). While zero, the
+    /// kernel's occupancy is uniform across its mask and
+    /// [`emit_rates`](RateState::emit_rates) replaces the per-TPC loop
+    /// with a popcount — the steady state for tidal partitioning
+    /// (disjoint masks) and full-GPU sharing (mutual supersets) alike.
+    tpc_partial: Vec<u32>,
+    /// Summed thread fraction of co-runners whose mask covers this
+    /// kernel's entirely (valid while `tpc_partial` is 0).
+    tpc_cover_fraction: Vec<f64>,
+    /// As `tpc_partial`, for VRAM channel sets.
+    chan_partial: Vec<u32>,
+    /// Summed per-channel bandwidth demand of co-runners whose channel
+    /// set covers this kernel's entirely (valid while `chan_partial`
+    /// is 0).
+    chan_cover_demand: Vec<f64>,
+}
+
+/// Bandwidth demand a kernel places on each channel of its set, GB/s.
+#[inline]
+fn per_channel_demand(r: &RunningCtx) -> f64 {
+    r.perf.bw_demand_gbps / r.channels.count().max(1) as f64
 }
 
 /// Intra-SM interference inflicted *on* `victim` *by* `other` (Fig. 3a).
@@ -206,6 +228,14 @@ impl RateState {
         self.intra_sum.resize(running.len(), 0.0);
         self.l2_sum.clear();
         self.l2_sum.resize(running.len(), 0.0);
+        self.tpc_partial.clear();
+        self.tpc_partial.resize(running.len(), 0);
+        self.tpc_cover_fraction.clear();
+        self.tpc_cover_fraction.resize(running.len(), 0.0);
+        self.chan_partial.clear();
+        self.chan_partial.resize(running.len(), 0);
+        self.chan_cover_demand.clear();
+        self.chan_cover_demand.resize(running.len(), 0.0);
         for (i, r) in running.iter().enumerate() {
             let mut intra = 0.0;
             let mut l2 = 0.0;
@@ -213,12 +243,39 @@ impl RateState {
                 if i != j {
                     intra += intra_term(spec, r, o);
                     l2 += l2_term(spec, r, o);
+                    self.classify_pair(i, r, o, 1.0);
                 }
             }
             self.intra_sum[i] = intra;
             self.l2_sum[i] = l2;
         }
         self.emit_rates(spec, running, out);
+    }
+
+    /// Adds (`sign = 1.0`) or retracts (`sign = -1.0`) the uniformity
+    /// classification of co-runner `other` from victim `i`'s entries.
+    #[inline]
+    fn classify_pair(&mut self, i: usize, victim: &RunningCtx, other: &RunningCtx, sign: f64) {
+        let inter = victim.mask.0 & other.mask.0;
+        if inter != 0 {
+            if inter == victim.mask.0 {
+                self.tpc_cover_fraction[i] += sign * other.thread_fraction;
+            } else if sign > 0.0 {
+                self.tpc_partial[i] += 1;
+            } else {
+                self.tpc_partial[i] -= 1;
+            }
+        }
+        let cinter = victim.channels.0 & other.channels.0;
+        if cinter != 0 {
+            if cinter == victim.channels.0 {
+                self.chan_cover_demand[i] += sign * per_channel_demand(other);
+            } else if sign > 0.0 {
+                self.chan_partial[i] += 1;
+            } else {
+                self.chan_partial[i] -= 1;
+            }
+        }
     }
 
     /// Incremental update after kernel `i` changed its TPC mask and/or
@@ -252,7 +309,13 @@ impl RateState {
         };
         self.remove_aggregates(&old);
         self.add_aggregates(changed);
-        // Pairwise sums: only terms involving kernel `i` change.
+        // Pairwise sums: only terms involving kernel `i` change. Kernel
+        // `i`'s own classification is rebuilt from scratch (its mask /
+        // channel set — the victim side of every comparison — changed).
+        self.tpc_partial[i] = 0;
+        self.tpc_cover_fraction[i] = 0.0;
+        self.chan_partial[i] = 0;
+        self.chan_cover_demand[i] = 0.0;
         let mut intra_i = 0.0;
         let mut l2_i = 0.0;
         for (j, o) in running.iter().enumerate() {
@@ -263,15 +326,83 @@ impl RateState {
             self.l2_sum[j] += l2_term(spec, o, changed) - l2_term(spec, o, &old);
             intra_i += intra_term(spec, changed, o);
             l2_i += l2_term(spec, changed, o);
+            self.classify_pair(j, o, &old, -1.0);
+            self.classify_pair(j, o, changed, 1.0);
+            self.classify_pair(i, changed, o, 1.0);
         }
         self.intra_sum[i] = intra_i;
         self.l2_sum[i] = l2_i;
         self.emit_rates(spec, running, out);
     }
 
+    /// Incremental update after a kernel was appended to the running set
+    /// (`running` already ends with it): adds its aggregates and the
+    /// pairwise terms it exchanges with every incumbent — O(n) instead
+    /// of the full O(n²) rebuild. Rates are *not* re-emitted; call
+    /// [`RateState::emit_rates`] when they're next read.
+    pub fn add_last(&mut self, spec: &GpuSpec, running: &[RunningCtx]) {
+        debug_assert_eq!(
+            self.intra_sum.len() + 1,
+            running.len(),
+            "state tracks the pre-launch running set"
+        );
+        let i = running.len() - 1;
+        let new = &running[i];
+        self.add_aggregates(new);
+        self.tpc_partial.push(0);
+        self.tpc_cover_fraction.push(0.0);
+        self.chan_partial.push(0);
+        self.chan_cover_demand.push(0.0);
+        let mut intra_i = 0.0;
+        let mut l2_i = 0.0;
+        for (j, o) in running[..i].iter().enumerate() {
+            self.intra_sum[j] += intra_term(spec, o, new);
+            self.l2_sum[j] += l2_term(spec, o, new);
+            intra_i += intra_term(spec, new, o);
+            l2_i += l2_term(spec, new, o);
+            self.classify_pair(j, o, new, 1.0);
+            self.classify_pair(i, new, o, 1.0);
+        }
+        self.intra_sum.push(intra_i);
+        self.l2_sum.push(l2_i);
+    }
+
+    /// Incremental update after the kernel previously at `idx` left the
+    /// running set (`running` no longer contains it; order of the rest
+    /// preserved): retracts its aggregates and pairwise terms. Rates are
+    /// *not* re-emitted; call [`RateState::emit_rates`] when read.
+    pub fn remove_at(
+        &mut self,
+        spec: &GpuSpec,
+        running: &[RunningCtx],
+        idx: usize,
+        removed: &RunningCtx,
+    ) {
+        debug_assert_eq!(
+            self.intra_sum.len(),
+            running.len() + 1,
+            "state tracks the pre-removal running set"
+        );
+        self.remove_aggregates(removed);
+        self.intra_sum.remove(idx);
+        self.l2_sum.remove(idx);
+        self.tpc_partial.remove(idx);
+        self.tpc_cover_fraction.remove(idx);
+        self.chan_partial.remove(idx);
+        self.chan_cover_demand.remove(idx);
+        for (j, o) in running.iter().enumerate() {
+            self.intra_sum[j] -= intra_term(spec, o, removed);
+            self.l2_sum[j] -= l2_term(spec, o, removed);
+            self.classify_pair(j, o, removed, -1.0);
+        }
+    }
+
     #[inline]
     fn add_aggregates(&mut self, r: &RunningCtx) {
-        let per_channel = r.perf.bw_demand_gbps / r.channels.count().max(1) as f64;
+        // Shares the exact expression with `classify_pair`'s cover
+        // bookkeeping: the incremental retraction must cancel what the
+        // aggregates accumulated, bit for bit.
+        let per_channel = per_channel_demand(r);
         for c in r.channels.iter_ones() {
             self.channel_demand[c as usize] += per_channel;
         }
@@ -282,7 +413,7 @@ impl RateState {
 
     #[inline]
     fn remove_aggregates(&mut self, r: &RunningCtx) {
-        let per_channel = r.perf.bw_demand_gbps / r.channels.count().max(1) as f64;
+        let per_channel = per_channel_demand(r);
         for c in r.channels.iter_ones() {
             self.channel_demand[c as usize] -= per_channel;
         }
@@ -292,39 +423,75 @@ impl RateState {
     }
 
     /// Evaluates every kernel's rate from the current aggregates/sums.
-    fn emit_rates(&self, spec: &GpuSpec, running: &[RunningCtx], out: &mut Vec<KernelRate>) {
+    pub fn emit_rates(&self, spec: &GpuSpec, running: &[RunningCtx], out: &mut Vec<KernelRate>) {
         out.clear();
         let channel_cap = spec.channel_bandwidth_gbps();
         for (i, r) in running.iter().enumerate() {
             // ---- VRAM bandwidth share (Fig. 3b) -----------------------
-            let demand = r.perf.bw_demand_gbps;
-            let per_channel_demand = demand / r.channels.count().max(1) as f64;
-            let mut granted = 0.0;
-            for c in r.channels.iter_ones() {
-                let d = self.channel_demand[c as usize];
-                granted += if d <= channel_cap {
-                    per_channel_demand
-                } else {
-                    per_channel_demand * channel_cap / d
-                };
-            }
             // Fraction of the kernel's demand it actually receives. A
             // restricted channel set is captured naturally: the demand
             // concentrates on fewer channels, whose caps bind sooner.
-            let bw_share = if demand > 0.0 {
-                (granted / demand).clamp(1e-6, 1.0)
-            } else {
+            // When no co-runner's channel set partially overlaps, every
+            // channel of the set carries the same aggregate demand and
+            // the per-channel walk collapses to one comparison.
+            let demand = r.perf.bw_demand_gbps;
+            let pcd = per_channel_demand(r);
+            let bw_share = if demand <= 0.0 {
                 1.0
+            } else if r.channels.is_empty() {
+                // No channels granted at all: the per-channel walk sums
+                // zero, so the demand-starved floor applies (kept out of
+                // the uniform fast path, which would otherwise see "no
+                // partial overlap" and report full bandwidth).
+                1e-6
+            } else if self.chan_partial[i] == 0 {
+                let d = pcd + self.chan_cover_demand[i];
+                if d <= channel_cap {
+                    1.0
+                } else {
+                    (channel_cap / d).clamp(1e-6, 1.0)
+                }
+            } else {
+                let mut granted = 0.0;
+                for c in r.channels.iter_ones() {
+                    let d = self.channel_demand[c as usize];
+                    granted += if d <= channel_cap {
+                        pcd
+                    } else {
+                        pcd * channel_cap / d
+                    };
+                }
+                (granted * r.perf.inv_bw_demand_gbps).clamp(1e-6, 1.0)
             };
             let l2_penalty = 1.0 + self.l2_sum[i];
             let intra = 1.0 + self.intra_sum[i];
 
             // ---- roofline under current conditions --------------------
-            // Effective TPCs: fair share of every TPC in the mask.
-            let mut eff_tpcs = 0.0;
-            for t in r.mask.iter_ones() {
-                eff_tpcs += r.thread_fraction / self.tpc_occupancy[t as usize].max(1.0);
-            }
+            // Effective TPCs: fair share of every TPC in the mask. With
+            // no partial mask overlap the occupancy is uniform (own
+            // fraction + covering co-runners) and the per-TPC walk is a
+            // popcount; inside the walk an uncontended TPC (occupancy
+            // ≤ 1) contributes the thread fraction directly.
+            let eff_tpcs = if self.tpc_partial[i] == 0 {
+                let occupancy = r.thread_fraction + self.tpc_cover_fraction[i];
+                let share = if occupancy <= 1.0 {
+                    r.thread_fraction
+                } else {
+                    r.thread_fraction / occupancy
+                };
+                share * r.mask.count() as f64
+            } else {
+                let mut eff = 0.0;
+                for t in r.mask.iter_ones() {
+                    let occupancy = self.tpc_occupancy[t as usize];
+                    eff += if occupancy <= 1.0 {
+                        r.thread_fraction
+                    } else {
+                        r.thread_fraction / occupancy
+                    };
+                }
+                eff
+            };
             let eff_bw_share = bw_share / l2_penalty;
             let ctx = ResourceCtx {
                 tpcs: eff_tpcs.max(0.05),

@@ -15,9 +15,12 @@
 //!   parallel to integration bookkeeping), each context sharing its
 //!   descriptor via `Arc` with per-kernel invariants precomputed at
 //!   launch;
-//! * rates live in a persistent [`RateState`] — full recomputation only
-//!   on launch/finish, an incremental O(n) update on [`Engine::remask`]
-//!   (checked against the full recompute in debug builds);
+//! * rates live in a persistent [`RateState`] — running-set changes only
+//!   mark them stale and the recompute happens at the next read, so a
+//!   completion immediately followed by a relaunch (the serving loop's
+//!   steady state) pays one evaluation, not two; [`Engine::remask`] takes
+//!   an incremental O(n) update (checked against the full recompute in
+//!   debug builds);
 //! * [`Engine::next_event_at`] is memoized; integration keeps it valid
 //!   (absolute finish times are invariant under `advance_to`), so the
 //!   serving loop's repeated queries cost a `Cell` read.
@@ -30,7 +33,7 @@ use crate::contention::{reference, KernelRate, PreparedKernel, RateState, Runnin
 use crate::types::{ChannelSet, EngineEvent, LaunchId, TpcMask};
 use dnn::kernel::KernelDesc;
 use gpu_spec::GpuSpec;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 
 /// Launch-time configuration of a kernel instance.
@@ -92,9 +95,25 @@ pub struct Engine {
     /// Integration bookkeeping, parallel to `ctxs`.
     meta: Vec<RunningMeta>,
     /// Rates valid for the current running set (parallel to `ctxs`).
-    rates: Vec<KernelRate>,
+    /// Interior-mutable so the lazy refresh can run behind `&self`
+    /// accessors like [`Engine::next_event_at`].
+    rates: RefCell<Vec<KernelRate>>,
     /// Persistent aggregates backing the fast rate path.
-    state: RateState,
+    state: RefCell<RateState>,
+    /// Set when the running set changed and `rates` no longer describes
+    /// it. In `Fast` mode launches and completions only mark this flag;
+    /// the recompute happens at the next read. A completion immediately
+    /// followed by a relaunch at the same timestamp — the serving loop's
+    /// steady state — then pays one rate evaluation instead of two.
+    /// (`Reference` mode refreshes eagerly on every change, as the seed
+    /// engine did.)
+    rates_stale: Cell<bool>,
+    /// Replay the pre-refactor maintenance discipline: a full recompute
+    /// and emit on every running-set change instead of the incremental
+    /// deferred path. The serving benchmark's "before" arm sets this so
+    /// the measurement captures the whole hot-path overhaul; results are
+    /// identical either way.
+    eager_rates: bool,
     mode: RateMode,
     /// Memoized next-event time (`None` = stale, recompute on demand).
     next_event: Cell<Option<Option<f64>>>,
@@ -110,8 +129,10 @@ impl Engine {
             next_id: 1,
             ctxs: Vec::new(),
             meta: Vec::new(),
-            rates: Vec::new(),
-            state: RateState::default(),
+            rates: RefCell::new(Vec::new()),
+            state: RefCell::new(RateState::default()),
+            rates_stale: Cell::new(false),
+            eager_rates: false,
             mode: RateMode::Fast,
             next_event: Cell::new(Some(None)),
             events: 0,
@@ -122,6 +143,14 @@ impl Engine {
     pub fn set_rate_mode(&mut self, mode: RateMode) {
         self.mode = mode;
         self.refresh_rates_full();
+    }
+
+    /// Replays the pre-refactor rate-maintenance discipline (full
+    /// recompute and emit on every launch/finish) — the serving
+    /// benchmark's "before" arm. Results are identical; only the
+    /// per-event cost differs.
+    pub fn set_eager_rates(&mut self, eager: bool) {
+        self.eager_rates = eager;
     }
 
     pub fn spec(&self) -> &GpuSpec {
@@ -155,20 +184,47 @@ impl Engine {
 
     /// Current per-kernel rates, parallel to [`Engine::running_ids`].
     /// Exposed for equivalence tests and diagnostics.
-    pub fn current_rates(&self) -> &[KernelRate] {
-        &self.rates
+    pub fn current_rates(&self) -> Vec<KernelRate> {
+        self.ensure_rates();
+        self.rates.borrow().clone()
     }
 
     fn index_of(&self, id: LaunchId) -> Option<usize> {
         self.meta.iter().position(|r| r.id == id)
     }
 
-    /// Full rate recomputation (running set changed).
+    /// Makes `rates` describe the current running set (no-op when
+    /// fresh). The aggregates/pairwise sums are maintained incrementally
+    /// at every launch/finish/remask; only the rate emission is deferred
+    /// to here.
+    fn ensure_rates(&self) {
+        if self.rates_stale.get() {
+            self.state
+                .borrow()
+                .emit_rates(&self.spec, &self.ctxs, &mut self.rates.borrow_mut());
+            self.rates_stale.set(false);
+            #[cfg(debug_assertions)]
+            {
+                let full = crate::contention::compute_rates(&self.spec, &self.ctxs);
+                let div = crate::contention::max_relative_divergence(&self.rates.borrow(), &full);
+                debug_assert!(
+                    div < crate::contention::RATE_EQUIVALENCE_TOL,
+                    "incrementally maintained rates diverged from full recompute: {div}"
+                );
+            }
+        }
+    }
+
+    /// Full rate recomputation (mode switches and eager callers).
     fn refresh_rates_full(&mut self) {
         match self.mode {
             RateMode::Fast => {
-                self.state
-                    .recompute_full(&self.spec, &self.ctxs, &mut self.rates);
+                self.state.borrow_mut().recompute_full(
+                    &self.spec,
+                    &self.ctxs,
+                    &mut self.rates.borrow_mut(),
+                );
+                self.rates_stale.set(false);
             }
             RateMode::Reference => self.refresh_rates_reference(),
         }
@@ -180,7 +236,8 @@ impl Engine {
     fn refresh_rates_reference(&mut self) {
         let ctxs: Vec<reference::Ctx> =
             self.ctxs.iter().map(reference::Ctx::from_running).collect();
-        self.rates = reference::compute_rates(&self.spec, &ctxs);
+        *self.rates.borrow_mut() = reference::compute_rates(&self.spec, &ctxs);
+        self.rates_stale.set(false);
     }
 
     /// Launches a kernel; work equals its exclusive-resource runtime.
@@ -213,7 +270,15 @@ impl Engine {
             poll_us: cfg.preempt_poll_us,
             evicting: None,
         });
-        self.refresh_rates_full();
+        match self.mode {
+            RateMode::Fast if self.eager_rates => self.refresh_rates_full(),
+            RateMode::Fast => {
+                self.state.get_mut().add_last(&self.spec, &self.ctxs);
+                self.rates_stale.set(true);
+            }
+            RateMode::Reference => self.refresh_rates_reference(),
+        }
+        self.invalidate_next_event();
         id
     }
 
@@ -252,22 +317,27 @@ impl Engine {
         if old_mask == mask && old_channels == channels {
             return true;
         }
+        // The pairwise sums always describe the current running set
+        // (launch/finish adjust them incrementally), so the remask delta
+        // applies directly; `update_one` re-emits fresh rates.
         self.ctxs[i].mask = mask;
         self.ctxs[i].channels = channels;
         match self.mode {
             RateMode::Fast => {
-                self.state.update_one(
+                self.state.get_mut().update_one(
                     &self.spec,
                     &self.ctxs,
                     i,
                     old_mask,
                     old_channels,
-                    &mut self.rates,
+                    self.rates.get_mut(),
                 );
+                self.rates_stale.set(false);
                 #[cfg(debug_assertions)]
                 {
                     let full = crate::contention::compute_rates(&self.spec, &self.ctxs);
-                    let div = crate::contention::max_relative_divergence(&self.rates, &full);
+                    let div =
+                        crate::contention::max_relative_divergence(&self.rates.borrow(), &full);
                     debug_assert!(
                         div < crate::contention::RATE_EQUIVALENCE_TOL,
                         "incremental remask diverged from full recompute: {div}"
@@ -294,10 +364,12 @@ impl Engine {
                 return cached;
             }
         }
+        self.ensure_rates();
+        let rates = self.rates.borrow();
         let computed = self
             .meta
             .iter()
-            .zip(&self.rates)
+            .zip(rates.iter())
             .map(|(r, rate)| {
                 let finish = self.now + r.remaining / rate.relative_speed.max(1e-9);
                 match r.evicting {
@@ -334,8 +406,18 @@ impl Engine {
         }
         let (idx, preempted) = fired.expect("an event was due");
         let r = self.meta.remove(idx);
-        self.ctxs.remove(idx);
-        self.refresh_rates_full();
+        let removed = self.ctxs.remove(idx);
+        match self.mode {
+            RateMode::Fast if self.eager_rates => self.refresh_rates_full(),
+            RateMode::Fast => {
+                self.state
+                    .get_mut()
+                    .remove_at(&self.spec, &self.ctxs, idx, &removed);
+                self.rates_stale.set(true);
+            }
+            RateMode::Reference => self.refresh_rates_reference(),
+        }
+        self.invalidate_next_event();
         self.events += 1;
         Some(if preempted {
             EngineEvent::Preempted {
@@ -357,12 +439,15 @@ impl Engine {
         let dt = t - self.now;
         debug_assert!(dt >= -1e-9, "time went backwards");
         if dt > 0.0 {
-            for (r, rate) in self.meta.iter_mut().zip(&self.rates) {
+            self.ensure_rates();
+            let rates = self.rates.borrow();
+            for (r, rate) in self.meta.iter_mut().zip(rates.iter()) {
                 r.remaining -= dt * rate.relative_speed;
                 if r.remaining < 0.0 {
                     r.remaining = 0.0;
                 }
             }
+            drop(rates);
             self.now = t;
         }
     }

@@ -15,8 +15,9 @@ use dnn::zoo::{build, ModelId};
 use dnn::CompileOptions;
 use gpu_spec::{GpuModel, GpuSpec};
 use rayon::prelude::*;
-use sgdrc_core::serving::{run, CompletedRequest, Policy, Scenario, Task};
+use sgdrc_core::serving::{run, ArrivalTrace, CompletedRequest, Policy, Scenario, Task};
 use sgdrc_core::{Sgdrc, SgdrcConfig};
+use std::sync::{Arc, Mutex};
 
 /// The systems of Fig. 17.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,61 +129,128 @@ impl EndToEndConfig {
 }
 
 /// Compiled-and-profiled model sets for one GPU (reused across systems).
+///
+/// Task sets live behind `Arc`s so scenario construction shares them by
+/// pointer bump; [`Deployment::cached`] additionally memoizes the whole
+/// (compile + profile) build per (GPU, compile options).
 pub struct Deployment {
     pub spec: GpuSpec,
-    pub ls_tasks: Vec<Task>,
-    pub be_tasks: Vec<Task>,
+    pub ls_tasks: Arc<[Task]>,
+    pub be_tasks: Arc<[Task]>,
+    /// One-element task slices, one per BE model, so building the i-th
+    /// BE co-location scenario is an `Arc` bump rather than a deep copy
+    /// of the compiled model, profile and kernel list.
+    be_singletons: Vec<Arc<[Task]>>,
 }
 
 impl Deployment {
     pub fn new(gpu: GpuModel) -> Self {
+        Self::with_options(gpu, CompileOptions::default())
+    }
+
+    pub fn with_options(gpu: GpuModel, opts: CompileOptions) -> Self {
         let spec = gpu.spec();
-        let ls_tasks = ModelId::ls_models()
+        let ls_tasks: Arc<[Task]> = ModelId::ls_models()
             .iter()
-            .map(|&id| {
-                Task::new(
-                    dnn::compile(build(id), &spec, CompileOptions::default()),
-                    &spec,
-                )
-            })
+            .map(|&id| Task::new(dnn::compile(build(id), &spec, opts), &spec))
             .collect();
-        let be_tasks = ModelId::be_models()
+        let be_tasks: Arc<[Task]> = ModelId::be_models()
             .iter()
-            .map(|&id| {
-                Task::new(
-                    dnn::compile(build(id), &spec, CompileOptions::default()),
-                    &spec,
-                )
-            })
+            .map(|&id| Task::new(dnn::compile(build(id), &spec, opts), &spec))
+            .collect();
+        let be_singletons = be_tasks
+            .iter()
+            .map(|t| Arc::from(vec![t.clone()]))
             .collect();
         Self {
             spec,
             ls_tasks,
             be_tasks,
+            be_singletons,
         }
     }
+
+    /// The single-task BE set for the i-th co-location scenario.
+    pub fn be_singleton(&self, i: usize) -> Arc<[Task]> {
+        Arc::clone(&self.be_singletons[i])
+    }
+
+    /// Memoized [`Deployment::new`]: compiling and profiling the 11-model
+    /// zoo dominates short sweeps, and every `run_cell` caller and bench
+    /// binary needs the same deployment — hits are `Arc` bumps.
+    pub fn cached(gpu: GpuModel) -> Arc<Deployment> {
+        Self::cached_with_options(gpu, CompileOptions::default())
+    }
+
+    /// [`Deployment::cached`] keyed by (GPU, compile options).
+    pub fn cached_with_options(gpu: GpuModel, opts: CompileOptions) -> Arc<Deployment> {
+        type Key = (GpuModel, bool, bool, bool);
+        static CACHE: Mutex<Vec<(Key, Arc<Deployment>)>> = Mutex::new(Vec::new());
+        let key = (gpu, opts.fuse, opts.persistent_threads, opts.coloring);
+        if let Some((_, dep)) = CACHE
+            .lock()
+            .expect("deployment cache")
+            .iter()
+            .find(|(k, _)| *k == key)
+        {
+            return Arc::clone(dep);
+        }
+        // Build outside the lock so concurrent callers wanting *other*
+        // keys aren't serialized behind a multi-second compile. Two racing
+        // builders of the same key are harmless: the loser adopts the
+        // winner's entry.
+        let built = Arc::new(Self::with_options(gpu, opts));
+        let mut cache = CACHE.lock().expect("deployment cache");
+        if let Some((_, dep)) = cache.iter().find(|(k, _)| *k == key) {
+            return Arc::clone(dep);
+        }
+        cache.push((key, Arc::clone(&built)));
+        built
+    }
+}
+
+/// The shared arrival trace for one (GPU, load) cell: generated once and
+/// handed to every (system × BE co-location) scenario by `Arc`.
+pub fn cell_trace(dep: &Deployment, cfg: &EndToEndConfig) -> Arc<ArrivalTrace> {
+    let trace_cfg = TraceConfig::apollo_like().scaled(cfg.load.scale());
+    Arc::new(ArrivalTrace::new(per_service_traces(
+        &trace_cfg,
+        dep.ls_tasks.len(),
+        cfg.horizon_us,
+        cfg.seed,
+    )))
 }
 
 /// Runs one system across the three BE-model scenarios and aggregates.
 pub fn run_system(dep: &Deployment, cfg: &EndToEndConfig, system: SystemKind) -> SystemResult {
-    let trace_cfg = TraceConfig::apollo_like().scaled(cfg.load.scale());
-    let arrivals = per_service_traces(&trace_cfg, dep.ls_tasks.len(), cfg.horizon_us, cfg.seed);
+    run_system_with_trace(dep, cfg, system, &cell_trace(dep, cfg))
+}
+
+/// [`run_system`] with the arrival trace supplied by the caller, so a
+/// whole cell (every system) replays one shared trace instead of
+/// regenerating and copying it per system.
+pub fn run_system_with_trace(
+    dep: &Deployment,
+    cfg: &EndToEndConfig,
+    system: SystemKind,
+    trace: &Arc<ArrivalTrace>,
+) -> SystemResult {
     // §9.2's SLO multiplier: 8 LS services + 1 BE task on the GPU.
     let n_services = dep.ls_tasks.len() + 1;
 
     // The BE co-location scenarios are independent runs — sweep them in
     // parallel (each is a multi-second simulation; `run_cell` additionally
-    // parallelizes over systems).
-    let scenario_stats: Vec<_> = dep
-        .be_tasks
-        .par_iter()
-        .map(|be_task| {
+    // parallelizes over systems). Scenario construction is pointer bumps:
+    // the task sets and the trace are shared, never cloned.
+    let scenario_stats: Vec<_> = (0..dep.be_tasks.len())
+        .into_par_iter()
+        .map(|i| {
             let scenario = Scenario {
                 spec: dep.spec.clone(),
-                ls: dep.ls_tasks.clone(),
-                be: vec![be_task.clone()],
+                ls: Arc::clone(&dep.ls_tasks),
+                be: dep.be_singleton(i),
                 ls_instances: cfg.ls_instances,
-                arrivals: arrivals.clone(),
+                arrivals: Arc::clone(trace),
                 horizon_us: cfg.horizon_us,
             };
             let mut policy = match system {
@@ -240,10 +308,11 @@ pub fn run_system(dep: &Deployment, cfg: &EndToEndConfig, system: SystemKind) ->
 
 /// Runs every supported system for one (GPU, load) cell of Fig. 17.
 pub fn run_cell(dep: &Deployment, cfg: &EndToEndConfig) -> Vec<SystemResult> {
+    let trace = cell_trace(dep, cfg);
     SystemKind::all()
         .into_par_iter()
         .filter(|s| s.supported_on(&dep.spec))
-        .map(|s| run_system(dep, cfg, s))
+        .map(|s| run_system_with_trace(dep, cfg, s, &trace))
         .collect()
 }
 

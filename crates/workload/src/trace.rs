@@ -99,6 +99,18 @@ pub fn per_service_traces(
         .collect()
 }
 
+/// [`per_service_traces`] wrapped in the shareable [`ArrivalTrace`]: the
+/// per-task lists stay the source of truth, and the serving loop's merged
+/// stream is derived once per trace instead of once per scenario.
+pub fn arrival_trace(
+    cfg: &TraceConfig,
+    services: usize,
+    horizon_us: f64,
+    seed: u64,
+) -> sgdrc_core::serving::ArrivalTrace {
+    sgdrc_core::serving::ArrivalTrace::new(per_service_traces(cfg, services, horizon_us, seed))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

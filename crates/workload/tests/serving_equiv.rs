@@ -1,0 +1,66 @@
+//! RunStats equivalence: the merged-stream, incremental serving path
+//! must be indistinguishable from the seed scan path — identical
+//! completions, BE progress and preemption counts — for every evaluated
+//! system on a fixed Fig. 17-style scenario.
+
+use exec_sim::RateMode;
+use gpu_spec::GpuModel;
+use sgdrc_core::serving::{run_configured, Scenario, ServingMode};
+use std::sync::Arc;
+use workload::runner::{cell_trace, Deployment, EndToEndConfig, Load, SystemKind};
+
+#[test]
+fn seed_and_fast_serving_paths_agree_for_every_system() {
+    let gpu = GpuModel::RtxA2000;
+    let dep = Deployment::cached(gpu);
+    let mut cfg = EndToEndConfig::new(gpu, Load::Heavy);
+    cfg.horizon_us = if cfg!(debug_assertions) { 1.5e5 } else { 4e5 };
+    let trace = cell_trace(&dep, &cfg);
+
+    for system in SystemKind::all() {
+        if !system.supported_on(&dep.spec) {
+            continue;
+        }
+        for i in 0..dep.be_tasks.len() {
+            let scenario = Scenario {
+                spec: dep.spec.clone(),
+                ls: Arc::clone(&dep.ls_tasks),
+                be: dep.be_singleton(i),
+                ls_instances: cfg.ls_instances,
+                arrivals: Arc::clone(&trace),
+                horizon_us: cfg.horizon_us,
+            };
+            let mut seed_policy = system.make(&dep.spec);
+            let seed = run_configured(
+                seed_policy.as_mut(),
+                &scenario,
+                RateMode::Fast,
+                ServingMode::Seed,
+            );
+            let mut fast_policy = system.make(&dep.spec);
+            let fast = run_configured(
+                fast_policy.as_mut(),
+                &scenario,
+                RateMode::Fast,
+                ServingMode::Fast,
+            );
+            assert_eq!(
+                seed,
+                fast,
+                "serving paths diverged for {} on BE scenario {i}",
+                system.name()
+            );
+            assert!(seed.engine_events > 0, "scenario actually ran");
+        }
+    }
+}
+
+#[test]
+fn deployment_cache_returns_shared_instance() {
+    let a = Deployment::cached(GpuModel::RtxA2000);
+    let b = Deployment::cached(GpuModel::RtxA2000);
+    assert!(Arc::ptr_eq(&a, &b), "cache hit must be an Arc bump");
+    // Scenario building blocks are shared, not copied.
+    assert!(Arc::ptr_eq(&a.ls_tasks, &b.ls_tasks));
+    assert_eq!(a.be_singleton(0).len(), 1);
+}

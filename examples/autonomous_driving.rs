@@ -12,7 +12,7 @@ use sgdrc_repro::workload::runner::{run_system, Deployment, EndToEndConfig, Load
 fn main() {
     let gpu = GpuModel::RtxA2000;
     println!("deploying the Tab. 3 zoo on a simulated {} ...", gpu.name());
-    let dep = Deployment::new(gpu);
+    let dep = Deployment::cached(gpu);
     let mut cfg = EndToEndConfig::new(gpu, Load::Heavy);
     cfg.horizon_us = 3e6;
 

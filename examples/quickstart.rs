@@ -40,14 +40,14 @@ fn main() {
     //    and build the serving scenario.
     let horizon_us = 2e6;
     let trace = TraceConfig::apollo_like();
-    let scenario = Scenario {
-        ls: vec![Task::new(ls_model, &spec)],
-        be: vec![Task::new(be_model, &spec)],
-        ls_instances: 4,
-        arrivals: vec![generate(&trace, horizon_us, 1)],
+    let scenario = Scenario::new(
+        spec.clone(),
+        vec![Task::new(ls_model, &spec)],
+        vec![Task::new(be_model, &spec)],
+        4,
+        vec![generate(&trace, horizon_us, 1)],
         horizon_us,
-        spec: spec.clone(),
-    };
+    );
 
     // 3. Serve with SGDRC (tidal SM masking + bimodal channel switching).
     let mut policy = Sgdrc::new(&spec, SgdrcConfig::default());

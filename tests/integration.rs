@@ -76,14 +76,10 @@ fn smoke_scenario(rate_hz: f64, horizon_us: f64) -> Scenario {
         mean_rate_hz: rate_hz,
         ..TraceConfig::apollo_like()
     };
-    Scenario {
-        ls: vec![Task::new(ls, &spec)],
-        be: vec![Task::new(be, &spec)],
-        ls_instances: 4,
-        arrivals: vec![generate(&cfg, horizon_us, 5)],
-        horizon_us,
-        spec,
-    }
+    let ls = vec![Task::new(ls, &spec)];
+    let be = vec![Task::new(be, &spec)];
+    let arrivals = vec![generate(&cfg, horizon_us, 5)];
+    Scenario::new(spec, ls, be, 4, arrivals, horizon_us)
 }
 
 /// Profile → serve round trip: SGDRC keeps the LS service inside its SLO
