@@ -174,6 +174,40 @@ fn bench_serving_slice(c: &mut Criterion) {
     });
 }
 
+fn bench_latency_histogram(c: &mut Criterion) {
+    use workload::metrics::LatencyHistogram;
+    // A representative short-cell latency population: 1k samples over
+    // ~2 decades.
+    let samples: Vec<f64> = (0..1024)
+        .map(|i| 200.0 + ((i * 2654435761u64 as usize) % 100_000) as f64)
+        .collect();
+    c.bench_function("metrics/histogram_record_1k", |b| {
+        let mut h = LatencyHistogram::new();
+        b.iter(|| {
+            h.reset();
+            for &v in &samples {
+                h.record(black_box(v));
+            }
+            h.count()
+        })
+    });
+    let mut a = LatencyHistogram::new();
+    let mut other = LatencyHistogram::new();
+    for &v in &samples {
+        other.record(v);
+    }
+    c.bench_function("metrics/histogram_merge", |b| {
+        b.iter(|| {
+            a.reset();
+            a.merge(black_box(&other));
+            a.count()
+        })
+    });
+    c.bench_function("metrics/histogram_p99", |b| {
+        b.iter(|| black_box(&other).percentile(black_box(99.0)))
+    });
+}
+
 criterion_group!(
     benches,
     bench_channel_hash,
@@ -181,6 +215,7 @@ criterion_group!(
     bench_colored_alloc,
     bench_mlp_predict,
     bench_contention_model,
-    bench_serving_slice
+    bench_serving_slice,
+    bench_latency_histogram
 );
 criterion_main!(benches);

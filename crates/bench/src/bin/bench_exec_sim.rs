@@ -140,29 +140,38 @@ fn main() {
     );
 
     // Parallel sweep: run_cell fans systems and BE scenarios out with
-    // rayon; compare against the serial fast sweep. On a single-core box
-    // a parallel-vs-serial comparison is meaningless, so it is skipped
+    // rayon; compare against the serial fast sweep. With one worker a
+    // parallel-vs-serial comparison is meaningless, so it is skipped
     // (and flagged in the JSON) rather than reported as a "speedup".
+    // The worker count honours the SGDRC_THREADS override and is
+    // recorded, so multi-core boxes can exercise the fan-out honestly
+    // and the JSON attributes any speedup to an actual worker count.
     let detected_cpus = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
-    let parallel_json = if detected_cpus <= 1 {
-        println!("parallel sweep: skipped (1 CPU detected — no parallelism to measure)");
+    let worker_threads = rayon::current_num_threads();
+    let threads_env = std::env::var(rayon::THREADS_ENV).ok();
+    let parallel_json = if worker_threads <= 1 {
+        println!(
+            "parallel sweep: skipped (1 worker — detected_cpus={detected_cpus}, {}={})",
+            rayon::THREADS_ENV,
+            threads_env.as_deref().unwrap_or("<unset>")
+        );
         Json::obj()
             .set("skipped", true)
             .set(
                 "reason",
-                "single CPU detected; a parallel-vs-serial speedup would be noise",
+                "single worker; a parallel-vs-serial speedup would be noise",
             )
             .set("detected_cpus", detected_cpus)
-            .set("worker_threads", 1usize)
+            .set("worker_threads", worker_threads)
     } else {
         let start = Instant::now();
         let results = run_cell(&dep, &cfg);
         let par_wall = start.elapsed().as_secs_f64();
         let par_speedup = fast_wall / par_wall;
         println!(
-            "parallel sweep: {par_wall:.2}s vs {fast_wall:.2}s serial = {par_speedup:.2}× ({detected_cpus} cores, {} systems)",
+            "parallel sweep: {par_wall:.2}s vs {fast_wall:.2}s serial = {par_speedup:.2}× ({worker_threads} workers on {detected_cpus} CPUs, {} systems)",
             results.len()
         );
         Json::obj()
@@ -171,8 +180,15 @@ fn main() {
             .set("parallel_wall_s", par_wall)
             .set("speedup", par_speedup)
             .set("detected_cpus", detected_cpus)
-            .set("worker_threads", detected_cpus)
+            .set("worker_threads", worker_threads)
     };
+    let parallel_json = parallel_json.set(
+        "sgdrc_threads_env",
+        match &threads_env {
+            Some(v) => Json::Str(v.clone()),
+            None => Json::Null,
+        },
+    );
 
     // compute_rates micro-timings at 1/2/4 resident kernels.
     sgdrc_bench::header("compute_rates ns/call (fast vs reference)");
@@ -227,6 +243,7 @@ fn main() {
         )
         .set("events_per_sec_speedup", speedup)
         .set("detected_cpus", detected_cpus)
+        .set("worker_threads", worker_threads)
         .set("parallel_sweep", parallel_json)
         .set("compute_rates_ns", micro);
     std::fs::write("BENCH_exec_sim.json", doc.pretty()).expect("write BENCH_exec_sim.json");

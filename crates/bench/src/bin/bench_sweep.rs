@@ -1,0 +1,271 @@
+//! Cluster-scale sweep benchmark: thousands of short co-location cells,
+//! naive per-cell loop vs. the sweep engine. Writes `BENCH_sweep.json`.
+//!
+//! Three arms over the identical cell grid:
+//!
+//! * `naive` — the from-scratch per-cell loop: every cell compiles and
+//!   profiles its own deployment, regenerates its trace, builds fresh
+//!   policies and simulation storage, and sorts its latency populations
+//!   for percentiles. This is what a sweep cost before any of the
+//!   workspace's caching existed — the headline baseline.
+//! * `naive_cached` — the same loop on the post-PR-2 API: deployments
+//!   come from `Deployment::cached`, everything else is still rebuilt
+//!   per cell. Reported so the reuse/streaming win is visible separately
+//!   from the deployment-cache win.
+//! * `sweep` — `workload::sweep::run_sweep`: reusable per-chunk
+//!   `SimContext`s, shared traces, reconfigurable policies, streaming
+//!   histogram percentiles, chunked `rayon` fan-out.
+//!
+//! Every arm must produce identical exact counts per cell (asserted),
+//! with sweep p99s within the sketch's documented error of the exact
+//! sorted p99s. `--smoke` shrinks the grid and skips the speedup gate;
+//! CI runs it on every push.
+
+use gpu_spec::GpuModel;
+use sgdrc_bench::json::Json;
+use sgdrc_core::serving::SimContext;
+use sgdrc_core::{Sgdrc, SgdrcConfig};
+use std::time::Instant;
+use workload::metrics::{HIST_BINS, HIST_REL_ERROR};
+use workload::runner::Deployment;
+use workload::sweep::{
+    naive_cell_summary, run_sweep, CellSpec, CellSummary, SweepGrid, SweepOptions,
+};
+
+/// Sequential per-cell loop; `fresh_deployment` selects the `naive`
+/// (compile per cell) vs. `naive_cached` (memoized deployments) arm.
+fn naive_loop(cells: &[CellSpec], fresh_deployment: bool) -> (Vec<CellSummary>, f64) {
+    let start = Instant::now();
+    let summaries: Vec<CellSummary> = cells
+        .iter()
+        .enumerate()
+        .map(|(i, cell)| {
+            if fresh_deployment {
+                let dep = Deployment::new(cell.gpu);
+                naive_cell_summary(i, cell, &dep)
+            } else {
+                naive_cell_summary(i, cell, &Deployment::cached(cell.gpu))
+            }
+        })
+        .collect();
+    (summaries, start.elapsed().as_secs_f64())
+}
+
+/// Allocation-sensitive setup probe: a near-empty cell (tiny horizon,
+/// so per-run setup dominates simulation) driven through a fresh
+/// `SimContext` per run vs. one reused context. Best-of-3 batches per
+/// arm. Returns (fresh µs/run, reused µs/run).
+fn context_reuse_probe(gpu: GpuModel) -> (f64, f64) {
+    use sgdrc_core::serving::{run_in_context, ArrivalTrace, Scenario};
+    use std::sync::Arc;
+    use workload::trace::{per_service_traces, TraceConfig};
+    let dep = Deployment::cached(gpu);
+    let horizon_us = 1e3;
+    let trace = Arc::new(ArrivalTrace::new(per_service_traces(
+        &TraceConfig::apollo_like(),
+        dep.ls_tasks.len(),
+        horizon_us,
+        0xA110C,
+    )));
+    let _ = trace.merged();
+    let scenario = Scenario {
+        spec: dep.spec.clone(),
+        ls: Arc::clone(&dep.ls_tasks),
+        be: dep.be_singleton(0),
+        ls_instances: 4,
+        arrivals: trace,
+        horizon_us,
+    };
+    let mut policy = Sgdrc::new(&dep.spec, SgdrcConfig::default());
+    const REPS: usize = 2000;
+    let mut fresh_us = f64::INFINITY;
+    let mut reused_us = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..REPS {
+            let mut ctx = SimContext::new();
+            std::hint::black_box(run_in_context(&mut policy, &scenario, &mut ctx));
+        }
+        fresh_us = fresh_us.min(t.elapsed().as_secs_f64() * 1e6 / REPS as f64);
+        let mut ctx = SimContext::new();
+        let t = Instant::now();
+        for _ in 0..REPS {
+            let stats = run_in_context(&mut policy, &scenario, &mut ctx);
+            ctx.recycle(std::hint::black_box(stats));
+        }
+        reused_us = reused_us.min(t.elapsed().as_secs_f64() * 1e6 / REPS as f64);
+    }
+    (fresh_us, reused_us)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    // ≥ 2000 short cells in the full grid: every GPU × load × supported
+    // system × BE co-location (102 cells) × 20 trace replications.
+    let grid = if smoke {
+        SweepGrid::fig17_style(6e3, 1)
+    } else {
+        SweepGrid::fig17_style(1.2e4, 20)
+    };
+    let cells = grid.cells();
+    sgdrc_bench::header("BENCH_sweep — cluster-scale short-cell grid");
+    println!(
+        "{} cells: {} GPUs × {} loads × systems × {} BE × {} reps, horizon {}µs{}",
+        cells.len(),
+        grid.gpus.len(),
+        grid.loads.len(),
+        grid.be_indices.len(),
+        grid.replications,
+        grid.horizon_us,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // Deployment setup: cold compile+profile vs. memoized hit.
+    let t = Instant::now();
+    let dep = Deployment::cached(GpuModel::RtxA2000);
+    let dep_cold_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let again = Deployment::cached(GpuModel::RtxA2000);
+    let dep_hit_s = t.elapsed().as_secs_f64();
+    assert!(std::sync::Arc::ptr_eq(&dep, &again));
+    drop((dep, again));
+
+    // Warm the sweep path (and the remaining deployments) outside the
+    // measured region so neither cached arm pays first-touch compiles.
+    let warm_cells = SweepGrid {
+        replications: 1,
+        ..grid.clone()
+    }
+    .cells();
+    let _ = run_sweep(&warm_cells, &SweepOptions::default());
+
+    let t = Instant::now();
+    let swept = run_sweep(&cells, &SweepOptions::default());
+    let sweep_wall = t.elapsed().as_secs_f64();
+
+    let (cached_summaries, cached_wall) = naive_loop(&cells, false);
+    let (naive_summaries, naive_wall) = naive_loop(&cells, true);
+
+    // Equivalence: the two naive arms are bit-identical; the sweep arm
+    // matches them exactly on every count and within the sketch bound on
+    // p99.
+    assert_eq!(
+        naive_summaries, cached_summaries,
+        "fresh and cached deployments must yield identical cells"
+    );
+    assert_eq!(swept.cells.len(), naive_summaries.len());
+    for (n, s) in naive_summaries.iter().zip(&swept.cells) {
+        assert_eq!(n.ls_requests, s.ls_requests, "cell {}", n.index);
+        assert_eq!(n.slo_met, s.slo_met, "cell {}", n.index);
+        assert_eq!(n.be_completed, s.be_completed, "cell {}", n.index);
+        assert_eq!(n.be_preemptions, s.be_preemptions, "cell {}", n.index);
+        assert_eq!(n.engine_events, s.engine_events, "cell {}", n.index);
+        assert!(
+            (n.worst_p99_us - s.worst_p99_us).abs() <= n.worst_p99_us * HIST_REL_ERROR + 1e-9,
+            "cell {}: exact p99 {} vs sketch {}",
+            n.index,
+            n.worst_p99_us,
+            s.worst_p99_us
+        );
+    }
+
+    let cells_n = cells.len() as f64;
+    let naive_cps = cells_n / naive_wall;
+    let cached_cps = cells_n / cached_wall;
+    let sweep_cps = cells_n / sweep_wall;
+    let speedup = sweep_cps / naive_cps;
+    let speedup_vs_cached = sweep_cps / cached_cps;
+    println!("naive (per-cell compile):   {naive_wall:>7.2}s = {naive_cps:>7.1} cells/s");
+    println!("naive (cached deployment):  {cached_wall:>7.2}s = {cached_cps:>7.1} cells/s");
+    println!("sweep engine:               {sweep_wall:>7.2}s = {sweep_cps:>7.1} cells/s");
+    println!("cells/sec speedup: {speedup:.2}× vs naive (target ≥ 1.5×), {speedup_vs_cached:.2}× vs cached-deployment loop");
+
+    let (fresh_us, reused_us) = context_reuse_probe(GpuModel::RtxA2000);
+    println!(
+        "context setup probe: fresh {fresh_us:.1}µs/run vs reused {reused_us:.1}µs/run ({:.2}×)",
+        fresh_us / reused_us
+    );
+
+    let detected_cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let worker_threads = rayon::current_num_threads();
+    let threads_env = std::env::var(rayon::THREADS_ENV).ok();
+    println!(
+        "detected_cpus={detected_cpus} worker_threads={worker_threads} {}={}",
+        rayon::THREADS_ENV,
+        threads_env.as_deref().unwrap_or("<unset>")
+    );
+
+    let arm = |wall: f64| {
+        Json::obj()
+            .set("wall_s", wall)
+            .set("cells_per_sec", cells_n / wall)
+    };
+    let doc = Json::obj()
+        .set("benchmark", "sweep_short_cell_grid")
+        .set(
+            "grid",
+            "all GPUs × both loads × supported systems × 3 BE co-locations × replications",
+        )
+        .set("cells", cells.len())
+        .set("horizon_us", grid.horizon_us)
+        .set("replications", grid.replications)
+        .set("smoke", smoke)
+        .set("detected_cpus", detected_cpus)
+        .set("worker_threads", worker_threads)
+        .set(
+            "sgdrc_threads_env",
+            match &threads_env {
+                Some(v) => Json::Str(v.clone()),
+                None => Json::Null,
+            },
+        )
+        .set("chunk_size", swept.chunk_size)
+        .set(
+            "naive",
+            arm(naive_wall).set(
+                "mode",
+                "per-cell compile+profile, fresh everything, sorted percentiles",
+            ),
+        )
+        .set(
+            "naive_cached_deployment",
+            arm(cached_wall).set("mode", "memoized deployments, fresh everything else"),
+        )
+        .set(
+            "sweep",
+            arm(sweep_wall).set(
+                "mode",
+                "reusable per-chunk contexts, shared traces, streaming histogram metrics",
+            ),
+        )
+        .set("cells_per_sec_speedup", speedup)
+        .set("cells_per_sec_speedup_vs_cached", speedup_vs_cached)
+        .set(
+            "setup",
+            Json::obj()
+                .set("deployment_cold_compile_s", dep_cold_s)
+                .set("deployment_memoized_hit_s", dep_hit_s)
+                .set("fresh_context_run_us", fresh_us)
+                .set("reused_context_run_us", reused_us),
+        )
+        .set(
+            "latency_sketch",
+            Json::obj()
+                .set("bins", HIST_BINS)
+                .set("documented_rel_error", HIST_REL_ERROR)
+                .set("samples", swept.latency_hist.count())
+                .set("grid_p50_us", swept.latency_hist.percentile(50.0))
+                .set("grid_p99_us", swept.latency_hist.percentile(99.0)),
+        )
+        .set("total_engine_events", swept.total_events);
+    std::fs::write("BENCH_sweep.json", doc.pretty()).expect("write BENCH_sweep.json");
+    println!("\nwrote BENCH_sweep.json");
+
+    if !smoke && speedup < 1.5 {
+        eprintln!("WARNING: sweep speedup {speedup:.2}× below the 1.5× target");
+        std::process::exit(1);
+    }
+}

@@ -219,6 +219,44 @@ pub struct ActiveLaunch {
     pub channels: ChannelSet,
 }
 
+/// Reusable simulation storage for repeated serving runs.
+///
+/// A sweep over thousands of short cells rebuilds the engine, the LS/BE
+/// queues and the statistics vectors once per cell when it goes through
+/// [`run`]; threading one `SimContext` through
+/// [`run_configured_in`] instead makes every structure's allocation a
+/// one-time cost — the engine is [`reset`](Engine::reset) in place, the
+/// queues are cleared, and consumed [`RunStats`] hand their buffers back
+/// via [`SimContext::recycle`]. Results are bit-identical to the
+/// fresh-allocation path (enforced by `workload/tests/serving_equiv.rs`).
+#[derive(Default)]
+pub struct SimContext {
+    engine: Option<Engine>,
+    pending: Vec<VecDeque<f64>>,
+    inflight: Vec<VecDeque<Inference>>,
+    be_cursor: Vec<usize>,
+    ls_completed: Vec<Vec<CompletedRequest>>,
+    be_completed: Vec<u64>,
+}
+
+impl SimContext {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a consumed run's statistics back so the next run through
+    /// this context reuses the completion-list allocations instead of
+    /// growing fresh ones.
+    pub fn recycle(&mut self, mut stats: RunStats) {
+        for v in &mut stats.ls_completed {
+            v.clear();
+        }
+        self.ls_completed = stats.ls_completed;
+        stats.be_completed.clear();
+        self.be_completed = stats.be_completed;
+    }
+}
+
 /// Serving state visible to policies.
 pub struct ServingState<'s> {
     pub scenario: &'s Scenario,
@@ -258,13 +296,47 @@ pub struct ServingState<'s> {
 }
 
 impl<'s> ServingState<'s> {
-    fn new(scenario: &'s Scenario, mode: ServingMode) -> Self {
+    /// Builds the state from a [`SimContext`]'s recycled storage: the
+    /// engine resets in place, queue vectors clear and re-size, and the
+    /// statistics vectors come from the last recycled run. On an empty
+    /// context this is exactly the fresh-allocation construction.
+    fn new_in(scenario: &'s Scenario, mode: ServingMode, ctx: &mut SimContext) -> Self {
+        let n_ls = scenario.ls.len();
+        let n_be = scenario.be.len();
+        let engine = match ctx.engine.take() {
+            Some(mut e) => {
+                e.reset(&scenario.spec);
+                e
+            }
+            None => Engine::new(scenario.spec.clone()),
+        };
+        let mut pending = std::mem::take(&mut ctx.pending);
+        for q in &mut pending {
+            q.clear();
+        }
+        pending.resize_with(n_ls, VecDeque::new);
+        let mut inflight = std::mem::take(&mut ctx.inflight);
+        for q in &mut inflight {
+            q.clear();
+        }
+        inflight.resize_with(n_ls, VecDeque::new);
+        let mut be_cursor = std::mem::take(&mut ctx.be_cursor);
+        be_cursor.clear();
+        be_cursor.resize(n_be, 0);
+        let mut ls_completed = std::mem::take(&mut ctx.ls_completed);
+        for v in &mut ls_completed {
+            v.clear();
+        }
+        ls_completed.resize_with(n_ls, Vec::new);
+        let mut be_completed = std::mem::take(&mut ctx.be_completed);
+        be_completed.clear();
+        be_completed.resize(n_be, 0);
         Self {
             scenario,
-            engine: Engine::new(scenario.spec.clone()),
+            engine,
             mode,
-            pending: vec![VecDeque::new(); scenario.ls.len()],
-            inflight: vec![VecDeque::new(); scenario.ls.len()],
+            pending,
+            inflight,
             backlog: 0,
             inflight_total: 0,
             // Starts past the cache's initial version so the first peek
@@ -273,17 +345,36 @@ impl<'s> ServingState<'s> {
             peek_ls_cache: Cell::new((0, None)),
             ls_rr: 0,
             be_rr: 0,
-            be_cursor: vec![0; scenario.be.len()],
+            be_cursor,
             ls_launch: None,
             be_launch: None,
             stats: RunStats {
-                ls_completed: vec![Vec::new(); scenario.ls.len()],
-                be_completed: vec![0; scenario.be.len()],
+                ls_completed,
+                be_completed,
                 horizon_us: scenario.horizon_us,
                 be_preemptions: 0,
                 engine_events: 0,
             },
         }
+    }
+
+    /// Returns the queue storage and the engine to the context for the
+    /// next run; the statistics leave with the caller (hand them back
+    /// through [`SimContext::recycle`] once consumed).
+    fn finish_into(self, ctx: &mut SimContext) -> RunStats {
+        let ServingState {
+            engine,
+            pending,
+            inflight,
+            be_cursor,
+            stats,
+            ..
+        } = self;
+        ctx.engine = Some(engine);
+        ctx.pending = pending;
+        ctx.inflight = inflight;
+        ctx.be_cursor = be_cursor;
+        stats
     }
 
     pub fn now(&self) -> f64 {
@@ -698,7 +789,30 @@ pub fn run_configured(
     rate: RateMode,
     serving: ServingMode,
 ) -> RunStats {
-    let mut st = ServingState::new(scenario, serving);
+    run_configured_in(policy, scenario, rate, serving, &mut SimContext::new())
+}
+
+/// [`run`] against a reusable [`SimContext`] (default fast modes): the
+/// sweep subsystem's per-cell entry point.
+pub fn run_in_context(
+    policy: &mut dyn Policy,
+    scenario: &Scenario,
+    ctx: &mut SimContext,
+) -> RunStats {
+    run_configured_in(policy, scenario, RateMode::Fast, ServingMode::Fast, ctx)
+}
+
+/// [`run_configured`] with the simulation storage supplied by the
+/// caller. A fresh [`SimContext`] reproduces the fresh-allocation path
+/// exactly; a reused one costs zero steady-state allocation per run.
+pub fn run_configured_in(
+    policy: &mut dyn Policy,
+    scenario: &Scenario,
+    rate: RateMode,
+    serving: ServingMode,
+    ctx: &mut SimContext,
+) -> RunStats {
+    let mut st = ServingState::new_in(scenario, serving, ctx);
     st.engine.set_rate_mode(rate);
     st.engine.set_eager_rates(serving == ServingMode::Seed);
     let mut arrivals = match serving {
@@ -769,5 +883,5 @@ pub fn run_configured(
     // trace drains), not unconditionally the configured horizon.
     st.stats.horizon_us = st.now().min(scenario.horizon_us);
     st.stats.engine_events = st.engine.events_processed();
-    st.stats
+    st.finish_into(ctx)
 }

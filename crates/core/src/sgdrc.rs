@@ -86,6 +86,22 @@ impl Sgdrc {
         }
     }
 
+    /// Re-targets an existing instance at a (possibly different) GPU and
+    /// configuration, reusing the sliding-window buffer's allocation.
+    /// Sweeps keep one `Sgdrc` per worker across thousands of cells and
+    /// reconfigure it when the cell's GPU changes instead of building a
+    /// fresh policy per cell.
+    pub fn reconfigure(&mut self, spec: &GpuSpec, cfg: SgdrcConfig) {
+        let split = split_channels(spec, cfg.ch_be);
+        self.ls_channels = ChannelSet::from_channels(&split.ls_channels);
+        self.be_channels = ChannelSet::from_channels(&split.be_channels);
+        self.all_channels = ChannelSet::all(spec);
+        self.num_tpcs = spec.num_tpcs;
+        self.cfg = cfg;
+        self.ls_region = 0;
+        self.sm_ls_cache = (0, 0);
+    }
+
     /// §7.1: `SM_LS` for the next LS kernel — the max of the profiled
     /// minimum TPC counts over the sliding window of upcoming LS kernels.
     fn sm_ls(&mut self, st: &ServingState) -> u32 {

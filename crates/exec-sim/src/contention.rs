@@ -210,6 +210,21 @@ fn l2_term(spec: &GpuSpec, victim: &RunningCtx, other: &RunningCtx) -> f64 {
 }
 
 impl RateState {
+    /// Returns the state to its post-construction condition while
+    /// retaining every buffer's capacity — the reusable-`SimContext`
+    /// path resets one `RateState` per sweep cell instead of allocating
+    /// six fresh vectors.
+    pub fn reset(&mut self) {
+        self.channel_demand = [0.0; MAX_CHANNELS];
+        self.tpc_occupancy = [0.0; MAX_TPCS];
+        self.intra_sum.clear();
+        self.l2_sum.clear();
+        self.tpc_partial.clear();
+        self.tpc_cover_fraction.clear();
+        self.chan_partial.clear();
+        self.chan_cover_demand.clear();
+    }
+
     /// Full recomputation of aggregates, pairwise sums and rates.
     /// Appends one [`KernelRate`] per running kernel to `out` (cleared
     /// first); no allocation once `out` and the sums reach capacity.

@@ -139,6 +139,27 @@ impl Engine {
         }
     }
 
+    /// Returns the engine to the state [`Engine::new`] would produce for
+    /// `spec`, retaining every internal buffer's capacity. Launch ids,
+    /// the clock and the event counter restart, so a run driven through
+    /// a reset engine is bit-identical to one driven through a freshly
+    /// allocated engine — the invariant the reusable-`SimContext` sweep
+    /// path relies on (enforced by `workload/tests/serving_equiv.rs`).
+    pub fn reset(&mut self, spec: &GpuSpec) {
+        self.spec = spec.clone();
+        self.now = 0.0;
+        self.next_id = 1;
+        self.ctxs.clear();
+        self.meta.clear();
+        self.rates.get_mut().clear();
+        self.state.get_mut().reset();
+        self.rates_stale.set(false);
+        self.eager_rates = false;
+        self.mode = RateMode::Fast;
+        self.next_event.set(Some(None));
+        self.events = 0;
+    }
+
     /// Selects the rate-evaluation implementation (see [`RateMode`]).
     pub fn set_rate_mode(&mut self, mode: RateMode) {
         self.mode = mode;

@@ -1,14 +1,20 @@
 //! # workload — traces, metrics and the end-to-end experiment runner
 //!
 //! The §9 evaluation harness: Apollo-like bursty request traces
-//! ([`trace`]), SLO/latency/throughput metrics ([`metrics`]) and the
-//! Fig. 17 runner that deploys the Tab. 3 zoo against every system
-//! ([`runner`]).
+//! ([`trace`]), SLO/latency/throughput metrics plus the mergeable
+//! latency-histogram sketch ([`metrics`]), the Fig. 17 runner that
+//! deploys the Tab. 3 zoo against every system ([`runner`]), and the
+//! cluster-scale short-cell sweep engine ([`sweep`]).
 
 pub mod metrics;
 pub mod runner;
+pub mod sweep;
 pub mod trace;
 
-pub use metrics::{ls_metrics, percentile, slo_for, LsMetrics, SystemResult};
+pub use metrics::{ls_metrics, percentile, slo_for, LatencyHistogram, LsMetrics, SystemResult};
 pub use runner::{run_cell, run_system, Deployment, EndToEndConfig, Load, SystemKind};
+pub use sweep::{
+    cell_seed, naive_cell_summary, run_sweep, CellSpec, CellSummary, SweepGrid, SweepOptions,
+    SweepResult,
+};
 pub use trace::{generate, per_service_traces, TraceConfig};

@@ -184,10 +184,8 @@ impl Deployment {
 
     /// [`Deployment::cached`] keyed by (GPU, compile options).
     pub fn cached_with_options(gpu: GpuModel, opts: CompileOptions) -> Arc<Deployment> {
-        type Key = (GpuModel, bool, bool, bool);
-        static CACHE: Mutex<Vec<(Key, Arc<Deployment>)>> = Mutex::new(Vec::new());
-        let key = (gpu, opts.fuse, opts.persistent_threads, opts.coloring);
-        if let Some((_, dep)) = CACHE
+        let key = cache_key(gpu, opts);
+        if let Some((_, dep)) = deployment_cache()
             .lock()
             .expect("deployment cache")
             .iter()
@@ -198,14 +196,61 @@ impl Deployment {
         // Build outside the lock so concurrent callers wanting *other*
         // keys aren't serialized behind a multi-second compile. Two racing
         // builders of the same key are harmless: the loser adopts the
-        // winner's entry.
+        // winner's entry. Every build is tallied (before the re-check, so
+        // race losers count too) — the counter tracks work actually done,
+        // independent of the cache's own lookup logic.
+        count_build(key);
         let built = Arc::new(Self::with_options(gpu, opts));
-        let mut cache = CACHE.lock().expect("deployment cache");
+        let mut cache = deployment_cache().lock().expect("deployment cache");
         if let Some((_, dep)) = cache.iter().find(|(k, _)| *k == key) {
             return Arc::clone(dep);
         }
         cache.push((key, Arc::clone(&built)));
         built
+    }
+
+    /// How many compile+profile builds [`Deployment::cached_with_options`]
+    /// has actually performed for this key (0 = never requested). A cache
+    /// that works stays at 1 no matter how many sweeps request the key —
+    /// which is what the cache tests assert, rather than racy wall-clock
+    /// comparisons. (Benign construction races can push it above 1; a
+    /// *hit* never increments it.)
+    pub fn cached_build_count(gpu: GpuModel, opts: CompileOptions) -> u64 {
+        let key = cache_key(gpu, opts);
+        build_counters()
+            .lock()
+            .expect("deployment build counters")
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map_or(0, |(_, builds)| *builds)
+    }
+}
+
+type CacheKey = (GpuModel, bool, bool, bool);
+
+fn cache_key(gpu: GpuModel, opts: CompileOptions) -> CacheKey {
+    (gpu, opts.fuse, opts.persistent_threads, opts.coloring)
+}
+
+/// The (GPU, compile options) → deployment memo.
+fn deployment_cache() -> &'static Mutex<Vec<(CacheKey, Arc<Deployment>)>> {
+    static CACHE: Mutex<Vec<(CacheKey, Arc<Deployment>)>> = Mutex::new(Vec::new());
+    &CACHE
+}
+
+/// Per-key tally of builds performed through the memoized entry point.
+/// Kept separate from the cache so a broken cache lookup cannot also
+/// break the accounting that would expose it.
+fn build_counters() -> &'static Mutex<Vec<(CacheKey, u64)>> {
+    static COUNTERS: Mutex<Vec<(CacheKey, u64)>> = Mutex::new(Vec::new());
+    &COUNTERS
+}
+
+fn count_build(key: CacheKey) {
+    let mut counters = build_counters().lock().expect("deployment build counters");
+    match counters.iter_mut().find(|(k, _)| *k == key) {
+        Some((_, n)) => *n += 1,
+        None => counters.push((key, 1)),
     }
 }
 

@@ -1,0 +1,495 @@
+//! Cluster-scale what-if sweeps: thousands of short co-location cells.
+//!
+//! The Fig. 17 grid is a handful of long cells; capacity planning asks
+//! the opposite question — *many* short cells over GPU models × loads ×
+//! BE mixes × trace seeds. At that scale the per-cell costs the long-cell
+//! path shrugs off start to dominate: rebuilding the engine and serving
+//! queues per cell, regenerating and re-merging the arrival trace,
+//! reconstructing policies, and collect-then-sort percentile queries.
+//!
+//! This module runs a cell grid through **reusable simulation
+//! contexts**, one per fan-out chunk:
+//!
+//! * each chunk of cells (a worker's unit of work; sized by default so
+//!   a worker handles a few large chunks and per-chunk setup amortizes
+//!   to noise) owns one [`SimContext`] (engine + queue + statistics
+//!   storage, reset in place per cell — zero steady-state allocation
+//!   across the chunk's cells), one reconfigurable [`Sgdrc`] instance,
+//!   one boxed policy per baseline, and a memo of arrival traces keyed
+//!   by (seed, load, horizon) so cells replaying the same trace share
+//!   one `Arc`;
+//! * deployments come from [`Deployment::cached_with_options`] — the
+//!   compile+profile of a GPU's model zoo happens once per sweep, not
+//!   once per cell;
+//! * latency percentiles stream through the mergeable
+//!   [`LatencyHistogram`] sketch instead of collect-then-sort, and merge
+//!   across cells without re-sorting;
+//! * the grid fans out in contiguous chunks over `rayon`, and every
+//!   cell's seed is a pure function of the grid ([`cell_seed`]), so
+//!   per-cell summaries and histogram bin contents are bit-identical
+//!   regardless of worker count or chunking (enforced by
+//!   `tests/sweep.rs`; the merged histogram's floating-point `sum` may
+//!   differ in the final ulp with merge grouping).
+//!
+//! [`naive_cell_summary`] preserves the one-cell-at-a-time evaluation
+//! (fresh everything, exact sorted percentiles) as the equivalence
+//! oracle and the `BENCH_sweep` baseline.
+
+use crate::metrics::{percentile, slo_for, LatencyHistogram};
+use crate::runner::{Deployment, Load, SystemKind};
+use crate::trace::{per_service_traces, TraceConfig};
+use dnn::CompileOptions;
+use gpu_spec::GpuModel;
+use rayon::prelude::*;
+use sgdrc_core::serving::{
+    run_in_context, ArrivalTrace, CompletedRequest, Policy, RunStats, Scenario, SimContext,
+};
+use sgdrc_core::{Sgdrc, SgdrcConfig};
+use std::sync::Arc;
+
+/// One short co-location cell of a sweep grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSpec {
+    pub gpu: GpuModel,
+    pub load: Load,
+    pub system: SystemKind,
+    /// Which BE model co-locates (index into the deployment's BE set).
+    pub be_index: usize,
+    /// Simulated horizon (µs) — short by design.
+    pub horizon_us: f64,
+    /// In-flight inference slots per LS model (§9.2: 4).
+    pub ls_instances: usize,
+    /// Trace seed; cells sharing a seed (and load/horizon) replay the
+    /// same arrival trace.
+    pub seed: u64,
+}
+
+/// SplitMix64 — the standard 64-bit finalizer used for seed derivation.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic cell→seed assignment: a pure function of the sweep's
+/// base seed and the replication index, independent of cell order,
+/// chunking and worker count — the property that makes sweep results
+/// reproducible under any parallel schedule.
+pub fn cell_seed(base_seed: u64, replication: u64) -> u64 {
+    splitmix64(base_seed ^ splitmix64(replication))
+}
+
+/// A rectangular sweep grid; [`SweepGrid::cells`] flattens it into the
+/// cell list [`run_sweep`] consumes.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    pub gpus: Vec<GpuModel>,
+    pub loads: Vec<Load>,
+    pub systems: Vec<SystemKind>,
+    /// BE co-location indices (the paper rotates 3 BE models).
+    pub be_indices: Vec<usize>,
+    /// Independent trace replications (each gets its own derived seed).
+    pub replications: usize,
+    pub horizon_us: f64,
+    pub ls_instances: usize,
+    pub base_seed: u64,
+}
+
+impl SweepGrid {
+    /// The Fig. 17-shaped grid: every GPU model × both loads × every
+    /// supported system × all three BE co-locations, replicated
+    /// `replications` times at a short horizon.
+    pub fn fig17_style(horizon_us: f64, replications: usize) -> Self {
+        Self {
+            gpus: GpuModel::all().to_vec(),
+            loads: vec![Load::Heavy, Load::Light],
+            systems: SystemKind::all().to_vec(),
+            be_indices: vec![0, 1, 2],
+            replications,
+            horizon_us,
+            ls_instances: 4,
+            base_seed: 0xA110C,
+        }
+    }
+
+    /// Flattens the grid into cells, ordered so cells sharing an arrival
+    /// trace (same replication + load) are contiguous — the layout the
+    /// per-worker trace memo exploits. Systems a GPU cannot run (MPS on
+    /// the P40) are skipped, as in Fig. 17.
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut out = Vec::new();
+        for rep in 0..self.replications {
+            let seed = cell_seed(self.base_seed, rep as u64);
+            for &load in &self.loads {
+                for &gpu in &self.gpus {
+                    let spec = gpu.spec();
+                    for &system in &self.systems {
+                        if !system.supported_on(&spec) {
+                            continue;
+                        }
+                        for &be_index in &self.be_indices {
+                            out.push(CellSpec {
+                                gpu,
+                                load,
+                                system,
+                                be_index,
+                                horizon_us: self.horizon_us,
+                                ls_instances: self.ls_instances,
+                                seed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Compact per-cell result: exact counts, streaming-sketch percentiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSummary {
+    /// Position in the sweep's cell list.
+    pub index: usize,
+    pub cell: CellSpec,
+    /// Completed LS requests (exact).
+    pub ls_requests: u64,
+    /// Requests that met their per-service SLO (exact).
+    pub slo_met: u64,
+    /// `slo_met / ls_requests` (0 when no requests completed).
+    pub slo_attainment: f64,
+    /// Exact mean end-to-end latency (µs; 0 when no requests).
+    pub mean_latency_us: f64,
+    /// Max over LS services of the per-service p99 latency (µs). Sketch
+    /// percentile in the sweep path, exact in [`naive_cell_summary`];
+    /// the two agree within [`crate::metrics::HIST_REL_ERROR`].
+    pub worst_p99_us: f64,
+    /// SLO-meeting completions per second.
+    pub goodput_hz: f64,
+    /// Whole BE inferences completed (exact).
+    pub be_completed: u64,
+    /// BE samples/second (batch × inferences / horizon).
+    pub be_throughput_hz: f64,
+    pub be_preemptions: u64,
+    pub engine_events: u64,
+}
+
+/// Sweep tuning knobs.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Cells per fan-out chunk; 0 picks a size that amortizes per-chunk
+    /// context setup while keeping a few chunks per worker for balance.
+    pub chunk_size: usize,
+    /// Compile options for every deployment in the sweep.
+    pub compile: CompileOptions,
+}
+
+/// Aggregate sweep output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// One summary per cell, in cell-list order.
+    pub cells: Vec<CellSummary>,
+    /// Every LS latency of the sweep, merged across cells without
+    /// re-sorting — grid-wide percentiles come from here.
+    pub latency_hist: LatencyHistogram,
+    pub total_events: u64,
+    pub total_requests: u64,
+    /// The chunk size actually used.
+    pub chunk_size: usize,
+}
+
+/// Per-chunk reusable state: simulation storage, policies, deployments
+/// and the arrival-trace memo. Everything a cell needs that is not the
+/// cell's own result lives here and is reused across the chunk's cells,
+/// not reallocated. Small `chunk_size` overrides trade this reuse for
+/// scheduling granularity (`chunk_size: 1` rebuilds it per cell).
+struct Worker {
+    ctx: SimContext,
+    compile: CompileOptions,
+    deployments: Vec<(GpuModel, Arc<Deployment>)>,
+    traces: Vec<(TraceKey, Arc<ArrivalTrace>)>,
+    /// GPU-independent baseline policies, constructed on first use.
+    baselines: Vec<(SystemKind, Box<dyn Policy>)>,
+    /// One reconfigurable SGDRC instance per variant — re-targeted in
+    /// place when the cell's GPU changes (keeps the window buffer).
+    sgdrc: Option<(GpuModel, Sgdrc)>,
+    sgdrc_static: Option<(GpuModel, Sgdrc)>,
+    /// Per-service percentile scratch, reset per service.
+    task_hist: LatencyHistogram,
+    /// All LS latencies this worker has seen (merged into the result).
+    merged_hist: LatencyHistogram,
+}
+
+/// Arrival traces are determined by (seed, load scale, horizon, #LS
+/// services); two cells agreeing on the key replay the identical trace.
+type TraceKey = (u64, u64, u64, usize);
+
+impl Worker {
+    fn new(compile: CompileOptions) -> Self {
+        Self {
+            ctx: SimContext::new(),
+            compile,
+            deployments: Vec::new(),
+            traces: Vec::new(),
+            baselines: Vec::new(),
+            sgdrc: None,
+            sgdrc_static: None,
+            task_hist: LatencyHistogram::new(),
+            merged_hist: LatencyHistogram::new(),
+        }
+    }
+
+    fn deployment(&mut self, gpu: GpuModel) -> Arc<Deployment> {
+        if let Some((_, dep)) = self.deployments.iter().find(|(g, _)| *g == gpu) {
+            return Arc::clone(dep);
+        }
+        let dep = Deployment::cached_with_options(gpu, self.compile);
+        self.deployments.push((gpu, Arc::clone(&dep)));
+        dep
+    }
+
+    fn trace(&mut self, cell: &CellSpec, num_tasks: usize) -> Arc<ArrivalTrace> {
+        let key: TraceKey = (
+            cell.seed,
+            cell.load.scale().to_bits(),
+            cell.horizon_us.to_bits(),
+            num_tasks,
+        );
+        if let Some((_, tr)) = self.traces.iter().find(|(k, _)| *k == key) {
+            return Arc::clone(tr);
+        }
+        let tr = Arc::new(ArrivalTrace::new(per_service_traces(
+            &TraceConfig::apollo_like().scaled(cell.load.scale()),
+            num_tasks,
+            cell.horizon_us,
+            cell.seed,
+        )));
+        // Build the merged stream once, up front, so every cell sharing
+        // the trace consumes a ready-made stream.
+        let _ = tr.merged();
+        self.traces.push((key, Arc::clone(&tr)));
+        tr
+    }
+
+    fn run_cell(&mut self, index: usize, cell: &CellSpec) -> CellSummary {
+        let dep = self.deployment(cell.gpu);
+        let trace = self.trace(cell, dep.ls_tasks.len());
+        let scenario = Scenario {
+            spec: dep.spec.clone(),
+            ls: Arc::clone(&dep.ls_tasks),
+            be: dep.be_singleton(cell.be_index),
+            ls_instances: cell.ls_instances,
+            arrivals: trace,
+            horizon_us: cell.horizon_us,
+        };
+        let stats = {
+            let ctx = &mut self.ctx;
+            // Policy lookup inline so the borrows stay field-disjoint
+            // from the context: one reconfigurable SGDRC per variant
+            // (re-targeted when the GPU changes, window buffer kept),
+            // one boxed instance per GPU-independent baseline. Policies
+            // reset per run via `Policy::on_run_start`.
+            let policy = match cell.system {
+                SystemKind::Sgdrc | SystemKind::SgdrcStatic => {
+                    let cfg = SgdrcConfig {
+                        static_partition: cell.system == SystemKind::SgdrcStatic,
+                        ..Default::default()
+                    };
+                    let slot = if cell.system == SystemKind::Sgdrc {
+                        &mut self.sgdrc
+                    } else {
+                        &mut self.sgdrc_static
+                    };
+                    match slot {
+                        Some((g, policy)) => {
+                            if *g != cell.gpu {
+                                policy.reconfigure(&dep.spec, cfg);
+                                *g = cell.gpu;
+                            }
+                            policy as &mut dyn Policy
+                        }
+                        None => {
+                            *slot = Some((cell.gpu, Sgdrc::new(&dep.spec, cfg)));
+                            &mut slot.as_mut().expect("just set").1 as &mut dyn Policy
+                        }
+                    }
+                }
+                other => {
+                    if let Some(i) = self.baselines.iter().position(|(s, _)| *s == other) {
+                        self.baselines[i].1.as_mut()
+                    } else {
+                        self.baselines.push((other, other.make(&dep.spec)));
+                        self.baselines.last_mut().expect("just pushed").1.as_mut()
+                    }
+                }
+            };
+            run_in_context(policy, &scenario, ctx)
+        };
+        let task_hist = &mut self.task_hist;
+        let merged_hist = &mut self.merged_hist;
+        let summary = summarize(index, cell, &dep, &stats, |_, reqs| {
+            task_hist.reset();
+            for r in reqs {
+                let lat = r.latency_us();
+                task_hist.record(lat);
+                merged_hist.record(lat);
+            }
+            task_hist.percentile(99.0)
+        });
+        self.ctx.recycle(stats);
+        summary
+    }
+}
+
+/// Builds a [`CellSummary`] from run statistics; the per-service p99
+/// comes from `p99_of`, letting the sweep path use the streaming sketch
+/// and the naive path an exact sort over the same populations.
+fn summarize(
+    index: usize,
+    cell: &CellSpec,
+    dep: &Deployment,
+    stats: &RunStats,
+    mut p99_of: impl FnMut(usize, &[CompletedRequest]) -> f64,
+) -> CellSummary {
+    let n_services = dep.ls_tasks.len() + 1;
+    let horizon_s = cell.horizon_us / 1e6;
+    let mut requests = 0u64;
+    let mut met = 0u64;
+    let mut latency_sum = 0.0;
+    let mut worst_p99 = f64::NEG_INFINITY;
+    for (t, reqs) in stats.ls_completed.iter().enumerate() {
+        let slo = slo_for(dep.ls_tasks[t].profile.isolated_e2e_us, n_services);
+        for r in reqs {
+            let lat = r.latency_us();
+            latency_sum += lat;
+            requests += 1;
+            if lat <= slo {
+                met += 1;
+            }
+        }
+        // NaN from an empty service never wins the max.
+        worst_p99 = worst_p99.max(p99_of(t, reqs));
+    }
+    let be_task = &dep.be_tasks[cell.be_index];
+    let be_samples = stats.be_completed[0] * be_task.model.batch as u64;
+    CellSummary {
+        index,
+        cell: *cell,
+        ls_requests: requests,
+        slo_met: met,
+        slo_attainment: met as f64 / requests.max(1) as f64,
+        mean_latency_us: if requests == 0 {
+            0.0
+        } else {
+            latency_sum / requests as f64
+        },
+        worst_p99_us: if worst_p99.is_finite() {
+            worst_p99
+        } else {
+            0.0
+        },
+        goodput_hz: met as f64 / horizon_s,
+        be_completed: stats.be_completed[0],
+        be_throughput_hz: be_samples as f64 / horizon_s,
+        be_preemptions: stats.be_preemptions,
+        engine_events: stats.engine_events,
+    }
+}
+
+/// One cell evaluated the way a naive per-cell loop evaluates it:
+/// caller-supplied deployment, freshly generated trace, fresh policy,
+/// fresh simulation storage, and exact collect-then-sort percentiles.
+/// The sweep engine must reproduce its counts exactly and its p99
+/// within the sketch's documented error — `tests/sweep.rs` and
+/// `bench_sweep` both enforce that.
+pub fn naive_cell_summary(index: usize, cell: &CellSpec, dep: &Deployment) -> CellSummary {
+    let trace = Arc::new(ArrivalTrace::new(per_service_traces(
+        &TraceConfig::apollo_like().scaled(cell.load.scale()),
+        dep.ls_tasks.len(),
+        cell.horizon_us,
+        cell.seed,
+    )));
+    let scenario = Scenario {
+        spec: dep.spec.clone(),
+        ls: Arc::clone(&dep.ls_tasks),
+        be: dep.be_singleton(cell.be_index),
+        ls_instances: cell.ls_instances,
+        arrivals: trace,
+        horizon_us: cell.horizon_us,
+    };
+    let mut policy = cell.system.make(&dep.spec);
+    let stats = sgdrc_core::serving::run(policy.as_mut(), &scenario);
+    let mut lat_buf: Vec<f64> = Vec::new();
+    summarize(index, cell, dep, &stats, |_, reqs| {
+        lat_buf.clear();
+        lat_buf.extend(reqs.iter().map(|r| r.latency_us()));
+        percentile(&lat_buf, 99.0)
+    })
+}
+
+/// Runs a cell grid through reusable per-chunk contexts with a chunked
+/// parallel fan-out. Per-cell summaries and histogram bin contents are
+/// identical for any worker count and any chunk size: chunks are mapped
+/// in order, summaries keep cell-list order, and per-cell behaviour
+/// depends only on the cell itself. (The merged histogram's
+/// floating-point `sum` may differ in the final ulp when chunk
+/// boundaries regroup its additions.)
+pub fn run_sweep(cells: &[CellSpec], opts: &SweepOptions) -> SweepResult {
+    // Compile every deployment up front so parallel workers never race
+    // (or duplicate) a multi-millisecond compile+profile inside the
+    // measured fan-out.
+    let mut gpus: Vec<GpuModel> = Vec::new();
+    for c in cells {
+        if !gpus.contains(&c.gpu) {
+            gpus.push(c.gpu);
+            Deployment::cached_with_options(c.gpu, opts.compile);
+        }
+    }
+    let workers = rayon::current_num_threads();
+    let chunk_size = if opts.chunk_size > 0 {
+        opts.chunk_size
+    } else {
+        // A few chunks per worker for load balance, but chunks big
+        // enough that per-chunk context setup amortizes to noise.
+        cells
+            .len()
+            .div_ceil(workers.max(1) * 4)
+            .clamp(16, cells.len().max(16))
+    };
+    let chunks: Vec<(usize, &[CellSpec])> = cells
+        .chunks(chunk_size)
+        .enumerate()
+        .map(|(i, c)| (i * chunk_size, c))
+        .collect();
+    let per_chunk: Vec<(Vec<CellSummary>, LatencyHistogram)> = chunks
+        .into_par_iter()
+        .map(|(start, chunk)| {
+            let mut w = Worker::new(opts.compile);
+            let summaries: Vec<CellSummary> = chunk
+                .iter()
+                .enumerate()
+                .map(|(off, cell)| w.run_cell(start + off, cell))
+                .collect();
+            (summaries, w.merged_hist)
+        })
+        .collect();
+    let mut result = SweepResult {
+        cells: Vec::with_capacity(cells.len()),
+        latency_hist: LatencyHistogram::new(),
+        total_events: 0,
+        total_requests: 0,
+        chunk_size,
+    };
+    // In-order fold: deterministic f64 merge order regardless of which
+    // worker finished first.
+    for (summaries, hist) in per_chunk {
+        for s in &summaries {
+            result.total_events += s.engine_events;
+            result.total_requests += s.ls_requests;
+        }
+        result.cells.extend(summaries);
+        result.latency_hist.merge(&hist);
+    }
+    result
+}

@@ -1,0 +1,59 @@
+//! Property test: the log-histogram sketch's percentiles stay within
+//! the documented bin-error bound of exact sorted percentiles, for
+//! arbitrary latency populations and percentile ranks.
+
+use proptest::prelude::*;
+use workload::metrics::{percentile, LatencyHistogram, HIST_REL_ERROR};
+
+proptest! {
+    #[test]
+    fn sketch_percentiles_within_documented_bound(
+        raw in prop::collection::vec((0.1f64..1e7, 0.0f64..6.0), 1..400),
+        p in 0.0f64..100.0,
+    ) {
+        // Spread samples over decades: value × 10^exponent.
+        let values: Vec<f64> = raw
+            .iter()
+            .map(|&(v, e)| (v * 10f64.powf(e)).min(1e9))
+            .collect();
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let exact = percentile(&values, p);
+        let sketch = h.percentile(p);
+        prop_assert!(
+            (sketch - exact).abs() <= exact * HIST_REL_ERROR + 1e-12,
+            "p{}: sketch {} vs exact {} over {} samples",
+            p, sketch, exact, values.len()
+        );
+    }
+
+    #[test]
+    fn sketch_merge_is_exact_on_bins(
+        a in prop::collection::vec(0.5f64..1e6, 0..200),
+        b in prop::collection::vec(0.5f64..1e6, 0..200),
+    ) {
+        let mut ha = LatencyHistogram::new();
+        let mut hb = LatencyHistogram::new();
+        let mut hu = LatencyHistogram::new();
+        for &v in &a {
+            ha.record(v);
+            hu.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hu.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hu.count());
+        if !a.is_empty() || !b.is_empty() {
+            prop_assert_eq!(ha.min(), hu.min());
+            prop_assert_eq!(ha.max(), hu.max());
+            // Same bins → same percentile answers at every rank.
+            for p in [1.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+                prop_assert_eq!(ha.percentile(p).to_bits(), hu.percentile(p).to_bits());
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Sweep-engine equivalence and determinism.
+//!
+//! * every cell run through the reusable per-worker contexts must match
+//!   the naive fresh-everything evaluation: exact counts bit-identical,
+//!   sketch p99 within the histogram's documented error of the exact
+//!   sorted p99;
+//! * the sweep's output must be independent of chunking (and therefore
+//!   of worker count — workers only decide which chunk runs where).
+
+use workload::metrics::HIST_REL_ERROR;
+use workload::runner::Deployment;
+use workload::sweep::{cell_seed, naive_cell_summary, run_sweep, SweepGrid, SweepOptions};
+
+/// A one-replication Fig. 17-style grid, short horizon: every GPU ×
+/// load × supported system × BE co-location.
+fn small_grid() -> SweepGrid {
+    SweepGrid::fig17_style(if cfg!(debug_assertions) { 6e3 } else { 1.2e4 }, 1)
+}
+
+#[test]
+fn sweep_matches_naive_per_cell_evaluation() {
+    let cells = small_grid().cells();
+    let result = run_sweep(&cells, &SweepOptions::default());
+    assert_eq!(result.cells.len(), cells.len());
+    for (cell, swept) in cells.iter().zip(&result.cells) {
+        let dep = Deployment::cached(cell.gpu);
+        let naive = naive_cell_summary(swept.index, cell, &dep);
+        // Exact fields must be bit-identical: the reused context and the
+        // reused policies may not change a single completion.
+        assert_eq!(naive.ls_requests, swept.ls_requests, "{cell:?}");
+        assert_eq!(naive.slo_met, swept.slo_met, "{cell:?}");
+        assert_eq!(naive.be_completed, swept.be_completed, "{cell:?}");
+        assert_eq!(naive.be_preemptions, swept.be_preemptions, "{cell:?}");
+        assert_eq!(naive.engine_events, swept.engine_events, "{cell:?}");
+        assert_eq!(
+            naive.slo_attainment.to_bits(),
+            swept.slo_attainment.to_bits()
+        );
+        assert_eq!(
+            naive.mean_latency_us.to_bits(),
+            swept.mean_latency_us.to_bits()
+        );
+        assert_eq!(naive.goodput_hz.to_bits(), swept.goodput_hz.to_bits());
+        assert_eq!(
+            naive.be_throughput_hz.to_bits(),
+            swept.be_throughput_hz.to_bits()
+        );
+        // The sketch percentile tracks the exact sorted percentile
+        // within the documented bin error.
+        assert!(
+            (naive.worst_p99_us - swept.worst_p99_us).abs()
+                <= naive.worst_p99_us * HIST_REL_ERROR + 1e-9,
+            "{cell:?}: exact p99 {} vs sketch {}",
+            naive.worst_p99_us,
+            swept.worst_p99_us
+        );
+    }
+    assert_eq!(
+        result.total_requests,
+        result.cells.iter().map(|c| c.ls_requests).sum::<u64>()
+    );
+    assert_eq!(result.latency_hist.count(), result.total_requests);
+}
+
+#[test]
+fn sweep_results_are_chunking_invariant() {
+    let grid = SweepGrid {
+        replications: 2,
+        ..small_grid()
+    };
+    let cells = grid.cells();
+    let opts = |chunk| SweepOptions {
+        chunk_size: chunk,
+        ..Default::default()
+    };
+    let a = run_sweep(&cells, &opts(1));
+    let b = run_sweep(&cells, &opts(7));
+    let c = run_sweep(&cells, &opts(0)); // auto
+    for other in [&b, &c] {
+        // Per-cell summaries are bit-identical under any chunking.
+        assert_eq!(a.cells, other.cells);
+        assert_eq!(a.total_events, other.total_events);
+        assert_eq!(a.total_requests, other.total_requests);
+        // Histogram bin contents and extremes are exact integers/maxima
+        // and thus chunking-invariant; the running f64 `sum` may differ
+        // in the last ulp with merge grouping (documented).
+        assert_eq!(a.latency_hist.count(), other.latency_hist.count());
+        assert_eq!(
+            a.latency_hist.percentile(50.0).to_bits(),
+            other.latency_hist.percentile(50.0).to_bits()
+        );
+        assert_eq!(
+            a.latency_hist.percentile(99.0).to_bits(),
+            other.latency_hist.percentile(99.0).to_bits()
+        );
+        assert_eq!(a.latency_hist.min(), other.latency_hist.min());
+        assert_eq!(a.latency_hist.max(), other.latency_hist.max());
+        let (sa, sb) = (a.latency_hist.sum(), other.latency_hist.sum());
+        assert!((sa - sb).abs() <= sa.abs() * 1e-12);
+    }
+}
+
+#[test]
+fn cell_seeds_are_stable_pure_functions() {
+    // The seed assignment is part of the reproducibility contract:
+    // pin the derivation so a refactor cannot silently reshuffle every
+    // published sweep.
+    assert_eq!(cell_seed(0xA110C, 0), cell_seed(0xA110C, 0));
+    assert_ne!(cell_seed(0xA110C, 0), cell_seed(0xA110C, 1));
+    assert_ne!(cell_seed(0xA110C, 0), cell_seed(0xB200D, 0));
+    // Grids with the same parameters produce the same cells.
+    let a = small_grid().cells();
+    let b = small_grid().cells();
+    assert_eq!(a, b);
+    // MPS is skipped on the P40, as in Fig. 17.
+    assert!(a
+        .iter()
+        .all(|c| c.system != workload::SystemKind::Mps || c.gpu != gpu_spec::GpuModel::TeslaP40));
+}

@@ -17,6 +17,33 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
 }
 
+/// Environment variable overriding the worker count (like real rayon's
+/// `RAYON_NUM_THREADS`): `SGDRC_THREADS=1` forces the sequential
+/// fallback, `SGDRC_THREADS=8` fans out over 8 workers regardless of
+/// the detected CPU count. Unset/invalid/zero falls back to
+/// `std::thread::available_parallelism`.
+pub const THREADS_ENV: &str = "SGDRC_THREADS";
+
+/// The worker count parallel maps fan out over: the [`THREADS_ENV`]
+/// override when set, otherwise the detected CPU count (mirrors
+/// `rayon::current_num_threads`). Benchmarks record this so a reported
+/// parallel speedup is attributable to an actual worker count.
+pub fn current_num_threads() -> usize {
+    match std::env::var(THREADS_ENV) {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => detected_parallelism(),
+        },
+        Err(_) => detected_parallelism(),
+    }
+}
+
+fn detected_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+}
+
 /// An eagerly materialized "parallel" iterator over owned items.
 pub struct ParIter<T> {
     items: Vec<T>,
@@ -103,10 +130,12 @@ fn par_map_vec<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> 
     if n <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        // Sequential fallback (the default on 1-CPU boxes, or forced via
+        // SGDRC_THREADS=1): no worker threads, no per-item mutexes.
+        return items.into_iter().map(f).collect();
+    }
     // Items are handed out through per-slot takeable cells so workers can
     // claim them by index without cloning.
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
@@ -162,10 +191,44 @@ mod tests {
         assert_eq!(out, vec![1, 2, 3]);
     }
 
+    /// Serializes the tests that touch or read `SGDRC_THREADS`: env
+    /// mutation is process-global, and cargo runs tests on parallel
+    /// threads in one process.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn threads_env_overrides_worker_count() {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prior = std::env::var(crate::THREADS_ENV).ok();
+        std::env::set_var(crate::THREADS_ENV, "3");
+        assert_eq!(crate::current_num_threads(), 3);
+        std::env::set_var(crate::THREADS_ENV, "not-a-number");
+        let detected = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4);
+        assert_eq!(crate::current_num_threads(), detected);
+        std::env::set_var(crate::THREADS_ENV, "3");
+        // The fan-out honours the override (and stays order-preserving).
+        let out: Vec<i32> = (0..32)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|x| x + 1)
+            .collect();
+        assert_eq!(out, (1..=32).collect::<Vec<_>>());
+        // Restore whatever the environment had before the test.
+        match prior {
+            Some(v) => std::env::set_var(crate::THREADS_ENV, v),
+            None => std::env::remove_var(crate::THREADS_ENV),
+        }
+    }
+
     #[test]
     fn map_actually_runs_on_multiple_threads() {
         use std::collections::HashSet;
         use std::sync::Mutex;
+        // Hold the env lock so the override test cannot flip the worker
+        // count between the fan-out below and the guard's re-read.
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let seen = Mutex::new(HashSet::new());
         let _: Vec<()> = (0..64)
             .collect::<Vec<i32>>()
@@ -175,11 +238,9 @@ mod tests {
                 std::thread::sleep(std::time::Duration::from_millis(2));
             })
             .collect();
-        if std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            > 1
-        {
+        // Guard on the *effective* worker count: with SGDRC_THREADS=1
+        // the fan-out legitimately stays sequential on any machine.
+        if crate::current_num_threads() > 1 {
             assert!(seen.lock().unwrap().len() > 1, "expected >1 worker thread");
         }
     }
