@@ -1,0 +1,271 @@
+//! Fleet-simulator benchmark: an 8-replica heterogeneous fleet under a
+//! diurnal+burst trace, every sharing system × routing policy, plus an
+//! N-replica scaling curve. Writes `BENCH_cluster.json`.
+//!
+//! The headline question is the cluster layer's: with a fleet of
+//! spatially-shared GPUs behind one arrival stream, how much fleet-wide
+//! goodput and tail latency does the *router* buy, and what does the
+//! fleet controller's dynamic BE placement cost or save? Replicas mix
+//! GPU models (RTX A2000 + GTX 1080), so blind round-robin overloads the
+//! slow third of the fleet during bursts while backlog/SLO-aware routing
+//! shifts load — the gate at the bottom asserts join-shortest-backlog or
+//! SLO-aware p2c beats round-robin on fleet p99 for SGDRC.
+//!
+//! `--smoke` shrinks horizons and skips the gate; CI runs it on every
+//! push.
+
+use gpu_spec::GpuModel;
+use sgdrc_bench::json::Json;
+use sgdrc_core::serving::SimContext;
+use std::time::Instant;
+use workload::cluster::{ClusterConfig, ControllerConfig, RouterKind};
+use workload::runner::Deployment;
+use workload::trace::TraceConfig;
+use workload::SystemKind;
+
+/// The heterogeneous headline fleet: two thirds current-generation
+/// cards, one third older slower ones — the mix a real cluster ages
+/// into. (The P40 sits out because MPS does not run on it, §9.3.)
+fn headline_fleet() -> Vec<GpuModel> {
+    vec![
+        GpuModel::RtxA2000,
+        GpuModel::RtxA2000,
+        GpuModel::Gtx1080,
+        GpuModel::RtxA2000,
+        GpuModel::Gtx1080,
+        GpuModel::RtxA2000,
+        GpuModel::Gtx1080,
+        GpuModel::RtxA2000,
+    ]
+}
+
+/// The diurnal+burst cluster stream: Apollo bursts sharpened, plus a
+/// ±35% diurnal swing sized so the horizon sees a full cycle.
+fn fleet_trace(per_service_scale: f64, horizon_us: f64) -> TraceConfig {
+    TraceConfig::apollo_like()
+        .scaled(per_service_scale)
+        .with_bursts(2.2, 0.25)
+        .with_diurnal(0.35, horizon_us / 1e6 / 1.5)
+}
+
+struct FleetRun {
+    goodput_hz: f64,
+    p99_us: f64,
+    slo_attainment: f64,
+    requests: u64,
+    be_completed: u64,
+    be_migrations: usize,
+    be_preemptions: u64,
+    engine_events: u64,
+    wall_s: f64,
+}
+
+fn run_fleet(cfg: &ClusterConfig, kind: RouterKind, ctxs: &mut Vec<SimContext>) -> FleetRun {
+    let mut router = kind.make(cfg.seed);
+    let start = Instant::now();
+    let result = workload::run_cluster_in(cfg, router.as_mut(), ctxs);
+    let wall_s = start.elapsed().as_secs_f64();
+    FleetRun {
+        goodput_hz: result.goodput_hz,
+        p99_us: result.fleet_percentile(99.0),
+        slo_attainment: result.slo_attainment(),
+        requests: result.requests,
+        be_completed: result.be_completed,
+        be_migrations: result.migrations.len(),
+        be_preemptions: result.be_preemptions,
+        engine_events: result.engine_events,
+        wall_s,
+    }
+}
+
+fn fleet_json(r: &FleetRun) -> Json {
+    Json::obj()
+        .set("goodput_hz", r.goodput_hz)
+        .set("fleet_p99_us", r.p99_us)
+        .set("slo_attainment", r.slo_attainment)
+        .set("requests", r.requests)
+        .set("be_completed", r.be_completed)
+        .set("be_migrations", r.be_migrations)
+        .set("be_preemptions", r.be_preemptions)
+        .set("engine_events", r.engine_events)
+        .set("wall_s", r.wall_s)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let horizon_us = if smoke { 2.5e5 } else { 3e6 };
+    let fleet = headline_fleet();
+
+    sgdrc_bench::header("BENCH_cluster — 8-replica fleet, systems × routers");
+    println!(
+        "fleet: {} replicas ({} A2000 + {} GTX 1080), horizon {horizon_us}µs{}",
+        fleet.len(),
+        fleet.iter().filter(|&&g| g == GpuModel::RtxA2000).count(),
+        fleet.iter().filter(|&&g| g == GpuModel::Gtx1080).count(),
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // Warm the deployments outside every measured region.
+    for &g in &[GpuModel::RtxA2000, GpuModel::Gtx1080] {
+        let _ = Deployment::cached(g);
+    }
+
+    let base = {
+        let mut cfg = ClusterConfig::new(fleet.clone(), SystemKind::Sgdrc);
+        cfg.horizon_us = horizon_us;
+        cfg.trace = fleet_trace(5.5, horizon_us);
+        cfg.controller = ControllerConfig {
+            period_us: 5e4,
+            adaptive_ch_be: true,
+            ..Default::default()
+        };
+        cfg
+    };
+
+    // --- systems × routers matrix ----------------------------------------
+    let mut ctxs: Vec<SimContext> = Vec::new();
+    let mut systems_json = Json::obj();
+    let mut sgdrc_p99 = Vec::new();
+    for system in SystemKind::all() {
+        let mut cfg = base.clone();
+        cfg.system = system;
+        let mut row = Json::obj();
+        for kind in RouterKind::all() {
+            let r = run_fleet(&cfg, kind, &mut ctxs);
+            println!(
+                "{:>16} × {:>16}: goodput {:>7.1}/s  p99 {:>9.0}µs  SLO {:>5.1}%  BE {:>5}  mig {:>3}  {:>5.2}s",
+                system.name(),
+                kind.name(),
+                r.goodput_hz,
+                r.p99_us,
+                r.slo_attainment * 100.0,
+                r.be_completed,
+                r.be_migrations,
+                r.wall_s
+            );
+            if system == SystemKind::Sgdrc {
+                sgdrc_p99.push((kind, r.p99_us));
+            }
+            row = row.set(kind.name(), fleet_json(&r));
+        }
+        systems_json = systems_json.set(system.name(), row);
+    }
+
+    // --- N-replica scaling curve ------------------------------------------
+    // Homogeneous A2000 fleets with load scaled ∝ N: fleet capacity
+    // (simulated completions/s) should grow ~linearly while the simulator
+    // itself reports wall-clock throughput for the perf trajectory.
+    sgdrc_bench::header("scaling curve — SGDRC × shortest-backlog");
+    let sizes: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8, 16] };
+    let scaling_horizon = if smoke { 2e5 } else { 1.5e6 };
+    let mut points = Vec::new();
+    for &nrep in sizes {
+        let mut cfg = ClusterConfig::new(vec![GpuModel::RtxA2000; nrep], SystemKind::Sgdrc);
+        cfg.horizon_us = scaling_horizon;
+        cfg.trace = fleet_trace(0.9 * nrep as f64, scaling_horizon);
+        cfg.controller.period_us = 5e4;
+        let mut fresh = Vec::new();
+        let r = run_fleet(&cfg, RouterKind::ShortestBacklog, &mut fresh);
+        let sim_req_per_s = r.requests as f64 / (scaling_horizon / 1e6);
+        println!(
+            "{nrep} replica(s): {:>8.1} served req/s (sim)  goodput {:>8.1}/s  {:>9.0} events/s (wall)",
+            sim_req_per_s,
+            r.goodput_hz,
+            r.engine_events as f64 / r.wall_s
+        );
+        points.push(
+            Json::obj()
+                .set("replicas", nrep)
+                .set("trace_scale", 0.9 * nrep as f64)
+                .set("served_requests_per_sim_s", sim_req_per_s)
+                .set("goodput_hz", r.goodput_hz)
+                .set("slo_attainment", r.slo_attainment)
+                .set("wall_s", r.wall_s)
+                .set("events_per_wall_s", r.engine_events as f64 / r.wall_s),
+        );
+    }
+
+    // The scaling-curve section records the *effective* worker count
+    // (the SGDRC_THREADS override when set), so multi-core runs on real
+    // hardware attribute their curves to an actual thread count.
+    let threads = sgdrc_bench::ThreadAttribution::capture();
+    let (detected_cpus, worker_threads) = (threads.detected_cpus, threads.worker_threads);
+    let scaling_json = Json::obj()
+        .set("system", "SGDRC")
+        .set("router", "shortest_backlog")
+        .set("horizon_us", scaling_horizon)
+        .set("points", Json::Arr(points));
+    let scaling_json = threads.annotate(scaling_json);
+
+    // --- routing gate ------------------------------------------------------
+    let rr = sgdrc_p99
+        .iter()
+        .find(|(k, _)| *k == RouterKind::RoundRobin)
+        .expect("rr ran")
+        .1;
+    let best_alt = sgdrc_p99
+        .iter()
+        .filter(|(k, _)| *k != RouterKind::RoundRobin)
+        .map(|&(_, p)| p)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\nrouting gate (SGDRC): round-robin p99 {rr:.0}µs vs best load-aware {best_alt:.0}µs ({:.2}×)",
+        rr / best_alt
+    );
+
+    let doc = Json::obj()
+        .set("benchmark", "cluster_fleet")
+        .set("smoke", smoke)
+        .set(
+            "fleet",
+            Json::obj()
+                .set("replicas", fleet.len())
+                .set(
+                    "gpus",
+                    Json::Arr(fleet.iter().map(|g| Json::Str(g.name().into())).collect()),
+                )
+                .set("horizon_us", horizon_us)
+                .set("per_service_trace_scale", 5.5)
+                .set(
+                    "trace",
+                    Json::obj()
+                        .set("shape", "apollo bursts ×2.2 duty 0.25 + diurnal ±35%")
+                        .set("mean_rate_hz_per_service", base.trace.mean_rate_hz)
+                        .set("burst_factor", base.trace.burst_factor)
+                        .set("burst_duty", base.trace.burst_duty)
+                        .set("diurnal_depth", base.trace.diurnal_depth)
+                        .set("diurnal_period_s", base.trace.diurnal_period_s),
+                )
+                .set(
+                    "controller",
+                    Json::obj()
+                        .set("period_us", base.controller.period_us)
+                        .set("breach_ratio", base.controller.breach_ratio)
+                        .set("headroom_ratio", base.controller.headroom_ratio)
+                        .set("adaptive_ch_be", base.controller.adaptive_ch_be),
+                ),
+        )
+        .set("systems", systems_json)
+        .set(
+            "routing_gate",
+            Json::obj()
+                .set("system", "SGDRC")
+                .set("round_robin_p99_us", rr)
+                .set("best_load_aware_p99_us", best_alt)
+                .set("p99_improvement", rr / best_alt)
+                .set("load_aware_beats_round_robin", best_alt < rr),
+        )
+        .set("scaling", scaling_json)
+        .set("detected_cpus", detected_cpus)
+        .set("worker_threads", worker_threads)
+        .set("sgdrc_threads_env", threads.env_json());
+    std::fs::write("BENCH_cluster.json", doc.pretty()).expect("write BENCH_cluster.json");
+    println!("wrote BENCH_cluster.json");
+
+    if !smoke && best_alt >= rr {
+        eprintln!(
+            "WARNING: load-aware routing ({best_alt:.0}µs) did not beat round-robin ({rr:.0}µs) on fleet p99"
+        );
+        std::process::exit(1);
+    }
+}

@@ -146,16 +146,13 @@ fn main() {
     // The worker count honours the SGDRC_THREADS override and is
     // recorded, so multi-core boxes can exercise the fan-out honestly
     // and the JSON attributes any speedup to an actual worker count.
-    let detected_cpus = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
-    let worker_threads = rayon::current_num_threads();
-    let threads_env = std::env::var(rayon::THREADS_ENV).ok();
+    let threads = sgdrc_bench::ThreadAttribution::capture();
+    let (detected_cpus, worker_threads) = (threads.detected_cpus, threads.worker_threads);
     let parallel_json = if worker_threads <= 1 {
         println!(
             "parallel sweep: skipped (1 worker — detected_cpus={detected_cpus}, {}={})",
             rayon::THREADS_ENV,
-            threads_env.as_deref().unwrap_or("<unset>")
+            threads.env.as_deref().unwrap_or("<unset>")
         );
         Json::obj()
             .set("skipped", true)
@@ -182,13 +179,13 @@ fn main() {
             .set("detected_cpus", detected_cpus)
             .set("worker_threads", worker_threads)
     };
-    let parallel_json = parallel_json.set(
-        "sgdrc_threads_env",
-        match &threads_env {
-            Some(v) => Json::Str(v.clone()),
-            None => Json::Null,
-        },
-    );
+    // Record the *effective* worker count inside the scaling section
+    // itself (not just the raw env string), flagged when an override
+    // makes it differ from the detected CPUs — so a cells/sec curve
+    // collected by sweeping SGDRC_THREADS on real hardware is
+    // attributable from this section alone.
+    let parallel_json =
+        threads.annotate(parallel_json.set("sgdrc_threads_env", threads.env_json()));
 
     // compute_rates micro-timings at 1/2/4 resident kernels.
     sgdrc_bench::header("compute_rates ns/call (fast vs reference)");

@@ -187,15 +187,12 @@ fn main() {
         fresh_us / reused_us
     );
 
-    let detected_cpus = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
-    let worker_threads = rayon::current_num_threads();
-    let threads_env = std::env::var(rayon::THREADS_ENV).ok();
+    let threads = sgdrc_bench::ThreadAttribution::capture();
+    let (detected_cpus, worker_threads) = (threads.detected_cpus, threads.worker_threads);
     println!(
         "detected_cpus={detected_cpus} worker_threads={worker_threads} {}={}",
         rayon::THREADS_ENV,
-        threads_env.as_deref().unwrap_or("<unset>")
+        threads.env.as_deref().unwrap_or("<unset>")
     );
 
     let arm = |wall: f64| {
@@ -215,13 +212,7 @@ fn main() {
         .set("smoke", smoke)
         .set("detected_cpus", detected_cpus)
         .set("worker_threads", worker_threads)
-        .set(
-            "sgdrc_threads_env",
-            match &threads_env {
-                Some(v) => Json::Str(v.clone()),
-                None => Json::Null,
-            },
-        )
+        .set("sgdrc_threads_env", threads.env_json())
         .set("chunk_size", swept.chunk_size)
         .set(
             "naive",
@@ -236,10 +227,18 @@ fn main() {
         )
         .set(
             "sweep",
-            arm(sweep_wall).set(
-                "mode",
-                "reusable per-chunk contexts, shared traces, streaming histogram metrics",
-            ),
+            arm(sweep_wall)
+                .set(
+                    "mode",
+                    "reusable per-chunk contexts, shared traces, streaming histogram metrics",
+                )
+                // The parallel arm's effective worker count, flagged when
+                // an SGDRC_THREADS override makes it differ from the
+                // detected CPUs: a multi-core cells/sec curve collected by
+                // sweeping the override is attributable from this section
+                // alone.
+                .set("effective_threads", threads.worker_threads)
+                .set("threads_overridden", threads.overridden()),
         )
         .set("cells_per_sec_speedup", speedup)
         .set("cells_per_sec_speedup_vs_cached", speedup_vs_cached)
@@ -258,7 +257,26 @@ fn main() {
                 .set("documented_rel_error", HIST_REL_ERROR)
                 .set("samples", swept.latency_hist.count())
                 .set("grid_p50_us", swept.latency_hist.percentile(50.0))
-                .set("grid_p99_us", swept.latency_hist.percentile(99.0)),
+                .set("grid_p99_us", swept.latency_hist.percentile(99.0))
+                // The same population per (GPU, system) slice — the
+                // percentile surface the grid-wide sketch cannot answer.
+                .set(
+                    "slices",
+                    Json::Arr(
+                        swept
+                            .slices
+                            .iter()
+                            .map(|s| {
+                                Json::obj()
+                                    .set("gpu", s.gpu.name())
+                                    .set("system", s.system.name())
+                                    .set("samples", s.hist.count())
+                                    .set("p50_us", s.hist.percentile(50.0))
+                                    .set("p99_us", s.hist.percentile(99.0))
+                            })
+                            .collect(),
+                    ),
+                ),
         )
         .set("total_engine_events", swept.total_events);
     std::fs::write("BENCH_sweep.json", doc.pretty()).expect("write BENCH_sweep.json");

@@ -14,3 +14,47 @@ pub mod json;
 pub fn header(title: &str) {
     println!("\n=== {title} ===");
 }
+
+/// Worker-thread attribution shared by every bench JSON: the detected
+/// CPU count, the effective rayon worker count (the `SGDRC_THREADS`
+/// override when set), and the raw env value — so a scaling curve
+/// collected by sweeping the override is attributable from the JSON
+/// alone.
+pub struct ThreadAttribution {
+    pub detected_cpus: usize,
+    pub worker_threads: usize,
+    pub env: Option<String>,
+}
+
+impl ThreadAttribution {
+    pub fn capture() -> Self {
+        Self {
+            detected_cpus: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            worker_threads: rayon::current_num_threads(),
+            env: std::env::var(rayon::THREADS_ENV).ok(),
+        }
+    }
+
+    /// Did an override make the worker count differ from the hardware?
+    pub fn overridden(&self) -> bool {
+        self.worker_threads != self.detected_cpus
+    }
+
+    /// The raw `SGDRC_THREADS` value as a JSON field (null when unset).
+    pub fn env_json(&self) -> json::Json {
+        match &self.env {
+            Some(v) => json::Json::Str(v.clone()),
+            None => json::Json::Null,
+        }
+    }
+
+    /// Appends the standard attribution fields to a scaling/parallel
+    /// section: `effective_threads` + `threads_overridden`.
+    pub fn annotate(&self, section: json::Json) -> json::Json {
+        section
+            .set("effective_threads", self.worker_threads)
+            .set("threads_overridden", self.overridden())
+    }
+}

@@ -235,6 +235,7 @@ pub struct SimContext {
     pending: Vec<VecDeque<f64>>,
     inflight: Vec<VecDeque<Inference>>,
     be_cursor: Vec<usize>,
+    be_active: Vec<bool>,
     ls_completed: Vec<Vec<CompletedRequest>>,
     be_completed: Vec<u64>,
 }
@@ -290,6 +291,12 @@ pub struct ServingState<'s> {
     be_rr: usize,
     /// Closed-loop BE inference cursor per BE task.
     be_cursor: Vec<usize>,
+    /// Which BE tasks are currently resident on this GPU. Every task
+    /// starts active; a cluster's fleet controller parks/resumes BE work
+    /// by toggling entries (see [`set_be_active`](Self::set_be_active)).
+    /// [`peek_be`](Self::peek_be) skips inactive tasks, so with all tasks
+    /// active the single-GPU behaviour is unchanged.
+    be_active: Vec<bool>,
     pub ls_launch: Option<ActiveLaunch>,
     pub be_launch: Option<ActiveLaunch>,
     pub stats: RunStats,
@@ -323,6 +330,9 @@ impl<'s> ServingState<'s> {
         let mut be_cursor = std::mem::take(&mut ctx.be_cursor);
         be_cursor.clear();
         be_cursor.resize(n_be, 0);
+        let mut be_active = std::mem::take(&mut ctx.be_active);
+        be_active.clear();
+        be_active.resize(n_be, true);
         let mut ls_completed = std::mem::take(&mut ctx.ls_completed);
         for v in &mut ls_completed {
             v.clear();
@@ -346,6 +356,7 @@ impl<'s> ServingState<'s> {
             ls_rr: 0,
             be_rr: 0,
             be_cursor,
+            be_active,
             ls_launch: None,
             be_launch: None,
             stats: RunStats {
@@ -367,6 +378,7 @@ impl<'s> ServingState<'s> {
             pending,
             inflight,
             be_cursor,
+            be_active,
             stats,
             ..
         } = self;
@@ -374,6 +386,7 @@ impl<'s> ServingState<'s> {
         ctx.pending = pending;
         ctx.inflight = inflight;
         ctx.be_cursor = be_cursor;
+        ctx.be_active = be_active;
         stats
     }
 
@@ -524,13 +537,46 @@ impl<'s> ServingState<'s> {
         out
     }
 
-    /// Peeks the next BE kernel in round-robin order.
+    /// Peeks the next *active* BE kernel in round-robin order. With every
+    /// BE task active (the default) this is exactly the plain round-robin
+    /// peek; a cluster controller that parked a task makes the scan skip
+    /// it.
     pub fn peek_be(&self) -> Option<(usize, usize)> {
-        if self.scenario.be.is_empty() {
-            return None;
+        let n = self.scenario.be.len();
+        for off in 0..n {
+            let t = (self.be_rr + off) % n;
+            if self.be_active[t] {
+                return Some((t, self.be_cursor[t]));
+            }
         }
-        let t = self.be_rr % self.scenario.be.len();
-        Some((t, self.be_cursor[t]))
+        None
+    }
+
+    /// Is any BE task resident (active) on this GPU? Policies use this —
+    /// rather than `scenario.be.is_empty()` — to decide whether LS work
+    /// is co-located: a replica whose BE work all migrated away is
+    /// monopolized by LS even though its scenario still lists the tasks.
+    pub fn be_present(&self) -> bool {
+        self.be_active.iter().any(|&a| a)
+    }
+
+    /// Number of active (resident) BE tasks.
+    pub fn active_be_count(&self) -> usize {
+        self.be_active.iter().filter(|&&a| a).count()
+    }
+
+    /// Whether one BE task is active.
+    pub fn be_active(&self, task: usize) -> bool {
+        self.be_active[task]
+    }
+
+    /// Parks (`false`) or resumes (`true`) one BE task. Parking does not
+    /// touch a kernel already on the GPU — raise the eviction flag via
+    /// [`preempt_be`](Self::preempt_be) if the parked task is the one
+    /// running; its closed-loop cursor is preserved either way, so a task
+    /// migrating back later resumes its inference where it stopped.
+    pub fn set_be_active(&mut self, task: usize, active: bool) {
+        self.be_active[task] = active;
     }
 
     pub fn ls_kernel(&self, task: usize, idx: usize) -> &KernelDesc {
@@ -726,44 +772,171 @@ pub enum ServingMode {
     Fast,
 }
 
-/// How the serving loop draws the next request: the seed per-task cursor
-/// scan, or a single cursor over the pre-merged stream.
-enum ArrivalCursor<'t> {
-    Seed {
-        per_task: &'t [Vec<f64>],
-        cursors: Vec<usize>,
-    },
-    Fast {
-        merged: &'t [Arrival],
-        next: usize,
-    },
+/// The seed path's arrival source: a fresh O(n_ls) scan over per-task
+/// cursors on every peek. (The fast path consumes the pre-merged stream
+/// through [`ReplicaSim`] instead.)
+struct SeedArrivalCursor<'t> {
+    per_task: &'t [Vec<f64>],
+    cursors: Vec<usize>,
 }
 
-impl ArrivalCursor<'_> {
+impl SeedArrivalCursor<'_> {
     fn peek(&self) -> Option<(usize, f64)> {
-        match self {
-            ArrivalCursor::Seed { per_task, cursors } => {
-                let mut best: Option<(usize, f64)> = None;
-                for (t, &c) in cursors.iter().enumerate() {
-                    if let Some(&at) = per_task[t].get(c) {
-                        if best.is_none_or(|(_, b)| at < b) {
-                            best = Some((t, at));
-                        }
-                    }
+        let mut best: Option<(usize, f64)> = None;
+        for (t, &c) in self.cursors.iter().enumerate() {
+            if let Some(&at) = self.per_task[t].get(c) {
+                if best.is_none_or(|(_, b)| at < b) {
+                    best = Some((t, at));
                 }
-                best
-            }
-            ArrivalCursor::Fast { merged, next } => {
-                merged.get(*next).map(|a| (a.task as usize, a.at_us))
             }
         }
+        best
     }
 
     fn pop(&mut self, task: usize) {
-        match self {
-            ArrivalCursor::Seed { cursors, .. } => cursors[task] += 1,
-            ArrivalCursor::Fast { next, .. } => *next += 1,
+        self.cursors[task] += 1;
+    }
+}
+
+/// A resumable serving simulation for one GPU replica.
+///
+/// [`run_configured_in`]'s fast path drives a whole scenario to the
+/// horizon in one call; a *cluster* interleaves many replicas behind a
+/// request router, which needs to (a) quiesce every replica up to an
+/// arrival's timestamp, (b) read replica state to pick a target, and
+/// (c) inject the arrival into that target only. `ReplicaSim` exposes the
+/// fast serving loop in exactly those increments — the batch fast path is
+/// itself implemented on top of it, so a 1-replica cluster fed the same
+/// merged stream reproduces a batch run bit for bit (enforced by
+/// `workload/tests/cluster.rs`).
+///
+/// Lifecycle: [`prepare`](Self::prepare) → optional state setup (e.g.
+/// parking BE tasks) → [`begin`](Self::begin) → any interleaving of
+/// [`advance`](Self::advance) / [`inject_arrival`](Self::inject_arrival)
+/// / [`dispatch`](Self::dispatch) → final `advance(policy, None)` →
+/// [`finish`](Self::finish).
+pub struct ReplicaSim<'s> {
+    st: ServingState<'s>,
+    use_timers: bool,
+}
+
+impl<'s> ReplicaSim<'s> {
+    /// Builds the simulation (fast serving mode) from a context's
+    /// recycled storage without touching the policy — callers may
+    /// configure the state (BE activity, rate mode) before the first
+    /// dispatch.
+    pub fn prepare(scenario: &'s Scenario, ctx: &mut SimContext) -> Self {
+        Self::prepare_with_rate(scenario, RateMode::Fast, ctx)
+    }
+
+    /// [`prepare`](Self::prepare) with an explicit engine rate mode.
+    pub fn prepare_with_rate(scenario: &'s Scenario, rate: RateMode, ctx: &mut SimContext) -> Self {
+        let mut st = ServingState::new_in(scenario, ServingMode::Fast, ctx);
+        st.engine.set_rate_mode(rate);
+        st.engine.set_eager_rates(false);
+        Self {
+            st,
+            use_timers: true,
         }
+    }
+
+    /// Starts the run: queries the policy's timer capability, resets its
+    /// per-run state and performs the initial dispatch.
+    pub fn begin(&mut self, policy: &mut dyn Policy) {
+        self.use_timers = policy.has_timers();
+        policy.on_run_start(&mut self.st);
+        policy.dispatch(&mut self.st);
+    }
+
+    /// The serving state (read-only): queue pressure, launches,
+    /// accumulated statistics.
+    pub fn state(&self) -> &ServingState<'s> {
+        &self.st
+    }
+
+    /// Mutable serving state access for controllers (BE activity
+    /// toggles, targeted preemption). Call [`dispatch`](Self::dispatch)
+    /// afterwards so the policy reacts to the mutation.
+    pub fn state_mut(&mut self) -> &mut ServingState<'s> {
+        &mut self.st
+    }
+
+    /// Re-runs the policy's dispatch against the current state — the
+    /// follow-up to any external mutation through
+    /// [`state_mut`](Self::state_mut).
+    pub fn dispatch(&mut self, policy: &mut dyn Policy) {
+        policy.dispatch(&mut self.st);
+    }
+
+    /// Processes engine events and policy timers that precede an arrival
+    /// at `next_arrival_us` (or all remaining work when `None`), with the
+    /// batch loop's exact ordering and tie-breaking. Returns `true` when
+    /// it stopped because the supplied arrival is due next (the caller
+    /// should [`inject_arrival`](Self::inject_arrival) it), `false` when
+    /// the horizon was reached or the replica went idle forever.
+    pub fn advance(&mut self, policy: &mut dyn Policy, next_arrival_us: Option<f64>) -> bool {
+        loop {
+            // Memoized inside the engine — the same value serves the min
+            // fold below and the engine's own integration this iteration.
+            let event = self.st.engine.next_event_at();
+            // Stale (non-future) timers cannot make progress; drop them.
+            let timer = if self.use_timers {
+                policy.next_timer().filter(|&t| t > self.st.now() + 1e-9)
+            } else {
+                None
+            };
+            // Earliest of the three candidate times, without
+            // materializing a candidate list (this runs once per
+            // simulated event).
+            let mut next = f64::INFINITY;
+            if let Some(at) = next_arrival_us {
+                next = at;
+            }
+            if let Some(at) = event {
+                next = next.min(at);
+            }
+            if let Some(at) = timer {
+                next = next.min(at);
+            }
+            if next == f64::INFINITY {
+                return false; // idle with no arrivals left
+            }
+            if next > self.st.scenario.horizon_us {
+                return false;
+            }
+            // Arrival strictly first?
+            if next_arrival_us.is_some_and(|at| at <= next + 1e-9)
+                && event.is_none_or(|e| next_arrival_us.expect("checked") <= e)
+            {
+                return true;
+            } else if event.is_some_and(|e| e <= next + 1e-9) {
+                let ev = self.st.engine.step().expect("event was due");
+                self.st.on_event(ev);
+            } else {
+                // Timer only.
+                self.st.engine.advance_idle(next);
+            }
+            policy.dispatch(&mut self.st);
+        }
+    }
+
+    /// Delivers one routed request to LS task `task` at `at_us` (which
+    /// must be the timestamp [`advance`](Self::advance) just stopped at):
+    /// idles the engine forward, enqueues the request, and gives the
+    /// policy its arrival reaction plus a dispatch.
+    pub fn inject_arrival(&mut self, policy: &mut dyn Policy, task: usize, at_us: f64) {
+        self.st.engine.advance_idle(at_us);
+        self.st.push_arrival(task, at_us);
+        policy.on_ls_arrival(&mut self.st);
+        policy.dispatch(&mut self.st);
+    }
+
+    /// Ends the run: records the actually simulated time and event count
+    /// into the statistics and returns the storage to the context.
+    pub fn finish(mut self, ctx: &mut SimContext) -> RunStats {
+        self.st.stats.horizon_us = self.st.now().min(self.st.scenario.horizon_us);
+        self.st.stats.engine_events = self.st.engine.events_processed();
+        self.st.finish_into(ctx)
     }
 }
 
@@ -812,23 +985,39 @@ pub fn run_configured_in(
     serving: ServingMode,
     ctx: &mut SimContext,
 ) -> RunStats {
+    // The fast path is the resumable replica pump fed the merged stream —
+    // the same machinery a cluster drives arrival-by-arrival, here run to
+    // completion in one call.
+    if serving == ServingMode::Fast {
+        let mut sim = ReplicaSim::prepare_with_rate(scenario, rate, ctx);
+        sim.begin(policy);
+        let merged = scenario.arrivals.merged();
+        let mut next = 0usize;
+        loop {
+            match merged.get(next) {
+                Some(a) => {
+                    if !sim.advance(policy, Some(a.at_us)) {
+                        break; // horizon reached before the arrival
+                    }
+                    next += 1;
+                    sim.inject_arrival(policy, a.task as usize, a.at_us);
+                }
+                None => {
+                    sim.advance(policy, None);
+                    break;
+                }
+            }
+        }
+        return sim.finish(ctx);
+    }
+
     let mut st = ServingState::new_in(scenario, serving, ctx);
     st.engine.set_rate_mode(rate);
-    st.engine.set_eager_rates(serving == ServingMode::Seed);
-    let mut arrivals = match serving {
-        ServingMode::Seed => ArrivalCursor::Seed {
-            per_task: scenario.arrivals.per_task(),
-            cursors: vec![0usize; scenario.arrivals.num_tasks()],
-        },
-        ServingMode::Fast => ArrivalCursor::Fast {
-            merged: scenario.arrivals.merged(),
-            next: 0,
-        },
+    st.engine.set_eager_rates(true);
+    let mut arrivals = SeedArrivalCursor {
+        per_task: scenario.arrivals.per_task(),
+        cursors: vec![0usize; scenario.arrivals.num_tasks()],
     };
-
-    // The seed loop queried the policy timer on every iteration; the
-    // fast loop asks once whether the policy uses timers at all.
-    let use_timers = serving == ServingMode::Seed || policy.has_timers();
 
     policy.on_run_start(&mut st);
     policy.dispatch(&mut st);
@@ -837,12 +1026,9 @@ pub fn run_configured_in(
         // Memoized inside the engine — the same value serves the min fold
         // below and the engine's own integration this iteration.
         let event = st.engine.next_event_at();
-        // Stale (non-future) timers cannot make progress; drop them.
-        let timer = if use_timers {
-            policy.next_timer().filter(|&t| t > st.now() + 1e-9)
-        } else {
-            None
-        };
+        // Stale (non-future) timers cannot make progress; drop them. The
+        // seed loop queried the policy timer on every iteration.
+        let timer = policy.next_timer().filter(|&t| t > st.now() + 1e-9);
         // Earliest of the three candidate times, without materializing a
         // candidate list (this runs once per simulated event).
         let mut next = f64::INFINITY;
@@ -884,4 +1070,104 @@ pub fn run_configured_in(
     st.stats.horizon_us = st.now().min(scenario.horizon_us);
     st.stats.engine_events = st.engine.events_processed();
     st.finish_into(ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sgdrc, SgdrcConfig};
+    use dnn::zoo::{build, ModelId};
+    use dnn::CompileOptions;
+    use gpu_spec::GpuModel;
+
+    fn two_be_scenario(horizon_us: f64) -> Scenario {
+        let spec = GpuModel::RtxA2000.spec();
+        let compile = |id| {
+            Task::new(
+                dnn::compile(build(id), &spec, CompileOptions::default()),
+                &spec,
+            )
+        };
+        let ls = vec![compile(ModelId::MobileNetV3)];
+        let be = vec![compile(ModelId::DenseNet161), compile(ModelId::ResNet152)];
+        let arrivals: Vec<f64> = (0..)
+            .map(|i| i as f64 * 10_000.0)
+            .take_while(|&t| t < horizon_us)
+            .collect();
+        Scenario::new(spec, ls, be, 4, vec![arrivals], horizon_us)
+    }
+
+    #[test]
+    fn parked_be_tasks_are_skipped_and_resumable() {
+        let sc = two_be_scenario(300_000.0);
+        let mut policy = Sgdrc::new(&sc.spec, SgdrcConfig::default());
+
+        // Park BE task 1 before the first dispatch: only task 0 runs.
+        let mut ctx = SimContext::new();
+        let mut sim = ReplicaSim::prepare(&sc, &mut ctx);
+        sim.state_mut().set_be_active(1, false);
+        assert!(sim.state().be_present());
+        assert_eq!(sim.state().active_be_count(), 1);
+        assert_eq!(sim.state().peek_be(), Some((0, 0)));
+        sim.begin(&mut policy);
+        sim.advance(&mut policy, None);
+        let stats = sim.finish(&mut ctx);
+        assert!(stats.be_completed[0] > 0, "active BE task must progress");
+        assert_eq!(stats.be_completed[1], 0, "parked BE task must not run");
+
+        // Both active (the default `run` path): both make progress, and
+        // the run with task 1 parked completed more of task 0 than the
+        // shared run did.
+        let mut both_policy = Sgdrc::new(&sc.spec, SgdrcConfig::default());
+        let both = run(&mut both_policy, &sc);
+        assert!(both.be_completed[0] > 0 && both.be_completed[1] > 0);
+        assert!(stats.be_completed[0] >= both.be_completed[0]);
+
+        // Everything parked: no BE kernel is ever offered.
+        let mut none_ctx = SimContext::new();
+        let mut none_sim = ReplicaSim::prepare(&sc, &mut none_ctx);
+        none_sim.state_mut().set_be_active(0, false);
+        none_sim.state_mut().set_be_active(1, false);
+        assert!(!none_sim.state().be_present());
+        assert_eq!(none_sim.state().peek_be(), None);
+        let mut none_policy = Sgdrc::new(&sc.spec, SgdrcConfig::default());
+        none_sim.begin(&mut none_policy);
+        // The pump takes routed arrivals, not the scenario's own trace.
+        for a in sc.arrivals.merged().to_vec() {
+            if !none_sim.advance(&mut none_policy, Some(a.at_us)) {
+                break;
+            }
+            none_sim.inject_arrival(&mut none_policy, a.task as usize, a.at_us);
+        }
+        none_sim.advance(&mut none_policy, None);
+        let none = none_sim.finish(&mut none_ctx);
+        assert_eq!(none.be_completed, vec![0, 0]);
+        assert!(
+            !none.ls_completed[0].is_empty(),
+            "LS serving continues without BE work"
+        );
+    }
+
+    #[test]
+    fn replica_sim_injection_reproduces_the_batch_run() {
+        // Driving the pump arrival-by-arrival (the cluster's usage) must
+        // equal the batch fast path bit for bit.
+        let sc = two_be_scenario(200_000.0);
+        let mut batch_policy = Sgdrc::new(&sc.spec, SgdrcConfig::default());
+        let batch = run(&mut batch_policy, &sc);
+
+        let mut ctx = SimContext::new();
+        let mut policy = Sgdrc::new(&sc.spec, SgdrcConfig::default());
+        let mut sim = ReplicaSim::prepare(&sc, &mut ctx);
+        sim.begin(&mut policy);
+        for a in sc.arrivals.merged().to_vec() {
+            if !sim.advance(&mut policy, Some(a.at_us)) {
+                break;
+            }
+            sim.inject_arrival(&mut policy, a.task as usize, a.at_us);
+        }
+        sim.advance(&mut policy, None);
+        let stepped = sim.finish(&mut ctx);
+        assert_eq!(batch, stepped);
+    }
 }

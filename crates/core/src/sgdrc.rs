@@ -206,7 +206,10 @@ impl Policy for Sgdrc {
                 let mask = TpcMask::first(self.ls_region.max(1));
                 let memory_bound = st.scenario.ls[task].profile.kernels[kidx].memory_bound;
                 // Colocation: movable LS tensors sit on the LS channels.
-                let colocated = !st.scenario.be.is_empty();
+                // Keyed on *resident* BE work — a replica whose BE tasks
+                // all migrated away is monopolized by LS (Fig. 14) even
+                // though its scenario still lists them.
+                let colocated = st.be_present();
                 let channels = if memory_bound && (colocated || self.cfg.static_partition) {
                     self.ls_channels
                 } else {

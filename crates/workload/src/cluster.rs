@@ -1,0 +1,770 @@
+//! Multi-GPU fleet simulator: SLO-aware request routing + dynamic BE
+//! placement across spatially-shared replicas.
+//!
+//! The paper's evaluation stops at one GPU, but its deployment target is
+//! cloud inference serving — fleets of GPUs, each spatially shared
+//! between LS services and BE jobs, behind a request router. This module
+//! builds that layer on the per-GPU machinery the workspace already has:
+//!
+//! * every **replica** is one [`ReplicaSim`] — the exact fast serving
+//!   loop (engine + policy + queues), run through a reusable
+//!   [`SimContext`] so repeated fleet runs are allocation-free in steady
+//!   state. A 1-replica fleet is *bit-identical* to a single-GPU
+//!   [`sgdrc_core::serving::run`] (enforced by `tests/cluster.rs`);
+//! * a **router** consumes one merged cluster-wide arrival stream and
+//!   dispatches each LS request to a replica via a pluggable
+//!   [`RoutingPolicy`] — round-robin, join-shortest-backlog over the
+//!   O(1) `ls_backlog` counters, or SLO-aware power-of-two-choices;
+//! * a **fleet controller** ticks on a fixed period, reads each
+//!   replica's *windowed* p99-to-SLO ratio from a per-replica
+//!   [`LatencyHistogram`], and migrates BE jobs off breaching replicas
+//!   onto underloaded ones — parking a job raises the eviction flag on
+//!   its running kernel (the §7.1 preempt path) and, optionally,
+//!   retunes the destination's `Ch_BE` via [`Sgdrc::reconfigure`];
+//! * replicas are **heterogeneous** ([`Deployment::cached`] per
+//!   [`GpuModel`]) and fully independent between router decisions, so
+//!   the cluster clock can interleave their event loops in *any* order:
+//!   results are bit-identical for every replica iteration order
+//!   (enforced by `tests/cluster.rs`, mirroring the sweep's chunking
+//!   invariance). Seeds derive via splitmix64 ([`cell_seed`]) like the
+//!   sweep's;
+//! * per-replica latency sketches **merge** into fleet-wide percentiles
+//!   without re-sorting — the same [`LatencyHistogram`] path the sweep's
+//!   per-slice output uses.
+
+use crate::metrics::{slo_for, LatencyHistogram};
+use crate::runner::Deployment;
+use crate::sweep::{cell_seed, splitmix64};
+use crate::trace::{per_service_traces, TraceConfig};
+use crate::SystemKind;
+use dnn::CompileOptions;
+use gpu_spec::GpuModel;
+use sgdrc_core::serving::{ArrivalTrace, Policy, ReplicaSim, RunStats, Scenario, SimContext, Task};
+use sgdrc_core::{Sgdrc, SgdrcConfig};
+use std::sync::Arc;
+
+/// Fleet-controller tunables.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Rebalance tick period (µs); 0 disables the controller entirely
+    /// (no windowed-p99 snapshots, no migrations).
+    pub period_us: f64,
+    /// A replica whose windowed p99/SLO ratio exceeds this is overloaded
+    /// — a migration source (1.0 = the SLO itself).
+    pub breach_ratio: f64,
+    /// A replica may receive BE work only while its windowed ratio stays
+    /// below this.
+    pub headroom_ratio: f64,
+    /// Retune `Ch_BE` through [`Sgdrc::reconfigure`] whenever a
+    /// migration changes a replica's resident-BE count (SGDRC replicas
+    /// only): more resident BE jobs → a proportionally larger BE channel
+    /// subset, capped at half the channels.
+    pub adaptive_ch_be: bool,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self {
+            period_us: 100_000.0,
+            breach_ratio: 1.0,
+            headroom_ratio: 0.75,
+            adaptive_ch_be: false,
+        }
+    }
+}
+
+/// One fleet scenario: replicas, system, trace shape and BE placement.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// One GPU model per replica — heterogeneous fleets mix models.
+    pub gpus: Vec<GpuModel>,
+    /// The sharing system every replica runs.
+    pub system: SystemKind,
+    /// Per-LS-service arrival shape of the *cluster-wide* stream (scale
+    /// its mean with the fleet size; the router splits it).
+    pub trace: TraceConfig,
+    pub horizon_us: f64,
+    pub ls_instances: usize,
+    /// Base seed: the arrival stream and the p2c router chain derive
+    /// from it via splitmix64.
+    pub seed: u64,
+    /// Fleet BE jobs, one entry per job naming its BE model index.
+    /// Initial placement is round-robin over replicas (skipping replicas
+    /// already hosting that model — at most one instance of a model per
+    /// replica).
+    pub be_jobs: Vec<usize>,
+    pub controller: ControllerConfig,
+    /// Policy tuning for SGDRC replicas.
+    pub sgdrc: SgdrcConfig,
+    pub compile: CompileOptions,
+    /// Replica iteration order used by the cluster clock when it
+    /// quiesces the fleet (empty = index order). Results are invariant
+    /// to it — the knob exists so the determinism test can *prove* that
+    /// rather than assume it.
+    pub advance_order: Vec<usize>,
+}
+
+impl ClusterConfig {
+    /// A fleet of the given replicas under one system, with Apollo-like
+    /// per-service load, one BE job per replica rotating through the BE
+    /// models, and the controller on at its default period.
+    pub fn new(gpus: Vec<GpuModel>, system: SystemKind) -> Self {
+        let be_zoo = dnn::zoo::ModelId::be_models().len();
+        let be_jobs = (0..gpus.len()).map(|i| i % be_zoo).collect();
+        Self {
+            gpus,
+            system,
+            trace: TraceConfig::apollo_like(),
+            horizon_us: 2e6,
+            ls_instances: 4,
+            seed: 0xF1EE7,
+            be_jobs,
+            controller: ControllerConfig::default(),
+            sgdrc: SgdrcConfig::default(),
+            compile: CompileOptions::default(),
+            advance_order: Vec::new(),
+        }
+    }
+}
+
+/// What a [`RoutingPolicy`] sees of each replica at an arrival instant,
+/// always in replica-index order.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicaView {
+    pub gpu: GpuModel,
+    /// LS requests admitted or waiting on this replica (O(1) counter).
+    pub backlog: usize,
+    /// The replica's windowed p99-to-SLO ratio as of the last controller
+    /// tick (0 until the first tick, or with the controller off).
+    pub window_p99_ratio: f64,
+    /// BE jobs currently resident.
+    pub resident_be: usize,
+}
+
+/// Picks a replica for each LS request. Implementations must be
+/// deterministic functions of the views (index order) and their own
+/// state — never of fleet-internal iteration order.
+pub trait RoutingPolicy {
+    fn name(&self) -> &'static str;
+    /// `task` is the LS service the request belongs to; `at_us` its
+    /// arrival time. Returns a replica index `< views.len()`.
+    fn route(&mut self, views: &[ReplicaView], task: usize, at_us: f64) -> usize;
+}
+
+/// Blind rotation over replicas.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoutingPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round_robin"
+    }
+
+    fn route(&mut self, views: &[ReplicaView], _task: usize, _at_us: f64) -> usize {
+        let r = self.next % views.len();
+        self.next = self.next.wrapping_add(1);
+        r
+    }
+}
+
+/// Join-shortest-backlog: the replica with the fewest pending+in-flight
+/// LS requests (ties → lowest index). Reads only the O(1) backlog
+/// counters.
+#[derive(Debug, Default)]
+pub struct JoinShortestBacklog;
+
+impl RoutingPolicy for JoinShortestBacklog {
+    fn name(&self) -> &'static str {
+        "shortest_backlog"
+    }
+
+    fn route(&mut self, views: &[ReplicaView], _task: usize, _at_us: f64) -> usize {
+        views
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, v)| (v.backlog, *i))
+            .expect("non-empty fleet")
+            .0
+    }
+}
+
+/// SLO-aware power-of-two-choices: sample two replicas from a
+/// deterministic splitmix64 chain, prefer the one not breaching its SLO
+/// window, then the shorter backlog, then the lower index. O(1) per
+/// request regardless of fleet size.
+#[derive(Debug)]
+pub struct SloAwarePowerOfTwo {
+    state: u64,
+}
+
+impl SloAwarePowerOfTwo {
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: splitmix64(seed ^ 0x70C0_2C40),
+        }
+    }
+
+    fn draw(&mut self, n: usize) -> usize {
+        self.state = splitmix64(self.state);
+        (self.state >> 32) as usize % n
+    }
+}
+
+impl RoutingPolicy for SloAwarePowerOfTwo {
+    fn name(&self) -> &'static str {
+        "p2c_slo"
+    }
+
+    fn route(&mut self, views: &[ReplicaView], _task: usize, _at_us: f64) -> usize {
+        let n = views.len();
+        let i = self.draw(n);
+        let j = self.draw(n);
+        let key = |r: usize| (views[r].window_p99_ratio > 1.0, views[r].backlog, r);
+        if key(i) <= key(j) {
+            i
+        } else {
+            j
+        }
+    }
+}
+
+/// The built-in routing policies, for benches sweeping all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterKind {
+    RoundRobin,
+    ShortestBacklog,
+    P2cSlo,
+}
+
+impl RouterKind {
+    pub fn all() -> [RouterKind; 3] {
+        [
+            RouterKind::RoundRobin,
+            RouterKind::ShortestBacklog,
+            RouterKind::P2cSlo,
+        ]
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            RouterKind::RoundRobin => "round_robin",
+            RouterKind::ShortestBacklog => "shortest_backlog",
+            RouterKind::P2cSlo => "p2c_slo",
+        }
+    }
+
+    /// Instantiates the policy (the p2c chain seeds from `seed`).
+    pub fn make(self, seed: u64) -> Box<dyn RoutingPolicy> {
+        match self {
+            RouterKind::RoundRobin => Box::new(RoundRobin::default()),
+            RouterKind::ShortestBacklog => Box::new(JoinShortestBacklog),
+            RouterKind::P2cSlo => Box::new(SloAwarePowerOfTwo::new(seed)),
+        }
+    }
+}
+
+/// One BE-job migration performed by the fleet controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Migration {
+    pub at_us: f64,
+    /// Index into [`ClusterConfig::be_jobs`].
+    pub job: usize,
+    /// The job's BE model index.
+    pub model: usize,
+    pub from: usize,
+    pub to: usize,
+}
+
+/// Per-replica outcome of a fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaSummary {
+    pub gpu: GpuModel,
+    /// Requests the router sent here.
+    pub routed: u64,
+    /// Requests completed here.
+    pub requests: u64,
+    /// Completions that met their (replica-local) SLO.
+    pub slo_met: u64,
+    /// Every completed latency (µs) — merges into the fleet sketch.
+    pub hist: LatencyHistogram,
+    /// The replica's derived seed (`cell_seed(cluster seed, replica)`),
+    /// for downstream per-replica derivations.
+    pub seed: u64,
+    /// The full per-GPU statistics, exactly as a single-GPU run would
+    /// have produced them.
+    pub stats: RunStats,
+}
+
+/// Aggregate fleet outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterResult {
+    pub replicas: Vec<ReplicaSummary>,
+    /// All completed latencies fleet-wide, merged from the per-replica
+    /// sketches in index order (no re-sorting).
+    pub fleet_hist: LatencyHistogram,
+    pub requests: u64,
+    pub slo_met: u64,
+    /// SLO-meeting completions per second, fleet-wide.
+    pub goodput_hz: f64,
+    pub be_completed: u64,
+    pub be_preemptions: u64,
+    pub engine_events: u64,
+    /// Every BE migration the controller performed, in order.
+    pub migrations: Vec<Migration>,
+}
+
+impl ClusterResult {
+    /// Fleet-wide percentile from the merged sketch (NaN when no request
+    /// completed).
+    pub fn fleet_percentile(&self, p: f64) -> f64 {
+        self.fleet_hist.percentile(p)
+    }
+
+    /// Fraction of completions that met their SLO.
+    pub fn slo_attainment(&self) -> f64 {
+        self.slo_met as f64 / self.requests.max(1) as f64
+    }
+}
+
+/// Adaptive `Ch_BE`: one resident job keeps the configured base; each
+/// additional job widens the BE channel subset proportionally, capped at
+/// half the channels.
+fn ch_be_for(base: f64, resident: usize) -> f64 {
+    if resident <= 1 {
+        base
+    } else {
+        (base * resident as f64).min(0.5)
+    }
+}
+
+/// A replica's policy. SGDRC variants stay concrete so the controller
+/// can [`reconfigure`](Sgdrc::reconfigure) them in place; baselines are
+/// boxed trait objects.
+enum PolicySlot {
+    Sgdrc(Sgdrc),
+    Boxed(Box<dyn Policy>),
+}
+
+impl PolicySlot {
+    fn as_dyn(&mut self) -> &mut dyn Policy {
+        match self {
+            PolicySlot::Sgdrc(p) => p,
+            PolicySlot::Boxed(p) => p.as_mut(),
+        }
+    }
+}
+
+/// [`run_cluster_in`] with fresh per-replica contexts.
+pub fn run_cluster(cfg: &ClusterConfig, router: &mut dyn RoutingPolicy) -> ClusterResult {
+    run_cluster_in(cfg, router, &mut Vec::new())
+}
+
+/// Runs one fleet scenario to the horizon.
+///
+/// `ctxs` holds one reusable [`SimContext`] per replica (grown on
+/// demand); passing the same vector across runs makes repeated fleet
+/// simulations — a bench sweeping systems × routers, a scaling curve —
+/// reuse every engine, queue and statistics allocation, exactly like the
+/// sweep's per-chunk contexts.
+pub fn run_cluster_in(
+    cfg: &ClusterConfig,
+    router: &mut dyn RoutingPolicy,
+    ctxs: &mut Vec<SimContext>,
+) -> ClusterResult {
+    let n = cfg.gpus.len();
+    assert!(n > 0, "a fleet needs at least one replica");
+    if ctxs.len() < n {
+        ctxs.resize_with(n, SimContext::new);
+    }
+
+    // --- deployments & fleet BE task sets --------------------------------
+    let deps: Vec<Arc<Deployment>> = cfg
+        .gpus
+        .iter()
+        .map(|&g| Deployment::cached_with_options(g, cfg.compile))
+        .collect();
+    let n_ls = deps[0].ls_tasks.len();
+    for (r, dep) in deps.iter().enumerate() {
+        assert_eq!(
+            dep.ls_tasks.len(),
+            n_ls,
+            "replica {r}: every replica must deploy the same LS services"
+        );
+        assert!(
+            cfg.system.supported_on(&dep.spec),
+            "{} is not supported on replica {r} ({})",
+            cfg.system.name(),
+            dep.spec.name
+        );
+    }
+
+    // The distinct BE models the fleet runs, ascending — every replica's
+    // scenario lists exactly these tasks, and placement toggles their
+    // activity.
+    let fleet_models: Vec<usize> = {
+        let mut m = cfg.be_jobs.clone();
+        m.sort_unstable();
+        m.dedup();
+        m
+    };
+    // One BE task set per distinct GPU model, shared by its replicas.
+    let mut be_sets: Vec<(GpuModel, Arc<[Task]>)> = Vec::new();
+    for (r, &gpu) in cfg.gpus.iter().enumerate() {
+        if !be_sets.iter().any(|(g, _)| *g == gpu) {
+            let set: Arc<[Task]> = fleet_models
+                .iter()
+                .map(|&m| deps[r].be_tasks[m].clone())
+                .collect();
+            be_sets.push((gpu, set));
+        }
+    }
+    let be_set_of = |gpu: GpuModel| -> Arc<[Task]> {
+        Arc::clone(
+            &be_sets
+                .iter()
+                .find(|(g, _)| *g == gpu)
+                .expect("built above")
+                .1,
+        )
+    };
+
+    // --- initial BE placement --------------------------------------------
+    // Job j starts on replica j mod n, scanning forward past replicas
+    // that already host its model (≤ 1 instance of a model per replica).
+    let mut jobs_on: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (j, &model) in cfg.be_jobs.iter().enumerate() {
+        let host = (0..n)
+            .map(|off| (j + off) % n)
+            .find(|&r| !jobs_on[r].iter().any(|&k| cfg.be_jobs[k] == model))
+            .unwrap_or_else(|| panic!("BE model {model} has more jobs than replicas"));
+        jobs_on[host].push(j);
+    }
+
+    // --- the cluster-wide arrival stream ---------------------------------
+    let trace = ArrivalTrace::new(per_service_traces(
+        &cfg.trace,
+        n_ls,
+        cfg.horizon_us,
+        cfg.seed,
+    ));
+    let merged = trace.merged();
+
+    // --- replica scenarios, policies, sims -------------------------------
+    let empty_arrivals = Arc::new(ArrivalTrace::default());
+    let scenarios: Vec<Scenario> = (0..n)
+        .map(|r| Scenario {
+            spec: deps[r].spec.clone(),
+            ls: Arc::clone(&deps[r].ls_tasks),
+            be: be_set_of(cfg.gpus[r]),
+            ls_instances: cfg.ls_instances,
+            arrivals: Arc::clone(&empty_arrivals),
+            horizon_us: cfg.horizon_us,
+        })
+        .collect();
+    let mut policies: Vec<PolicySlot> = (0..n)
+        .map(|r| match cfg.system {
+            SystemKind::Sgdrc => {
+                let mut pcfg = cfg.sgdrc.clone();
+                if cfg.controller.adaptive_ch_be {
+                    pcfg.ch_be = ch_be_for(cfg.sgdrc.ch_be, jobs_on[r].len());
+                }
+                PolicySlot::Sgdrc(Sgdrc::new(&deps[r].spec, pcfg))
+            }
+            SystemKind::SgdrcStatic => PolicySlot::Sgdrc(Sgdrc::new(
+                &deps[r].spec,
+                SgdrcConfig {
+                    static_partition: true,
+                    ..Default::default()
+                },
+            )),
+            other => PolicySlot::Boxed(other.make(&deps[r].spec)),
+        })
+        .collect();
+    let mut sims: Vec<ReplicaSim> = Vec::with_capacity(n);
+    for (r, scenario) in scenarios.iter().enumerate() {
+        let mut sim = ReplicaSim::prepare(scenario, &mut ctxs[r]);
+        // Park every BE task not initially placed here *before* the first
+        // dispatch, so the opening launches match the placement.
+        for (b, &model) in fleet_models.iter().enumerate() {
+            let resident = jobs_on[r].iter().any(|&k| cfg.be_jobs[k] == model);
+            sim.state_mut().set_be_active(b, resident);
+        }
+        sim.begin(policies[r].as_dyn());
+        sims.push(sim);
+    }
+
+    // --- fleet clock state -----------------------------------------------
+    let order: Vec<usize> = if cfg.advance_order.is_empty() {
+        (0..n).collect()
+    } else {
+        assert_eq!(
+            cfg.advance_order.len(),
+            n,
+            "advance_order must permute 0..n"
+        );
+        let mut seen = vec![false; n];
+        for &r in &cfg.advance_order {
+            assert!(r < n && !seen[r], "advance_order must permute 0..n");
+            seen[r] = true;
+        }
+        cfg.advance_order.clone()
+    };
+    // Per-replica SLOs (replica-local: a slower GPU has a looser SLO,
+    // §9.2's n × isolated-p99 with n = LS services + 1 BE slot).
+    let slos: Vec<Vec<f64>> = deps
+        .iter()
+        .map(|dep| {
+            let services = dep.ls_tasks.len() + 1;
+            dep.ls_tasks
+                .iter()
+                .map(|t| slo_for(t.profile.isolated_e2e_us, services))
+                .collect()
+        })
+        .collect();
+    let mut seen_done: Vec<Vec<usize>> = vec![vec![0; n_ls]; n];
+    let mut win_hist: Vec<LatencyHistogram> = (0..n).map(|_| LatencyHistogram::new()).collect();
+    let mut cum_hist: Vec<LatencyHistogram> = (0..n).map(|_| LatencyHistogram::new()).collect();
+    let mut last_ratio: Vec<f64> = vec![0.0; n];
+    let mut slo_met: Vec<u64> = vec![0; n];
+    let mut routed: Vec<u64> = vec![0; n];
+    let mut migrations: Vec<Migration> = Vec::new();
+    let mut views: Vec<ReplicaView> = Vec::with_capacity(n);
+
+    // Records a replica's new completions into its windowed + cumulative
+    // sketches. Called lazily (controller ticks, run end) — the router
+    // itself only needs O(1) counters.
+    let drain = |r: usize,
+                 sims: &[ReplicaSim],
+                 seen_done: &mut Vec<Vec<usize>>,
+                 win: &mut Vec<LatencyHistogram>,
+                 cum: &mut Vec<LatencyHistogram>,
+                 slo_met: &mut Vec<u64>| {
+        let stats = &sims[r].state().stats;
+        for t in 0..n_ls {
+            let done = &stats.ls_completed[t];
+            for req in &done[seen_done[r][t]..] {
+                let lat = req.latency_us();
+                cum[r].record(lat);
+                win[r].record(lat / slos[r][t]);
+                if lat <= slos[r][t] {
+                    slo_met[r] += 1;
+                }
+            }
+            seen_done[r][t] = done.len();
+        }
+    };
+
+    let period = cfg.controller.period_us;
+    let mut next_tick = if period > 0.0 { period } else { f64::INFINITY };
+    let mut next_arrival = 0usize;
+
+    loop {
+        let arrival = merged.get(next_arrival);
+        let t_arr = arrival.map_or(f64::INFINITY, |a| a.at_us);
+        let tick_due = next_tick < t_arr && next_tick < cfg.horizon_us;
+        let arrival_due = arrival.is_some() && t_arr <= cfg.horizon_us;
+        if tick_due {
+            // Quiesce the fleet up to the tick, then rebalance.
+            for &r in &order {
+                sims[r].advance(policies[r].as_dyn(), Some(next_tick));
+                drain(
+                    r,
+                    &sims,
+                    &mut seen_done,
+                    &mut win_hist,
+                    &mut cum_hist,
+                    &mut slo_met,
+                );
+            }
+            for r in 0..n {
+                last_ratio[r] = if win_hist[r].is_empty() {
+                    0.0
+                } else {
+                    win_hist[r].percentile(99.0)
+                };
+                win_hist[r].reset();
+            }
+            controller_rebalance(
+                cfg,
+                next_tick,
+                &deps,
+                &fleet_models,
+                &last_ratio,
+                &mut jobs_on,
+                &mut sims,
+                &mut policies,
+                &mut migrations,
+            );
+            next_tick += period;
+            continue;
+        }
+        if !arrival_due {
+            break;
+        }
+        let a = *arrival.expect("checked");
+        // Quiesce every replica up to the arrival so the router sees a
+        // consistent instant; replicas are independent, so the order is
+        // irrelevant (and the determinism test permutes it).
+        for &r in &order {
+            sims[r].advance(policies[r].as_dyn(), Some(a.at_us));
+        }
+        views.clear();
+        for (r, sim) in sims.iter().enumerate() {
+            views.push(ReplicaView {
+                gpu: cfg.gpus[r],
+                backlog: sim.state().ls_backlog(),
+                window_p99_ratio: last_ratio[r],
+                resident_be: jobs_on[r].len(),
+            });
+        }
+        let target = router.route(&views, a.task as usize, a.at_us);
+        assert!(target < n, "router picked replica {target} of {n}");
+        sims[target].inject_arrival(policies[target].as_dyn(), a.task as usize, a.at_us);
+        routed[target] += 1;
+        next_arrival += 1;
+    }
+    // Drain: no further arrivals or ticks — run every replica out to the
+    // horizon.
+    for &r in &order {
+        sims[r].advance(policies[r].as_dyn(), None);
+        drain(
+            r,
+            &sims,
+            &mut seen_done,
+            &mut win_hist,
+            &mut cum_hist,
+            &mut slo_met,
+        );
+    }
+
+    // --- aggregate --------------------------------------------------------
+    let mut result = ClusterResult {
+        replicas: Vec::with_capacity(n),
+        fleet_hist: LatencyHistogram::new(),
+        requests: 0,
+        slo_met: 0,
+        goodput_hz: 0.0,
+        be_completed: 0,
+        be_preemptions: 0,
+        engine_events: 0,
+        migrations,
+    };
+    for (r, sim) in sims.into_iter().enumerate() {
+        let stats = sim.finish(&mut ctxs[r]);
+        let hist = std::mem::take(&mut cum_hist[r]);
+        let requests = hist.count();
+        result.fleet_hist.merge(&hist);
+        result.requests += requests;
+        result.slo_met += slo_met[r];
+        result.be_completed += stats.be_completed.iter().sum::<u64>();
+        result.be_preemptions += stats.be_preemptions;
+        result.engine_events += stats.engine_events;
+        result.replicas.push(ReplicaSummary {
+            gpu: cfg.gpus[r],
+            routed: routed[r],
+            requests,
+            slo_met: slo_met[r],
+            hist,
+            seed: cell_seed(cfg.seed, r as u64),
+            stats,
+        });
+    }
+    result.goodput_hz = result.slo_met as f64 / (cfg.horizon_us / 1e6);
+    result
+}
+
+/// One controller tick's migration decision: move one BE job from the
+/// worst SLO-breaching replica onto the most underloaded replica that
+/// can host it. Scans run in replica-index order, so the decision is
+/// independent of the fleet clock's iteration order.
+#[allow(clippy::too_many_arguments)]
+fn controller_rebalance(
+    cfg: &ClusterConfig,
+    at_us: f64,
+    deps: &[Arc<Deployment>],
+    fleet_models: &[usize],
+    last_ratio: &[f64],
+    jobs_on: &mut [Vec<usize>],
+    sims: &mut [ReplicaSim],
+    policies: &mut [PolicySlot],
+    migrations: &mut Vec<Migration>,
+) {
+    let n = jobs_on.len();
+    // Source: the worst breaching replica that has BE work to shed.
+    let src = (0..n)
+        .filter(|&r| last_ratio[r] > cfg.controller.breach_ratio && !jobs_on[r].is_empty())
+        .max_by(|&a, &b| {
+            last_ratio[a].total_cmp(&last_ratio[b]).then(b.cmp(&a)) // ties → lower index
+        });
+    let Some(src) = src else { return };
+    // Destinations with headroom, best (ratio, backlog) first.
+    let mut dests: Vec<usize> = (0..n)
+        .filter(|&r| r != src && last_ratio[r] < cfg.controller.headroom_ratio)
+        .collect();
+    dests.sort_by(|&a, &b| {
+        last_ratio[a]
+            .total_cmp(&last_ratio[b])
+            .then(
+                sims[a]
+                    .state()
+                    .ls_backlog()
+                    .cmp(&sims[b].state().ls_backlog()),
+            )
+            .then(a.cmp(&b))
+    });
+    for dst in dests {
+        // First job of the source whose model the destination lacks.
+        let movable = jobs_on[src].iter().copied().find(|&j| {
+            let model = cfg.be_jobs[j];
+            !jobs_on[dst].iter().any(|&k| cfg.be_jobs[k] == model)
+        });
+        let Some(job) = movable else { continue };
+        let model = cfg.be_jobs[job];
+        let b = fleet_models
+            .iter()
+            .position(|&m| m == model)
+            .expect("job model is a fleet model");
+        // Park on the source: stop future launches, evict the running
+        // kernel if it is this task's (§7.1 eviction flag).
+        let st = sims[src].state_mut();
+        st.set_be_active(b, false);
+        if st.be_launch.map(|l| l.task) == Some(b) {
+            st.preempt_be();
+        }
+        // Resume on the destination.
+        sims[dst].state_mut().set_be_active(b, true);
+        let pos = jobs_on[src]
+            .iter()
+            .position(|&k| k == job)
+            .expect("present");
+        jobs_on[src].remove(pos);
+        jobs_on[dst].push(job);
+        // Optionally retune Ch_BE on both ends (dynamic SGDRC only —
+        // the static baseline keeps its fixed split).
+        if cfg.controller.adaptive_ch_be && cfg.system == SystemKind::Sgdrc {
+            for r in [src, dst] {
+                if let PolicySlot::Sgdrc(p) = &mut policies[r] {
+                    let pcfg = SgdrcConfig {
+                        ch_be: ch_be_for(cfg.sgdrc.ch_be, jobs_on[r].len()),
+                        ..cfg.sgdrc.clone()
+                    };
+                    p.reconfigure(&deps[r].spec, pcfg);
+                }
+            }
+        }
+        // Let both policies react immediately (launch the migrated job /
+        // expand onto freed resources).
+        sims[src].dispatch(policies[src].as_dyn());
+        sims[dst].dispatch(policies[dst].as_dyn());
+        migrations.push(Migration {
+            at_us,
+            job,
+            model,
+            from: src,
+            to: dst,
+        });
+        return; // one migration per tick
+    }
+}

@@ -1,20 +1,27 @@
 //! # workload — traces, metrics and the end-to-end experiment runner
 //!
-//! The §9 evaluation harness: Apollo-like bursty request traces
+//! The §9 evaluation harness: Apollo-like bursty/diurnal request traces
 //! ([`trace`]), SLO/latency/throughput metrics plus the mergeable
 //! latency-histogram sketch ([`metrics`]), the Fig. 17 runner that
-//! deploys the Tab. 3 zoo against every system ([`runner`]), and the
-//! cluster-scale short-cell sweep engine ([`sweep`]).
+//! deploys the Tab. 3 zoo against every system ([`runner`]), the
+//! cluster-scale short-cell sweep engine ([`sweep`]), and the multi-GPU
+//! fleet simulator with SLO-aware routing and dynamic BE placement
+//! ([`cluster`]).
 
+pub mod cluster;
 pub mod metrics;
 pub mod runner;
 pub mod sweep;
 pub mod trace;
 
+pub use cluster::{
+    run_cluster, run_cluster_in, ClusterConfig, ClusterResult, ControllerConfig,
+    JoinShortestBacklog, ReplicaView, RoundRobin, RouterKind, RoutingPolicy, SloAwarePowerOfTwo,
+};
 pub use metrics::{ls_metrics, percentile, slo_for, LatencyHistogram, LsMetrics, SystemResult};
 pub use runner::{run_cell, run_system, Deployment, EndToEndConfig, Load, SystemKind};
 pub use sweep::{
-    cell_seed, naive_cell_summary, run_sweep, CellSpec, CellSummary, SweepGrid, SweepOptions,
-    SweepResult,
+    cell_seed, naive_cell_summary, run_sweep, CellSpec, CellSummary, SliceHist, SweepGrid,
+    SweepOptions, SweepResult,
 };
 pub use trace::{generate, per_service_traces, TraceConfig};

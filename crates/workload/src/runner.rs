@@ -15,7 +15,7 @@ use dnn::zoo::{build, ModelId};
 use dnn::CompileOptions;
 use gpu_spec::{GpuModel, GpuSpec};
 use rayon::prelude::*;
-use sgdrc_core::serving::{run, ArrivalTrace, CompletedRequest, Policy, Scenario, Task};
+use sgdrc_core::serving::{run, ArrivalTrace, CompletedRequest, Policy, RunStats, Scenario, Task};
 use sgdrc_core::{Sgdrc, SgdrcConfig};
 use std::sync::{Arc, Mutex};
 
@@ -113,6 +113,10 @@ pub struct EndToEndConfig {
     pub ls_instances: usize,
     /// Policy tuning for SGDRC runs.
     pub sgdrc: SgdrcConfig,
+    /// Per-service arrival shape before the load scaling — the Apollo
+    /// profile by default; trace-shape sensitivity studies swap in other
+    /// burst/diurnal parameters.
+    pub trace: TraceConfig,
 }
 
 impl EndToEndConfig {
@@ -124,6 +128,7 @@ impl EndToEndConfig {
             seed: 0xA110C,
             ls_instances: 4,
             sgdrc: SgdrcConfig::default(),
+            trace: TraceConfig::apollo_like(),
         }
     }
 }
@@ -257,7 +262,7 @@ fn count_build(key: CacheKey) {
 /// The shared arrival trace for one (GPU, load) cell: generated once and
 /// handed to every (system × BE co-location) scenario by `Arc`.
 pub fn cell_trace(dep: &Deployment, cfg: &EndToEndConfig) -> Arc<ArrivalTrace> {
-    let trace_cfg = TraceConfig::apollo_like().scaled(cfg.load.scale());
+    let trace_cfg = cfg.trace.scaled(cfg.load.scale());
     Arc::new(ArrivalTrace::new(per_service_traces(
         &trace_cfg,
         dep.ls_tasks.len(),
@@ -280,14 +285,25 @@ pub fn run_system_with_trace(
     system: SystemKind,
     trace: &Arc<ArrivalTrace>,
 ) -> SystemResult {
-    // §9.2's SLO multiplier: 8 LS services + 1 BE task on the GPU.
-    let n_services = dep.ls_tasks.len() + 1;
+    let stats = run_system_scenario_stats(dep, cfg, system, trace);
+    system_result_from_stats(dep, cfg, system, &stats)
+}
 
+/// The raw per-scenario statistics behind [`run_system_with_trace`]: one
+/// [`RunStats`] per BE co-location, in BE-model order. Exposed so the
+/// cluster's 1-replica equivalence test can compare bit-for-bit against
+/// the exact populations the Fig. 17 aggregation consumes.
+pub fn run_system_scenario_stats(
+    dep: &Deployment,
+    cfg: &EndToEndConfig,
+    system: SystemKind,
+    trace: &Arc<ArrivalTrace>,
+) -> Vec<RunStats> {
     // The BE co-location scenarios are independent runs — sweep them in
     // parallel (each is a multi-second simulation; `run_cell` additionally
     // parallelizes over systems). Scenario construction is pointer bumps:
     // the task sets and the trace are shared, never cloned.
-    let scenario_stats: Vec<_> = (0..dep.be_tasks.len())
+    (0..dep.be_tasks.len())
         .into_par_iter()
         .map(|i| {
             let scenario = Scenario {
@@ -306,11 +322,22 @@ pub fn run_system_with_trace(
             };
             run(policy.as_mut(), &scenario)
         })
-        .collect();
+        .collect()
+}
 
+/// Aggregates per-BE-scenario statistics into the Fig. 17
+/// [`SystemResult`] (merged LS populations, per-BE-model throughput).
+pub fn system_result_from_stats(
+    dep: &Deployment,
+    cfg: &EndToEndConfig,
+    system: SystemKind,
+    scenario_stats: &[RunStats],
+) -> SystemResult {
+    // §9.2's SLO multiplier: 8 LS services + 1 BE task on the GPU.
+    let n_services = dep.ls_tasks.len() + 1;
     let mut merged: Vec<Vec<CompletedRequest>> = vec![Vec::new(); dep.ls_tasks.len()];
     let mut be_throughput = Vec::new();
-    for (be_task, stats) in dep.be_tasks.iter().zip(&scenario_stats) {
+    for (be_task, stats) in dep.be_tasks.iter().zip(scenario_stats) {
         for (t, reqs) in stats.ls_completed.iter().enumerate() {
             merged[t].extend_from_slice(reqs);
         }

@@ -59,13 +59,16 @@ pub struct CellSpec {
     pub horizon_us: f64,
     /// In-flight inference slots per LS model (§9.2: 4).
     pub ls_instances: usize,
-    /// Trace seed; cells sharing a seed (and load/horizon) replay the
-    /// same arrival trace.
+    /// Trace seed; cells sharing a seed (and trace shape/horizon) replay
+    /// the same arrival trace.
     pub seed: u64,
+    /// Per-service arrival shape before the load scaling — trace-shape
+    /// sensitivity grids vary the burst/diurnal knobs here.
+    pub trace: TraceConfig,
 }
 
 /// SplitMix64 — the standard 64-bit finalizer used for seed derivation.
-fn splitmix64(mut z: u64) -> u64 {
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -94,6 +97,10 @@ pub struct SweepGrid {
     pub horizon_us: f64,
     pub ls_instances: usize,
     pub base_seed: u64,
+    /// Per-service arrival shape (before load scaling), copied into every
+    /// cell — vary the burst/diurnal knobs here for trace-shape
+    /// sensitivity grids.
+    pub trace: TraceConfig,
 }
 
 impl SweepGrid {
@@ -110,6 +117,7 @@ impl SweepGrid {
             horizon_us,
             ls_instances: 4,
             base_seed: 0xA110C,
+            trace: TraceConfig::apollo_like(),
         }
     }
 
@@ -137,6 +145,7 @@ impl SweepGrid {
                                 horizon_us: self.horizon_us,
                                 ls_instances: self.ls_instances,
                                 seed,
+                                trace: self.trace,
                             });
                         }
                     }
@@ -185,6 +194,16 @@ pub struct SweepOptions {
     pub compile: CompileOptions,
 }
 
+/// The merged latency sketch of one (GPU, system) slice of a sweep grid
+/// — the per-slice percentile surface the grid-wide histogram cannot
+/// answer (and exactly what a cluster merges per replica).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliceHist {
+    pub gpu: GpuModel,
+    pub system: SystemKind,
+    pub hist: LatencyHistogram,
+}
+
 /// Aggregate sweep output.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepResult {
@@ -193,10 +212,37 @@ pub struct SweepResult {
     /// Every LS latency of the sweep, merged across cells without
     /// re-sorting — grid-wide percentiles come from here.
     pub latency_hist: LatencyHistogram,
+    /// The same population broken out per (GPU, system) slice, in
+    /// `GpuModel::all` × `SystemKind::all` order (slices the grid never
+    /// ran are absent). Bin contents are chunking-invariant like the
+    /// grid-wide histogram's.
+    pub slices: Vec<SliceHist>,
     pub total_events: u64,
     pub total_requests: u64,
     /// The chunk size actually used.
     pub chunk_size: usize,
+}
+
+impl SweepResult {
+    /// The merged sketch of one (GPU, system) slice, if the grid ran it.
+    pub fn slice(&self, gpu: GpuModel, system: SystemKind) -> Option<&LatencyHistogram> {
+        self.slices
+            .iter()
+            .find(|s| s.gpu == gpu && s.system == system)
+            .map(|s| &s.hist)
+    }
+}
+
+/// Canonical slice ordering: position in `GpuModel::all` ×
+/// `SystemKind::all` — gives the slice list an order independent of
+/// which chunk touched a slice first.
+fn slice_rank(gpu: GpuModel, system: SystemKind) -> usize {
+    let g = GpuModel::all().iter().position(|&m| m == gpu).unwrap_or(0);
+    let s = SystemKind::all()
+        .iter()
+        .position(|&k| k == system)
+        .unwrap_or(0);
+    g * SystemKind::all().len() + s
 }
 
 /// Per-chunk reusable state: simulation storage, policies, deployments
@@ -219,11 +265,31 @@ struct Worker {
     task_hist: LatencyHistogram,
     /// All LS latencies this worker has seen (merged into the result).
     merged_hist: LatencyHistogram,
+    /// The same latencies broken out per (GPU, system) slice.
+    slice_hists: Vec<((GpuModel, SystemKind), LatencyHistogram)>,
 }
 
-/// Arrival traces are determined by (seed, load scale, horizon, #LS
-/// services); two cells agreeing on the key replay the identical trace.
-type TraceKey = (u64, u64, u64, usize);
+/// Arrival traces are determined by (seed, horizon, #LS services) plus
+/// the full load-scaled trace shape; two cells agreeing on the key
+/// replay the identical trace.
+type TraceKey = (u64, u64, usize, [u64; 6]);
+
+fn trace_key(cell: &CellSpec, num_tasks: usize) -> TraceKey {
+    let cfg = cell.trace.scaled(cell.load.scale());
+    (
+        cell.seed,
+        cell.horizon_us.to_bits(),
+        num_tasks,
+        [
+            cfg.mean_rate_hz.to_bits(),
+            cfg.burst_factor.to_bits(),
+            cfg.burst_period_s.to_bits(),
+            cfg.burst_duty.to_bits(),
+            cfg.diurnal_depth.to_bits(),
+            cfg.diurnal_period_s.to_bits(),
+        ],
+    )
+}
 
 impl Worker {
     fn new(compile: CompileOptions) -> Self {
@@ -237,6 +303,7 @@ impl Worker {
             sgdrc_static: None,
             task_hist: LatencyHistogram::new(),
             merged_hist: LatencyHistogram::new(),
+            slice_hists: Vec::new(),
         }
     }
 
@@ -250,17 +317,12 @@ impl Worker {
     }
 
     fn trace(&mut self, cell: &CellSpec, num_tasks: usize) -> Arc<ArrivalTrace> {
-        let key: TraceKey = (
-            cell.seed,
-            cell.load.scale().to_bits(),
-            cell.horizon_us.to_bits(),
-            num_tasks,
-        );
+        let key = trace_key(cell, num_tasks);
         if let Some((_, tr)) = self.traces.iter().find(|(k, _)| *k == key) {
             return Arc::clone(tr);
         }
         let tr = Arc::new(ArrivalTrace::new(per_service_traces(
-            &TraceConfig::apollo_like().scaled(cell.load.scale()),
+            &cell.trace.scaled(cell.load.scale()),
             num_tasks,
             cell.horizon_us,
             cell.seed,
@@ -326,14 +388,24 @@ impl Worker {
             };
             run_in_context(policy, &scenario, ctx)
         };
+        let slice_key = (cell.gpu, cell.system);
+        let si = match self.slice_hists.iter().position(|(k, _)| *k == slice_key) {
+            Some(i) => i,
+            None => {
+                self.slice_hists.push((slice_key, LatencyHistogram::new()));
+                self.slice_hists.len() - 1
+            }
+        };
         let task_hist = &mut self.task_hist;
         let merged_hist = &mut self.merged_hist;
+        let slice_hist = &mut self.slice_hists[si].1;
         let summary = summarize(index, cell, &dep, &stats, |_, reqs| {
             task_hist.reset();
             for r in reqs {
                 let lat = r.latency_us();
                 task_hist.record(lat);
                 merged_hist.record(lat);
+                slice_hist.record(lat);
             }
             task_hist.percentile(99.0)
         });
@@ -405,7 +477,7 @@ fn summarize(
 /// `bench_sweep` both enforce that.
 pub fn naive_cell_summary(index: usize, cell: &CellSpec, dep: &Deployment) -> CellSummary {
     let trace = Arc::new(ArrivalTrace::new(per_service_traces(
-        &TraceConfig::apollo_like().scaled(cell.load.scale()),
+        &cell.trace.scaled(cell.load.scale()),
         dep.ls_tasks.len(),
         cell.horizon_us,
         cell.seed,
@@ -462,7 +534,12 @@ pub fn run_sweep(cells: &[CellSpec], opts: &SweepOptions) -> SweepResult {
         .enumerate()
         .map(|(i, c)| (i * chunk_size, c))
         .collect();
-    let per_chunk: Vec<(Vec<CellSummary>, LatencyHistogram)> = chunks
+    type ChunkOut = (
+        Vec<CellSummary>,
+        LatencyHistogram,
+        Vec<((GpuModel, SystemKind), LatencyHistogram)>,
+    );
+    let per_chunk: Vec<ChunkOut> = chunks
         .into_par_iter()
         .map(|(start, chunk)| {
             let mut w = Worker::new(opts.compile);
@@ -471,25 +548,43 @@ pub fn run_sweep(cells: &[CellSpec], opts: &SweepOptions) -> SweepResult {
                 .enumerate()
                 .map(|(off, cell)| w.run_cell(start + off, cell))
                 .collect();
-            (summaries, w.merged_hist)
+            (summaries, w.merged_hist, w.slice_hists)
         })
         .collect();
     let mut result = SweepResult {
         cells: Vec::with_capacity(cells.len()),
         latency_hist: LatencyHistogram::new(),
+        slices: Vec::new(),
         total_events: 0,
         total_requests: 0,
         chunk_size,
     };
     // In-order fold: deterministic f64 merge order regardless of which
     // worker finished first.
-    for (summaries, hist) in per_chunk {
+    for (summaries, hist, slice_hists) in per_chunk {
         for s in &summaries {
             result.total_events += s.engine_events;
             result.total_requests += s.ls_requests;
         }
         result.cells.extend(summaries);
         result.latency_hist.merge(&hist);
+        for ((gpu, system), h) in slice_hists {
+            match result
+                .slices
+                .iter_mut()
+                .find(|s| s.gpu == gpu && s.system == system)
+            {
+                Some(s) => s.hist.merge(&h),
+                None => result.slices.push(SliceHist {
+                    gpu,
+                    system,
+                    hist: h,
+                }),
+            }
+        }
     }
+    // Canonical slice order, independent of which chunk saw a slice
+    // first.
+    result.slices.sort_by_key(|s| slice_rank(s.gpu, s.system));
     result
 }

@@ -12,9 +12,20 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Trace shape parameters.
-#[derive(Debug, Clone, Copy)]
+///
+/// Two superimposed modulations on a Poisson base rate:
+///
+/// * **bursts** — a square wave (`burst_factor`× the base rate for
+///   `burst_duty` of every `burst_period_s` cycle), the Apollo trace's
+///   sensor-frame grouping;
+/// * **diurnal swing** — a sinusoid scaling the whole profile by
+///   `1 ± diurnal_depth` over `diurnal_period_s`, the day/night load
+///   shape a fleet sees. Depth 0 (the default everywhere, including
+///   [`apollo_like`](Self::apollo_like)) disables it and reproduces the
+///   pre-diurnal generator byte for byte.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceConfig {
-    /// Long-run average request rate, Hz.
+    /// Long-run average request rate, Hz (of the un-swung profile).
     pub mean_rate_hz: f64,
     /// Peak-to-mean rate ratio during bursts.
     pub burst_factor: f64,
@@ -22,6 +33,14 @@ pub struct TraceConfig {
     pub burst_period_s: f64,
     /// Fraction of each cycle spent in the burst.
     pub burst_duty: f64,
+    /// Amplitude of the diurnal sinusoid in `[0, 1)`: the instantaneous
+    /// rate swings between `(1 - depth)` and `(1 + depth)` times the
+    /// burst profile. 0 disables the modulation entirely.
+    pub diurnal_depth: f64,
+    /// Diurnal cycle period, seconds (only meaningful with a non-zero
+    /// depth; pick it comparable to the simulated horizon so a run sees
+    /// the swing).
+    pub diurnal_period_s: f64,
 }
 
 impl TraceConfig {
@@ -37,6 +56,8 @@ impl TraceConfig {
             burst_factor: 1.8,
             burst_period_s: 0.7,
             burst_duty: 0.3,
+            diurnal_depth: 0.0,
+            diurnal_period_s: 60.0,
         }
     }
 
@@ -44,6 +65,29 @@ impl TraceConfig {
     pub fn scaled(self, factor: f64) -> Self {
         Self {
             mean_rate_hz: self.mean_rate_hz * factor,
+            ..self
+        }
+    }
+
+    /// Replaces the burst shape — the trace-shape sensitivity knob for
+    /// sweeps (`factor` 1 or `duty` 0 flattens the trace into a plain
+    /// Poisson process).
+    pub fn with_bursts(self, factor: f64, duty: f64) -> Self {
+        debug_assert!(factor >= 1.0 && (0.0..=1.0).contains(&duty));
+        Self {
+            burst_factor: factor,
+            burst_duty: duty,
+            ..self
+        }
+    }
+
+    /// Adds a diurnal swing of the given amplitude (`0 ≤ depth < 1`) and
+    /// period. `depth` 0 turns it back off.
+    pub fn with_diurnal(self, depth: f64, period_s: f64) -> Self {
+        debug_assert!((0.0..1.0).contains(&depth) && period_s > 0.0);
+        Self {
+            diurnal_depth: depth,
+            diurnal_period_s: period_s,
             ..self
         }
     }
@@ -56,10 +100,28 @@ impl TraceConfig {
         // mean = base × (1 - duty) + base × factor × duty.
         let base =
             self.mean_rate_hz / (1.0 - self.burst_duty + self.burst_factor * self.burst_duty);
-        if phase < self.burst_duty {
+        let bursty = if phase < self.burst_duty {
             base * self.burst_factor
         } else {
             base
+        };
+        // Skipped entirely at depth 0 so the pre-diurnal arrival streams
+        // stay byte-identical (no `sin` rounding in the thinning ratio).
+        if self.diurnal_depth == 0.0 {
+            return bursty;
+        }
+        let diurnal_phase = t_us / (self.diurnal_period_s * 1e6);
+        bursty * (1.0 + self.diurnal_depth * (diurnal_phase * std::f64::consts::TAU).sin())
+    }
+
+    /// The largest instantaneous rate the profile can reach — the
+    /// homogeneous rate [`generate`] thins from.
+    fn peak_rate_hz(&self) -> f64 {
+        let peak = self.rate_at(0.0).max(self.mean_rate_hz * self.burst_factor);
+        if self.diurnal_depth == 0.0 {
+            peak
+        } else {
+            peak * (1.0 + self.diurnal_depth)
         }
     }
 }
@@ -68,7 +130,7 @@ impl TraceConfig {
 /// a homogeneous Poisson process at the peak rate.
 pub fn generate(cfg: &TraceConfig, horizon_us: f64, seed: u64) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let peak_hz = cfg.rate_at(0.0).max(cfg.mean_rate_hz * cfg.burst_factor);
+    let peak_hz = cfg.peak_rate_hz();
     let mut t = 0.0f64;
     let mut out = Vec::new();
     loop {
@@ -176,5 +238,62 @@ mod tests {
         let a = generate(&TraceConfig::apollo_like(), 5e6, 42);
         let b = generate(&TraceConfig::apollo_like(), 5e6, 42);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_depth_diurnal_is_byte_identical_to_base() {
+        // `with_diurnal(0, …)` must not perturb a single arrival: the
+        // generator takes the exact pre-diurnal code path (same RNG
+        // draws, same thinning ratios) whenever the depth is zero.
+        let base = TraceConfig::apollo_like();
+        let zeroed = base.with_diurnal(0.0, 3.0);
+        for seed in [1u64, 42, 0xA110C] {
+            assert_eq!(generate(&base, 5e6, seed), generate(&zeroed, 5e6, seed));
+        }
+    }
+
+    #[test]
+    fn diurnal_swing_moves_load_between_half_periods() {
+        // Depth 0.5 over a 4 s period: the first half-period (sin > 0)
+        // must carry visibly more arrivals than the second.
+        let cfg = TraceConfig::apollo_like().with_diurnal(0.5, 4.0);
+        let arrivals = generate(&cfg, 4e6, 9);
+        let first_half = arrivals.iter().filter(|&&t| t < 2e6).count() as f64;
+        let second_half = arrivals.len() as f64 - first_half;
+        assert!(
+            first_half > second_half * 1.4,
+            "peak half {first_half} vs trough half {second_half}"
+        );
+        // The long-run mean is preserved (the sinusoid integrates to 0).
+        let long = generate(&cfg, 40e6, 9);
+        let rate = long.len() as f64 / 40.0;
+        assert!(
+            (rate - cfg.mean_rate_hz).abs() / cfg.mean_rate_hz < 0.1,
+            "measured {rate} Hz vs {} Hz",
+            cfg.mean_rate_hz
+        );
+    }
+
+    #[test]
+    fn burst_knobs_reshape_the_trace() {
+        // Flattening the bursts (factor 1) yields a plain Poisson
+        // process: variance ≈ mean per 100 ms bin.
+        let flat = TraceConfig::apollo_like().with_bursts(1.0, 0.0);
+        let arrivals = generate(&flat, 30e6, 4);
+        let bin_us = 100_000.0;
+        let bins = (30e6 / bin_us) as usize;
+        let mut counts = vec![0.0f64; bins];
+        for &a in &arrivals {
+            counts[(a / bin_us) as usize] += 1.0;
+        }
+        let mean = counts.iter().sum::<f64>() / bins as f64;
+        let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / bins as f64;
+        assert!(
+            var < mean * 1.25,
+            "flattened trace still bursty: var {var} vs mean {mean}"
+        );
+        // Sharper bursts raise the peak rate.
+        let sharp = TraceConfig::apollo_like().with_bursts(3.0, 0.1);
+        assert!(sharp.rate_at(0.0) > TraceConfig::apollo_like().rate_at(0.0) * 1.5);
     }
 }

@@ -149,6 +149,7 @@ fn second_sweep_hits_the_deployment_memo() {
         horizon_us: 4e3,
         ls_instances: 4,
         base_seed: 0xCAFE,
+        trace: workload::trace::TraceConfig::apollo_like(),
     };
     let cells = grid.cells();
     let sweep_opts = SweepOptions {

@@ -101,6 +101,66 @@ fn sweep_results_are_chunking_invariant() {
 }
 
 #[test]
+fn slice_sketches_partition_the_grid_population() {
+    let grid = small_grid();
+    let cells = grid.cells();
+    let result = run_sweep(&cells, &SweepOptions::default());
+    // Every (gpu, system) pair the grid ran has a slice; the slices
+    // partition the grid-wide population exactly.
+    let mut total = 0u64;
+    for slice in &result.slices {
+        let expected: u64 = result
+            .cells
+            .iter()
+            .filter(|c| c.cell.gpu == slice.gpu && c.cell.system == slice.system)
+            .map(|c| c.ls_requests)
+            .sum();
+        assert_eq!(
+            slice.hist.count(),
+            expected,
+            "slice ({}, {})",
+            slice.gpu.name(),
+            slice.system.name()
+        );
+        assert!(
+            result.slice(slice.gpu, slice.system).is_some(),
+            "lookup misses a present slice"
+        );
+        total += slice.hist.count();
+    }
+    assert_eq!(total, result.latency_hist.count());
+    // Merging all slices reproduces the grid-wide bins exactly.
+    let mut merged = workload::LatencyHistogram::new();
+    for slice in &result.slices {
+        merged.merge(&slice.hist);
+    }
+    assert_eq!(merged.count(), result.latency_hist.count());
+    for p in [50.0, 90.0, 99.0] {
+        assert_eq!(
+            merged.percentile(p).to_bits(),
+            result.latency_hist.percentile(p).to_bits()
+        );
+    }
+    // Slices are chunking-invariant like everything else.
+    let rechunked = run_sweep(
+        &cells,
+        &SweepOptions {
+            chunk_size: 5,
+            ..Default::default()
+        },
+    );
+    assert_eq!(result.slices.len(), rechunked.slices.len());
+    for (a, b) in result.slices.iter().zip(&rechunked.slices) {
+        assert_eq!((a.gpu, a.system), (b.gpu, b.system));
+        assert_eq!(a.hist.count(), b.hist.count());
+        assert_eq!(
+            a.hist.percentile(99.0).to_bits(),
+            b.hist.percentile(99.0).to_bits()
+        );
+    }
+}
+
+#[test]
 fn cell_seeds_are_stable_pure_functions() {
     // The seed assignment is part of the reproducibility contract:
     // pin the derivation so a refactor cannot silently reshuffle every
