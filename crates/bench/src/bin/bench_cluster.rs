@@ -1,6 +1,8 @@
 //! Fleet-simulator benchmark: an 8-replica heterogeneous fleet under a
-//! diurnal+burst trace, every sharing system × routing policy, plus an
-//! N-replica scaling curve. Writes `BENCH_cluster.json`.
+//! diurnal+burst trace, every sharing system × routing policy, an
+//! N-replica scaling curve, a **thread-scaling** curve over the
+//! parallel fleet clock, and a pool-dispatch microbenchmark. Writes
+//! `BENCH_cluster.json`.
 //!
 //! The headline question is the cluster layer's: with a fleet of
 //! spatially-shared GPUs behind one arrival stream, how much fleet-wide
@@ -11,7 +13,17 @@
 //! shifts load — the gate at the bottom asserts join-shortest-backlog or
 //! SLO-aware p2c beats round-robin on fleet p99 for SGDRC.
 //!
-//! `--smoke` shrinks horizons and skips the gate; CI runs it on every
+//! The thread-scaling section cannot sweep `SGDRC_THREADS` in-process —
+//! the persistent pool honors it once, at build — so the binary
+//! re-executes itself (`--scale-probe` / `--pool-probe`) with the env
+//! set per child: every point is measured by a pool genuinely built
+//! with that worker count. On a 1-CPU box the curve is recorded as
+//! *oversubscribed* (threads > cores share one CPU) and the
+//! pool-dispatch microbenchmark — persistent pool vs. the per-call
+//! `thread::scope` dispatch it replaced — carries the perf claim
+//! instead.
+//!
+//! `--smoke` shrinks horizons and skips the gates; CI runs it on every
 //! push.
 
 use gpu_spec::GpuModel;
@@ -20,6 +32,7 @@ use sgdrc_core::serving::SimContext;
 use std::time::Instant;
 use workload::cluster::{ClusterConfig, ControllerConfig, RouterKind};
 use workload::runner::Deployment;
+use workload::sweep::{run_sweep, SweepGrid, SweepOptions};
 use workload::trace::TraceConfig;
 use workload::SystemKind;
 
@@ -91,8 +104,145 @@ fn fleet_json(r: &FleetRun) -> Json {
         .set("wall_s", r.wall_s)
 }
 
+/// A few µs of deterministic integer churn — the "small task" of the
+/// pool-dispatch microbenchmark.
+fn spin(seed: u64, iters: u32) -> u64 {
+    let mut z = seed;
+    for _ in 0..iters {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 27;
+    }
+    z
+}
+
+/// Child mode: measure the parallel fleet clock (events/s) and the
+/// sweep fan-out (cells/s) under the pool this process was started
+/// with, and print one machine-readable line for the parent.
+fn run_scale_probe(smoke: bool) {
+    let fleet = headline_fleet();
+    for &g in &[GpuModel::RtxA2000, GpuModel::Gtx1080] {
+        let _ = Deployment::cached(g);
+    }
+    let horizon_us = if smoke { 1.2e5 } else { 8e5 };
+    let mut cfg = ClusterConfig::new(fleet, SystemKind::Sgdrc);
+    cfg.horizon_us = horizon_us;
+    cfg.trace = fleet_trace(5.5, horizon_us);
+    cfg.controller.period_us = 5e4;
+    let mut ctxs: Vec<SimContext> = Vec::new();
+    // One warm-up pass (contexts, pool, trace), then the measured run.
+    let _ = run_fleet(&cfg, RouterKind::ShortestBacklog, &mut ctxs);
+    let fleet_run = run_fleet(&cfg, RouterKind::ShortestBacklog, &mut ctxs);
+
+    let grid = SweepGrid::fig17_style(if smoke { 1.5e3 } else { 3e3 }, if smoke { 1 } else { 3 });
+    let cells = grid.cells();
+    let sweep_start = Instant::now();
+    let sweep = run_sweep(&cells, &SweepOptions::default());
+    let sweep_wall_s = sweep_start.elapsed().as_secs_f64();
+
+    println!(
+        "SCALE_PROBE pool_workers={} fleet_events={} fleet_wall_s={} sweep_cells={} sweep_wall_s={} sweep_events={}",
+        rayon::current_pool_workers(),
+        fleet_run.engine_events,
+        fleet_run.wall_s,
+        sweep.cells.len(),
+        sweep_wall_s,
+        sweep.total_events,
+    );
+}
+
+/// Child mode: dispatch cost of the persistent work-stealing pool vs.
+/// the per-call `thread::scope` dispatch it replaced, on batches of 8
+/// small tasks. Run with `SGDRC_THREADS>1` so both arms actually fan
+/// out.
+fn run_pool_probe() {
+    use rayon::prelude::*;
+    let workers = rayon::current_pool_workers();
+    const TASKS: u64 = 8;
+    const ITERS: u32 = 200;
+    let pool_batches = 2_000u32;
+    let scoped_batches = 300u32;
+    let mut sink = 0u64;
+    let batch_items = || (0..TASKS).collect::<Vec<u64>>();
+
+    for _ in 0..50 {
+        sink ^= batch_items()
+            .into_par_iter()
+            .map(|i| spin(i, ITERS))
+            .collect::<Vec<_>>()
+            .iter()
+            .sum::<u64>();
+    }
+    let start = Instant::now();
+    for _ in 0..pool_batches {
+        sink ^= batch_items()
+            .into_par_iter()
+            .map(|i| spin(i, ITERS))
+            .collect::<Vec<_>>()
+            .iter()
+            .sum::<u64>();
+    }
+    let pool_ns = start.elapsed().as_nanos() as f64 / pool_batches as f64;
+
+    for _ in 0..10 {
+        sink ^= rayon::legacy::scoped_map_vec(batch_items(), workers, &|i| spin(i, ITERS))
+            .iter()
+            .sum::<u64>();
+    }
+    let start = Instant::now();
+    for _ in 0..scoped_batches {
+        sink ^= rayon::legacy::scoped_map_vec(batch_items(), workers, &|i| spin(i, ITERS))
+            .iter()
+            .sum::<u64>();
+    }
+    let scoped_ns = start.elapsed().as_nanos() as f64 / scoped_batches as f64;
+
+    println!(
+        "POOL_PROBE workers={workers} pool_ns_per_batch={pool_ns} scoped_ns_per_batch={scoped_ns} checksum={}",
+        std::hint::black_box(sink)
+    );
+}
+
+/// Re-executes this binary with `SGDRC_THREADS=threads` and the given
+/// probe flag; returns the probe's marker line. Every probe therefore
+/// runs on a pool genuinely built with that worker count — the only way
+/// to sweep a build-time knob.
+fn spawn_probe(flag: &str, threads: usize, smoke: bool) -> Option<String> {
+    let exe = std::env::current_exe().ok()?;
+    let mut cmd = std::process::Command::new(exe);
+    cmd.env(rayon::THREADS_ENV, threads.to_string()).arg(flag);
+    if smoke {
+        cmd.arg("--smoke");
+    }
+    let out = cmd.output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .find(|l| l.starts_with("SCALE_PROBE") || l.starts_with("POOL_PROBE"))
+        .map(str::to_string)
+}
+
+/// Extracts `key=<number>` from a probe marker line.
+fn probe_field(line: &str, key: &str) -> f64 {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(f64::NAN)
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    if args.iter().any(|a| a == "--scale-probe") {
+        run_scale_probe(smoke);
+        return;
+    }
+    if args.iter().any(|a| a == "--pool-probe") {
+        run_pool_probe();
+        return;
+    }
     let horizon_us = if smoke { 2.5e5 } else { 3e6 };
     let fleet = headline_fleet();
 
@@ -197,6 +347,88 @@ fn main() {
         .set("points", Json::Arr(points));
     let scaling_json = threads.annotate(scaling_json);
 
+    // --- thread-scaling curve (self-exec, one pool per worker count) ------
+    // The probe children set their own SGDRC_THREADS, so re-running them
+    // under a parent env matrix would measure the exact same thing; CI's
+    // extra env-matrix smoke steps pass --skip-probes for that reason.
+    let skip_probes = args.iter().any(|a| a == "--skip-probes");
+    let mut ts_points = Vec::new();
+    let mut fleet_eps: Vec<(usize, f64)> = Vec::new();
+    let probe_threads: &[usize] = if skip_probes { &[] } else { &[1, 2, 4, 8] };
+    if !skip_probes {
+        sgdrc_bench::header("thread scaling — parallel fleet clock, SGDRC_THREADS ∈ {1,2,4,8}");
+    }
+    for &k in probe_threads {
+        let Some(line) = spawn_probe("--scale-probe", k, smoke) else {
+            eprintln!("WARNING: scale probe at {k} threads failed to run");
+            continue;
+        };
+        let pool_workers = probe_field(&line, "pool_workers") as usize;
+        let fleet_events = probe_field(&line, "fleet_events");
+        let fleet_wall = probe_field(&line, "fleet_wall_s");
+        let sweep_cells = probe_field(&line, "sweep_cells");
+        let sweep_wall = probe_field(&line, "sweep_wall_s");
+        let eps = fleet_events / fleet_wall;
+        let cps = sweep_cells / sweep_wall;
+        let oversubscribed = k > detected_cpus;
+        println!(
+            "{k} thread(s): fleet {:>10.0} events/s  sweep {:>7.1} cells/s{}",
+            eps,
+            cps,
+            if oversubscribed {
+                "  (oversubscribed)"
+            } else {
+                ""
+            }
+        );
+        fleet_eps.push((k, eps));
+        ts_points.push(
+            Json::obj()
+                .set("threads", k)
+                .set("pool_workers", pool_workers)
+                .set("oversubscribed", oversubscribed)
+                .set("fleet_events_per_s", eps)
+                .set("fleet_wall_s", fleet_wall)
+                .set("sweep_cells_per_s", cps)
+                .set("sweep_wall_s", sweep_wall),
+        );
+    }
+    let eps_at = |k: usize| {
+        fleet_eps
+            .iter()
+            .find(|&&(t, _)| t == k)
+            .map(|&(_, e)| e)
+            .unwrap_or(f64::NAN)
+    };
+    let speedup_at_4 = eps_at(4) / eps_at(1);
+    if !skip_probes {
+        println!("fleet events/s speedup at 4 threads vs 1: {speedup_at_4:.2}×");
+    }
+
+    // --- pool-dispatch microbenchmark (persistent pool vs thread::scope) --
+    let (pool_ns, scoped_ns, probe_workers) = if skip_probes {
+        (f64::NAN, f64::NAN, 0)
+    } else {
+        sgdrc_bench::header("pool dispatch — persistent pool vs per-call thread::scope");
+        match &spawn_probe("--pool-probe", 4, smoke) {
+            Some(line) => (
+                probe_field(line, "pool_ns_per_batch"),
+                probe_field(line, "scoped_ns_per_batch"),
+                probe_field(line, "workers") as usize,
+            ),
+            None => {
+                eprintln!("WARNING: pool-dispatch probe failed to run");
+                (f64::NAN, f64::NAN, 0)
+            }
+        }
+    };
+    let dispatch_speedup = scoped_ns / pool_ns;
+    if !skip_probes {
+        println!(
+            "8 small tasks × {probe_workers} workers: pool {pool_ns:.0} ns/batch vs scope spawn {scoped_ns:.0} ns/batch ({dispatch_speedup:.1}×)"
+        );
+    }
+
     // --- routing gate ------------------------------------------------------
     let rr = sgdrc_p99
         .iter()
@@ -256,6 +488,29 @@ fn main() {
                 .set("load_aware_beats_round_robin", best_alt < rr),
         )
         .set("scaling", scaling_json)
+        .set(
+            "thread_scaling",
+            Json::obj()
+                .set("skipped", skip_probes)
+                .set("clock", "epoch-parallel (ClockKind::Parallel)")
+                .set(
+                    "method",
+                    "self-exec child per point; pool built with SGDRC_THREADS=k",
+                )
+                .set("fleet_events_speedup_at_4_threads", speedup_at_4)
+                .set("points", Json::Arr(ts_points)),
+        )
+        .set(
+            "pool_dispatch",
+            Json::obj()
+                .set("skipped", skip_probes)
+                .set("tasks_per_batch", 8usize)
+                .set("workers", probe_workers)
+                .set("pool_ns_per_batch", pool_ns)
+                .set("scoped_spawn_ns_per_batch", scoped_ns)
+                .set("pool_speedup", dispatch_speedup)
+                .set("pool_beats_scoped_spawn_2x", dispatch_speedup >= 2.0),
+        )
         .set("detected_cpus", detected_cpus)
         .set("worker_threads", worker_threads)
         .set("sgdrc_threads_env", threads.env_json());
@@ -267,5 +522,28 @@ fn main() {
             "WARNING: load-aware routing ({best_alt:.0}µs) did not beat round-robin ({rr:.0}µs) on fleet p99"
         );
         std::process::exit(1);
+    }
+    // Parallel-clock perf gates. On a multi-core box the fleet clock
+    // itself must scale (≥1.3× events/s at 4 threads); on a 1-CPU box
+    // the thread curve is oversubscribed by construction, so the
+    // persistent pool's dispatch advantage over per-call thread::scope
+    // (≥2× on small batches) carries the claim instead.
+    if !smoke && !skip_probes {
+        // NaN (a failed probe) must fail the gate too, hence the
+        // negated bindings rather than `< 1.3` / `< 2.0`.
+        let clock_scales = speedup_at_4 >= 1.3;
+        if detected_cpus >= 4 && !clock_scales {
+            eprintln!(
+                "WARNING: fleet clock speedup at 4 threads is {speedup_at_4:.2}× (< 1.3×) on a {detected_cpus}-core box"
+            );
+            std::process::exit(1);
+        }
+        let pool_wins = dispatch_speedup >= 2.0;
+        if !pool_wins {
+            eprintln!(
+                "WARNING: persistent pool dispatch only {dispatch_speedup:.2}× over per-call thread::scope (< 2×)"
+            );
+            std::process::exit(1);
+        }
     }
 }

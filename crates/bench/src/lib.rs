@@ -17,12 +17,15 @@ pub fn header(title: &str) {
 
 /// Worker-thread attribution shared by every bench JSON: the detected
 /// CPU count, the effective rayon worker count (the `SGDRC_THREADS`
-/// override when set), and the raw env value — so a scaling curve
-/// collected by sweeping the override is attributable from the JSON
-/// alone.
+/// override when set), the persistent pool's actual participant count,
+/// and the raw env value — so a scaling curve collected by sweeping the
+/// override is attributable from the JSON alone.
 pub struct ThreadAttribution {
     pub detected_cpus: usize,
     pub worker_threads: usize,
+    /// Participants in the persistent work-stealing pool (fixed at pool
+    /// build; capturing this builds the pool if nothing else has).
+    pub pool_workers: usize,
     pub env: Option<String>,
 }
 
@@ -33,6 +36,7 @@ impl ThreadAttribution {
                 .map(|p| p.get())
                 .unwrap_or(1),
             worker_threads: rayon::current_num_threads(),
+            pool_workers: rayon::current_pool_workers(),
             env: std::env::var(rayon::THREADS_ENV).ok(),
         }
     }
@@ -51,10 +55,12 @@ impl ThreadAttribution {
     }
 
     /// Appends the standard attribution fields to a scaling/parallel
-    /// section: `effective_threads` + `threads_overridden`.
+    /// section: `effective_threads`, `pool_workers` +
+    /// `threads_overridden`.
     pub fn annotate(&self, section: json::Json) -> json::Json {
         section
             .set("effective_threads", self.worker_threads)
+            .set("pool_workers", self.pool_workers)
             .set("threads_overridden", self.overridden())
     }
 }

@@ -717,7 +717,12 @@ impl<'s> ServingState<'s> {
 }
 
 /// A GPU sharing policy: decides resources for LS / BE kernels.
-pub trait Policy {
+///
+/// `Send` is a supertrait: the fleet clock advances each replica —
+/// policy included — on whichever pool worker steals it, so policies
+/// must be movable across threads (they are plain data; no policy in
+/// the workspace ever held thread-affine state).
+pub trait Policy: Send {
     fn name(&self) -> &'static str;
 
     /// Fill the GPU. Called whenever the state changes (arrival, kernel
@@ -868,6 +873,39 @@ impl<'s> ReplicaSim<'s> {
         policy.dispatch(&mut self.st);
     }
 
+    /// The two pending-work candidates [`advance`](Self::advance) folds
+    /// each iteration: the engine's memoized next event, and the
+    /// policy's next *live* timer (stale, non-future timers dropped).
+    /// Shared by `advance` and [`next_pending_at`](Self::next_pending_at)
+    /// so the no-op guarantee below is structural, not a convention two
+    /// copies of the fold would have to keep honoring.
+    fn pending_candidates(&self, policy: &dyn Policy) -> (Option<f64>, Option<f64>) {
+        let event = self.st.engine.next_event_at();
+        let timer = if self.use_timers {
+            policy.next_timer().filter(|&t| t > self.st.now() + 1e-9)
+        } else {
+            None
+        };
+        (event, timer)
+    }
+
+    /// The earliest pending work instant — engine event or live policy
+    /// timer — or `None` when the replica is idle. Built on the same
+    /// [`pending_candidates`](Self::pending_candidates) fold `advance`
+    /// consumes, so `advance(policy, Some(t))` is a guaranteed no-op
+    /// (no state change, returns `true`) whenever
+    /// `next_pending_at() >= Some(t)` — the property the parallel fleet
+    /// clock uses to skip idle replicas without dispatching them to a
+    /// worker.
+    pub fn next_pending_at(&self, policy: &dyn Policy) -> Option<f64> {
+        match self.pending_candidates(policy) {
+            (Some(e), Some(t)) => Some(e.min(t)),
+            (Some(e), None) => Some(e),
+            (None, Some(t)) => Some(t),
+            (None, None) => None,
+        }
+    }
+
     /// Processes engine events and policy timers that precede an arrival
     /// at `next_arrival_us` (or all remaining work when `None`), with the
     /// batch loop's exact ordering and tie-breaking. Returns `true` when
@@ -876,15 +914,10 @@ impl<'s> ReplicaSim<'s> {
     /// the horizon was reached or the replica went idle forever.
     pub fn advance(&mut self, policy: &mut dyn Policy, next_arrival_us: Option<f64>) -> bool {
         loop {
-            // Memoized inside the engine — the same value serves the min
-            // fold below and the engine's own integration this iteration.
-            let event = self.st.engine.next_event_at();
-            // Stale (non-future) timers cannot make progress; drop them.
-            let timer = if self.use_timers {
-                policy.next_timer().filter(|&t| t > self.st.now() + 1e-9)
-            } else {
-                None
-            };
+            // The engine's next event is memoized inside the engine —
+            // the same value serves the min fold below and the engine's
+            // own integration this iteration.
+            let (event, timer) = self.pending_candidates(&*policy);
             // Earliest of the three candidate times, without
             // materializing a candidate list (this runs once per
             // simulated event).
@@ -938,6 +971,20 @@ impl<'s> ReplicaSim<'s> {
         self.st.stats.engine_events = self.st.engine.events_processed();
         self.st.finish_into(ctx)
     }
+}
+
+/// Compile-time contract for the parallel fleet clock: the whole
+/// replica stack — contexts, the resumable simulation (engine, queues,
+/// statistics) and, via the `Policy: Send` supertrait, every policy —
+/// crosses worker threads when a cluster advances its replicas in
+/// parallel. A new field that is not `Send` fails here, not in a
+/// distant cluster build error.
+#[allow(dead_code)]
+fn _assert_replica_stack_is_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<SimContext>();
+    assert_send::<ReplicaSim<'static>>();
+    assert_send::<Box<dyn Policy>>();
 }
 
 /// Runs a scenario under a policy to the horizon; returns the statistics.

@@ -23,9 +23,13 @@
 //!   retunes the destination's `Ch_BE` via [`Sgdrc::reconfigure`];
 //! * replicas are **heterogeneous** ([`Deployment::cached`] per
 //!   [`GpuModel`]) and fully independent between router decisions, so
-//!   the cluster clock can interleave their event loops in *any* order:
-//!   results are bit-identical for every replica iteration order
-//!   (enforced by `tests/cluster.rs`, mirroring the sweep's chunking
+//!   the cluster clock can interleave their event loops in *any* order
+//!   — or run them **in parallel**: the default [`ClockKind::Parallel`]
+//!   epoch clock advances every busy replica concurrently on the
+//!   persistent work-stealing pool between decision points, and results
+//!   are bit-identical for every replica iteration order, worker count
+//!   and clock kind (enforced by `tests/cluster.rs` and
+//!   `tests/cluster_parallel.rs`, mirroring the sweep's chunking
 //!   invariance). Seeds derive via splitmix64 ([`cell_seed`]) like the
 //!   sweep's;
 //! * per-replica latency sketches **merge** into fleet-wide percentiles
@@ -39,6 +43,7 @@ use crate::trace::{per_service_traces, TraceConfig};
 use crate::SystemKind;
 use dnn::CompileOptions;
 use gpu_spec::GpuModel;
+use rayon::prelude::*;
 use sgdrc_core::serving::{ArrivalTrace, Policy, ReplicaSim, RunStats, Scenario, SimContext, Task};
 use sgdrc_core::{Sgdrc, SgdrcConfig};
 use std::sync::Arc;
@@ -97,11 +102,14 @@ pub struct ClusterConfig {
     /// Policy tuning for SGDRC replicas.
     pub sgdrc: SgdrcConfig,
     pub compile: CompileOptions,
-    /// Replica iteration order used by the cluster clock when it
+    /// Replica iteration order used by the serial cluster clock when it
     /// quiesces the fleet (empty = index order). Results are invariant
     /// to it — the knob exists so the determinism test can *prove* that
-    /// rather than assume it.
+    /// rather than assume it. The parallel clock ignores it: placement
+    /// on pool workers is scheduling, not semantics.
     pub advance_order: Vec<usize>,
+    /// Which fleet-clock schedule drives the run (results identical).
+    pub clock: ClockKind,
 }
 
 impl ClusterConfig {
@@ -123,6 +131,7 @@ impl ClusterConfig {
             sgdrc: SgdrcConfig::default(),
             compile: CompileOptions::default(),
             advance_order: Vec::new(),
+            clock: ClockKind::default(),
         }
     }
 }
@@ -354,6 +363,136 @@ impl PolicySlot {
             PolicySlot::Boxed(p) => p.as_mut(),
         }
     }
+
+    fn as_dyn_ref(&self) -> &dyn Policy {
+        match self {
+            PolicySlot::Sgdrc(p) => p,
+            PolicySlot::Boxed(p) => p.as_ref(),
+        }
+    }
+}
+
+/// How the fleet clock schedules replica advances between decision
+/// points (router arrivals, controller ticks). Results are bit-identical
+/// across every variant — enforced by `tests/cluster_parallel.rs` — so
+/// the choice is purely about wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClockKind {
+    /// The epoch-parallel clock: replicas with pending work before the
+    /// epoch boundary advance concurrently on the persistent
+    /// work-stealing pool (one flat batch per epoch), idle replicas are
+    /// skipped without a dispatch, and per-replica events and histogram
+    /// deltas merge in canonical replica order afterwards. Falls back
+    /// to the serial schedule automatically when the pool has a single
+    /// worker or the fleet a single replica.
+    #[default]
+    Parallel,
+    /// The reference serial clock: every replica advances in
+    /// [`ClusterConfig::advance_order`], one after another, exactly as
+    /// the pre-parallel fleet simulator did. Kept as the equivalence
+    /// oracle the parallel clock is tested against.
+    Serial,
+}
+
+/// One replica's full per-run state: the resumable simulation, its
+/// policy, and every piece of bookkeeping the coordinator previously
+/// kept in parallel vectors. Bundling them is what lets an epoch
+/// advance ship a replica to a pool worker as one `&mut Lane` — the
+/// sketches, RNG-free cursors and SLO tables ride along, so a worker
+/// never touches shared mutable state.
+struct Lane<'s> {
+    sim: ReplicaSim<'s>,
+    policy: PolicySlot,
+    /// Per-LS-service cursor into `stats.ls_completed` (drained so far).
+    seen_done: Vec<usize>,
+    /// Replica-local SLOs per LS service (slower GPUs get looser SLOs).
+    slos: Vec<f64>,
+    /// Latency/SLO ratios since the last controller tick.
+    win_hist: LatencyHistogram,
+    /// Every completed latency of this replica (µs).
+    cum_hist: LatencyHistogram,
+    slo_met: u64,
+    /// Windowed p99/SLO ratio as of the last controller tick.
+    last_ratio: f64,
+    /// Requests the router sent here.
+    routed: u64,
+}
+
+impl Lane<'_> {
+    fn advance_to(&mut self, until: Option<f64>) {
+        self.sim.advance(self.policy.as_dyn(), until);
+    }
+
+    fn dispatch(&mut self) {
+        self.sim.dispatch(self.policy.as_dyn());
+    }
+
+    fn inject(&mut self, task: usize, at_us: f64) {
+        self.sim.inject_arrival(self.policy.as_dyn(), task, at_us);
+        self.routed += 1;
+    }
+
+    /// Would `advance(until)` process anything at all? Mirrors
+    /// [`ReplicaSim::next_pending_at`]'s no-op guarantee: an epoch
+    /// boundary at `t` only consumes work strictly before `t`, the
+    /// final drain consumes work up to and including the horizon.
+    fn has_work(&self, until: Option<f64>) -> bool {
+        let Some(at) = self.sim.next_pending_at(self.policy.as_dyn_ref()) else {
+            return false;
+        };
+        match until {
+            Some(t) => at < t,
+            None => at <= self.sim.state().scenario.horizon_us,
+        }
+    }
+
+    /// Records completions since the last drain into the windowed and
+    /// cumulative sketches. Lane-local — safe at any point between
+    /// advances, on any thread.
+    fn drain(&mut self) {
+        let stats = &self.sim.state().stats;
+        for t in 0..self.slos.len() {
+            let done = &stats.ls_completed[t];
+            for req in &done[self.seen_done[t]..] {
+                let lat = req.latency_us();
+                self.cum_hist.record(lat);
+                self.win_hist.record(lat / self.slos[t]);
+                if lat <= self.slos[t] {
+                    self.slo_met += 1;
+                }
+            }
+            self.seen_done[t] = done.len();
+        }
+    }
+}
+
+/// Quiesces the fleet up to an epoch boundary (`until = Some(t)`) or out
+/// to the horizon (`None`). The parallel schedule skips lanes whose next
+/// pending work lies beyond the boundary — for those, `advance` is a
+/// proven no-op — and fans the rest out as **one** pool batch per epoch
+/// (`for_each` over the busy lanes): the pool block-partitions the
+/// lanes across its deques and steal-on-empty balances whatever skew
+/// the epoch has (one replica with a burst of events, seven idle), so
+/// a recursive `join` split would only re-buy that balancing at an
+/// extra batch submission per split. The serial schedule replays the
+/// reference clock: every lane, in `order`.
+fn quiesce(lanes: &mut [Lane<'_>], order: &[usize], parallel: bool, until: Option<f64>) {
+    if parallel {
+        let busy: Vec<&mut Lane> = lanes.iter_mut().filter(|l| l.has_work(until)).collect();
+        match busy.len() {
+            0 => {}
+            1 => {
+                for lane in busy {
+                    lane.advance_to(until);
+                }
+            }
+            _ => busy.into_par_iter().for_each(|lane| lane.advance_to(until)),
+        }
+    } else {
+        for &r in order {
+            lanes[r].advance_to(until);
+        }
+    }
 }
 
 /// [`run_cluster_in`] with fresh per-replica contexts.
@@ -451,7 +590,7 @@ pub fn run_cluster_in(
     ));
     let merged = trace.merged();
 
-    // --- replica scenarios, policies, sims -------------------------------
+    // --- replica scenarios, policies, lanes ------------------------------
     let empty_arrivals = Arc::new(ArrivalTrace::default());
     let scenarios: Vec<Scenario> = (0..n)
         .map(|r| Scenario {
@@ -463,8 +602,9 @@ pub fn run_cluster_in(
             horizon_us: cfg.horizon_us,
         })
         .collect();
-    let mut policies: Vec<PolicySlot> = (0..n)
-        .map(|r| match cfg.system {
+    let mut lanes: Vec<Lane> = Vec::with_capacity(n);
+    for (r, scenario) in scenarios.iter().enumerate() {
+        let policy = match cfg.system {
             SystemKind::Sgdrc => {
                 let mut pcfg = cfg.sgdrc.clone();
                 if cfg.controller.adaptive_ch_be {
@@ -480,10 +620,7 @@ pub fn run_cluster_in(
                 },
             )),
             other => PolicySlot::Boxed(other.make(&deps[r].spec)),
-        })
-        .collect();
-    let mut sims: Vec<ReplicaSim> = Vec::with_capacity(n);
-    for (r, scenario) in scenarios.iter().enumerate() {
+        };
         let mut sim = ReplicaSim::prepare(scenario, &mut ctxs[r]);
         // Park every BE task not initially placed here *before* the first
         // dispatch, so the opening launches match the placement.
@@ -491,8 +628,28 @@ pub fn run_cluster_in(
             let resident = jobs_on[r].iter().any(|&k| cfg.be_jobs[k] == model);
             sim.state_mut().set_be_active(b, resident);
         }
-        sim.begin(policies[r].as_dyn());
-        sims.push(sim);
+        // Per-replica SLOs (replica-local: a slower GPU has a looser
+        // SLO, §9.2's n × isolated-p99 with n = LS services + 1 BE
+        // slot).
+        let services = deps[r].ls_tasks.len() + 1;
+        let slos: Vec<f64> = deps[r]
+            .ls_tasks
+            .iter()
+            .map(|t| slo_for(t.profile.isolated_e2e_us, services))
+            .collect();
+        let mut lane = Lane {
+            sim,
+            policy,
+            seen_done: vec![0; n_ls],
+            slos,
+            win_hist: LatencyHistogram::new(),
+            cum_hist: LatencyHistogram::new(),
+            slo_met: 0,
+            last_ratio: 0.0,
+            routed: 0,
+        };
+        lane.sim.begin(lane.policy.as_dyn());
+        lanes.push(lane);
     }
 
     // --- fleet clock state -----------------------------------------------
@@ -511,50 +668,13 @@ pub fn run_cluster_in(
         }
         cfg.advance_order.clone()
     };
-    // Per-replica SLOs (replica-local: a slower GPU has a looser SLO,
-    // §9.2's n × isolated-p99 with n = LS services + 1 BE slot).
-    let slos: Vec<Vec<f64>> = deps
-        .iter()
-        .map(|dep| {
-            let services = dep.ls_tasks.len() + 1;
-            dep.ls_tasks
-                .iter()
-                .map(|t| slo_for(t.profile.isolated_e2e_us, services))
-                .collect()
-        })
-        .collect();
-    let mut seen_done: Vec<Vec<usize>> = vec![vec![0; n_ls]; n];
-    let mut win_hist: Vec<LatencyHistogram> = (0..n).map(|_| LatencyHistogram::new()).collect();
-    let mut cum_hist: Vec<LatencyHistogram> = (0..n).map(|_| LatencyHistogram::new()).collect();
-    let mut last_ratio: Vec<f64> = vec![0.0; n];
-    let mut slo_met: Vec<u64> = vec![0; n];
-    let mut routed: Vec<u64> = vec![0; n];
+    // The epoch-parallel clock degenerates to the serial schedule when
+    // there is nothing to overlap: a 1-replica fleet, or a pool with a
+    // single participant (the 1-CPU default — where querying the pool
+    // is the only cost this run pays for the parallel machinery).
+    let parallel = cfg.clock == ClockKind::Parallel && n > 1 && rayon::current_pool_workers() > 1;
     let mut migrations: Vec<Migration> = Vec::new();
     let mut views: Vec<ReplicaView> = Vec::with_capacity(n);
-
-    // Records a replica's new completions into its windowed + cumulative
-    // sketches. Called lazily (controller ticks, run end) — the router
-    // itself only needs O(1) counters.
-    let drain = |r: usize,
-                 sims: &[ReplicaSim],
-                 seen_done: &mut Vec<Vec<usize>>,
-                 win: &mut Vec<LatencyHistogram>,
-                 cum: &mut Vec<LatencyHistogram>,
-                 slo_met: &mut Vec<u64>| {
-        let stats = &sims[r].state().stats;
-        for t in 0..n_ls {
-            let done = &stats.ls_completed[t];
-            for req in &done[seen_done[r][t]..] {
-                let lat = req.latency_us();
-                cum[r].record(lat);
-                win[r].record(lat / slos[r][t]);
-                if lat <= slos[r][t] {
-                    slo_met[r] += 1;
-                }
-            }
-            seen_done[r][t] = done.len();
-        }
-    };
 
     let period = cfg.controller.period_us;
     let mut next_tick = if period > 0.0 { period } else { f64::INFINITY };
@@ -566,35 +686,26 @@ pub fn run_cluster_in(
         let tick_due = next_tick < t_arr && next_tick < cfg.horizon_us;
         let arrival_due = arrival.is_some() && t_arr <= cfg.horizon_us;
         if tick_due {
-            // Quiesce the fleet up to the tick, then rebalance.
-            for &r in &order {
-                sims[r].advance(policies[r].as_dyn(), Some(next_tick));
-                drain(
-                    r,
-                    &sims,
-                    &mut seen_done,
-                    &mut win_hist,
-                    &mut cum_hist,
-                    &mut slo_met,
-                );
-            }
-            for r in 0..n {
-                last_ratio[r] = if win_hist[r].is_empty() {
+            // Quiesce the fleet up to the tick — one epoch, every busy
+            // replica in parallel — then drain and rebalance in
+            // canonical replica order.
+            quiesce(&mut lanes, &order, parallel, Some(next_tick));
+            for lane in &mut lanes {
+                lane.drain();
+                lane.last_ratio = if lane.win_hist.is_empty() {
                     0.0
                 } else {
-                    win_hist[r].percentile(99.0)
+                    lane.win_hist.percentile(99.0)
                 };
-                win_hist[r].reset();
+                lane.win_hist.reset();
             }
             controller_rebalance(
                 cfg,
                 next_tick,
                 &deps,
                 &fleet_models,
-                &last_ratio,
                 &mut jobs_on,
-                &mut sims,
-                &mut policies,
+                &mut lanes,
                 &mut migrations,
             );
             next_tick += period;
@@ -605,38 +716,29 @@ pub fn run_cluster_in(
         }
         let a = *arrival.expect("checked");
         // Quiesce every replica up to the arrival so the router sees a
-        // consistent instant; replicas are independent, so the order is
-        // irrelevant (and the determinism test permutes it).
-        for &r in &order {
-            sims[r].advance(policies[r].as_dyn(), Some(a.at_us));
-        }
+        // consistent instant; replicas are independent, so neither the
+        // serial order nor the parallel schedule matters (the
+        // determinism tests permute both).
+        quiesce(&mut lanes, &order, parallel, Some(a.at_us));
         views.clear();
-        for (r, sim) in sims.iter().enumerate() {
+        for (r, lane) in lanes.iter().enumerate() {
             views.push(ReplicaView {
                 gpu: cfg.gpus[r],
-                backlog: sim.state().ls_backlog(),
-                window_p99_ratio: last_ratio[r],
+                backlog: lane.sim.state().ls_backlog(),
+                window_p99_ratio: lane.last_ratio,
                 resident_be: jobs_on[r].len(),
             });
         }
         let target = router.route(&views, a.task as usize, a.at_us);
         assert!(target < n, "router picked replica {target} of {n}");
-        sims[target].inject_arrival(policies[target].as_dyn(), a.task as usize, a.at_us);
-        routed[target] += 1;
+        lanes[target].inject(a.task as usize, a.at_us);
         next_arrival += 1;
     }
     // Drain: no further arrivals or ticks — run every replica out to the
     // horizon.
-    for &r in &order {
-        sims[r].advance(policies[r].as_dyn(), None);
-        drain(
-            r,
-            &sims,
-            &mut seen_done,
-            &mut win_hist,
-            &mut cum_hist,
-            &mut slo_met,
-        );
+    quiesce(&mut lanes, &order, parallel, None);
+    for lane in &mut lanes {
+        lane.drain();
     }
 
     // --- aggregate --------------------------------------------------------
@@ -651,21 +753,21 @@ pub fn run_cluster_in(
         engine_events: 0,
         migrations,
     };
-    for (r, sim) in sims.into_iter().enumerate() {
-        let stats = sim.finish(&mut ctxs[r]);
-        let hist = std::mem::take(&mut cum_hist[r]);
+    for (r, lane) in lanes.into_iter().enumerate() {
+        let stats = lane.sim.finish(&mut ctxs[r]);
+        let hist = lane.cum_hist;
         let requests = hist.count();
         result.fleet_hist.merge(&hist);
         result.requests += requests;
-        result.slo_met += slo_met[r];
+        result.slo_met += lane.slo_met;
         result.be_completed += stats.be_completed.iter().sum::<u64>();
         result.be_preemptions += stats.be_preemptions;
         result.engine_events += stats.engine_events;
         result.replicas.push(ReplicaSummary {
             gpu: cfg.gpus[r],
-            routed: routed[r],
+            routed: lane.routed,
             requests,
-            slo_met: slo_met[r],
+            slo_met: lane.slo_met,
             hist,
             seed: cell_seed(cfg.seed, r as u64),
             stats,
@@ -678,39 +780,42 @@ pub fn run_cluster_in(
 /// One controller tick's migration decision: move one BE job from the
 /// worst SLO-breaching replica onto the most underloaded replica that
 /// can host it. Scans run in replica-index order, so the decision is
-/// independent of the fleet clock's iteration order.
-#[allow(clippy::too_many_arguments)]
+/// independent of the fleet clock's schedule (serial order or parallel
+/// placement alike).
 fn controller_rebalance(
     cfg: &ClusterConfig,
     at_us: f64,
     deps: &[Arc<Deployment>],
     fleet_models: &[usize],
-    last_ratio: &[f64],
     jobs_on: &mut [Vec<usize>],
-    sims: &mut [ReplicaSim],
-    policies: &mut [PolicySlot],
+    lanes: &mut [Lane],
     migrations: &mut Vec<Migration>,
 ) {
     let n = jobs_on.len();
     // Source: the worst breaching replica that has BE work to shed.
     let src = (0..n)
-        .filter(|&r| last_ratio[r] > cfg.controller.breach_ratio && !jobs_on[r].is_empty())
+        .filter(|&r| lanes[r].last_ratio > cfg.controller.breach_ratio && !jobs_on[r].is_empty())
         .max_by(|&a, &b| {
-            last_ratio[a].total_cmp(&last_ratio[b]).then(b.cmp(&a)) // ties → lower index
+            lanes[a]
+                .last_ratio
+                .total_cmp(&lanes[b].last_ratio)
+                .then(b.cmp(&a)) // ties → lower index
         });
     let Some(src) = src else { return };
     // Destinations with headroom, best (ratio, backlog) first.
     let mut dests: Vec<usize> = (0..n)
-        .filter(|&r| r != src && last_ratio[r] < cfg.controller.headroom_ratio)
+        .filter(|&r| r != src && lanes[r].last_ratio < cfg.controller.headroom_ratio)
         .collect();
     dests.sort_by(|&a, &b| {
-        last_ratio[a]
-            .total_cmp(&last_ratio[b])
+        lanes[a]
+            .last_ratio
+            .total_cmp(&lanes[b].last_ratio)
             .then(
-                sims[a]
+                lanes[a]
+                    .sim
                     .state()
                     .ls_backlog()
-                    .cmp(&sims[b].state().ls_backlog()),
+                    .cmp(&lanes[b].sim.state().ls_backlog()),
             )
             .then(a.cmp(&b))
     });
@@ -728,13 +833,13 @@ fn controller_rebalance(
             .expect("job model is a fleet model");
         // Park on the source: stop future launches, evict the running
         // kernel if it is this task's (§7.1 eviction flag).
-        let st = sims[src].state_mut();
+        let st = lanes[src].sim.state_mut();
         st.set_be_active(b, false);
         if st.be_launch.map(|l| l.task) == Some(b) {
             st.preempt_be();
         }
         // Resume on the destination.
-        sims[dst].state_mut().set_be_active(b, true);
+        lanes[dst].sim.state_mut().set_be_active(b, true);
         let pos = jobs_on[src]
             .iter()
             .position(|&k| k == job)
@@ -745,7 +850,7 @@ fn controller_rebalance(
         // the static baseline keeps its fixed split).
         if cfg.controller.adaptive_ch_be && cfg.system == SystemKind::Sgdrc {
             for r in [src, dst] {
-                if let PolicySlot::Sgdrc(p) = &mut policies[r] {
+                if let PolicySlot::Sgdrc(p) = &mut lanes[r].policy {
                     let pcfg = SgdrcConfig {
                         ch_be: ch_be_for(cfg.sgdrc.ch_be, jobs_on[r].len()),
                         ..cfg.sgdrc.clone()
@@ -756,8 +861,8 @@ fn controller_rebalance(
         }
         // Let both policies react immediately (launch the migrated job /
         // expand onto freed resources).
-        sims[src].dispatch(policies[src].as_dyn());
-        sims[dst].dispatch(policies[dst].as_dyn());
+        lanes[src].dispatch();
+        lanes[dst].dispatch();
         migrations.push(Migration {
             at_us,
             job,

@@ -15,7 +15,7 @@ pub mod sweep;
 pub mod trace;
 
 pub use cluster::{
-    run_cluster, run_cluster_in, ClusterConfig, ClusterResult, ControllerConfig,
+    run_cluster, run_cluster_in, ClockKind, ClusterConfig, ClusterResult, ControllerConfig,
     JoinShortestBacklog, ReplicaView, RoundRobin, RouterKind, RoutingPolicy, SloAwarePowerOfTwo,
 };
 pub use metrics::{ls_metrics, percentile, slo_for, LatencyHistogram, LsMetrics, SystemResult};

@@ -17,7 +17,7 @@ use gpu_spec::{GpuModel, GpuSpec};
 use rayon::prelude::*;
 use sgdrc_core::serving::{run, ArrivalTrace, CompletedRequest, Policy, RunStats, Scenario, Task};
 use sgdrc_core::{Sgdrc, SgdrcConfig};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// The systems of Fig. 17.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -187,18 +187,22 @@ impl Deployment {
         Self::cached_with_options(gpu, CompileOptions::default())
     }
 
-    /// [`Deployment::cached`] keyed by (GPU, compile options).
+    /// [`Deployment::cached`] keyed by (GPU, compile options). The hit
+    /// path takes the memo's **read** lock only: parallel fleets ask for
+    /// the same handful of deployments from every worker at once, and
+    /// readers must not serialize behind each other (they did when the
+    /// memo was a `Mutex`).
     pub fn cached_with_options(gpu: GpuModel, opts: CompileOptions) -> Arc<Deployment> {
         let key = cache_key(gpu, opts);
         if let Some((_, dep)) = deployment_cache()
-            .lock()
+            .read()
             .expect("deployment cache")
             .iter()
             .find(|(k, _)| *k == key)
         {
             return Arc::clone(dep);
         }
-        // Build outside the lock so concurrent callers wanting *other*
+        // Build outside any lock so concurrent callers wanting *other*
         // keys aren't serialized behind a multi-second compile. Two racing
         // builders of the same key are harmless: the loser adopts the
         // winner's entry. Every build is tallied (before the re-check, so
@@ -206,7 +210,7 @@ impl Deployment {
         // independent of the cache's own lookup logic.
         count_build(key);
         let built = Arc::new(Self::with_options(gpu, opts));
-        let mut cache = deployment_cache().lock().expect("deployment cache");
+        let mut cache = deployment_cache().write().expect("deployment cache");
         if let Some((_, dep)) = cache.iter().find(|(k, _)| *k == key) {
             return Arc::clone(dep);
         }
@@ -237,9 +241,12 @@ fn cache_key(gpu: GpuModel, opts: CompileOptions) -> CacheKey {
     (gpu, opts.fuse, opts.persistent_threads, opts.coloring)
 }
 
-/// The (GPU, compile options) → deployment memo.
-fn deployment_cache() -> &'static Mutex<Vec<(CacheKey, Arc<Deployment>)>> {
-    static CACHE: Mutex<Vec<(CacheKey, Arc<Deployment>)>> = Mutex::new(Vec::new());
+/// The (GPU, compile options) → deployment memo. An `RwLock` so the
+/// steady-state lookup (every replica of every fleet run) is a shared
+/// read; the write lock is only ever held for the O(keys) insert scan,
+/// never across a build.
+fn deployment_cache() -> &'static RwLock<Vec<(CacheKey, Arc<Deployment>)>> {
+    static CACHE: RwLock<Vec<(CacheKey, Arc<Deployment>)>> = RwLock::new(Vec::new());
     &CACHE
 }
 

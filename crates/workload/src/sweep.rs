@@ -24,8 +24,9 @@
 //! * latency percentiles stream through the mergeable
 //!   [`LatencyHistogram`] sketch instead of collect-then-sort, and merge
 //!   across cells without re-sorting;
-//! * the grid fans out in contiguous chunks over `rayon`, and every
-//!   cell's seed is a pure function of the grid ([`cell_seed`]), so
+//! * the grid fans out in contiguous chunks over `rayon`'s persistent
+//!   work-stealing pool (`par_chunks` — no thread spawn per sweep), and
+//!   every cell's seed is a pure function of the grid ([`cell_seed`]), so
 //!   per-cell summaries and histogram bin contents are bit-identical
 //!   regardless of worker count or chunking (enforced by
 //!   `tests/sweep.rs`; the merged histogram's floating-point `sum` may
@@ -518,7 +519,10 @@ pub fn run_sweep(cells: &[CellSpec], opts: &SweepOptions) -> SweepResult {
             Deployment::cached_with_options(c.gpu, opts.compile);
         }
     }
-    let workers = rayon::current_num_threads();
+    // Size chunks for the pool that will actually execute them (fixed
+    // at pool build), not the live env value — the two differ if
+    // `SGDRC_THREADS` changes after the first parallel call.
+    let workers = rayon::current_pool_workers();
     let chunk_size = if opts.chunk_size > 0 {
         opts.chunk_size
     } else {
@@ -529,19 +533,18 @@ pub fn run_sweep(cells: &[CellSpec], opts: &SweepOptions) -> SweepResult {
             .div_ceil(workers.max(1) * 4)
             .clamp(16, cells.len().max(16))
     };
-    let chunks: Vec<(usize, &[CellSpec])> = cells
-        .chunks(chunk_size)
-        .enumerate()
-        .map(|(i, c)| (i * chunk_size, c))
-        .collect();
     type ChunkOut = (
         Vec<CellSummary>,
         LatencyHistogram,
         Vec<((GpuModel, SystemKind), LatencyHistogram)>,
     );
-    let per_chunk: Vec<ChunkOut> = chunks
-        .into_par_iter()
-        .map(|(start, chunk)| {
+    // One persistent-pool batch over the contiguous chunks; the chunk
+    // index recovers each cell's position in the grid-wide list.
+    let per_chunk: Vec<ChunkOut> = cells
+        .par_chunks(chunk_size)
+        .enumerate()
+        .map(|(ci, chunk)| {
+            let start = ci * chunk_size;
             let mut w = Worker::new(opts.compile);
             let summaries: Vec<CellSummary> = chunk
                 .iter()
