@@ -30,6 +30,7 @@ use gpu_spec::GpuModel;
 use sgdrc_bench::json::Json;
 use sgdrc_core::serving::SimContext;
 use std::time::Instant;
+use workload::chaos::{FaultEvent, FaultKind, FaultPlan};
 use workload::cluster::{ClusterConfig, ControllerConfig, RouterKind};
 use workload::runner::Deployment;
 use workload::sweep::{run_sweep, SweepGrid, SweepOptions};
@@ -102,6 +103,114 @@ fn fleet_json(r: &FleetRun) -> Json {
         .set("be_preemptions", r.be_preemptions)
         .set("engine_events", r.engine_events)
         .set("wall_s", r.wall_s)
+}
+
+/// One resilience arm of the chaos section: the fleet under a fault
+/// plan, with availability (delivered / injected) and the full
+/// fault-event attribution.
+struct ChaosArm {
+    availability: f64,
+    goodput_hz: f64,
+    slo_attainment: f64,
+    requests: u64,
+    arrivals_injected: u64,
+    requeued: u64,
+    retries: u64,
+    timeout_drops: u64,
+    ls_shed: u64,
+    be_shed: u64,
+    in_flight_at_end: u64,
+    faults_injected: u64,
+    faults_recovered: u64,
+    redispatch_p99_us: f64,
+    wall_s: f64,
+}
+
+fn run_chaos_arm(cfg: &ClusterConfig, kind: RouterKind, ctxs: &mut Vec<SimContext>) -> ChaosArm {
+    let mut router = kind.make(cfg.seed);
+    let start = Instant::now();
+    let r = workload::run_cluster_in(cfg, router.as_mut(), ctxs);
+    ChaosArm {
+        availability: r.requests as f64 / r.arrivals_injected.max(1) as f64,
+        goodput_hz: r.goodput_hz,
+        slo_attainment: r.slo_attainment(),
+        requests: r.requests,
+        arrivals_injected: r.arrivals_injected,
+        requeued: r.requeued,
+        retries: r.retries,
+        timeout_drops: r.timeout_drops,
+        ls_shed: r.ls_shed,
+        be_shed: r.be_shed,
+        in_flight_at_end: r.in_flight_at_end,
+        faults_injected: r.faults_injected,
+        faults_recovered: r.faults_recovered,
+        redispatch_p99_us: r.redispatch_hist.percentile(99.0),
+        wall_s: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// The per-arm JSON, including the `fault_events` attribution block
+/// that makes a bench run self-describing.
+fn chaos_arm_json(a: &ChaosArm) -> Json {
+    Json::obj()
+        .set("availability", a.availability)
+        .set("goodput_hz", a.goodput_hz)
+        .set("slo_attainment", a.slo_attainment)
+        .set("requests", a.requests)
+        .set("arrivals_injected", a.arrivals_injected)
+        .set("in_flight_at_end", a.in_flight_at_end)
+        .set("redispatch_p99_us", a.redispatch_p99_us)
+        .set("wall_s", a.wall_s)
+        .set(
+            "fault_events",
+            Json::obj()
+                .set("injected", a.faults_injected)
+                .set("recovered", a.faults_recovered)
+                .set("requeued", a.requeued)
+                .set("retried", a.retries)
+                .set("dropped", a.timeout_drops)
+                .set("ls_shed", a.ls_shed)
+                .set("be_shed", a.be_shed),
+        )
+}
+
+/// Serializes a `FaultPlan` so any run can be replayed from the bench
+/// JSON: rebuild the events with `FaultEvent::crash`/`::slowdown` (or
+/// struct literals), restore `retry`/`heartbeat_timeout_us`, and pass
+/// the plan through `ClusterConfig::chaos`.
+fn plan_json(plan: &FaultPlan) -> Json {
+    Json::obj()
+        .set("heartbeat_timeout_us", plan.heartbeat_timeout_us)
+        .set(
+            "retry",
+            Json::obj()
+                .set("backoff_us", plan.retry.backoff_us)
+                .set("max_retries", plan.retry.max_retries as u64)
+                .set("timeout_us", plan.retry.timeout_us),
+        )
+        .set(
+            "degradation",
+            Json::obj()
+                .set("shed_be_backlog", plan.degradation.shed_be_backlog)
+                .set("shed_ls_backlog", plan.degradation.shed_ls_backlog)
+                .set("ls_shed_per_tick", plan.degradation.ls_shed_per_tick),
+        )
+        .set(
+            "events",
+            Json::Arr(
+                plan.events
+                    .iter()
+                    .map(|e| {
+                        Json::obj()
+                            .set("at_us", e.at_us)
+                            .set("replica", e.replica)
+                            .set("kind", Json::Str(e.kind.name().into()))
+                            .set("factor", e.factor)
+                            .set("duration_us", e.duration_us)
+                    })
+                    .collect(),
+            ),
+        )
 }
 
 /// A few µs of deterministic integer churn — the "small task" of the
@@ -445,6 +554,173 @@ fn main() {
         rr / best_alt
     );
 
+    // --- chaos: crash-at-midpoint resilience ------------------------------
+    let chaos_enabled = args.iter().any(|a| a == "--chaos");
+    let mut chaos_json = Json::obj().set("skipped", !chaos_enabled);
+    let mut chaos_gate_requeue = true;
+    let mut chaos_gate_floor = true;
+    let mut chaos_gate_no_be = true;
+    const CHAOS_AVAILABILITY_FLOOR: f64 = 0.90;
+    if chaos_enabled {
+        sgdrc_bench::header("chaos — crash at midpoint: requeue vs drop-on-crash vs no-BE");
+        let chaos_horizon = if smoke { 2.5e5 } else { 1.5e6 };
+        let mut cfg = ClusterConfig::new(fleet.clone(), SystemKind::Sgdrc);
+        cfg.horizon_us = chaos_horizon;
+        // Same operating point as the headline matrix: SLOs met with
+        // moderate headroom — the regime where SGDRC's "BE costs no
+        // goodput" claim holds, and the one the resilience gates must
+        // preserve through a crash.
+        cfg.trace = fleet_trace(5.5, chaos_horizon);
+        cfg.controller = ControllerConfig {
+            period_us: 5e4,
+            adaptive_ch_be: true,
+            ..Default::default()
+        };
+        // The headline scenario: a fast replica dies at midpoint and
+        // revives after a quarter of the horizon.
+        let mut plan = FaultPlan::new(vec![FaultEvent::crash(
+            0,
+            0.5 * chaos_horizon,
+            0.25 * chaos_horizon,
+        )]);
+        // Shed BE the moment the degraded fleet starts queueing: the
+        // goodput gate below checks that BE filling costs no LS goodput
+        // even through the crash, which holds only if degradation parks
+        // BE while capacity is short.
+        plan.degradation.shed_be_backlog = 2;
+        cfg.chaos = Some(plan.clone());
+        let requeue = run_chaos_arm(&cfg, RouterKind::ShortestBacklog, &mut ctxs);
+
+        let mut drop_cfg = cfg.clone();
+        drop_cfg.chaos.as_mut().expect("plan set").retry.max_retries = 0;
+        let drop = run_chaos_arm(&drop_cfg, RouterKind::ShortestBacklog, &mut ctxs);
+
+        // The no-BE baseline: same fleet, same faults, zero BE work —
+        // SGDRC's claim is that BE filling costs no LS goodput, and that
+        // must survive a crash (degradation sheds BE when it matters).
+        let mut no_be_cfg = cfg.clone();
+        no_be_cfg.be_jobs = Vec::new();
+        let no_be = run_chaos_arm(&no_be_cfg, RouterKind::ShortestBacklog, &mut ctxs);
+
+        for (name, a) in [
+            ("requeue", &requeue),
+            ("drop_on_crash", &drop),
+            ("no_be_baseline", &no_be),
+        ] {
+            println!(
+                "{name:>16}: avail {:>6.2}%  goodput {:>7.1}/s  SLO {:>5.1}%  requeued {:>4}  retried {:>4}  dropped {:>4}  BE shed {:>2}  {:>5.2}s",
+                a.availability * 100.0,
+                a.goodput_hz,
+                a.slo_attainment * 100.0,
+                a.requeued,
+                a.retries,
+                a.timeout_drops,
+                a.be_shed,
+                a.wall_s,
+            );
+        }
+
+        // Availability-under-failure curve: outage length sweeps up,
+        // requeue vs drop-on-crash at each point.
+        let down_fracs: &[f64] = if smoke { &[0.25] } else { &[0.1, 0.25, 0.45] };
+        let mut curve = Vec::new();
+        for &frac in down_fracs {
+            let curve_plan = FaultPlan::new(vec![FaultEvent::crash(
+                0,
+                0.4 * chaos_horizon,
+                frac * chaos_horizon,
+            )]);
+            let mut rq_cfg = cfg.clone();
+            rq_cfg.chaos = Some(curve_plan);
+            let rq = run_chaos_arm(&rq_cfg, RouterKind::ShortestBacklog, &mut ctxs);
+            let mut dr_cfg = rq_cfg.clone();
+            dr_cfg.chaos.as_mut().expect("plan set").retry.max_retries = 0;
+            let dr = run_chaos_arm(&dr_cfg, RouterKind::ShortestBacklog, &mut ctxs);
+            println!(
+                "outage {:>4.0}% of horizon: requeue avail {:>6.2}% goodput {:>7.1}/s  |  drop avail {:>6.2}% goodput {:>7.1}/s",
+                frac * 100.0,
+                rq.availability * 100.0,
+                rq.goodput_hz,
+                dr.availability * 100.0,
+                dr.goodput_hz
+            );
+            curve.push(
+                Json::obj()
+                    .set("down_frac", frac)
+                    .set("requeue", chaos_arm_json(&rq))
+                    .set("drop_on_crash", chaos_arm_json(&dr)),
+            );
+        }
+
+        // A thermal-throttle arm rides along for the artifact (no gate):
+        // the slowest GTX 1080 drops to 60% clocks through the middle
+        // half, and dynamic SGDRC re-prepares its contexts at the scaled
+        // spec.
+        let mut throttle_cfg = cfg.clone();
+        throttle_cfg.chaos = Some(FaultPlan::new(vec![FaultEvent::slowdown(
+            FaultKind::Throttle,
+            2,
+            0.25 * chaos_horizon,
+            0.6,
+            0.5 * chaos_horizon,
+        )]));
+        let throttle = run_chaos_arm(&throttle_cfg, RouterKind::ShortestBacklog, &mut ctxs);
+        println!(
+            "        throttle: avail {:>6.2}%  goodput {:>7.1}/s  SLO {:>5.1}%  (GTX 1080 @60% clocks, no gate)",
+            throttle.availability * 100.0,
+            throttle.goodput_hz,
+            throttle.slo_attainment * 100.0,
+        );
+
+        let goodput_ge_no_be = requeue.goodput_hz >= no_be.goodput_hz;
+        let availability_ge_floor = requeue.availability >= CHAOS_AVAILABILITY_FLOOR;
+        chaos_gate_requeue =
+            requeue.availability > drop.availability && requeue.requests > drop.requests;
+        // The floor and the goodput-parity gates only bind full runs: a
+        // smoke horizon cuts off with a larger in-flight fraction and
+        // gives the tick-granular BE shed too little runway to fully
+        // compensate, both by construction. CI enforces them via a full
+        // `--chaos` run; smoke still gates requeue-beats-drop.
+        chaos_gate_floor = smoke || availability_ge_floor;
+        chaos_gate_no_be = smoke || goodput_ge_no_be;
+        println!(
+            "\nchaos gates: requeue beats drop {} | availability >= {:.0}% {} | SGDRC goodput >= no-BE {}",
+            chaos_gate_requeue,
+            CHAOS_AVAILABILITY_FLOOR * 100.0,
+            chaos_gate_floor,
+            chaos_gate_no_be
+        );
+
+        chaos_json = Json::obj()
+            .set("skipped", false)
+            .set(
+                "scenario",
+                Json::obj()
+                    .set("system", "SGDRC")
+                    .set("router", "shortest_backlog")
+                    .set("horizon_us", chaos_horizon)
+                    .set("plan", plan_json(&plan)),
+            )
+            .set(
+                "arms",
+                Json::obj()
+                    .set("requeue", chaos_arm_json(&requeue))
+                    .set("drop_on_crash", chaos_arm_json(&drop))
+                    .set("no_be_baseline", chaos_arm_json(&no_be))
+                    .set("throttle", chaos_arm_json(&throttle)),
+            )
+            .set("outage_curve", Json::Arr(curve))
+            .set(
+                "gates",
+                Json::obj()
+                    .set("availability_floor", CHAOS_AVAILABILITY_FLOOR)
+                    .set("requeue_beats_drop", chaos_gate_requeue)
+                    .set("requeue_availability_ok", availability_ge_floor)
+                    .set("goodput_ge_no_be_baseline", goodput_ge_no_be)
+                    .set("floor_and_goodput_enforced", !smoke),
+            );
+    }
+
     let doc = Json::obj()
         .set("benchmark", "cluster_fleet")
         .set("smoke", smoke)
@@ -511,12 +787,23 @@ fn main() {
                 .set("pool_speedup", dispatch_speedup)
                 .set("pool_beats_scoped_spawn_2x", dispatch_speedup >= 2.0),
         )
+        .set("chaos", chaos_json)
         .set("detected_cpus", detected_cpus)
         .set("worker_threads", worker_threads)
         .set("sgdrc_threads_env", threads.env_json());
     std::fs::write("BENCH_cluster.json", doc.pretty()).expect("write BENCH_cluster.json");
     println!("wrote BENCH_cluster.json");
 
+    // Chaos resilience gates run in smoke mode too (CI's
+    // `--smoke --chaos` step): the scenario is deterministic, so a pass
+    // is a pass at any horizon. Only the absolute availability floor is
+    // full-run-only (handled where the gate is computed).
+    if chaos_enabled && !(chaos_gate_requeue && chaos_gate_floor && chaos_gate_no_be) {
+        eprintln!(
+            "WARNING: chaos resilience gate failed (requeue_beats_drop={chaos_gate_requeue}, availability_ok={chaos_gate_floor}, goodput_ge_no_be={chaos_gate_no_be})"
+        );
+        std::process::exit(1);
+    }
     if !smoke && best_alt >= rr {
         eprintln!(
             "WARNING: load-aware routing ({best_alt:.0}µs) did not beat round-robin ({rr:.0}µs) on fleet p99"

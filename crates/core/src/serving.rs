@@ -200,6 +200,10 @@ pub struct RunStats {
     /// Engine events (kernel completions + preemptions) processed — the
     /// denominator for events/sec throughput measurements.
     pub engine_events: u64,
+    /// LS requests ripped out of this replica by crash drains
+    /// ([`ServingState::crash_drain`]) — each one goes back through the
+    /// cluster router for re-dispatch. 0 outside fault-injection runs.
+    pub ls_requeued: u64,
 }
 
 /// An in-flight inference.
@@ -365,6 +369,7 @@ impl<'s> ServingState<'s> {
                 horizon_us: scenario.horizon_us,
                 be_preemptions: 0,
                 engine_events: 0,
+                ls_requeued: 0,
             },
         }
     }
@@ -577,6 +582,65 @@ impl<'s> ServingState<'s> {
     /// migrating back later resumes its inference where it stopped.
     pub fn set_be_active(&mut self, task: usize, active: bool) {
         self.be_active[task] = active;
+    }
+
+    /// Rips a crashed replica's serving state out for re-dispatch: every
+    /// pending and in-flight LS request is drained (appended to `out` as
+    /// `(task, arrival_us)`, in-flight first, oldest first, per task in
+    /// index order) and both active launches are cancelled in the engine
+    /// with **no** completion or preemption event — a dead GPU never
+    /// reports back. In-flight inferences lose their kernel progress
+    /// (the request restarts from kernel 0 wherever the router re-lands
+    /// it); BE closed-loop cursors are preserved, so a job migrating to
+    /// a survivor — or resuming here after recovery — continues its
+    /// inference where it stopped. Even a launch whose eviction flag was
+    /// already raised ([`preempt_be`](Self::preempt_be)) is cancelled
+    /// outright: the pending `Preempted` event must not fire on a dead
+    /// replica, and `be_launch` must not linger as a phantom-active
+    /// entry. After a drain the state is quiescent (no launches, no
+    /// queued work, backlog counters zeroed) and safe to resume later
+    /// via a dispatch.
+    pub fn crash_drain(&mut self, out: &mut Vec<(usize, f64)>) {
+        if let Some(l) = self.ls_launch.take() {
+            self.engine.cancel(l.id);
+        }
+        if let Some(l) = self.be_launch.take() {
+            // Cursor untouched: the kernel never finished, so the task's
+            // inference resumes at the same kernel index.
+            self.engine.cancel(l.id);
+        }
+        let mut drained = 0u64;
+        for t in 0..self.scenario.ls.len() {
+            for inf in self.inflight[t].drain(..) {
+                out.push((t, inf.arrival_us));
+                drained += 1;
+            }
+            for at in self.pending[t].drain(..) {
+                out.push((t, at));
+                drained += 1;
+            }
+        }
+        self.backlog = 0;
+        self.inflight_total = 0;
+        self.ls_version += 1;
+        self.stats.ls_requeued += drained;
+    }
+
+    /// Drops up to `max` *pending* (not yet admitted) requests of one LS
+    /// task, newest first — the controller's graceful-degradation shed
+    /// when fleet capacity falls below demand. Returns how many were
+    /// dropped; the caller accounts for them (they will never complete).
+    pub fn shed_pending(&mut self, task: usize, max: usize) -> usize {
+        let q = &mut self.pending[task];
+        let n = q.len().min(max);
+        for _ in 0..n {
+            q.pop_back();
+        }
+        if n > 0 {
+            self.backlog -= n;
+            self.ls_version += 1;
+        }
+        n
     }
 
     pub fn ls_kernel(&self, task: usize, idx: usize) -> &KernelDesc {
@@ -958,8 +1022,24 @@ impl<'s> ReplicaSim<'s> {
     /// idles the engine forward, enqueues the request, and gives the
     /// policy its arrival reaction plus a dispatch.
     pub fn inject_arrival(&mut self, policy: &mut dyn Policy, task: usize, at_us: f64) {
+        self.inject_requeued(policy, task, at_us, at_us);
+    }
+
+    /// [`inject_arrival`](Self::inject_arrival) for a request re-dispatched
+    /// after a crash drain: the engine advances to the re-dispatch instant
+    /// `at_us`, but the request keeps its **original** arrival timestamp
+    /// `arrival_us` — end-to-end latency (and therefore SLO accounting)
+    /// includes the outage, the retry backoff and the re-executed kernels.
+    /// A plain arrival is the `arrival_us == at_us` special case.
+    pub fn inject_requeued(
+        &mut self,
+        policy: &mut dyn Policy,
+        task: usize,
+        arrival_us: f64,
+        at_us: f64,
+    ) {
         self.st.engine.advance_idle(at_us);
-        self.st.push_arrival(task, at_us);
+        self.st.push_arrival(task, arrival_us);
         policy.on_ls_arrival(&mut self.st);
         policy.dispatch(&mut self.st);
     }
@@ -1193,6 +1273,132 @@ mod tests {
             !none.ls_completed[0].is_empty(),
             "LS serving continues without BE work"
         );
+    }
+
+    #[test]
+    fn crash_drain_requeues_every_queued_request_and_cancels_launches() {
+        let sc = two_be_scenario(300_000.0);
+        let mut ctx = SimContext::new();
+        let mut policy = Sgdrc::new(&sc.spec, SgdrcConfig::default());
+        let mut sim = ReplicaSim::prepare(&sc, &mut ctx);
+        sim.begin(&mut policy);
+        // Pump a burst of arrivals in, then advance a little so some are
+        // in flight and kernels are on the GPU.
+        for i in 0..8 {
+            let at = 1_000.0 + i as f64;
+            assert!(sim.advance(&mut policy, Some(at)));
+            sim.inject_arrival(&mut policy, 0, at);
+        }
+        assert!(sim.advance(&mut policy, Some(2_000.0)));
+        let backlog_before = sim.state().ls_backlog();
+        assert!(backlog_before > 0, "setup: queued work exists");
+        assert!(
+            sim.state().ls_launch.is_some() || sim.state().be_launch.is_some(),
+            "setup: something is running"
+        );
+
+        let mut drained = Vec::new();
+        sim.state_mut().crash_drain(&mut drained);
+        let st = sim.state();
+        assert_eq!(drained.len(), backlog_before, "every request drained");
+        assert!(drained.iter().all(|&(t, at)| t == 0 && at >= 1_000.0));
+        assert_eq!(st.ls_backlog(), 0);
+        assert!(st.ls_launch.is_none() && st.be_launch.is_none());
+        assert_eq!(st.engine.running_count(), 0, "launches cancelled");
+        assert_eq!(st.stats.ls_requeued, backlog_before as u64);
+        // A drained replica is quiescent: no engine events, no completions
+        // appear out of thin air.
+        let completed_before: usize = st.stats.ls_completed.iter().map(Vec::len).sum();
+        assert!(!sim.advance(&mut policy, None));
+        let completed_after: usize = sim.state().stats.ls_completed.iter().map(Vec::len).sum();
+        assert_eq!(completed_before, completed_after);
+        let _ = sim.finish(&mut ctx);
+    }
+
+    /// Satellite regression: `preempt_be` raises the eviction flag, and the
+    /// `Preempted` event normally clears `be_launch` later. A crash drain
+    /// in between must not leave a phantom-active BE entry — no stale
+    /// `be_launch`, no pending preemption event firing on the dead
+    /// replica, no preemption counted, and the parked task invisible to
+    /// `peek_be`.
+    #[test]
+    fn preempt_then_crash_drain_leaves_no_phantom_active_be() {
+        let sc = two_be_scenario(300_000.0);
+        let mut ctx = SimContext::new();
+        let mut policy = Sgdrc::new(&sc.spec, SgdrcConfig::default());
+        let mut sim = ReplicaSim::prepare(&sc, &mut ctx);
+        sim.begin(&mut policy);
+        assert!(sim.advance(&mut policy, Some(5_000.0)));
+        sim.inject_arrival(&mut policy, 0, 5_000.0);
+        assert!(sim.advance(&mut policy, Some(6_000.0)));
+        // Make sure a BE kernel is actually resident before preempting.
+        assert!(sim.state().be_launch.is_some(), "setup: BE kernel running");
+        let be_task = sim.state().be_launch.expect("checked").task;
+        let preemptions_before = sim.state().stats.be_preemptions;
+
+        // Controller-style forced preemption (migration parks the task),
+        // immediately followed by the replica dying.
+        let st = sim.state_mut();
+        st.set_be_active(be_task, false);
+        st.preempt_be();
+        let mut drained = Vec::new();
+        st.crash_drain(&mut drained);
+
+        let st = sim.state();
+        assert!(st.be_launch.is_none(), "phantom-active be_launch survived");
+        assert!(!st.be_active(be_task), "parked task still active");
+        assert!(
+            st.peek_be().is_none_or(|(t, _)| t != be_task),
+            "peek_be offered the parked task"
+        );
+        assert_eq!(st.engine.running_count(), 0);
+        assert_eq!(
+            st.stats.be_preemptions, preemptions_before,
+            "the cancelled eviction must not count as a preemption"
+        );
+        // The pending eviction deadline must not fire after the drain.
+        assert!(!sim.advance(&mut policy, None));
+        assert_eq!(sim.state().stats.be_preemptions, preemptions_before);
+
+        // Recovery: reactivate, dispatch, and BE work resumes with the
+        // cursor it crashed at.
+        let cursor = sim.state().be_cursor[be_task];
+        sim.state_mut().set_be_active(be_task, true);
+        assert_eq!(sim.state().be_cursor[be_task], cursor, "cursor preserved");
+        sim.dispatch(&mut policy);
+        assert!(
+            sim.state().be_launch.is_some() || sim.state().ls_launch.is_some(),
+            "replica serves again after recovery"
+        );
+        let _ = sim.finish(&mut ctx);
+    }
+
+    #[test]
+    fn shed_pending_drops_newest_first_and_fixes_the_backlog() {
+        let sc = two_be_scenario(300_000.0);
+        let mut ctx = SimContext::new();
+        let mut policy = Sgdrc::new(&sc.spec, SgdrcConfig::default());
+        let mut sim = ReplicaSim::prepare(&sc, &mut ctx);
+        sim.begin(&mut policy);
+        for i in 0..10 {
+            let at = 1_000.0 + i as f64;
+            assert!(sim.advance(&mut policy, Some(at)));
+            sim.inject_arrival(&mut policy, 0, at);
+        }
+        let before = sim.state().ls_backlog();
+        let shed = sim.state_mut().shed_pending(0, 3);
+        assert!(shed <= 3);
+        assert_eq!(sim.state().ls_backlog(), before - shed);
+        // Shedding more than exists drops only what is there; only
+        // in-flight work remains afterwards.
+        let _ = sim.state_mut().shed_pending(0, usize::MAX);
+        assert_eq!(
+            sim.state().ls_backlog(),
+            sim.state().inflight[0].len(),
+            "pending fully shed"
+        );
+        sim.advance(&mut policy, None);
+        let _ = sim.finish(&mut ctx);
     }
 
     #[test]

@@ -119,6 +119,12 @@ pub struct Engine {
     next_event: Cell<Option<Option<f64>>>,
     /// Completion/preemption events delivered so far.
     events: u64,
+    /// Global clock multiplier (1.0 = nominal). Models thermal throttling
+    /// and transient stalls: every running kernel's progress integrates at
+    /// `rate × clock_scale`, so a scale of 0.5 makes everything take twice
+    /// as long until the scale is restored. Eviction-poll deadlines are
+    /// wall-clock and stay unscaled.
+    clock_scale: f64,
 }
 
 impl Engine {
@@ -136,6 +142,7 @@ impl Engine {
             mode: RateMode::Fast,
             next_event: Cell::new(Some(None)),
             events: 0,
+            clock_scale: 1.0,
         }
     }
 
@@ -158,6 +165,7 @@ impl Engine {
         self.mode = RateMode::Fast;
         self.next_event.set(Some(None));
         self.events = 0;
+        self.clock_scale = 1.0;
     }
 
     /// Selects the rate-evaluation implementation (see [`RateMode`]).
@@ -324,6 +332,53 @@ impl Engine {
         }
     }
 
+    /// Removes a running kernel without delivering an event — the crash
+    /// path: a replica that dies mid-kernel never observes a completion
+    /// or a preemption, its work simply vanishes. Progress up to the
+    /// current clock has already been integrated; the remaining work is
+    /// discarded and the event counter is untouched. Returns `false` if
+    /// the kernel is not running.
+    pub fn cancel(&mut self, id: LaunchId) -> bool {
+        let Some(idx) = self.index_of(id) else {
+            return false;
+        };
+        self.meta.remove(idx);
+        let removed = self.ctxs.remove(idx);
+        match self.mode {
+            RateMode::Fast if self.eager_rates => self.refresh_rates_full(),
+            RateMode::Fast => {
+                self.state
+                    .get_mut()
+                    .remove_at(&self.spec, &self.ctxs, idx, &removed);
+                self.rates_stale.set(true);
+            }
+            RateMode::Reference => self.refresh_rates_reference(),
+        }
+        self.invalidate_next_event();
+        true
+    }
+
+    /// Current global clock multiplier (1.0 = nominal).
+    pub fn clock_scale(&self) -> f64 {
+        self.clock_scale
+    }
+
+    /// Sets the global clock multiplier (thermal throttling / transient
+    /// stalls). Callers must have integrated progress up to the instant
+    /// the scale changes (the fleet clock quiesces replicas to the fault
+    /// time first, then [`advance_idle`](Engine::advance_idle)s); from
+    /// then on every kernel's progress accrues at `rate × scale`.
+    pub fn set_clock_scale(&mut self, scale: f64) {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "clock scale must be positive and finite"
+        );
+        if self.clock_scale != scale {
+            self.clock_scale = scale;
+            self.invalidate_next_event();
+        }
+    }
+
     /// Re-masks a running kernel (the engine models SGDRC's relaunch-with-
     /// new-mask as an in-place update; the relaunch latency is folded into
     /// the preemption poll delay). Rates refresh through the incremental
@@ -392,7 +447,8 @@ impl Engine {
             .iter()
             .zip(rates.iter())
             .map(|(r, rate)| {
-                let finish = self.now + r.remaining / rate.relative_speed.max(1e-9);
+                let finish =
+                    self.now + r.remaining / (rate.relative_speed * self.clock_scale).max(1e-9);
                 match r.evicting {
                     Some(evict) => finish.min(evict),
                     None => finish,
@@ -463,7 +519,7 @@ impl Engine {
             self.ensure_rates();
             let rates = self.rates.borrow();
             for (r, rate) in self.meta.iter_mut().zip(rates.iter()) {
-                r.remaining -= dt * rate.relative_speed;
+                r.remaining -= dt * rate.relative_speed * self.clock_scale;
                 if r.remaining < 0.0 {
                     r.remaining = 0.0;
                 }
@@ -670,6 +726,78 @@ mod tests {
             EngineEvent::Finished { at_us, .. } => {
                 assert!((at_us - t_relaunch - exclusive).abs() / exclusive < 1e-6);
                 assert!(at_us > exclusive * 1.5, "progress was discarded");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancel_removes_a_kernel_without_an_event() {
+        let mut e = engine();
+        let k = kernel(5e9, 1e7);
+        let a = e.launch(&k, &LaunchConfig::exclusive(e.spec()));
+        let b = e.launch(
+            &k,
+            &LaunchConfig {
+                preempt_poll_us: Some(2.0),
+                ..LaunchConfig::exclusive(e.spec())
+            },
+        );
+        e.advance_idle(e.next_event_at().unwrap() * 0.25);
+        // Cancel both — even one with a raised eviction flag: the pending
+        // preemption must die with the launch, not fire later.
+        e.raise_eviction_flag(b);
+        assert!(e.cancel(a));
+        assert!(e.cancel(b));
+        assert!(!e.cancel(a), "double-cancel reports not running");
+        assert_eq!(e.running_count(), 0);
+        assert!(e.next_event_at().is_none());
+        assert!(e.step().is_none());
+        assert_eq!(e.events_processed(), 0, "cancel is not an event");
+        // The engine keeps serving fresh launches afterwards.
+        let expect = dnn::perf::isolated_runtime_us(&k, e.spec());
+        let t0 = e.now();
+        e.launch(&k, &LaunchConfig::exclusive(e.spec()));
+        match e.step().unwrap() {
+            EngineEvent::Finished { at_us, .. } => {
+                assert!((at_us - t0 - expect).abs() / expect < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn clock_scale_slows_and_restores_progress() {
+        let mut e = engine();
+        let k = kernel(5e9, 1e7);
+        let expect = dnn::perf::isolated_runtime_us(&k, e.spec());
+        e.launch(&k, &LaunchConfig::exclusive(e.spec()));
+        let nominal_finish = e.next_event_at().unwrap();
+        assert!((nominal_finish - expect).abs() / expect < 1e-6);
+        // Run the first half at nominal speed, then throttle to 0.5×:
+        // the remaining half takes twice as long.
+        e.advance_idle(expect * 0.5);
+        e.set_clock_scale(0.5);
+        assert_eq!(e.clock_scale(), 0.5);
+        let throttled_finish = e.next_event_at().unwrap();
+        assert!(
+            (throttled_finish - expect * 1.5).abs() / expect < 1e-6,
+            "throttled finish {throttled_finish} vs {}",
+            expect * 1.5
+        );
+        // Restore at 75% wall-time (= 62.5% progress): the rest finishes
+        // at nominal rate again.
+        e.advance_idle(expect * 0.75);
+        e.set_clock_scale(1.0);
+        let restored_finish = e.next_event_at().unwrap();
+        assert!(
+            (restored_finish - expect * 1.125).abs() / expect < 1e-6,
+            "restored finish {restored_finish} vs {}",
+            expect * 1.125
+        );
+        match e.step().unwrap() {
+            EngineEvent::Finished { at_us, .. } => {
+                assert!((at_us - restored_finish).abs() / expect < 1e-9);
             }
             other => panic!("{other:?}"),
         }

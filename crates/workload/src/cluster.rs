@@ -36,6 +36,7 @@
 //!   without re-sorting — the same [`LatencyHistogram`] path the sweep's
 //!   per-slice output uses.
 
+use crate::chaos::{DegradationConfig, FaultOp, FaultPlan, RetryConfig, ScheduledFault};
 use crate::metrics::{slo_for, LatencyHistogram};
 use crate::runner::Deployment;
 use crate::sweep::{cell_seed, splitmix64};
@@ -110,6 +111,12 @@ pub struct ClusterConfig {
     pub advance_order: Vec<usize>,
     /// Which fleet-clock schedule drives the run (results identical).
     pub clock: ClockKind,
+    /// Optional fault-injection scenario. `None` runs the happy path
+    /// with zero resilience overhead and bit-identical results to a
+    /// build without the chaos layer; `Some` interleaves the plan's
+    /// crash/recovery/slowdown timeline with the router and controller
+    /// epochs (see [`crate::chaos`]).
+    pub chaos: Option<FaultPlan>,
 }
 
 impl ClusterConfig {
@@ -132,6 +139,7 @@ impl ClusterConfig {
             compile: CompileOptions::default(),
             advance_order: Vec::new(),
             clock: ClockKind::default(),
+            chaos: None,
         }
     }
 }
@@ -148,6 +156,17 @@ pub struct ReplicaView {
     pub window_p99_ratio: f64,
     /// BE jobs currently resident.
     pub resident_be: usize,
+    /// Microseconds since this replica's last heartbeat. Alive replicas
+    /// heartbeat at every fleet-clock decision point, so this is 0 for
+    /// them; it grows without bound after a crash.
+    pub heartbeat_age_us: f64,
+    /// Health as the router sees it: heartbeat staleness within the
+    /// fault plan's timeout. Always `true` without a fault plan. Note a
+    /// freshly crashed replica still *looks* healthy until its heartbeat
+    /// ages out — routers are not told who died, they observe staleness,
+    /// and requests routed at a dead-but-fresh replica bounce through
+    /// the retry path.
+    pub healthy: bool,
 }
 
 /// Picks a replica for each LS request. Implementations must be
@@ -172,7 +191,17 @@ impl RoutingPolicy for RoundRobin {
     }
 
     fn route(&mut self, views: &[ReplicaView], _task: usize, _at_us: f64) -> usize {
-        let r = self.next % views.len();
+        let n = views.len();
+        // Rotate past unhealthy replicas; with every replica unhealthy,
+        // fall back to the blind rotation (the fleet clock will requeue).
+        for off in 0..n {
+            let r = (self.next + off) % n;
+            if views[r].healthy {
+                self.next = r.wrapping_add(1);
+                return r;
+            }
+        }
+        let r = self.next % n;
         self.next = self.next.wrapping_add(1);
         r
     }
@@ -193,7 +222,7 @@ impl RoutingPolicy for JoinShortestBacklog {
         views
             .iter()
             .enumerate()
-            .min_by_key(|(i, v)| (v.backlog, *i))
+            .min_by_key(|(i, v)| (!v.healthy, v.backlog, *i))
             .expect("non-empty fleet")
             .0
     }
@@ -228,9 +257,19 @@ impl RoutingPolicy for SloAwarePowerOfTwo {
 
     fn route(&mut self, views: &[ReplicaView], _task: usize, _at_us: f64) -> usize {
         let n = views.len();
+        // Both draws always happen so the chain consumes the same number
+        // of states whether or not anything is unhealthy — no-chaos runs
+        // stay bit-identical to the pre-health router.
         let i = self.draw(n);
         let j = self.draw(n);
-        let key = |r: usize| (views[r].window_p99_ratio > 1.0, views[r].backlog, r);
+        let key = |r: usize| {
+            (
+                !views[r].healthy,
+                views[r].window_p99_ratio > 1.0,
+                views[r].backlog,
+                r,
+            )
+        };
         if key(i) <= key(j) {
             i
         } else {
@@ -322,6 +361,33 @@ pub struct ClusterResult {
     pub engine_events: u64,
     /// Every BE migration the controller performed, in order.
     pub migrations: Vec<Migration>,
+    /// LS arrivals the router attempted to place within the horizon.
+    /// Conservation under faults (proptested): every one of them is
+    /// exactly one of completed (`requests`), timeout-dropped, shed, or
+    /// in flight at the horizon.
+    pub arrivals_injected: u64,
+    /// Requests handed back to the router — ripped out of a crashed
+    /// replica, or arriving/routed while no healthy replica existed.
+    pub requeued: u64,
+    /// Successful re-dispatches of requeued requests.
+    pub retries: u64,
+    /// Requests dropped after exhausting their retry budget or the
+    /// retry timeout.
+    pub timeout_drops: u64,
+    /// Pending LS requests shed by graceful degradation.
+    pub ls_shed: u64,
+    /// BE-job park actions taken by graceful degradation.
+    pub be_shed: u64,
+    /// Requests still queued — on replicas or in the retry queue — when
+    /// the horizon closed.
+    pub in_flight_at_end: u64,
+    /// Fault onsets applied (crashes and slowdown starts).
+    pub faults_injected: u64,
+    /// Recoveries and clock restores applied.
+    pub faults_recovered: u64,
+    /// Re-dispatch delay sketch: µs from crash drain (or first refusal)
+    /// to successful re-injection, one sample per retry.
+    pub redispatch_hist: LatencyHistogram,
 }
 
 impl ClusterResult {
@@ -416,6 +482,10 @@ struct Lane<'s> {
     last_ratio: f64,
     /// Requests the router sent here.
     routed: u64,
+    /// Cleared by a crash fault, restored by its recovery. Dead lanes
+    /// are skipped by both clock schedules, excluded from controller
+    /// decisions, and bounce injected requests into the retry queue.
+    alive: bool,
 }
 
 impl Lane<'_> {
@@ -429,6 +499,15 @@ impl Lane<'_> {
 
     fn inject(&mut self, task: usize, at_us: f64) {
         self.sim.inject_arrival(self.policy.as_dyn(), task, at_us);
+        self.routed += 1;
+    }
+
+    /// Delivers a re-dispatched request: engine advances to `at_us`, the
+    /// request keeps its original `arrival_us` so latency/SLO accounting
+    /// includes the outage and the backoff.
+    fn inject_requeued(&mut self, task: usize, arrival_us: f64, at_us: f64) {
+        self.sim
+            .inject_requeued(self.policy.as_dyn(), task, arrival_us, at_us);
         self.routed += 1;
     }
 
@@ -478,7 +557,10 @@ impl Lane<'_> {
 /// reference clock: every lane, in `order`.
 fn quiesce(lanes: &mut [Lane<'_>], order: &[usize], parallel: bool, until: Option<f64>) {
     if parallel {
-        let busy: Vec<&mut Lane> = lanes.iter_mut().filter(|l| l.has_work(until)).collect();
+        let busy: Vec<&mut Lane> = lanes
+            .iter_mut()
+            .filter(|l| l.alive && l.has_work(until))
+            .collect();
         match busy.len() {
             0 => {}
             1 => {
@@ -489,8 +571,504 @@ fn quiesce(lanes: &mut [Lane<'_>], order: &[usize], parallel: bool, until: Optio
             _ => busy.into_par_iter().for_each(|lane| lane.advance_to(until)),
         }
     } else {
+        // Dead lanes are skipped in both schedules — a crashed replica
+        // must not process policy timers or launch work while down.
         for &r in order {
-            lanes[r].advance_to(until);
+            if lanes[r].alive {
+                lanes[r].advance_to(until);
+            }
+        }
+    }
+}
+
+/// One orphaned request waiting for re-dispatch.
+#[derive(Debug, Clone, Copy)]
+struct Requeue {
+    task: usize,
+    /// Original arrival timestamp — survives every re-dispatch so
+    /// latency/SLO accounting charges the outage to the request.
+    arrival_us: f64,
+    /// When the request was orphaned (crash drain or routing refusal).
+    drained_at: f64,
+    /// Dispatch attempts made so far (1 after the initial requeue).
+    attempt: u32,
+    ready_at: f64,
+}
+
+/// The fleet clock's chaos runtime: the expanded fault timeline, the
+/// retry queue, heartbeat/health bookkeeping and resilience counters.
+/// Instantiated even without a plan (empty timeline, infinite heartbeat
+/// timeout) so the clock has one code path; everything here stays inert
+/// and zero-valued on happy-path runs.
+struct ChaosRt {
+    timeline: Vec<ScheduledFault>,
+    next_fault: usize,
+    retry: RetryConfig,
+    degradation: DegradationConfig,
+    heartbeat_timeout_us: f64,
+    retry_q: Vec<Requeue>,
+    /// Last decision instant each replica was seen alive.
+    last_heartbeat: Vec<f64>,
+    /// Jobs parked by graceful degradation (stay parked across
+    /// migrations until the resume rule fires).
+    job_shed: Vec<bool>,
+    /// Jobs with no eligible surviving host, re-placed at recoveries.
+    homeless: Vec<usize>,
+    drain_buf: Vec<(usize, f64)>,
+    requeued: u64,
+    retries: u64,
+    timeout_drops: u64,
+    ls_shed: u64,
+    be_shed: u64,
+    faults_injected: u64,
+    faults_recovered: u64,
+    redispatch_hist: LatencyHistogram,
+}
+
+impl ChaosRt {
+    fn new(plan: Option<&FaultPlan>, n: usize, n_jobs: usize) -> Self {
+        let (timeline, retry, degradation, heartbeat_timeout_us) = match plan {
+            Some(p) => (
+                p.timeline(n),
+                p.retry.clone(),
+                p.degradation.clone(),
+                p.heartbeat_timeout_us,
+            ),
+            None => (
+                Vec::new(),
+                RetryConfig::default(),
+                DegradationConfig::default(),
+                f64::INFINITY,
+            ),
+        };
+        Self {
+            timeline,
+            next_fault: 0,
+            retry,
+            degradation,
+            heartbeat_timeout_us,
+            retry_q: Vec::new(),
+            last_heartbeat: vec![0.0; n],
+            job_shed: vec![false; n_jobs],
+            homeless: Vec::new(),
+            drain_buf: Vec::new(),
+            requeued: 0,
+            retries: 0,
+            timeout_drops: 0,
+            ls_shed: 0,
+            be_shed: 0,
+            faults_injected: 0,
+            faults_recovered: 0,
+            redispatch_hist: LatencyHistogram::new(),
+        }
+    }
+
+    fn next_fault_at(&self) -> f64 {
+        self.timeline
+            .get(self.next_fault)
+            .map_or(f64::INFINITY, |f| f.at_us)
+    }
+
+    fn next_retry_at(&self) -> f64 {
+        self.retry_q
+            .iter()
+            .map(|e| e.ready_at)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn heartbeat(&mut self, lanes: &[Lane], t: f64) {
+        for (r, lane) in lanes.iter().enumerate() {
+            if lane.alive {
+                self.last_heartbeat[r] = t;
+            }
+        }
+    }
+
+    /// Hands an orphaned request to the retry queue — or straight to the
+    /// drop counter when the policy is drop-on-crash (`max_retries` 0).
+    fn requeue(&mut self, task: usize, arrival_us: f64, t: f64) {
+        self.requeued += 1;
+        if self.retry.max_retries == 0 {
+            self.timeout_drops += 1;
+        } else {
+            self.retry_q.push(Requeue {
+                task,
+                arrival_us,
+                drained_at: t,
+                attempt: 1,
+                ready_at: t + self.retry.backoff_us,
+            });
+        }
+    }
+}
+
+/// Router-facing snapshot of the fleet at decision instant `t`, in
+/// replica-index order.
+fn build_views(
+    views: &mut Vec<ReplicaView>,
+    cfg: &ClusterConfig,
+    lanes: &[Lane],
+    jobs_on: &[Vec<usize>],
+    rt: &ChaosRt,
+    t: f64,
+) {
+    views.clear();
+    for (r, lane) in lanes.iter().enumerate() {
+        let age = t - rt.last_heartbeat[r];
+        views.push(ReplicaView {
+            gpu: cfg.gpus[r],
+            backlog: lane.sim.state().ls_backlog(),
+            window_p99_ratio: lane.last_ratio,
+            resident_be: jobs_on[r].len(),
+            heartbeat_age_us: age,
+            healthy: age <= rt.heartbeat_timeout_us,
+        });
+    }
+}
+
+/// Re-targets an SGDRC replica's policy at its *current* effective spec:
+/// nominal clocks scaled by the engine's clock factor (thermal throttle,
+/// stall, straggler), with `Ch_BE` optionally tracking the resident-BE
+/// count. Dynamic SGDRC only — the static baseline keeps its fixed
+/// split, boxed baselines have no knobs.
+fn retune_sgdrc(
+    cfg: &ClusterConfig,
+    deps: &[Arc<Deployment>],
+    jobs_on: &[Vec<usize>],
+    lanes: &mut [Lane],
+    r: usize,
+) {
+    if cfg.system != SystemKind::Sgdrc {
+        return;
+    }
+    let scale = lanes[r].sim.state().engine.clock_scale();
+    if let PolicySlot::Sgdrc(p) = &mut lanes[r].policy {
+        let mut spec = deps[r].spec.clone();
+        if scale != 1.0 {
+            spec.fp32_tflops *= scale;
+            spec.mem_bandwidth_gbps *= scale;
+        }
+        let ch_be = if cfg.controller.adaptive_ch_be {
+            ch_be_for(cfg.sgdrc.ch_be, jobs_on[r].len())
+        } else {
+            cfg.sgdrc.ch_be
+        };
+        let pcfg = SgdrcConfig {
+            ch_be,
+            ..cfg.sgdrc.clone()
+        };
+        p.reconfigure(&spec, pcfg);
+    }
+}
+
+/// The surviving replica a BE job lands on: alive, not already hosting
+/// the model, shortest backlog (ties → lowest index). `None` strands the
+/// job as homeless until a recovery.
+fn be_landing_site(
+    cfg: &ClusterConfig,
+    lanes: &[Lane],
+    jobs_on: &[Vec<usize>],
+    model: usize,
+    exclude: Option<usize>,
+) -> Option<usize> {
+    (0..lanes.len())
+        .filter(|&d| {
+            Some(d) != exclude
+                && lanes[d].alive
+                && !jobs_on[d].iter().any(|&k| cfg.be_jobs[k] == model)
+        })
+        .min_by_key(|&d| (lanes[d].sim.state().ls_backlog(), d))
+}
+
+/// Places BE job `job` on replica `dst`: records placement, resumes the
+/// task (unless the job is shed), retunes `Ch_BE` and lets the policy
+/// react.
+#[allow(clippy::too_many_arguments)]
+fn place_be_job(
+    cfg: &ClusterConfig,
+    deps: &[Arc<Deployment>],
+    fleet_models: &[usize],
+    jobs_on: &mut [Vec<usize>],
+    lanes: &mut [Lane],
+    rt: &ChaosRt,
+    job: usize,
+    dst: usize,
+) {
+    let model = cfg.be_jobs[job];
+    jobs_on[dst].push(job);
+    if !rt.job_shed[job] {
+        let b = fleet_models
+            .iter()
+            .position(|&m| m == model)
+            .expect("job model is a fleet model");
+        lanes[dst].sim.state_mut().set_be_active(b, true);
+        if cfg.controller.adaptive_ch_be {
+            retune_sgdrc(cfg, deps, jobs_on, lanes, dst);
+        }
+        lanes[dst].dispatch();
+    }
+}
+
+/// Applies one fault-timeline action at its (already quiesced) instant.
+/// Every scan and mutation runs in replica-index order — the action is a
+/// deterministic function of fleet state, independent of the clock
+/// schedule.
+#[allow(clippy::too_many_arguments)]
+fn apply_fault(
+    cfg: &ClusterConfig,
+    f: &ScheduledFault,
+    deps: &[Arc<Deployment>],
+    fleet_models: &[usize],
+    jobs_on: &mut [Vec<usize>],
+    lanes: &mut [Lane],
+    migrations: &mut Vec<Migration>,
+    rt: &mut ChaosRt,
+) {
+    let r = f.replica;
+    match f.op {
+        FaultOp::Crash => {
+            if !lanes[r].alive {
+                return; // overlapping crash windows: already down
+            }
+            lanes[r].alive = false;
+            rt.faults_injected += 1;
+            // Rip queued and in-flight LS work back out to the router,
+            // in the merged stream's canonical (time, task) order so the
+            // retry queue is identical under every clock schedule.
+            let mut drained = std::mem::take(&mut rt.drain_buf);
+            drained.clear();
+            lanes[r].sim.state_mut().crash_drain(&mut drained);
+            drained.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            for &(task, arrival_us) in &drained {
+                rt.requeue(task, arrival_us, f.at_us);
+            }
+            rt.drain_buf = drained;
+            // Evacuate resident BE jobs onto survivors via the migration
+            // path (each resumes from the destination's saved cursor).
+            let jobs = std::mem::take(&mut jobs_on[r]);
+            for job in jobs {
+                let model = cfg.be_jobs[job];
+                let b = fleet_models
+                    .iter()
+                    .position(|&m| m == model)
+                    .expect("job model is a fleet model");
+                // Clear the dead replica's mask so a later recovery does
+                // not resurrect a phantom resident.
+                lanes[r].sim.state_mut().set_be_active(b, false);
+                match be_landing_site(cfg, lanes, jobs_on, model, Some(r)) {
+                    Some(dst) => {
+                        place_be_job(cfg, deps, fleet_models, jobs_on, lanes, rt, job, dst);
+                        migrations.push(Migration {
+                            at_us: f.at_us,
+                            job,
+                            model,
+                            from: r,
+                            to: dst,
+                        });
+                    }
+                    None => rt.homeless.push(job),
+                }
+            }
+        }
+        FaultOp::Recover => {
+            if lanes[r].alive {
+                return; // permanent-crash bookkeeping or double recovery
+            }
+            lanes[r].alive = true;
+            rt.faults_recovered += 1;
+            rt.last_heartbeat[r] = f.at_us;
+            // The engine is empty (crash drain cancelled every launch)
+            // and stale policy timers are structurally dropped, so
+            // idling forward to the recovery instant is safe.
+            lanes[r].sim.state_mut().engine.advance_idle(f.at_us);
+            // Re-home stranded jobs — the revived replica is empty, so
+            // every homeless model has a candidate again.
+            let homeless = std::mem::take(&mut rt.homeless);
+            for job in homeless {
+                let model = cfg.be_jobs[job];
+                match be_landing_site(cfg, lanes, jobs_on, model, None) {
+                    Some(dst) => {
+                        place_be_job(cfg, deps, fleet_models, jobs_on, lanes, rt, job, dst);
+                    }
+                    None => rt.homeless.push(job),
+                }
+            }
+            lanes[r].dispatch();
+        }
+        FaultOp::SetScale(factor) => {
+            rt.faults_injected += 1;
+            if lanes[r].alive {
+                lanes[r].sim.state_mut().engine.advance_idle(f.at_us);
+            }
+            lanes[r].sim.state_mut().engine.set_clock_scale(factor);
+            retune_sgdrc(cfg, deps, jobs_on, lanes, r);
+            if lanes[r].alive {
+                lanes[r].dispatch();
+            }
+        }
+        FaultOp::ClearScale => {
+            rt.faults_recovered += 1;
+            if lanes[r].alive {
+                lanes[r].sim.state_mut().engine.advance_idle(f.at_us);
+            }
+            lanes[r].sim.state_mut().engine.set_clock_scale(1.0);
+            retune_sgdrc(cfg, deps, jobs_on, lanes, r);
+            if lanes[r].alive {
+                lanes[r].dispatch();
+            }
+        }
+    }
+}
+
+/// Drains every retry-queue entry due at `t`: timed-out requests drop,
+/// the rest are routed against a fresh health view — a successful
+/// delivery records its re-dispatch delay, a refusal (dead target, no
+/// healthy lane) backs off linearly and tries again, up to the retry
+/// budget.
+fn process_retries(
+    cfg: &ClusterConfig,
+    t: f64,
+    router: &mut dyn RoutingPolicy,
+    lanes: &mut [Lane],
+    jobs_on: &[Vec<usize>],
+    views: &mut Vec<ReplicaView>,
+    rt: &mut ChaosRt,
+) {
+    let n = lanes.len();
+    let mut due: Vec<Requeue> = Vec::new();
+    let mut i = 0;
+    while i < rt.retry_q.len() {
+        if rt.retry_q[i].ready_at <= t {
+            due.push(rt.retry_q.remove(i));
+        } else {
+            i += 1;
+        }
+    }
+    for mut e in due {
+        if t - e.arrival_us > rt.retry.timeout_us {
+            rt.timeout_drops += 1;
+            continue;
+        }
+        build_views(views, cfg, lanes, jobs_on, rt, t);
+        let target = if views.iter().any(|v| v.healthy) {
+            let r = router.route(views, e.task, t);
+            assert!(r < n, "router picked replica {r} of {n}");
+            Some(r)
+        } else {
+            None
+        };
+        match target {
+            Some(r) if lanes[r].alive => {
+                lanes[r].inject_requeued(e.task, e.arrival_us, t);
+                rt.retries += 1;
+                rt.redispatch_hist.record(t - e.drained_at);
+            }
+            _ => {
+                e.attempt += 1;
+                if e.attempt > rt.retry.max_retries {
+                    rt.timeout_drops += 1;
+                } else {
+                    e.ready_at = t + rt.retry.backoff_us * f64::from(e.attempt);
+                    rt.retry_q.push(e);
+                }
+            }
+        }
+    }
+}
+
+/// Graceful degradation, evaluated every controller tick while a fault
+/// plan is active: when capacity drops below demand, shed BE work first
+/// (park every resident job), and under sustained overload drop pending
+/// requests of the lowest-priority LS service on the most backlogged
+/// survivor. Shed BE jobs resume once the fleet is whole and queues have
+/// drained to half the shed threshold.
+fn degrade(
+    cfg: &ClusterConfig,
+    fleet_models: &[usize],
+    jobs_on: &mut [Vec<usize>],
+    lanes: &mut [Lane],
+    rt: &mut ChaosRt,
+) {
+    let n = lanes.len();
+    let alive = lanes.iter().filter(|l| l.alive).count();
+    if alive == 0 {
+        return;
+    }
+    let degraded = alive < n;
+    let backlog: usize = lanes
+        .iter()
+        .filter(|l| l.alive)
+        .map(|l| l.sim.state().ls_backlog())
+        .sum();
+    let per_alive = backlog / alive;
+    // Queueing shows up two ways depending on regime: as pending
+    // requests when arrivals outrun admission, and as windowed p99
+    // breach when the engine itself is the bottleneck. Either one while
+    // a replica is down means capacity dropped below demand.
+    let slo_pressure = lanes.iter().filter(|l| l.alive).any(|l| l.last_ratio > 1.0);
+    let slot_of = |model: usize| {
+        fleet_models
+            .iter()
+            .position(|&m| m == model)
+            .expect("job model is a fleet model")
+    };
+    if degraded && (per_alive > rt.degradation.shed_be_backlog || slo_pressure) {
+        for r in 0..n {
+            if !lanes[r].alive {
+                continue;
+            }
+            let mut parked = false;
+            for j in jobs_on[r].clone() {
+                if rt.job_shed[j] {
+                    continue;
+                }
+                rt.job_shed[j] = true;
+                rt.be_shed += 1;
+                let b = slot_of(cfg.be_jobs[j]);
+                let st = lanes[r].sim.state_mut();
+                st.set_be_active(b, false);
+                if st.be_launch.map(|l| l.task) == Some(b) {
+                    st.preempt_be();
+                }
+                parked = true;
+            }
+            if parked {
+                lanes[r].dispatch();
+            }
+        }
+    } else if !degraded && per_alive * 2 <= rt.degradation.shed_be_backlog && !slo_pressure {
+        for r in 0..n {
+            let mut resumed = false;
+            for j in jobs_on[r].clone() {
+                if !rt.job_shed[j] {
+                    continue;
+                }
+                rt.job_shed[j] = false;
+                let b = slot_of(cfg.be_jobs[j]);
+                lanes[r].sim.state_mut().set_be_active(b, true);
+                resumed = true;
+            }
+            if resumed {
+                lanes[r].dispatch();
+            }
+        }
+    }
+    if per_alive > rt.degradation.shed_ls_backlog {
+        let victim = (0..n)
+            .filter(|&r| lanes[r].alive)
+            .max_by_key(|&r| (lanes[r].sim.state().ls_backlog(), std::cmp::Reverse(r)));
+        if let Some(v) = victim {
+            let mut budget = rt.degradation.ls_shed_per_tick;
+            let n_ls = lanes[v].slos.len();
+            // Lowest priority = highest task index, shed first.
+            for task in (0..n_ls).rev() {
+                if budget == 0 {
+                    break;
+                }
+                let dropped = lanes[v].sim.state_mut().shed_pending(task, budget);
+                budget -= dropped;
+                rt.ls_shed += dropped as u64;
+            }
         }
     }
 }
@@ -647,6 +1225,7 @@ pub fn run_cluster_in(
             slo_met: 0,
             last_ratio: 0.0,
             routed: 0,
+            alive: true,
         };
         lane.sim.begin(lane.policy.as_dyn());
         lanes.push(lane);
@@ -675,16 +1254,45 @@ pub fn run_cluster_in(
     let parallel = cfg.clock == ClockKind::Parallel && n > 1 && rayon::current_pool_workers() > 1;
     let mut migrations: Vec<Migration> = Vec::new();
     let mut views: Vec<ReplicaView> = Vec::with_capacity(n);
+    let chaos_on = cfg.chaos.is_some();
+    let mut rt = ChaosRt::new(cfg.chaos.as_ref(), n, cfg.be_jobs.len());
 
     let period = cfg.controller.period_us;
     let mut next_tick = if period > 0.0 { period } else { f64::INFINITY };
     let mut next_arrival = 0usize;
+    let mut arrivals_injected = 0u64;
 
     loop {
         let arrival = merged.get(next_arrival);
         let t_arr = arrival.map_or(f64::INFINITY, |a| a.at_us);
-        let tick_due = next_tick < t_arr && next_tick < cfg.horizon_us;
-        let arrival_due = arrival.is_some() && t_arr <= cfg.horizon_us;
+        let t_fault = rt.next_fault_at();
+        let t_retry = rt.next_retry_at();
+        // Decision-point priority at equal instants is fixed — fault,
+        // then controller tick, then retry re-dispatch, then arrival —
+        // so both clock schedules interleave identically. Without a
+        // fault plan `t_fault`/`t_retry` are infinite and every
+        // condition reduces exactly to the pre-chaos clock.
+        let fault_due = t_fault <= t_arr
+            && t_fault <= next_tick
+            && t_fault <= t_retry
+            && t_fault <= cfg.horizon_us;
+        if fault_due {
+            let f = rt.timeline[rt.next_fault];
+            rt.next_fault += 1;
+            quiesce(&mut lanes, &order, parallel, Some(f.at_us));
+            apply_fault(
+                cfg,
+                &f,
+                &deps,
+                &fleet_models,
+                &mut jobs_on,
+                &mut lanes,
+                &mut migrations,
+                &mut rt,
+            );
+            continue;
+        }
+        let tick_due = next_tick < t_arr && next_tick <= t_retry && next_tick < cfg.horizon_us;
         if tick_due {
             // Quiesce the fleet up to the tick — one epoch, every busy
             // replica in parallel — then drain and rebalance in
@@ -707,39 +1315,65 @@ pub fn run_cluster_in(
                 &mut jobs_on,
                 &mut lanes,
                 &mut migrations,
+                &rt.job_shed,
             );
+            if chaos_on {
+                rt.heartbeat(&lanes, next_tick);
+                degrade(cfg, &fleet_models, &mut jobs_on, &mut lanes, &mut rt);
+            }
             next_tick += period;
             continue;
         }
-        if !arrival_due {
+        let retry_due = t_retry <= t_arr && t_retry <= cfg.horizon_us;
+        if retry_due {
+            quiesce(&mut lanes, &order, parallel, Some(t_retry));
+            rt.heartbeat(&lanes, t_retry);
+            process_retries(
+                cfg, t_retry, router, &mut lanes, &jobs_on, &mut views, &mut rt,
+            );
+            continue;
+        }
+        if !(arrival.is_some() && t_arr <= cfg.horizon_us) {
             break;
         }
         let a = *arrival.expect("checked");
+        next_arrival += 1;
+        arrivals_injected += 1;
         // Quiesce every replica up to the arrival so the router sees a
         // consistent instant; replicas are independent, so neither the
         // serial order nor the parallel schedule matters (the
         // determinism tests permute both).
         quiesce(&mut lanes, &order, parallel, Some(a.at_us));
-        views.clear();
-        for (r, lane) in lanes.iter().enumerate() {
-            views.push(ReplicaView {
-                gpu: cfg.gpus[r],
-                backlog: lane.sim.state().ls_backlog(),
-                window_p99_ratio: lane.last_ratio,
-                resident_be: jobs_on[r].len(),
-            });
+        rt.heartbeat(&lanes, a.at_us);
+        build_views(&mut views, cfg, &lanes, &jobs_on, &rt, a.at_us);
+        if chaos_on && !views.iter().any(|v| v.healthy) {
+            // Whole fleet unhealthy: the request parks in the retry
+            // queue instead of being forced onto a dead replica.
+            rt.requeue(a.task as usize, a.at_us, a.at_us);
+            continue;
         }
         let target = router.route(&views, a.task as usize, a.at_us);
         assert!(target < n, "router picked replica {target} of {n}");
-        lanes[target].inject(a.task as usize, a.at_us);
-        next_arrival += 1;
+        if lanes[target].alive {
+            lanes[target].inject(a.task as usize, a.at_us);
+        } else {
+            // Routed at a dead replica still inside its heartbeat
+            // window — the crash has not aged out yet, so the request
+            // bounces into the retry path like a failed delivery.
+            rt.requeue(a.task as usize, a.at_us, a.at_us);
+        }
     }
-    // Drain: no further arrivals or ticks — run every replica out to the
-    // horizon.
+    // Drain: no further arrivals, faults, retries or ticks — run every
+    // surviving replica out to the horizon.
     quiesce(&mut lanes, &order, parallel, None);
     for lane in &mut lanes {
         lane.drain();
     }
+    let in_flight_at_end = lanes
+        .iter()
+        .map(|l| l.sim.state().ls_backlog() as u64)
+        .sum::<u64>()
+        + rt.retry_q.len() as u64;
 
     // --- aggregate --------------------------------------------------------
     let mut result = ClusterResult {
@@ -752,6 +1386,16 @@ pub fn run_cluster_in(
         be_preemptions: 0,
         engine_events: 0,
         migrations,
+        arrivals_injected,
+        requeued: rt.requeued,
+        retries: rt.retries,
+        timeout_drops: rt.timeout_drops,
+        ls_shed: rt.ls_shed,
+        be_shed: rt.be_shed,
+        in_flight_at_end,
+        faults_injected: rt.faults_injected,
+        faults_recovered: rt.faults_recovered,
+        redispatch_hist: rt.redispatch_hist,
     };
     for (r, lane) in lanes.into_iter().enumerate() {
         let stats = lane.sim.finish(&mut ctxs[r]);
@@ -782,6 +1426,7 @@ pub fn run_cluster_in(
 /// can host it. Scans run in replica-index order, so the decision is
 /// independent of the fleet clock's schedule (serial order or parallel
 /// placement alike).
+#[allow(clippy::too_many_arguments)]
 fn controller_rebalance(
     cfg: &ClusterConfig,
     at_us: f64,
@@ -790,11 +1435,18 @@ fn controller_rebalance(
     jobs_on: &mut [Vec<usize>],
     lanes: &mut [Lane],
     migrations: &mut Vec<Migration>,
+    job_shed: &[bool],
 ) {
     let n = jobs_on.len();
     // Source: the worst breaching replica that has BE work to shed.
+    // Dead replicas are invisible here — a crash evacuates their BE
+    // jobs, and their stale windowed ratio must not attract work.
     let src = (0..n)
-        .filter(|&r| lanes[r].last_ratio > cfg.controller.breach_ratio && !jobs_on[r].is_empty())
+        .filter(|&r| {
+            lanes[r].alive
+                && lanes[r].last_ratio > cfg.controller.breach_ratio
+                && !jobs_on[r].is_empty()
+        })
         .max_by(|&a, &b| {
             lanes[a]
                 .last_ratio
@@ -804,7 +1456,9 @@ fn controller_rebalance(
     let Some(src) = src else { return };
     // Destinations with headroom, best (ratio, backlog) first.
     let mut dests: Vec<usize> = (0..n)
-        .filter(|&r| r != src && lanes[r].last_ratio < cfg.controller.headroom_ratio)
+        .filter(|&r| {
+            r != src && lanes[r].alive && lanes[r].last_ratio < cfg.controller.headroom_ratio
+        })
         .collect();
     dests.sort_by(|&a, &b| {
         lanes[a]
@@ -820,10 +1474,11 @@ fn controller_rebalance(
             .then(a.cmp(&b))
     });
     for dst in dests {
-        // First job of the source whose model the destination lacks.
+        // First job of the source whose model the destination lacks
+        // (degradation-shed jobs stay parked where they are).
         let movable = jobs_on[src].iter().copied().find(|&j| {
             let model = cfg.be_jobs[j];
-            !jobs_on[dst].iter().any(|&k| cfg.be_jobs[k] == model)
+            !job_shed[j] && !jobs_on[dst].iter().any(|&k| cfg.be_jobs[k] == model)
         });
         let Some(job) = movable else { continue };
         let model = cfg.be_jobs[job];
@@ -847,16 +1502,12 @@ fn controller_rebalance(
         jobs_on[src].remove(pos);
         jobs_on[dst].push(job);
         // Optionally retune Ch_BE on both ends (dynamic SGDRC only —
-        // the static baseline keeps its fixed split).
-        if cfg.controller.adaptive_ch_be && cfg.system == SystemKind::Sgdrc {
+        // the static baseline keeps its fixed split). `retune_sgdrc`
+        // folds in any active clock throttle so a migration never
+        // resets a thermally scaled target spec.
+        if cfg.controller.adaptive_ch_be {
             for r in [src, dst] {
-                if let PolicySlot::Sgdrc(p) = &mut lanes[r].policy {
-                    let pcfg = SgdrcConfig {
-                        ch_be: ch_be_for(cfg.sgdrc.ch_be, jobs_on[r].len()),
-                        ..cfg.sgdrc.clone()
-                    };
-                    p.reconfigure(&deps[r].spec, pcfg);
-                }
+                retune_sgdrc(cfg, deps, jobs_on, lanes, r);
             }
         }
         // Let both policies react immediately (launch the migrated job /

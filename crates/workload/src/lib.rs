@@ -4,16 +4,19 @@
 //! ([`trace`]), SLO/latency/throughput metrics plus the mergeable
 //! latency-histogram sketch ([`metrics`]), the Fig. 17 runner that
 //! deploys the Tab. 3 zoo against every system ([`runner`]), the
-//! cluster-scale short-cell sweep engine ([`sweep`]), and the multi-GPU
+//! cluster-scale short-cell sweep engine ([`sweep`]), the multi-GPU
 //! fleet simulator with SLO-aware routing and dynamic BE placement
-//! ([`cluster`]).
+//! ([`cluster`]), and deterministic fault injection with
+//! requeue-on-crash resilience ([`chaos`]).
 
+pub mod chaos;
 pub mod cluster;
 pub mod metrics;
 pub mod runner;
 pub mod sweep;
 pub mod trace;
 
+pub use chaos::{DegradationConfig, FaultEvent, FaultKind, FaultPlan, RetryConfig};
 pub use cluster::{
     run_cluster, run_cluster_in, ClockKind, ClusterConfig, ClusterResult, ControllerConfig,
     JoinShortestBacklog, ReplicaView, RoundRobin, RouterKind, RoutingPolicy, SloAwarePowerOfTwo,

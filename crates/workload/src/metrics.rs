@@ -140,7 +140,15 @@ impl LatencyHistogram {
     /// Merges another sketch into this one — the cross-cell aggregation
     /// path. Cost is proportional to the other sketch's occupied bins;
     /// no re-sorting.
+    ///
+    /// An empty `other` — e.g. the never-touched sketch of a replica that
+    /// crashed before serving anything — is a guaranteed no-op: its
+    /// `min`/`max` sentinels (`+∞`/`−∞`) must not leak into this sketch's
+    /// exact extremes, so the merge returns before touching them.
     pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
         for &i in &other.touched {
             let i = i as usize;
             if self.counts[i] == 0 {
@@ -359,6 +367,42 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, union);
+    }
+
+    /// Satellite regression: a replica that dies before serving anything
+    /// hands the fleet aggregation a never-touched sketch whose min/max
+    /// are still the `±∞` sentinels. Merging it — in either direction —
+    /// must not corrupt the exact extremes or the percentile window.
+    #[test]
+    fn merging_a_dead_replica_sketch_is_a_no_op() {
+        let mut fleet = LatencyHistogram::new();
+        for i in 0..100 {
+            fleet.record(50.0 + i as f64 * 7.0);
+        }
+        let before = fleet.clone();
+        let dead = LatencyHistogram::new();
+        fleet.merge(&dead);
+        assert_eq!(fleet, before, "empty merge must be a no-op");
+        assert_eq!(fleet.min(), 50.0);
+        assert_eq!(fleet.max(), 50.0 + 99.0 * 7.0);
+        assert!(fleet.percentile(99.0).is_finite());
+
+        // The other direction: folding live sketches into a fresh fleet
+        // accumulator that starts out never-touched (the aggregation
+        // loop's first iteration when replica 0 is the dead one).
+        let mut agg = LatencyHistogram::new();
+        agg.merge(&dead);
+        assert!(agg.is_empty());
+        assert!(agg.percentile(50.0).is_nan());
+        agg.merge(&before);
+        assert_eq!(agg, before);
+
+        // All-dead fleet: the merged sketch stays empty and NaN-safe.
+        let mut all_dead = LatencyHistogram::new();
+        all_dead.merge(&LatencyHistogram::new());
+        all_dead.merge(&LatencyHistogram::new());
+        assert!(all_dead.is_empty());
+        assert!(all_dead.percentile(99.0).is_nan());
     }
 
     #[test]
