@@ -28,10 +28,9 @@
 
 use gpu_spec::GpuModel;
 use sgdrc_bench::json::Json;
-use sgdrc_core::serving::SimContext;
 use std::time::Instant;
 use workload::chaos::{FaultEvent, FaultKind, FaultPlan};
-use workload::cluster::{ClusterConfig, ControllerConfig, RouterKind};
+use workload::cluster::{ClockKind, ClusterConfig, ClusterCtx, ControllerConfig, RouterKind};
 use workload::runner::Deployment;
 use workload::sweep::{run_sweep, SweepGrid, SweepOptions};
 use workload::trace::TraceConfig;
@@ -74,10 +73,10 @@ struct FleetRun {
     wall_s: f64,
 }
 
-fn run_fleet(cfg: &ClusterConfig, kind: RouterKind, ctxs: &mut Vec<SimContext>) -> FleetRun {
+fn run_fleet(cfg: &ClusterConfig, kind: RouterKind, ctx: &mut ClusterCtx) -> FleetRun {
     let mut router = kind.make(cfg.seed);
     let start = Instant::now();
-    let result = workload::run_cluster_in(cfg, router.as_mut(), ctxs);
+    let result = workload::run_cluster_in(cfg, router.as_mut(), ctx);
     let wall_s = start.elapsed().as_secs_f64();
     FleetRun {
         goodput_hz: result.goodput_hz,
@@ -126,10 +125,10 @@ struct ChaosArm {
     wall_s: f64,
 }
 
-fn run_chaos_arm(cfg: &ClusterConfig, kind: RouterKind, ctxs: &mut Vec<SimContext>) -> ChaosArm {
+fn run_chaos_arm(cfg: &ClusterConfig, kind: RouterKind, ctx: &mut ClusterCtx) -> ChaosArm {
     let mut router = kind.make(cfg.seed);
     let start = Instant::now();
-    let r = workload::run_cluster_in(cfg, router.as_mut(), ctxs);
+    let r = workload::run_cluster_in(cfg, router.as_mut(), ctx);
     ChaosArm {
         availability: r.requests as f64 / r.arrivals_injected.max(1) as f64,
         goodput_hz: r.goodput_hz,
@@ -238,10 +237,10 @@ fn run_scale_probe(smoke: bool) {
     cfg.horizon_us = horizon_us;
     cfg.trace = fleet_trace(5.5, horizon_us);
     cfg.controller.period_us = 5e4;
-    let mut ctxs: Vec<SimContext> = Vec::new();
+    let mut ctx = ClusterCtx::new();
     // One warm-up pass (contexts, pool, trace), then the measured run.
-    let _ = run_fleet(&cfg, RouterKind::ShortestBacklog, &mut ctxs);
-    let fleet_run = run_fleet(&cfg, RouterKind::ShortestBacklog, &mut ctxs);
+    let _ = run_fleet(&cfg, RouterKind::ShortestBacklog, &mut ctx);
+    let fleet_run = run_fleet(&cfg, RouterKind::ShortestBacklog, &mut ctx);
 
     let grid = SweepGrid::fig17_style(if smoke { 1.5e3 } else { 3e3 }, if smoke { 1 } else { 3 });
     let cells = grid.cells();
@@ -333,12 +332,314 @@ fn spawn_probe(flag: &str, threads: usize, smoke: bool) -> Option<String> {
         .map(str::to_string)
 }
 
+/// Peak resident set (`VmHWM`) of this process in MiB, read from
+/// `/proc/self/status`. Process-wide and monotone, so it bounds every
+/// section run so far — good enough to show the 10M-request streaming
+/// run did not accumulate per-request state. NaN off Linux.
+fn peak_rss_mib() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<f64>().ok())
+        })
+        .map_or(f64::NAN, |kb| kb / 1024.0)
+}
+
 /// Extracts `key=<number>` from a probe marker line.
 fn probe_field(line: &str, key: &str) -> f64 {
     line.split_whitespace()
         .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
         .and_then(|v| v.parse().ok())
         .unwrap_or(f64::NAN)
+}
+
+/// The `--scale-out` section: the SoA + calendar + streaming fleet
+/// clock at sizes the per-epoch linear scan could not touch. Records a
+/// 1→512 streaming scaling curve (smoke: 64→256 on a short horizon, so
+/// CI exercises big fleets on every push), spot-checks the calendar
+/// clock against the retained serial oracle, and — on full runs — gates
+/// the 512-replica clock at ≥2× the recorded pre-PR clock's events/s at
+/// the diurnal-trough operating point, plus a 512-replica ≥10M-request
+/// streaming headline with bounded memory (zero retained completion
+/// records, peak RSS recorded).
+///
+/// Returns the JSON section and whether every enforced gate passed.
+fn run_scale_out(smoke: bool) -> (Json, bool) {
+    sgdrc_bench::header("scale-out — SoA lanes, calendar clock, streaming mode");
+    let threads = sgdrc_bench::ThreadAttribution::capture();
+    let mut gates_ok = true;
+    let mut ctx = ClusterCtx::new();
+
+    let scale_cfg = |nrep: usize, horizon_us: f64| {
+        let mut cfg = ClusterConfig::new(vec![GpuModel::RtxA2000; nrep], SystemKind::Sgdrc);
+        cfg.horizon_us = horizon_us;
+        cfg.trace = fleet_trace(0.9 * nrep as f64, horizon_us);
+        cfg.controller.period_us = 5e4;
+        cfg.streaming = true;
+        cfg
+    };
+
+    // --- 1→512 streaming scaling curve, load ∝ N --------------------------
+    let sizes: &[usize] = if smoke {
+        &[64, 256]
+    } else {
+        &[1, 4, 16, 64, 256, 512]
+    };
+    let curve_horizon = if smoke { 1.2e5 } else { 1e6 };
+    let mut points = Vec::new();
+    for &nrep in sizes {
+        let cfg = scale_cfg(nrep, curve_horizon);
+        let prep = cfg.prepare();
+        // Warm pass (deployments, contexts, calendar), then measure.
+        let mut router = RouterKind::ShortestBacklog.make(cfg.seed);
+        let _ = workload::run_cluster_prepared(&prep, router.as_mut(), &mut ctx);
+        let mut router = RouterKind::ShortestBacklog.make(cfg.seed);
+        let start = Instant::now();
+        let r = workload::run_cluster_prepared(&prep, router.as_mut(), &mut ctx);
+        let wall_s = start.elapsed().as_secs_f64();
+        let eps = r.engine_events as f64 / wall_s;
+        println!(
+            "{nrep:>4} replicas: {:>8} req  {:>10.0} events/s (wall)  retained {}  {:>6.2}s",
+            r.requests, eps, r.retained_completions, wall_s
+        );
+        // Streaming's memory bound is a correctness property — enforce
+        // it at every size, smoke included.
+        gates_ok &= r.retained_completions == 0;
+        points.push(
+            Json::obj()
+                .set("replicas", nrep)
+                .set("trace_scale", 0.9 * nrep as f64)
+                .set("requests", r.requests)
+                .set("goodput_hz", r.goodput_hz)
+                .set("slo_attainment", r.slo_attainment())
+                .set("retained_completions", r.retained_completions)
+                .set("wall_s", wall_s)
+                .set("events_per_wall_s", eps)
+                .set("detected_cpus", threads.detected_cpus)
+                .set("pool_workers", rayon::current_pool_workers()),
+        );
+    }
+
+    // --- calendar clock vs retained serial oracle -------------------------
+    // Full-result equality on the heterogeneous headline fleet, with and
+    // without faults. The exhaustive SystemKind × chaos × clock matrix
+    // lives in the test suite; this spot check makes every bench run
+    // self-verifying.
+    let mut bit_identity = true;
+    for with_chaos in [false, true] {
+        let mut cfg = ClusterConfig::new(headline_fleet(), SystemKind::Sgdrc);
+        cfg.horizon_us = 2e5;
+        cfg.trace = fleet_trace(5.5, cfg.horizon_us);
+        cfg.controller = ControllerConfig {
+            period_us: 5e4,
+            adaptive_ch_be: true,
+            ..Default::default()
+        };
+        if with_chaos {
+            cfg.chaos = Some(FaultPlan::new(vec![FaultEvent::crash(
+                0,
+                0.4 * cfg.horizon_us,
+                0.3 * cfg.horizon_us,
+            )]));
+        }
+        let mut results = Vec::new();
+        for clock in [ClockKind::Parallel, ClockKind::Serial] {
+            let mut c = cfg.clone();
+            c.clock = clock;
+            let mut router = RouterKind::P2cSlo.make(c.seed);
+            results.push(workload::run_cluster_in(&c, router.as_mut(), &mut ctx));
+        }
+        bit_identity &= results[0] == results[1];
+    }
+    println!("calendar clock == serial oracle (chaos & no-chaos): {bit_identity}");
+    gates_ok &= bit_identity;
+
+    // --- 512-replica clock speedup vs the pre-PR clock (full runs) --------
+    // Operating point: the diurnal trough. 512 replicas each at 2% of
+    // peak per-service load, no BE jobs — the regime where almost every
+    // lane is idle at almost every epoch, so per-epoch work that scales
+    // with fleet size instead of with due lanes (the pre-PR busy-list
+    // scan) is pure overhead. At dense load the event pump dominates
+    // both clocks (~61 engine events per request) and no clock can be
+    // much faster than the pump; the calendar's structural win is the
+    // sparse regime, which is also most of a diurnal fleet's day.
+    //
+    // The pre-PR clock no longer exists in this binary, so the gate
+    // compares against its recorded throughput: commit 974c765 built on
+    // this box, same operating point, best of 5 interleaved runs per
+    // arm. `ClockKind::Parallel` was the pre-PR default and is the
+    // baseline; its serial arm is recorded alongside for transparency.
+    // A recorded baseline is only valid when the box is as fast as it
+    // was when recorded, so the serial reference arm (measured live,
+    // in-binary) doubles as a calibration canary: if it lands >15%
+    // below its own recorded calm-box rate, the gate reports
+    // `inconclusive_box_load` instead of a spurious pass/fail.
+    let speedup_json = if smoke {
+        Json::obj().set("skipped", true)
+    } else {
+        // Recorded on this box at pre-PR HEAD 974c765 (512 replicas,
+        // apollo ×10.24, no BE, horizon 1e7 µs, p2c-slo, period 5e4).
+        const PREPR_GIT: &str = "974c765";
+        const PREPR_DEFAULT_EPS: f64 = 2_334_266.0; // ClockKind::Parallel (pre-PR default), best of 5
+        const PREPR_SERIAL_EPS: f64 = 2_945_215.0; // ClockKind::Serial, best of 5
+                                                   // This binary's serial reference arm at the same point on a
+                                                   // calm box — the canary's reference rate.
+        const SERIAL_REF_CALM_EPS: f64 = 3_320_000.0;
+
+        let n = 512;
+        let horizon = 1e7;
+        let trough_cfg = |clock: ClockKind, streaming: bool| {
+            let mut cfg = ClusterConfig::new(vec![GpuModel::RtxA2000; n], SystemKind::Sgdrc);
+            cfg.horizon_us = horizon;
+            cfg.trace = TraceConfig::apollo_like().scaled(0.02 * n as f64);
+            cfg.be_jobs = Vec::new();
+            cfg.controller.period_us = 5e4;
+            cfg.streaming = streaming;
+            cfg.clock = clock;
+            cfg
+        };
+        // Interleave the arms and keep each one's best wall time: the
+        // minimum over rounds is the least-noise estimator, and
+        // interleaving keeps slow box phases from landing on one arm.
+        let mut best = [f64::INFINITY; 2];
+        let mut events = 0u64;
+        let arms = [(ClockKind::Parallel, true), (ClockKind::Serial, false)];
+        for round in 0..4 {
+            for (i, &(clock, streaming)) in arms.iter().enumerate() {
+                let cfg = trough_cfg(clock, streaming);
+                let prep = cfg.prepare();
+                let mut router = RouterKind::P2cSlo.make(cfg.seed);
+                let start = Instant::now();
+                let r = workload::run_cluster_prepared(&prep, router.as_mut(), &mut ctx);
+                let wall = start.elapsed().as_secs_f64();
+                events = r.engine_events;
+                // Round 0 is the warm-up (deployments, contexts,
+                // calendar touch every cache cold) and is discarded.
+                if round > 0 {
+                    best[i] = best[i].min(wall);
+                }
+            }
+        }
+        let new_eps = events as f64 / best[0];
+        let ref_eps = events as f64 / best[1];
+        let ratio_vs_prepr = new_eps / PREPR_DEFAULT_EPS;
+        let ratio_vs_serial_ref = new_eps / ref_eps;
+        let box_calm = ref_eps >= 0.85 * SERIAL_REF_CALM_EPS;
+        // NaN (a zero-duration fluke) fails the `>=` and cannot pass.
+        let gate_pass = ratio_vs_prepr >= 2.0;
+        let verdict = if gate_pass {
+            "pass"
+        } else if !box_calm {
+            "inconclusive_box_load"
+        } else {
+            "fail"
+        };
+        println!(
+            "512-replica trough clock: new {new_eps:>9.0} ev/s  serial ref {ref_eps:>9.0} ev/s  \
+             pre-PR default {PREPR_DEFAULT_EPS:>9.0} ev/s  ratio {ratio_vs_prepr:.2}× ({verdict})"
+        );
+        gates_ok &= verdict != "fail";
+        Json::obj()
+            .set("skipped", false)
+            .set("replicas", n)
+            .set("horizon_us", horizon)
+            .set(
+                "trace",
+                "apollo ×10.24 (2% of peak per replica), no BE jobs",
+            )
+            .set("router", "p2c_slo")
+            .set(
+                "measurement",
+                "best of 3 interleaved timed rounds after 1 warm-up round",
+            )
+            .set("new_clock_events_per_s", new_eps)
+            .set("serial_reference_events_per_s", ref_eps)
+            .set(
+                "prepr_baseline",
+                Json::obj()
+                    .set("git", PREPR_GIT)
+                    .set("default_clock_events_per_s", PREPR_DEFAULT_EPS)
+                    .set("serial_clock_events_per_s", PREPR_SERIAL_EPS)
+                    .set(
+                        "method",
+                        "same box, same operating point, best of 5 interleaved",
+                    ),
+            )
+            .set("speedup_vs_prepr_default", ratio_vs_prepr)
+            .set("speedup_vs_serial_reference", ratio_vs_serial_ref)
+            .set("box_calm", box_calm)
+            .set("serial_reference_calm_events_per_s", SERIAL_REF_CALM_EPS)
+            .set("gate_2x_vs_prepr", verdict)
+    };
+
+    // --- 512-replica ≥10M-request streaming headline (full runs) ----------
+    let headline_json = if smoke {
+        Json::obj().set("skipped", true)
+    } else {
+        let n = 512;
+        // The diurnal+burst trace at 0.9·512 per-service scale injects
+        // ≈0.25M requests per simulated second: 50 sim-seconds drives
+        // ≈12.5M requests through the fleet.
+        let horizon = 5e7;
+        let rss_before_mib = peak_rss_mib();
+        let cfg = scale_cfg(n, horizon);
+        let prep = cfg.prepare();
+        let mut router = RouterKind::ShortestBacklog.make(cfg.seed);
+        let start = Instant::now();
+        let r = workload::run_cluster_prepared(&prep, router.as_mut(), &mut ctx);
+        let wall_s = start.elapsed().as_secs_f64();
+        let rss_after_mib = peak_rss_mib();
+        let eps = r.engine_events as f64 / wall_s;
+        let bounded_memory = r.retained_completions == 0;
+        let gate_10m = r.arrivals_injected >= 10_000_000;
+        println!(
+            "512-replica headline: {} arrivals, {} served, {:.0} events/s, retained {}, \
+             peak RSS {rss_after_mib:.0} MiB, {:.1}s wall",
+            r.arrivals_injected, r.requests, eps, r.retained_completions, wall_s
+        );
+        gates_ok &= bounded_memory && gate_10m;
+        Json::obj()
+            .set("skipped", false)
+            .set("replicas", n)
+            .set("horizon_us", horizon)
+            .set("arrivals_injected", r.arrivals_injected)
+            .set("requests", r.requests)
+            .set("goodput_hz", r.goodput_hz)
+            .set("slo_attainment", r.slo_attainment())
+            .set("in_flight_at_end", r.in_flight_at_end)
+            .set("retained_completions", r.retained_completions)
+            .set("bounded_memory", bounded_memory)
+            .set("peak_rss_mib_before", rss_before_mib)
+            .set("peak_rss_mib_after", rss_after_mib)
+            .set("gate_10m_requests", gate_10m)
+            .set("events_per_wall_s", eps)
+            .set("wall_s", wall_s)
+            .set("detected_cpus", threads.detected_cpus)
+    };
+
+    let json = Json::obj()
+        .set("skipped", false)
+        .set("streaming", true)
+        .set("system", "SGDRC")
+        .set("router", "shortest_backlog")
+        .set(
+            "curve",
+            Json::obj()
+                .set("horizon_us", curve_horizon)
+                .set("points", Json::Arr(points)),
+        )
+        .set(
+            "bit_identity",
+            Json::obj()
+                .set("parallel_equals_serial", bit_identity)
+                .set("arms", "headline fleet × p2c router × {no-chaos, crash}"),
+        )
+        .set("clock_speedup", speedup_json)
+        .set("headline", headline_json);
+    (json, gates_ok)
 }
 
 fn main() {
@@ -382,7 +683,7 @@ fn main() {
     };
 
     // --- systems × routers matrix ----------------------------------------
-    let mut ctxs: Vec<SimContext> = Vec::new();
+    let mut ctxs = ClusterCtx::new();
     let mut systems_json = Json::obj();
     let mut sgdrc_p99 = Vec::new();
     for system in SystemKind::all() {
@@ -423,7 +724,7 @@ fn main() {
         cfg.horizon_us = scaling_horizon;
         cfg.trace = fleet_trace(0.9 * nrep as f64, scaling_horizon);
         cfg.controller.period_us = 5e4;
-        let mut fresh = Vec::new();
+        let mut fresh = ClusterCtx::new();
         let r = run_fleet(&cfg, RouterKind::ShortestBacklog, &mut fresh);
         let sim_req_per_s = r.requests as f64 / (scaling_horizon / 1e6);
         println!(
@@ -537,6 +838,14 @@ fn main() {
             "8 small tasks × {probe_workers} workers: pool {pool_ns:.0} ns/batch vs scope spawn {scoped_ns:.0} ns/batch ({dispatch_speedup:.1}×)"
         );
     }
+
+    // --- scale-out: SoA + calendar + streaming at 256–512 replicas --------
+    let scale_out_enabled = args.iter().any(|a| a == "--scale-out");
+    let (scale_out_json, scale_out_ok) = if scale_out_enabled {
+        run_scale_out(smoke)
+    } else {
+        (Json::obj().set("skipped", true), true)
+    };
 
     // --- routing gate ------------------------------------------------------
     let rr = sgdrc_p99
@@ -764,6 +1073,7 @@ fn main() {
                 .set("load_aware_beats_round_robin", best_alt < rr),
         )
         .set("scaling", scaling_json)
+        .set("scale_out", scale_out_json)
         .set(
             "thread_scaling",
             Json::obj()
@@ -802,6 +1112,14 @@ fn main() {
         eprintln!(
             "WARNING: chaos resilience gate failed (requeue_beats_drop={chaos_gate_requeue}, availability_ok={chaos_gate_floor}, goodput_ge_no_be={chaos_gate_no_be})"
         );
+        std::process::exit(1);
+    }
+    // Scale-out gates: streaming memory bound and clock==oracle identity
+    // bind in smoke too; the 2× clock speedup and the 10M-request
+    // headline only run (and only gate) on full runs — both decided
+    // inside `run_scale_out`.
+    if scale_out_enabled && !scale_out_ok {
+        eprintln!("WARNING: scale-out gate failed (see scale_out section of BENCH_cluster.json)");
         std::process::exit(1);
     }
     if !smoke && best_alt >= rr {

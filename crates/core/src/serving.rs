@@ -725,6 +725,19 @@ impl<'s> ServingState<'s> {
         }
     }
 
+    /// Prefetches the state's hot event-path memory (engine working set
+    /// and the LS queue headers) toward L1 — see [`Engine::prefetch_hot`].
+    #[inline]
+    pub fn prefetch_hot(&self) {
+        self.engine.prefetch_hot();
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch(self.pending.as_ptr() as *const i8, _MM_HINT_T0);
+            _mm_prefetch(self.inflight.as_ptr() as *const i8, _MM_HINT_T0);
+        }
+    }
+
     fn on_event(&mut self, ev: EngineEvent) {
         // Which LS task freed an inference slot (if any): the only event
         // kind that can unblock an admission.
@@ -889,6 +902,19 @@ pub struct ReplicaSim<'s> {
     use_timers: bool,
 }
 
+/// The candidate fold shared by [`ReplicaSim::next_pending_at`] and
+/// [`ReplicaSim::advance_hinted`] — one definition, so the hint the
+/// advance loop hands out is structurally the same value a fresh
+/// `next_pending_at` would compute.
+fn fold_pending(event: Option<f64>, timer: Option<f64>) -> Option<f64> {
+    match (event, timer) {
+        (Some(e), Some(t)) => Some(e.min(t)),
+        (Some(e), None) => Some(e),
+        (None, Some(t)) => Some(t),
+        (None, None) => None,
+    }
+}
+
 impl<'s> ReplicaSim<'s> {
     /// Builds the simulation (fast serving mode) from a context's
     /// recycled storage without touching the policy — callers may
@@ -923,6 +949,14 @@ impl<'s> ReplicaSim<'s> {
         &self.st
     }
 
+    /// Prefetches the replica's hot advance-path memory toward L1 — a
+    /// pure cache hint the fleet clock issues one lane ahead of its
+    /// epoch batch. See [`Engine::prefetch_hot`].
+    #[inline]
+    pub fn prefetch_hot(&self) {
+        self.st.prefetch_hot();
+    }
+
     /// Mutable serving state access for controllers (BE activity
     /// toggles, targeted preemption). Call [`dispatch`](Self::dispatch)
     /// afterwards so the policy reacts to the mutation.
@@ -943,7 +977,7 @@ impl<'s> ReplicaSim<'s> {
     /// Shared by `advance` and [`next_pending_at`](Self::next_pending_at)
     /// so the no-op guarantee below is structural, not a convention two
     /// copies of the fold would have to keep honoring.
-    fn pending_candidates(&self, policy: &dyn Policy) -> (Option<f64>, Option<f64>) {
+    fn pending_candidates<P: Policy + ?Sized>(&self, policy: &P) -> (Option<f64>, Option<f64>) {
         let event = self.st.engine.next_event_at();
         let timer = if self.use_timers {
             policy.next_timer().filter(|&t| t > self.st.now() + 1e-9)
@@ -962,12 +996,8 @@ impl<'s> ReplicaSim<'s> {
     /// clock uses to skip idle replicas without dispatching them to a
     /// worker.
     pub fn next_pending_at(&self, policy: &dyn Policy) -> Option<f64> {
-        match self.pending_candidates(policy) {
-            (Some(e), Some(t)) => Some(e.min(t)),
-            (Some(e), None) => Some(e),
-            (None, Some(t)) => Some(t),
-            (None, None) => None,
-        }
+        let (event, timer) = self.pending_candidates(policy);
+        fold_pending(event, timer)
     }
 
     /// Processes engine events and policy timers that precede an arrival
@@ -977,6 +1007,23 @@ impl<'s> ReplicaSim<'s> {
     /// should [`inject_arrival`](Self::inject_arrival) it), `false` when
     /// the horizon was reached or the replica went idle forever.
     pub fn advance(&mut self, policy: &mut dyn Policy, next_arrival_us: Option<f64>) -> bool {
+        self.advance_hinted(policy, next_arrival_us).0
+    }
+
+    /// [`advance`](Self::advance), plus the pending-work instant left at
+    /// exit: the second element equals what
+    /// [`next_pending_at`](Self::next_pending_at) would return if called
+    /// immediately after — it *is* the candidate fold the loop's final
+    /// iteration computed to decide it was done, handed out so hot
+    /// callers (the fleet clock's lane refresh) skip re-deriving it.
+    /// Generic over the concrete policy so a monomorphic caller gets the
+    /// per-event `next_timer`/`dispatch` calls devirtualized and
+    /// inlined; `dyn Policy` callers lose nothing.
+    pub fn advance_hinted<P: Policy + ?Sized>(
+        &mut self,
+        policy: &mut P,
+        next_arrival_us: Option<f64>,
+    ) -> (bool, Option<f64>) {
         loop {
             // The engine's next event is memoized inside the engine —
             // the same value serves the min fold below and the engine's
@@ -996,16 +1043,16 @@ impl<'s> ReplicaSim<'s> {
                 next = next.min(at);
             }
             if next == f64::INFINITY {
-                return false; // idle with no arrivals left
+                return (false, fold_pending(event, timer)); // idle with no arrivals left
             }
             if next > self.st.scenario.horizon_us {
-                return false;
+                return (false, fold_pending(event, timer));
             }
             // Arrival strictly first?
             if next_arrival_us.is_some_and(|at| at <= next + 1e-9)
                 && event.is_none_or(|e| next_arrival_us.expect("checked") <= e)
             {
-                return true;
+                return (true, fold_pending(event, timer));
             } else if event.is_some_and(|e| e <= next + 1e-9) {
                 let ev = self.st.engine.step().expect("event was due");
                 self.st.on_event(ev);

@@ -9,6 +9,7 @@
 //! ([`cluster`]), and deterministic fault injection with
 //! requeue-on-crash resilience ([`chaos`]).
 
+pub mod calendar;
 pub mod chaos;
 pub mod cluster;
 pub mod metrics;
@@ -16,10 +17,12 @@ pub mod runner;
 pub mod sweep;
 pub mod trace;
 
+pub use calendar::EventCalendar;
 pub use chaos::{DegradationConfig, FaultEvent, FaultKind, FaultPlan, RetryConfig};
 pub use cluster::{
-    run_cluster, run_cluster_in, ClockKind, ClusterConfig, ClusterResult, ControllerConfig,
-    JoinShortestBacklog, ReplicaView, RoundRobin, RouterKind, RoutingPolicy, SloAwarePowerOfTwo,
+    run_cluster, run_cluster_in, run_cluster_prepared, ClockKind, ClusterConfig, ClusterCtx,
+    ClusterResult, ControllerConfig, JoinShortestBacklog, PreparedCluster, ReplicaView, RoundRobin,
+    RouterKind, RoutingPolicy, SloAwarePowerOfTwo,
 };
 pub use metrics::{ls_metrics, percentile, slo_for, LatencyHistogram, LsMetrics, SystemResult};
 pub use runner::{run_cell, run_system, Deployment, EndToEndConfig, Load, SystemKind};
@@ -27,4 +30,4 @@ pub use sweep::{
     cell_seed, naive_cell_summary, run_sweep, CellSpec, CellSummary, SliceHist, SweepGrid,
     SweepOptions, SweepResult,
 };
-pub use trace::{generate, per_service_traces, TraceConfig};
+pub use trace::{generate, per_service_traces, ArrivalGen, ArrivalStream, TraceConfig};

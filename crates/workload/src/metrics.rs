@@ -54,10 +54,14 @@ pub const HIST_BINS: usize = 2560;
 ///
 /// A touched-bin list keeps the sparse operations proportional to the
 /// number of *occupied* bins rather than [`HIST_BINS`]: short cells
-/// touch tens of bins, so per-cell `reset`/`merge` cost tens of writes,
-/// not a 20 KiB memset.
+/// touch tens of bins, so per-cell `reset`/`merge`/`==` cost tens of
+/// reads and writes, not a 20 KiB memset or full-array walk. The bin
+/// array itself is allocated lazily on the first `record`/`merge`, so a
+/// fleet of mostly-idle sketches (512 replicas × per-task windows)
+/// costs O(occupied sketches), not 20 KiB per sketch up front.
 #[derive(Debug, Clone)]
 pub struct LatencyHistogram {
+    /// Lazily allocated to [`HIST_BINS`]; empty until first use.
     counts: Vec<u64>,
     /// Indices of non-zero bins, in first-touch order.
     touched: Vec<u32>,
@@ -70,13 +74,23 @@ pub struct LatencyHistogram {
 /// Two sketches are equal when they describe the same population:
 /// identical bin contents and exact aggregates. The internal touch
 /// order (a record/merge history artefact) does not participate.
+///
+/// The bin comparison is sparse — O(occupied bins), not [`HIST_BINS`]:
+/// the touched list is exactly the set of non-zero bins (bins enter it
+/// on the 0→non-zero transition and leave only on `reset`), so equal
+/// list lengths plus every self-touched bin matching in `other` implies
+/// the non-zero bin *sets* coincide, and with them every bin.
 impl PartialEq for LatencyHistogram {
     fn eq(&self, other: &Self) -> bool {
         self.count == other.count
             && self.sum == other.sum
             && self.min == other.min
             && self.max == other.max
-            && self.counts == other.counts
+            && self.touched.len() == other.touched.len()
+            && self.touched.iter().all(|&i| {
+                let i = i as usize;
+                self.counts[i] == other.counts.get(i).copied().unwrap_or(0)
+            })
     }
 }
 
@@ -89,12 +103,21 @@ impl Default for LatencyHistogram {
 impl LatencyHistogram {
     pub fn new() -> Self {
         Self {
-            counts: vec![0; HIST_BINS],
+            counts: Vec::new(),
             touched: Vec::new(),
             count: 0,
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Allocates the bin array on first use; a no-op once allocated
+    /// (`reset` keeps the storage, so warmed sketches never re-pay it).
+    #[inline]
+    fn ensure_bins(&mut self) {
+        if self.counts.is_empty() {
+            self.counts.resize(HIST_BINS, 0);
         }
     }
 
@@ -126,6 +149,7 @@ impl LatencyHistogram {
     #[inline]
     pub fn record(&mut self, v: f64) {
         debug_assert!(v.is_finite(), "latency must be finite, got {v}");
+        self.ensure_bins();
         let bin = Self::bin_of(v);
         if self.counts[bin] == 0 {
             self.touched.push(bin as u32);
@@ -149,6 +173,7 @@ impl LatencyHistogram {
         if other.count == 0 {
             return;
         }
+        self.ensure_bins();
         for &i in &other.touched {
             let i = i as usize;
             if self.counts[i] == 0 {
@@ -403,6 +428,38 @@ mod tests {
         all_dead.merge(&LatencyHistogram::new());
         assert!(all_dead.is_empty());
         assert!(all_dead.percentile(99.0).is_nan());
+    }
+
+    /// The sparse `==` walks only touched bins. Two sketches with
+    /// identical exact aggregates but different bin contents must still
+    /// compare unequal (in both directions — the walk is over `self`'s
+    /// touched list), and lazily-unallocated sketches must behave like
+    /// empty ones.
+    #[test]
+    fn sparse_eq_distinguishes_distributions_with_equal_aggregates() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for v in [100.0, 400.0, 500.0, 1000.0] {
+            a.record(v);
+        }
+        for v in [100.0, 200.0, 700.0, 1000.0] {
+            b.record(v);
+        }
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.sum(), b.sum());
+        assert_eq!(a.min(), b.min());
+        assert_eq!(a.max(), b.max());
+        assert_ne!(a, b);
+        assert_ne!(b, a);
+
+        // A never-recorded sketch (bins unallocated) equals an empty
+        // reset one (bins allocated but all zero).
+        let fresh = LatencyHistogram::new();
+        let mut cleared = LatencyHistogram::new();
+        cleared.record(42.0);
+        cleared.reset();
+        assert_eq!(fresh, cleared);
+        assert_eq!(cleared, fresh);
     }
 
     #[test]

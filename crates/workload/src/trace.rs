@@ -173,6 +173,122 @@ pub fn arrival_trace(
     sgdrc_core::serving::ArrivalTrace::new(per_service_traces(cfg, services, horizon_us, seed))
 }
 
+/// Stateful single-service generator producing the **exact** arrival
+/// sequence of [`generate`] — same RNG draws in the same order, same
+/// thinning — one value at a time, without materializing the whole
+/// trace. This is the streaming long-horizon mode's arrival source: a
+/// tens-of-millions-request horizon costs O(1) memory per service
+/// instead of a multi-GiB `Vec<f64>` per task.
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    cfg: TraceConfig,
+    rng: StdRng,
+    peak_hz: f64,
+    horizon_us: f64,
+    t: f64,
+    next: Option<f64>,
+}
+
+impl ArrivalGen {
+    /// Starts the stream [`generate`]`(cfg, horizon_us, seed)` would
+    /// batch-produce.
+    pub fn new(cfg: &TraceConfig, horizon_us: f64, seed: u64) -> Self {
+        let mut gen = Self {
+            cfg: *cfg,
+            rng: StdRng::seed_from_u64(seed),
+            peak_hz: cfg.peak_rate_hz(),
+            horizon_us,
+            t: 0.0,
+            next: None,
+        };
+        gen.advance();
+        gen
+    }
+
+    // The loop body is a statement-for-statement transcription of
+    // `generate`'s: any divergence would break the stream==batch
+    // equivalence the streaming cluster mode's bit-identity rests on.
+    fn advance(&mut self) {
+        loop {
+            let u: f64 = self.rng.gen_range(1e-12..1.0);
+            self.t += -u.ln() / self.peak_hz * 1e6;
+            if self.t >= self.horizon_us {
+                self.next = None;
+                return;
+            }
+            if self.rng.gen_range(0.0..1.0) < self.cfg.rate_at(self.t) / self.peak_hz {
+                self.next = Some(self.t);
+                return;
+            }
+        }
+    }
+
+    /// The next pending arrival time (µs), `None` once past the horizon.
+    pub fn peek(&self) -> Option<f64> {
+        self.next
+    }
+
+    /// Consumes and returns the next arrival time.
+    pub fn pop(&mut self) -> Option<f64> {
+        let v = self.next;
+        if v.is_some() {
+            self.advance();
+        }
+        v
+    }
+}
+
+/// Streaming k-way merge over per-service [`ArrivalGen`]s, yielding the
+/// exact `(at_us, task)`-ordered sequence `ArrivalTrace::merged` would
+/// produce for [`per_service_traces`] with the same parameters (same
+/// per-service seed offsets). Equivalence holds because each service's
+/// times are strictly increasing, so the stable sort the batch path
+/// applies reduces to min-selection with a lowest-task tie-break.
+#[derive(Debug, Clone)]
+pub struct ArrivalStream {
+    gens: Vec<ArrivalGen>,
+}
+
+impl ArrivalStream {
+    /// One generator per service, seeded like [`per_service_traces`].
+    pub fn new(cfg: &TraceConfig, services: usize, horizon_us: f64, seed: u64) -> Self {
+        Self {
+            gens: (0..services)
+                .map(|s| ArrivalGen::new(cfg, horizon_us, seed.wrapping_add(s as u64 * 0x9E37)))
+                .collect(),
+        }
+    }
+
+    /// The earliest pending arrival without consuming it. Linear over
+    /// services — the fleet runs a handful of LS services, not
+    /// thousands.
+    pub fn peek(&self) -> Option<sgdrc_core::serving::Arrival> {
+        let mut best: Option<sgdrc_core::serving::Arrival> = None;
+        for (task, gen) in self.gens.iter().enumerate() {
+            if let Some(at) = gen.peek() {
+                let better = match &best {
+                    None => true,
+                    Some(b) => at < b.at_us,
+                };
+                if better {
+                    best = Some(sgdrc_core::serving::Arrival {
+                        task: task as u32,
+                        at_us: at,
+                    });
+                }
+            }
+        }
+        best
+    }
+
+    /// Consumes and returns the earliest pending arrival.
+    pub fn pop(&mut self) -> Option<sgdrc_core::serving::Arrival> {
+        let head = self.peek()?;
+        self.gens[head.task as usize].pop();
+        Some(head)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,6 +388,47 @@ mod tests {
             "measured {rate} Hz vs {} Hz",
             cfg.mean_rate_hz
         );
+    }
+
+    /// The streaming generator must replay [`generate`]'s sequence
+    /// value-for-value — bitwise, not approximately — across trace
+    /// shapes, including the diurnal branch.
+    #[test]
+    fn streaming_gen_matches_batch_generate() {
+        let shapes = [
+            TraceConfig::apollo_like(),
+            TraceConfig::apollo_like().with_bursts(2.2, 0.25),
+            TraceConfig::apollo_like().with_diurnal(0.35, 3.0),
+        ];
+        for cfg in &shapes {
+            for seed in [1u64, 42, 0xF1EE7] {
+                let batch = generate(cfg, 3e6, seed);
+                let mut gen = ArrivalGen::new(cfg, 3e6, seed);
+                let mut streamed = Vec::new();
+                while let Some(t) = gen.pop() {
+                    streamed.push(t);
+                }
+                assert_eq!(streamed, batch, "shape {cfg:?} seed {seed}");
+                assert!(gen.peek().is_none());
+            }
+        }
+    }
+
+    /// The k-way merged stream must reproduce the batch path's merged
+    /// arrival order exactly: same times, same task tags, same
+    /// tie-break.
+    #[test]
+    fn arrival_stream_matches_merged_trace() {
+        let cfg = TraceConfig::apollo_like().with_bursts(2.2, 0.25);
+        for seed in [7u64, 0xF1EE7] {
+            let trace = arrival_trace(&cfg, 4, 2e6, seed);
+            let mut stream = ArrivalStream::new(&cfg, 4, 2e6, seed);
+            let mut streamed = Vec::new();
+            while let Some(a) = stream.pop() {
+                streamed.push(a);
+            }
+            assert_eq!(streamed.as_slice(), trace.merged(), "seed {seed}");
+        }
     }
 
     #[test]

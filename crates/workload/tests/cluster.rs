@@ -15,7 +15,7 @@
 use gpu_spec::GpuModel;
 use proptest::prelude::*;
 use sgdrc_core::SgdrcConfig;
-use workload::cluster::{ClusterConfig, ControllerConfig, RouterKind};
+use workload::cluster::{ClusterConfig, ClusterCtx, ControllerConfig, RouterKind};
 use workload::metrics::{percentile, LatencyHistogram, HIST_REL_ERROR};
 use workload::runner::{cell_trace, run_system_scenario_stats, Deployment, EndToEndConfig, Load};
 use workload::trace::TraceConfig;
@@ -126,7 +126,7 @@ fn reused_contexts_match_fresh_runs() {
     );
     cfg.horizon_us = short_horizon() / 2.0;
     cfg.trace = TraceConfig::apollo_like().scaled(1.5);
-    let mut ctxs = Vec::new();
+    let mut ctxs = ClusterCtx::new();
     let mut first_router = RouterKind::ShortestBacklog.make(cfg.seed);
     let first = workload::run_cluster_in(&cfg, first_router.as_mut(), &mut ctxs);
     // Dirty the contexts with a different fleet, then re-run the first.

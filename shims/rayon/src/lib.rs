@@ -69,6 +69,17 @@ fn detected_parallelism() -> usize {
         .unwrap_or(4)
 }
 
+/// Runs `f(i)` for every `i in 0..n` across the persistent pool and
+/// returns when all have finished — the index-batch primitive the fleet
+/// clock's epoch dispatch uses directly, bypassing the materializing
+/// `ParIter` adapters (no per-epoch `Vec<&mut Lane>` build, no result
+/// collection). Sequential inline when `n <= 1` or the pool has a
+/// single participant, in which case the call allocates nothing.
+/// Closure panics propagate to the caller, as with rayon scopes.
+pub fn for_each_index<F: Fn(usize) + Sync>(n: usize, f: F) {
+    pool::run_batch(n, &f);
+}
+
 /// Runs both closures, potentially in parallel, and returns both
 /// results — rayon's structured-parallelism primitive. Either closure
 /// may execute on any participant (the calling thread claims whatever
