@@ -626,6 +626,30 @@ impl<'s> ServingState<'s> {
         self.stats.ls_requeued += drained;
     }
 
+    /// Drains every *pending* (not yet admitted) LS request for a
+    /// graceful scale-down: queued requests are appended to `out` as
+    /// `(task, arrival_us)` (oldest first, per task in index order) for
+    /// requeue elsewhere, while admitted in-flight inferences keep
+    /// running to completion here — unlike
+    /// [`crash_drain`](Self::crash_drain), no kernel progress is lost
+    /// and no launch is cancelled. BE cursors are untouched; the caller
+    /// evacuates BE jobs separately. Counted as `ls_requeued` — the
+    /// drained requests will be re-injected elsewhere, not dropped.
+    pub fn drain_pending(&mut self, out: &mut Vec<(usize, f64)>) {
+        let mut drained = 0u64;
+        for t in 0..self.scenario.ls.len() {
+            for at in self.pending[t].drain(..) {
+                out.push((t, at));
+                drained += 1;
+            }
+        }
+        if drained > 0 {
+            self.backlog -= drained as usize;
+            self.ls_version += 1;
+            self.stats.ls_requeued += drained;
+        }
+    }
+
     /// Drops up to `max` *pending* (not yet admitted) requests of one LS
     /// task, newest first — the controller's graceful-degradation shed
     /// when fleet capacity falls below demand. Returns how many were
@@ -1359,6 +1383,51 @@ mod tests {
         assert!(!sim.advance(&mut policy, None));
         let completed_after: usize = sim.state().stats.ls_completed.iter().map(Vec::len).sum();
         assert_eq!(completed_before, completed_after);
+        let _ = sim.finish(&mut ctx);
+    }
+
+    #[test]
+    fn drain_pending_requeues_queued_work_but_finishes_inflight() {
+        let sc = two_be_scenario(300_000.0);
+        let mut ctx = SimContext::new();
+        let mut policy = Sgdrc::new(&sc.spec, SgdrcConfig::default());
+        let mut sim = ReplicaSim::prepare(&sc, &mut ctx);
+        sim.begin(&mut policy);
+        for i in 0..8 {
+            let at = 1_000.0 + i as f64;
+            assert!(sim.advance(&mut policy, Some(at)));
+            sim.inject_arrival(&mut policy, 0, at);
+        }
+        assert!(sim.advance(&mut policy, Some(2_000.0)));
+        let st = sim.state();
+        let inflight_before: usize = st.inflight.iter().map(VecDeque::len).sum();
+        let pending_before: usize = st.pending.iter().map(VecDeque::len).sum();
+        assert!(inflight_before > 0, "setup: admitted work exists");
+        assert!(pending_before > 0, "setup: queued work exists");
+
+        let done_before = st.stats.ls_completed[0].len();
+
+        let mut drained = Vec::new();
+        sim.state_mut().drain_pending(&mut drained);
+        let st = sim.state();
+        assert_eq!(drained.len(), pending_before, "only pending drained");
+        assert!(drained.iter().all(|&(t, at)| t == 0 && at >= 1_000.0));
+        assert_eq!(
+            st.ls_backlog(),
+            inflight_before,
+            "in-flight requests stay admitted"
+        );
+        assert_eq!(st.stats.ls_requeued, pending_before as u64);
+        // Unlike a crash, the replica keeps serving: every admitted
+        // request completes in place.
+        assert!(sim.state().ls_launch.is_some() || sim.state().be_launch.is_some());
+        while sim.advance(&mut policy, None) {}
+        let done = sim.state().stats.ls_completed[0].len();
+        assert_eq!(
+            done,
+            done_before + inflight_before,
+            "admitted work ran to completion"
+        );
         let _ = sim.finish(&mut ctx);
     }
 

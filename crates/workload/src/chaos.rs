@@ -196,6 +196,24 @@ impl FaultPlan {
         Self::new(Vec::new())
     }
 
+    /// Panics unless every event targets a lane below `n_lanes`
+    /// (`n_init` configured + the rest warm). Out-of-range targets are
+    /// config errors, not silent no-ops — warm-pool lanes are valid
+    /// targets, so a plan can hit a replica mid-provisioning.
+    pub fn validate_targets(&self, n_init: usize, n_lanes: usize) {
+        for ev in &self.events {
+            assert!(
+                ev.replica < n_lanes,
+                "fault plan targets replica {} but the fleet has only {} lanes \
+                 ({} configured + {} warm); fault targets must name a valid lane",
+                ev.replica,
+                n_lanes,
+                n_init,
+                n_lanes - n_init
+            );
+        }
+    }
+
     /// A seeded random plan: about `intensity` faults per replica drawn
     /// from a splitmix64 chain — crash/recovery pairs (a quarter of the
     /// crashes permanent), stalls, stragglers and throttles with

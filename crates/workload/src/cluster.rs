@@ -67,6 +67,10 @@
 
 use crate::calendar::EventCalendar;
 use crate::chaos::{DegradationConfig, FaultOp, FaultPlan, RetryConfig, ScheduledFault};
+use crate::elastic::{
+    provision_delay, ElasticConfig, FleetSignals, ScaleCause, ScaleEvent, ScaleEventKind,
+    ScalingPolicy,
+};
 use crate::metrics::{slo_for, LatencyHistogram};
 use crate::runner::Deployment;
 use crate::sweep::{cell_seed, splitmix64};
@@ -158,6 +162,14 @@ pub struct ClusterConfig {
     /// absent. Requires a running controller (`period_us > 0`), whose
     /// ticks bound the retained window.
     pub streaming: bool,
+    /// Elastic fleet membership: a warm pool of pre-prepared lanes, a
+    /// [`ScalingPolicy`] evaluated at every controller tick, SLO-breach
+    /// draining and crash replacement (see [`crate::elastic`]). `None`
+    /// freezes membership at config time — bit-identical to a build
+    /// without the elastic layer — and so does a no-op config
+    /// (empty warm pool, `min == max == initial`, breach draining and
+    /// replacement off).
+    pub elastic: Option<ElasticConfig>,
 }
 
 impl ClusterConfig {
@@ -182,6 +194,7 @@ impl ClusterConfig {
             clock: ClockKind::default(),
             chaos: None,
             streaming: false,
+            elastic: None,
         }
     }
 
@@ -195,11 +208,27 @@ impl ClusterConfig {
     /// a fixed fleet) prepare once and skip all of it on every
     /// subsequent run.
     pub fn prepare(&self) -> PreparedCluster {
-        let n = self.gpus.len();
-        assert!(n > 0, "a fleet needs at least one replica");
-
-        let deps: Vec<Arc<Deployment>> = self
+        let n_init = self.gpus.len();
+        assert!(n_init > 0, "a fleet needs at least one replica");
+        // The lane universe: configured replicas first, then the warm
+        // pool. Warm lanes are fully prepared here (deployments,
+        // scenarios, SLOs) so run-time activation is pure state flips
+        // behind the provisioning delay.
+        let lane_gpus: Vec<GpuModel> = self
             .gpus
+            .iter()
+            .chain(self.elastic.iter().flat_map(|e| e.warm_pool.gpus.iter()))
+            .copied()
+            .collect();
+        let n = lane_gpus.len();
+        if let Some(e) = &self.elastic {
+            e.validate(n_init, n);
+        }
+        if let Some(plan) = &self.chaos {
+            plan.validate_targets(n_init, n);
+        }
+
+        let deps: Vec<Arc<Deployment>> = lane_gpus
             .iter()
             .map(|&g| Deployment::cached_with_options(g, self.compile))
             .collect();
@@ -229,7 +258,7 @@ impl ClusterConfig {
         };
         // One BE task set per distinct GPU model, shared by its replicas.
         let mut be_sets: Vec<(GpuModel, Arc<[Task]>)> = Vec::new();
-        for (r, &gpu) in self.gpus.iter().enumerate() {
+        for (r, &gpu) in lane_gpus.iter().enumerate() {
             if !be_sets.iter().any(|(g, _)| *g == gpu) {
                 let set: Arc<[Task]> = fleet_models
                     .iter()
@@ -248,13 +277,14 @@ impl ClusterConfig {
             )
         };
 
-        // Initial BE placement: job j starts on replica j mod n,
+        // Initial BE placement: job j starts on replica j mod n_init,
         // scanning forward past replicas that already host its model
-        // (≤ 1 instance of a model per replica).
+        // (≤ 1 instance of a model per replica). Warm lanes start
+        // empty — BE work reaches them only via run-time migration.
         let mut init_jobs_on: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (j, &model) in self.be_jobs.iter().enumerate() {
-            let host = (0..n)
-                .map(|off| (j + off) % n)
+            let host = (0..n_init)
+                .map(|off| (j + off) % n_init)
                 .find(|&r| !init_jobs_on[r].iter().any(|&k| self.be_jobs[k] == model))
                 .unwrap_or_else(|| panic!("BE model {model} has more jobs than replicas"));
             init_jobs_on[host].push(j);
@@ -265,7 +295,7 @@ impl ClusterConfig {
             .map(|r| Scenario {
                 spec: deps[r].spec.clone(),
                 ls: Arc::clone(&deps[r].ls_tasks),
-                be: be_set_of(self.gpus[r]),
+                be: be_set_of(lane_gpus[r]),
                 ls_instances: self.ls_instances,
                 arrivals: Arc::clone(&empty_arrivals),
                 horizon_us: self.horizon_us,
@@ -327,6 +357,8 @@ impl ClusterConfig {
             cfg: self.clone(),
             deps,
             n_ls,
+            n_init,
+            lane_gpus,
             fleet_models,
             init_jobs_on,
             order,
@@ -345,6 +377,11 @@ pub struct PreparedCluster {
     cfg: ClusterConfig,
     deps: Vec<Arc<Deployment>>,
     n_ls: usize,
+    /// Configured (initially Active) lanes; lanes `n_init..` are the
+    /// warm pool.
+    n_init: usize,
+    /// GPU model per lane — configured replicas then warm-pool lanes.
+    lane_gpus: Vec<GpuModel>,
     fleet_models: Vec<usize>,
     init_jobs_on: Vec<Vec<usize>>,
     order: Vec<usize>,
@@ -584,6 +621,10 @@ pub struct ReplicaSummary {
     /// The replica's derived seed (`cell_seed(cluster seed, replica)`),
     /// for downstream per-replica derivations.
     pub seed: u64,
+    /// Total µs this lane was a fleet member (Active or Draining).
+    /// Static fleets report the full horizon; warm lanes that never
+    /// activated report 0.
+    pub active_us: f64,
     /// The full per-GPU statistics, exactly as a single-GPU run would
     /// have produced them. In streaming mode the per-request
     /// `ls_completed` logs are empty (folded into the sketches and
@@ -640,6 +681,30 @@ pub struct ClusterResult {
     /// window into the sketches and reports 0 here (the bench's bounded-
     /// memory gate).
     pub retained_completions: u64,
+    /// Fleet-membership cost: Σ per-lane Active+Draining time, in
+    /// replica·seconds. A static fleet pays `replicas × horizon`; the
+    /// autoscaler's whole point is holding SLO attainment at fewer of
+    /// these.
+    pub replica_seconds: f64,
+    /// Every membership transition the elastic controller performed,
+    /// in order (empty without [`ClusterConfig::elastic`]).
+    pub scale_events: Vec<ScaleEvent>,
+    /// Scale-up / replacement demands satisfied from the warm pool.
+    pub warm_hits: u64,
+    /// Demands that found the warm pool empty.
+    pub warm_misses: u64,
+    /// Σ provisioning delay paid by satisfied demands (µs) — the
+    /// cold-start latency attribution.
+    pub provision_delay_total_us: f64,
+    /// Graceful drains begun (scale-down + SLO-breach).
+    pub drains_started: u64,
+    /// Drained lanes that fully quiesced and retired within the horizon.
+    pub drains_completed: u64,
+    /// Pending LS requests handed back to the router by graceful drains
+    /// (a subset of `requeued`).
+    pub drain_requeued: u64,
+    /// Confirmed-dead lanes replaced from the warm pool.
+    pub replacements: u64,
 }
 
 impl ClusterResult {
@@ -841,11 +906,41 @@ struct Fleet<'s> {
     /// are skipped by both clock schedules, excluded from controller
     /// decisions, and bounce injected requests into the retry queue.
     alive: Vec<bool>,
+    /// GPU model per lane (`PreparedCluster::lane_gpus`).
+    gpus: &'s [GpuModel],
+    /// Lanes the clock may owe work: Active or Draining members.
+    /// Warm, provisioning and retired lanes are frozen — their
+    /// `next_at` is `INFINITY` regardless of policy timers, so neither
+    /// clock schedule ever advances them. Always all-true without an
+    /// elastic config.
+    advancing: Vec<bool>,
+    /// Lanes in the router's view set: Active members only. Draining
+    /// lanes keep advancing (in-flight work finishes in place) but stop
+    /// receiving traffic, BE placements and controller attention.
+    /// Always all-true without an elastic config, making the
+    /// view-compaction below the identity mapping.
+    routable: Vec<bool>,
+    /// View slot → lane id. `views[s]` describes lane `view_lane[s]`;
+    /// the identity mapping while membership is static, so routers —
+    /// which draw over `views.len()` — consume RNG exactly as a
+    /// non-elastic build would.
+    view_lane: Vec<u32>,
+    /// Lane id → view slot (`u32::MAX` = not routable).
+    lane_slot: Vec<u32>,
+    /// Membership has never changed: every lane is routable and the
+    /// slot↔lane mapping is the identity. The static-fleet fast path —
+    /// `refresh` writes `views[r]` directly and `rebuild_views` skips
+    /// the mapping maintenance, restoring the pre-elastic memory
+    /// traffic on the hot path. Cleared (forever) at the first
+    /// provision/drain/retire; false from the start when warm lanes
+    /// exist.
+    identity: bool,
     cal: EventCalendar,
     /// Whether this run's clock selects busy lanes from the calendar
     /// ([`ClockKind::Parallel`]) or the serial linear scan.
     use_cal: bool,
-    /// Router-facing snapshot, in replica-index order. The calendar
+    /// Router-facing snapshot of the *routable* lanes, in ascending
+    /// lane order (slot `s` is lane `view_lane[s]`). The calendar
     /// clock keeps it *incremental*: backlogs patched by every
     /// [`refresh`](Self::refresh), ratio/residency re-derived by
     /// [`rebuild_views`](Self::rebuild_views) at controller ticks and
@@ -874,7 +969,7 @@ impl<'s> Fleet<'s> {
     /// which clock schedule or worker advanced the lane.
     fn refresh(&mut self, r: usize) {
         let cell = &self.cells[r];
-        let next = if self.alive[r] {
+        let next = if self.alive[r] && self.advancing[r] {
             cell.sim
                 .next_pending_at(cell.policy.as_dyn_ref())
                 .unwrap_or(f64::INFINITY)
@@ -889,8 +984,15 @@ impl<'s> Fleet<'s> {
             // Keep the incremental router view current: backlog is the
             // only view field that changes outside controller ticks and
             // fault instants, and every backlog change comes through
-            // here.
-            self.views[r].backlog = backlog as usize;
+            // here. Non-routable lanes have no view slot to patch.
+            if self.identity {
+                self.views[r].backlog = backlog as usize;
+            } else {
+                let s = self.lane_slot[r];
+                if s != u32::MAX {
+                    self.views[s as usize].backlog = backlog as usize;
+                }
+            }
         }
     }
 
@@ -918,7 +1020,14 @@ impl<'s> Fleet<'s> {
         self.backlog[r] = backlog;
         if self.use_cal {
             self.cal.set(r as u32, next);
-            self.views[r].backlog = backlog as usize;
+            if self.identity {
+                self.views[r].backlog = backlog as usize;
+            } else {
+                let s = self.lane_slot[r];
+                if s != u32::MAX {
+                    self.views[s as usize].backlog = backlog as usize;
+                }
+            }
         }
     }
 
@@ -930,21 +1039,14 @@ impl<'s> Fleet<'s> {
     /// by `refresh`); the serial reference clock chases into the cell,
     /// exactly the per-lane pointer walk the pre-SoA clock paid — its
     /// quiesce sweep maintains no mirrors (see [`quiesce`]).
-    fn compute_view(
-        &self,
-        cfg: &ClusterConfig,
-        jobs_on: &[Vec<usize>],
-        rt: &ChaosRt,
-        r: usize,
-        t: f64,
-    ) -> ReplicaView {
+    fn compute_view(&self, jobs_on: &[Vec<usize>], rt: &ChaosRt, r: usize, t: f64) -> ReplicaView {
         let backlog = if self.use_cal {
             self.backlog[r] as usize
         } else {
             self.cells[r].sim.state().ls_backlog()
         };
         ReplicaView {
-            gpu: cfg.gpus[r],
+            gpu: self.gpus[r],
             backlog,
             window_p99_ratio: self.ratio[r],
             resident_be: jobs_on[r].len(),
@@ -958,7 +1060,7 @@ impl<'s> Fleet<'s> {
     /// behavior); the calendar clock only at structural changes —
     /// startup, controller ticks, fault instants — and patches
     /// incrementally in between.
-    fn rebuild_views(&mut self, cfg: &ClusterConfig, jobs_on: &[Vec<usize>], rt: &ChaosRt, t: f64) {
+    fn rebuild_views(&mut self, jobs_on: &[Vec<usize>], rt: &ChaosRt, t: f64) {
         // Mirror oracle: the dense arrays must agree with the live
         // per-lane state a pre-SoA fleet would have read here. Calendar
         // clock only — the serial schedule does not maintain mirrors
@@ -976,10 +1078,30 @@ impl<'s> Fleet<'s> {
         self.views.clear();
         self.n_healthy = 0;
         self.n_dead = 0;
+        if self.identity {
+            // Static membership: the slot↔lane mapping is already the
+            // identity and every lane is routable, so skip the mapping
+            // maintenance (the serial reference clock runs this per
+            // decision instant — the extra O(n) writes are measurable).
+            for r in 0..self.len() {
+                let v = self.compute_view(jobs_on, rt, r, t);
+                self.n_healthy += usize::from(v.healthy);
+                self.n_dead += usize::from(!self.alive[r]);
+                self.views.push(v);
+            }
+            return;
+        }
+        self.view_lane.clear();
         for r in 0..self.len() {
-            let v = self.compute_view(cfg, jobs_on, rt, r, t);
+            if !self.routable[r] {
+                self.lane_slot[r] = u32::MAX;
+                continue;
+            }
+            let v = self.compute_view(jobs_on, rt, r, t);
             self.n_healthy += usize::from(v.healthy);
             self.n_dead += usize::from(!self.alive[r]);
+            self.lane_slot[r] = self.views.len() as u32;
+            self.view_lane.push(r as u32);
             self.views.push(v);
         }
     }
@@ -991,13 +1113,14 @@ impl<'s> Fleet<'s> {
         if self.n_dead == 0 {
             return;
         }
-        for r in 0..self.len() {
+        for s in 0..self.views.len() {
+            let r = self.view_lane[s] as usize;
             if self.alive[r] {
                 continue;
             }
             let healthy = t - rt.last_heartbeat[r] <= rt.heartbeat_timeout_us;
-            if healthy != self.views[r].healthy {
-                self.views[r].healthy = healthy;
+            if healthy != self.views[s].healthy {
+                self.views[s].healthy = healthy;
                 if healthy {
                     self.n_healthy += 1;
                 } else {
@@ -1011,15 +1134,10 @@ impl<'s> Fleet<'s> {
     /// rebuild at `t`, field for field, and the healthy count must match
     /// its population.
     #[cfg(debug_assertions)]
-    fn assert_views_current(
-        &self,
-        cfg: &ClusterConfig,
-        jobs_on: &[Vec<usize>],
-        rt: &ChaosRt,
-        t: f64,
-    ) {
+    fn assert_views_current(&self, jobs_on: &[Vec<usize>], rt: &ChaosRt, t: f64) {
         let fresh: Vec<ReplicaView> = (0..self.len())
-            .map(|r| self.compute_view(cfg, jobs_on, rt, r, t))
+            .filter(|&r| self.routable[r])
+            .map(|r| self.compute_view(jobs_on, rt, r, t))
             .collect();
         debug_assert_eq!(
             self.views, fresh,
@@ -1029,6 +1147,15 @@ impl<'s> Fleet<'s> {
             self.n_healthy,
             fresh.iter().filter(|v| v.healthy).count(),
             "healthy count diverged at t={t}"
+        );
+        debug_assert!(
+            self.view_lane.len() == self.views.len()
+                && self
+                    .view_lane
+                    .iter()
+                    .enumerate()
+                    .all(|(s, &r)| self.lane_slot[r as usize] as usize == s),
+            "view slot ↔ lane mapping diverged at t={t}"
         );
     }
 
@@ -1139,7 +1266,7 @@ fn quiesce(
                 .iter()
                 .enumerate()
                 .filter_map(|(r, cell)| {
-                    if !fleet.alive[r] {
+                    if !fleet.alive[r] || !fleet.advancing[r] {
                         return None;
                     }
                     let at = cell.sim.next_pending_at(cell.policy.as_dyn_ref())?;
@@ -1200,10 +1327,11 @@ fn quiesce(
             }
         }
     } else {
-        // Dead lanes are skipped in both schedules — a crashed replica
-        // must not process policy timers or launch work while down.
+        // Dead and non-member lanes are skipped in both schedules — a
+        // crashed replica must not process policy timers or launch work
+        // while down, and a warm or retired lane is frozen outright.
         for &r in order {
-            if fleet.alive[r] {
+            if fleet.alive[r] && fleet.advancing[r] {
                 fleet.cells[r].advance_to(until);
             }
         }
@@ -1333,6 +1461,502 @@ impl ChaosRt {
     }
 }
 
+/// One lane's membership lifecycle. Configured lanes start `Active`,
+/// warm-pool lanes `Warm`; scale-up moves `Warm → Provisioning →
+/// Active` behind the seeded provisioning delay, graceful scale-down
+/// moves `Active → Draining → Retired`, and crash replacement retires a
+/// confirmed-dead lane directly. `Retired` is terminal — a retired
+/// lane never rejoins (the warm pool provides fresh capacity instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LaneState {
+    Active,
+    Warm,
+    Provisioning,
+    Draining,
+    Retired,
+}
+
+/// The fleet clock's elastic runtime: per-lane lifecycle state, the
+/// provisioning schedule (whose min is the clock's *scale* decision
+/// point), cooldown/breach bookkeeping, and membership accounting.
+/// Instantiated even without an elastic config — everything stays inert
+/// (every lane `Active`, `next_ready_us` infinite) so the clock keeps
+/// one code path and non-elastic runs stay bit-identical.
+struct ElasticRt {
+    enabled: bool,
+    policy: Option<Box<dyn ScalingPolicy>>,
+    state: Vec<LaneState>,
+    /// Activation instant of each lane's membership stint (0 for
+    /// configured lanes).
+    activated_at: Vec<f64>,
+    /// Accumulated Active+Draining µs over *completed* stints; the open
+    /// stint is folded in when the lane retires or the horizon closes.
+    active_us: Vec<f64>,
+    /// Provisioning lanes' ready instants (`INFINITY` otherwise).
+    ready_at: Vec<f64>,
+    /// `min(ready_at)` — the next scale decision point, kept as a
+    /// scalar so the clock's epoch loop pays O(1) for it.
+    next_ready_us: f64,
+    /// First instant each member lane was seen dead (`INFINITY` while
+    /// alive or already written off). Crash replacement fires once
+    /// `t - dead_since >= replace_after_us`.
+    dead_since: Vec<f64>,
+    /// Consecutive controller ticks each Active lane spent above the
+    /// breach-drain ratio.
+    breach_ticks: Vec<u32>,
+    /// Provisioning-delay draw index for the splitmix64 jitter chain.
+    draws: u64,
+    last_up_us: f64,
+    last_down_us: f64,
+    warm_hits: u64,
+    warm_misses: u64,
+    provision_delay_total_us: f64,
+    drains_started: u64,
+    drains_completed: u64,
+    drain_requeued: u64,
+    replacements: u64,
+    events: Vec<ScaleEvent>,
+    /// `arrivals_injected` at the last tick — windows the arrival rate
+    /// signal.
+    prev_arrivals: u64,
+}
+
+impl ElasticRt {
+    fn new(elastic: Option<&ElasticConfig>, n: usize, n_init: usize) -> Self {
+        let mut state = vec![LaneState::Active; n];
+        for s in state.iter_mut().skip(n_init) {
+            *s = LaneState::Warm;
+        }
+        Self {
+            enabled: elastic.is_some(),
+            policy: elastic.map(|e| e.policy.make()),
+            state,
+            activated_at: vec![0.0; n],
+            active_us: vec![0.0; n],
+            ready_at: vec![f64::INFINITY; n],
+            next_ready_us: f64::INFINITY,
+            dead_since: vec![f64::INFINITY; n],
+            breach_ticks: vec![0; n],
+            draws: 0,
+            last_up_us: f64::NEG_INFINITY,
+            last_down_us: f64::NEG_INFINITY,
+            warm_hits: 0,
+            warm_misses: 0,
+            provision_delay_total_us: 0.0,
+            drains_started: 0,
+            drains_completed: 0,
+            drain_requeued: 0,
+            replacements: 0,
+            events: Vec::new(),
+            prev_arrivals: 0,
+        }
+    }
+
+    fn count(&self, s: LaneState) -> usize {
+        self.state.iter().filter(|&&x| x == s).count()
+    }
+
+    fn recompute_next_ready(&mut self) {
+        self.next_ready_us = self.ready_at.iter().copied().fold(f64::INFINITY, f64::min);
+    }
+
+    /// Crash interop: a crash mid-provisioning aborts the scale-up (the
+    /// lane falls back to the warm pool, usable again after recovery);
+    /// a crashed member starts its replacement confirmation window.
+    fn on_crash(&mut self, r: usize, at_us: f64) {
+        if !self.enabled {
+            return;
+        }
+        match self.state[r] {
+            LaneState::Provisioning => {
+                self.state[r] = LaneState::Warm;
+                self.ready_at[r] = f64::INFINITY;
+                self.recompute_next_ready();
+                self.events.push(ScaleEvent {
+                    at_us,
+                    replica: r,
+                    kind: ScaleEventKind::CancelProvision,
+                });
+            }
+            LaneState::Active | LaneState::Draining => {
+                self.dead_since[r] = self.dead_since[r].min(at_us);
+            }
+            LaneState::Warm | LaneState::Retired => {}
+        }
+    }
+
+    fn on_recover(&mut self, r: usize) {
+        if self.enabled {
+            self.dead_since[r] = f64::INFINITY;
+        }
+    }
+}
+
+/// Starts provisioning the lowest-index available warm lane (warm-pool
+/// hit), or records a miss when the pool is exhausted. The delay draw
+/// comes from the run-seeded splitmix64 chain — deterministic per draw
+/// index, independent of clock schedule.
+fn start_provision(
+    ert: &mut ElasticRt,
+    e: &ElasticConfig,
+    seed: u64,
+    t: f64,
+    cause: ScaleCause,
+    alive: &[bool],
+) -> bool {
+    let w = (0..ert.state.len()).find(|&r| ert.state[r] == LaneState::Warm && alive[r]);
+    let Some(w) = w else {
+        ert.warm_misses += 1;
+        return false;
+    };
+    ert.warm_hits += 1;
+    let delay = provision_delay(&e.warm_pool, seed, ert.draws);
+    ert.draws += 1;
+    let ready = t + delay;
+    ert.provision_delay_total_us += delay;
+    ert.state[w] = LaneState::Provisioning;
+    ert.ready_at[w] = ready;
+    ert.next_ready_us = ert.next_ready_us.min(ready);
+    ert.events.push(ScaleEvent {
+        at_us: t,
+        replica: w,
+        kind: ScaleEventKind::Provision {
+            cause,
+            ready_at_us: ready,
+        },
+    });
+    true
+}
+
+/// Removes lane `r` from the fleet for good: folds its open membership
+/// stint into the lifetime accounting and freezes the lane (both clock
+/// schedules skip it from here on). Callers rebuild the router views
+/// before the next routing decision.
+fn retire_lane(fleet: &mut Fleet, ert: &mut ElasticRt, r: usize, t: f64) {
+    ert.active_us[r] += t - ert.activated_at[r];
+    ert.state[r] = LaneState::Retired;
+    fleet.advancing[r] = false;
+    fleet.routable[r] = false;
+    fleet.identity = false;
+    fleet.refresh(r);
+    ert.events.push(ScaleEvent {
+        at_us: t,
+        replica: r,
+        kind: ScaleEventKind::Retire,
+    });
+}
+
+/// Begins a graceful drain of member lane `v`: the lane leaves the
+/// routable set, its queued (not yet admitted) LS requests go back to
+/// the router through the retry machinery in the merged stream's
+/// canonical `(time, task)` order, and its resident BE jobs migrate to
+/// routable survivors with their closed-loop cursors preserved (the
+/// §7.1 parking path — a running kernel gets the eviction flag, not a
+/// cancel). In-flight LS requests keep running here; the lane retires
+/// at the first controller tick that finds it fully quiesced.
+#[allow(clippy::too_many_arguments)]
+fn drain_lane_start(
+    cfg: &ClusterConfig,
+    prep: &PreparedCluster,
+    t: f64,
+    fleet: &mut Fleet,
+    jobs_on: &mut [Vec<usize>],
+    migrations: &mut Vec<Migration>,
+    rt: &mut ChaosRt,
+    ert: &mut ElasticRt,
+    v: usize,
+    cause: ScaleCause,
+) {
+    ert.state[v] = LaneState::Draining;
+    fleet.routable[v] = false;
+    fleet.identity = false;
+    ert.drains_started += 1;
+    ert.events.push(ScaleEvent {
+        at_us: t,
+        replica: v,
+        kind: ScaleEventKind::DrainStart { cause },
+    });
+    let mut drained = std::mem::take(&mut rt.drain_buf);
+    drained.clear();
+    fleet.mutate(v, |cell| cell.sim.state_mut().drain_pending(&mut drained));
+    drained.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    ert.drain_requeued += drained.len() as u64;
+    for &(task, arrival_us) in &drained {
+        rt.requeue(task, arrival_us, t);
+    }
+    rt.drain_buf = drained;
+    let jobs = std::mem::take(&mut jobs_on[v]);
+    for job in jobs {
+        let model = cfg.be_jobs[job];
+        let b = prep
+            .fleet_models
+            .iter()
+            .position(|&m| m == model)
+            .expect("job model is a fleet model");
+        fleet.mutate(v, |cell| {
+            let st = cell.sim.state_mut();
+            st.set_be_active(b, false);
+            if st.be_launch.map(|l| l.task) == Some(b) {
+                st.preempt_be();
+            }
+        });
+        match be_landing_site(cfg, fleet, jobs_on, model, Some(v)) {
+            Some(dst) => {
+                place_be_job(
+                    cfg,
+                    &prep.deps,
+                    &prep.fleet_models,
+                    jobs_on,
+                    fleet,
+                    rt,
+                    job,
+                    dst,
+                );
+                migrations.push(Migration {
+                    at_us: t,
+                    job,
+                    model,
+                    from: v,
+                    to: dst,
+                });
+            }
+            None => rt.homeless.push(job),
+        }
+    }
+}
+
+/// Activates every provisioning lane whose ready instant has arrived —
+/// the handler of the clock's *scale* decision point. Mirrors the
+/// fault-recovery template: the lane's empty engine idles forward to
+/// `t`, the policy dispatches its opening launches, the heartbeat
+/// stamps fresh, and stranded BE jobs get a re-homing pass (a fresh
+/// empty member is the best landing site there is).
+fn activate_ready(
+    cfg: &ClusterConfig,
+    prep: &PreparedCluster,
+    t: f64,
+    fleet: &mut Fleet,
+    jobs_on: &mut [Vec<usize>],
+    rt: &mut ChaosRt,
+    ert: &mut ElasticRt,
+) {
+    let n = fleet.len();
+    for r in 0..n {
+        if ert.state[r] != LaneState::Provisioning || ert.ready_at[r] > t {
+            continue;
+        }
+        ert.state[r] = LaneState::Active;
+        ert.activated_at[r] = t;
+        ert.ready_at[r] = f64::INFINITY;
+        fleet.advancing[r] = true;
+        fleet.routable[r] = true;
+        fleet.identity = false;
+        rt.last_heartbeat[r] = t;
+        fleet.mutate(r, |cell| {
+            cell.sim.state_mut().engine.advance_idle(t);
+            cell.dispatch();
+        });
+        ert.events.push(ScaleEvent {
+            at_us: t,
+            replica: r,
+            kind: ScaleEventKind::Activate,
+        });
+        let homeless = std::mem::take(&mut rt.homeless);
+        for job in homeless {
+            let model = cfg.be_jobs[job];
+            match be_landing_site(cfg, fleet, jobs_on, model, None) {
+                Some(dst) => {
+                    place_be_job(
+                        cfg,
+                        &prep.deps,
+                        &prep.fleet_models,
+                        jobs_on,
+                        fleet,
+                        rt,
+                        job,
+                        dst,
+                    );
+                }
+                None => rt.homeless.push(job),
+            }
+        }
+    }
+    ert.recompute_next_ready();
+}
+
+/// One controller tick's capacity decision, run right after the window
+/// drain (fresh ratios) and before the migration rebalance. Four
+/// phases, each a deterministic index-order scan of fleet state:
+/// retire quiesced drains, replace confirmed-dead members, drain
+/// sustained SLO breachers, then apply the scaling policy's verdict
+/// under the min/max bounds and cooldowns.
+#[allow(clippy::too_many_arguments)]
+fn elastic_step(
+    cfg: &ClusterConfig,
+    prep: &PreparedCluster,
+    t: f64,
+    fleet: &mut Fleet,
+    jobs_on: &mut [Vec<usize>],
+    migrations: &mut Vec<Migration>,
+    rt: &mut ChaosRt,
+    ert: &mut ElasticRt,
+    arrivals_injected: u64,
+    window_done: u64,
+) {
+    let n = fleet.len();
+    let e = cfg.elastic.as_ref().expect("elastic_step needs a config");
+
+    // Phase 1 — retirement: a draining lane with nothing queued or in
+    // flight leaves the fleet. Tick-granular by design: membership
+    // changes only at decision points both clock schedules share.
+    for r in 0..n {
+        if ert.state[r] == LaneState::Draining && fleet.cells[r].sim.state().ls_backlog() == 0 {
+            ert.drains_completed += 1;
+            retire_lane(fleet, ert, r, t);
+        }
+    }
+
+    // Phase 2 — crash replacement: a member dead past the confirmation
+    // window is written off and replaced from the warm pool.
+    // Replacement is capacity-neutral, so bounds and cooldowns do not
+    // apply. Until confirmation the dead lane stays routable — routers
+    // observe its heartbeat staleness and route around it, exactly the
+    // PR 6 semantics.
+    if e.replace_after_us.is_finite() {
+        for r in 0..n {
+            if ert.state[r] != LaneState::Active
+                || fleet.alive[r]
+                || t - ert.dead_since[r] < e.replace_after_us
+            {
+                continue;
+            }
+            ert.dead_since[r] = f64::INFINITY;
+            retire_lane(fleet, ert, r, t);
+            if start_provision(ert, e, cfg.seed, t, ScaleCause::CrashReplace, &fleet.alive) {
+                ert.replacements += 1;
+            }
+        }
+    }
+
+    // Phase 3 — SLO-breach draining: a lane breaching for
+    // `breach_drain_ticks` consecutive windows is drained (worst ratio
+    // first, one per tick) and a warm replacement provisioned.
+    if e.breach_drain_ticks > 0 {
+        for r in 0..n {
+            if ert.state[r] == LaneState::Active
+                && fleet.alive[r]
+                && fleet.ratio[r] > e.breach_drain_ratio
+            {
+                ert.breach_ticks[r] += 1;
+            } else {
+                ert.breach_ticks[r] = 0;
+            }
+        }
+        let victim = (0..n)
+            .filter(|&r| ert.breach_ticks[r] >= e.breach_drain_ticks)
+            .max_by(|&a, &b| fleet.ratio[a].total_cmp(&fleet.ratio[b]).then(b.cmp(&a)));
+        if let Some(v) = victim {
+            let active = ert.count(LaneState::Active);
+            let has_warm = (0..n).any(|r| ert.state[r] == LaneState::Warm && fleet.alive[r]);
+            if active > e.min_replicas || has_warm {
+                ert.breach_ticks[v] = 0;
+                drain_lane_start(
+                    cfg,
+                    prep,
+                    t,
+                    fleet,
+                    jobs_on,
+                    migrations,
+                    rt,
+                    ert,
+                    v,
+                    ScaleCause::SloBreach,
+                );
+                start_provision(ert, e, cfg.seed, t, ScaleCause::SloBreach, &fleet.alive);
+            }
+        }
+    }
+
+    // Phase 4 — the scaling policy, clamped and rate-limited.
+    let active = ert.count(LaneState::Active);
+    let provisioning = ert.count(LaneState::Provisioning);
+    let mut healthy_active = 0usize;
+    let mut warm_available = 0usize;
+    let mut backlog_sum = 0u64;
+    let mut worst = 0.0f64;
+    for r in 0..n {
+        match ert.state[r] {
+            LaneState::Active if fleet.alive[r] => {
+                healthy_active += 1;
+                backlog_sum += u64::from(fleet.backlog[r]);
+                worst = worst.max(fleet.ratio[r]);
+            }
+            LaneState::Warm if fleet.alive[r] => warm_available += 1,
+            _ => {}
+        }
+    }
+    let signals = FleetSignals {
+        at_us: t,
+        active,
+        healthy_active,
+        provisioning,
+        warm_available,
+        window_p99_ratio: worst,
+        window_completions: window_done,
+        window_arrivals: arrivals_injected - ert.prev_arrivals,
+        backlog_per_active: backlog_sum as f64 / active.max(1) as f64,
+    };
+    ert.prev_arrivals = arrivals_injected;
+    let desired = ert
+        .policy
+        .as_ref()
+        .expect("policy exists whenever elastic_step runs")
+        .desired_replicas(&signals)
+        .clamp(e.min_replicas, e.max_replicas);
+    let committed = active + provisioning;
+    if desired > committed {
+        if t - ert.last_up_us >= e.up_cooldown_us {
+            let mut started = false;
+            for _ in committed..desired {
+                if !start_provision(ert, e, cfg.seed, t, ScaleCause::Load, &fleet.alive) {
+                    break;
+                }
+                started = true;
+            }
+            if started {
+                ert.last_up_us = t;
+            }
+        }
+    } else if desired < active && t - ert.last_down_us >= e.down_cooldown_us {
+        // `desired >= min_replicas` after the clamp, so draining down
+        // to it never undershoots the floor.
+        let mut drained_any = false;
+        for _ in desired..active {
+            // Least-loaded lane first; ties scale down the newest.
+            let victim = (0..n)
+                .filter(|&r| ert.state[r] == LaneState::Active && fleet.alive[r])
+                .min_by_key(|&r| (fleet.backlog[r], std::cmp::Reverse(r)));
+            let Some(v) = victim else { break };
+            drain_lane_start(
+                cfg,
+                prep,
+                t,
+                fleet,
+                jobs_on,
+                migrations,
+                rt,
+                ert,
+                v,
+                ScaleCause::Load,
+            );
+            drained_any = true;
+        }
+        if drained_any {
+            ert.last_down_us = t;
+        }
+    }
+}
+
 /// Re-targets an SGDRC replica's policy at its *current* effective spec:
 /// nominal clocks scaled by the engine's clock factor (thermal throttle,
 /// stall, straggler), with `Ch_BE` optionally tracking the resident-BE
@@ -1363,9 +1987,10 @@ fn retune_cell(cfg: &ClusterConfig, dep: &Deployment, resident: usize, cell: &mu
     }
 }
 
-/// The surviving replica a BE job lands on: alive, not already hosting
-/// the model, shortest backlog (ties → lowest index). `None` strands the
-/// job as homeless until a recovery.
+/// The surviving replica a BE job lands on: a routable member, alive,
+/// not already hosting the model, shortest backlog (ties → lowest
+/// index). Draining/warm/retired lanes never receive BE work. `None`
+/// strands the job as homeless until a recovery or an activation.
 fn be_landing_site(
     cfg: &ClusterConfig,
     fleet: &Fleet,
@@ -1377,6 +2002,7 @@ fn be_landing_site(
         .filter(|&d| {
             Some(d) != exclude
                 && fleet.alive[d]
+                && fleet.routable[d]
                 && !jobs_on[d].iter().any(|&k| cfg.be_jobs[k] == model)
         })
         .min_by_key(|&d| (fleet.backlog[d], d))
@@ -1385,6 +2011,7 @@ fn be_landing_site(
 /// Places BE job `job` on replica `dst`: records placement, resumes the
 /// task (unless the job is shed), retunes `Ch_BE` and lets the policy
 /// react.
+#[allow(clippy::too_many_arguments)]
 fn place_be_job(
     cfg: &ClusterConfig,
     deps: &[Arc<Deployment>],
@@ -1427,8 +2054,16 @@ fn apply_fault(
     fleet: &mut Fleet,
     migrations: &mut Vec<Migration>,
     rt: &mut ChaosRt,
+    ert: &mut ElasticRt,
 ) {
     let r = f.replica;
+    // A retired lane left the fleet for good (graceful drain or
+    // crash-replacement write-off): later timeline entries against it —
+    // typically the scheduled recovery of a crash the elastic layer
+    // already replaced — are no-ops.
+    if ert.state[r] == LaneState::Retired {
+        return;
+    }
     match f.op {
         FaultOp::Crash => {
             if !fleet.alive[r] {
@@ -1436,6 +2071,7 @@ fn apply_fault(
             }
             fleet.alive[r] = false;
             rt.faults_injected += 1;
+            ert.on_crash(r, f.at_us);
             // Freeze the heartbeat at the last instant this replica was
             // seen alive — what the per-replica stamp sweep would have
             // left behind. `max` keeps a recovery stamp that postdates
@@ -1486,6 +2122,7 @@ fn apply_fault(
             fleet.alive[r] = true;
             rt.faults_recovered += 1;
             rt.last_heartbeat[r] = f.at_us;
+            ert.on_recover(r);
             // The engine is empty (crash drain cancelled every launch)
             // and stale policy timers are structurally dropped, so
             // idling forward to the recovery instant is safe.
@@ -1544,7 +2181,6 @@ fn apply_fault(
 /// budget. `due` is caller-owned scratch (no per-call allocation).
 #[allow(clippy::too_many_arguments)]
 fn process_retries(
-    cfg: &ClusterConfig,
     t: f64,
     router: &mut dyn RoutingPolicy,
     fleet: &mut Fleet,
@@ -1552,7 +2188,6 @@ fn process_retries(
     due: &mut Vec<Requeue>,
     rt: &mut ChaosRt,
 ) {
-    let n = fleet.len();
     due.clear();
     // Order-preserving extraction — identical sequence to scanning the
     // queue front-to-back and removing due entries in place.
@@ -1577,19 +2212,26 @@ fn process_retries(
         }
         if fleet.use_cal {
             #[cfg(debug_assertions)]
-            fleet.assert_views_current(cfg, jobs_on, rt, t);
+            fleet.assert_views_current(jobs_on, rt, t);
         } else {
-            fleet.rebuild_views(cfg, jobs_on, rt, t);
+            fleet.rebuild_views(jobs_on, rt, t);
         }
         let any_healthy = if fleet.use_cal {
             fleet.n_healthy > 0
         } else {
             fleet.views.iter().any(|v| v.healthy)
         };
+        // With every member drained away (routable set empty) the
+        // healthy count is 0, so the entry backs off like a whole-fleet
+        // outage until a lane activates.
         let target = if any_healthy {
-            let r = router.route(&fleet.views, e.task, t);
-            assert!(r < n, "router picked replica {r} of {n}");
-            Some(r)
+            let slot = router.route(&fleet.views, e.task, t);
+            assert!(
+                slot < fleet.views.len(),
+                "router picked slot {slot} of {}",
+                fleet.views.len()
+            );
+            Some(fleet.view_lane[slot] as usize)
         } else {
             None
         };
@@ -1627,13 +2269,20 @@ fn degrade(
     rt: &mut ChaosRt,
 ) {
     let n = fleet.len();
-    let alive = fleet.alive.iter().filter(|&&a| a).count();
+    // Degradation reasons over the routable membership: non-member
+    // lanes (warm, draining, retired) are neither capacity nor demand.
+    // With a static fleet every lane is routable, so this reduces
+    // exactly to the pre-elastic alive/total accounting.
+    let members = fleet.routable.iter().filter(|&&m| m).count();
+    let alive = (0..n)
+        .filter(|&r| fleet.routable[r] && fleet.alive[r])
+        .count();
     if alive == 0 {
         return;
     }
-    let degraded = alive < n;
+    let degraded = alive < members;
     let backlog: usize = (0..n)
-        .filter(|&r| fleet.alive[r])
+        .filter(|&r| fleet.routable[r] && fleet.alive[r])
         .map(|r| fleet.backlog[r] as usize)
         .sum();
     let per_alive = backlog / alive;
@@ -1641,7 +2290,7 @@ fn degrade(
     // requests when arrivals outrun admission, and as windowed p99
     // breach when the engine itself is the bottleneck. Either one while
     // a replica is down means capacity dropped below demand.
-    let slo_pressure = (0..n).any(|r| fleet.alive[r] && fleet.ratio[r] > 1.0);
+    let slo_pressure = (0..n).any(|r| fleet.routable[r] && fleet.alive[r] && fleet.ratio[r] > 1.0);
     let slot_of = |model: usize| {
         fleet_models
             .iter()
@@ -1649,13 +2298,12 @@ fn degrade(
             .expect("job model is a fleet model")
     };
     if degraded && (per_alive > rt.degradation.shed_be_backlog || slo_pressure) {
-        for r in 0..n {
-            if !fleet.alive[r] {
+        for (r, jobs) in jobs_on.iter().enumerate() {
+            if !fleet.alive[r] || !fleet.routable[r] {
                 continue;
             }
             let mut parked = false;
-            for ji in 0..jobs_on[r].len() {
-                let j = jobs_on[r][ji];
+            for &j in jobs {
                 if rt.job_shed[j] {
                     continue;
                 }
@@ -1676,10 +2324,9 @@ fn degrade(
             }
         }
     } else if !degraded && per_alive * 2 <= rt.degradation.shed_be_backlog && !slo_pressure {
-        for r in 0..n {
+        for (r, jobs) in jobs_on.iter().enumerate() {
             let mut resumed = false;
-            for ji in 0..jobs_on[r].len() {
-                let j = jobs_on[r][ji];
+            for &j in jobs {
                 if !rt.job_shed[j] {
                     continue;
                 }
@@ -1695,7 +2342,7 @@ fn degrade(
     }
     if per_alive > rt.degradation.shed_ls_backlog {
         let victim = (0..n)
-            .filter(|&r| fleet.alive[r])
+            .filter(|&r| fleet.alive[r] && fleet.routable[r])
             .max_by_key(|&r| (fleet.backlog[r], std::cmp::Reverse(r)));
         if let Some(v) = victim {
             let mut budget = rt.degradation.ls_shed_per_tick;
@@ -1736,7 +2383,10 @@ fn controller_rebalance(
     // jobs, and their stale windowed ratio must not attract work.
     let src = (0..n)
         .filter(|&r| {
-            fleet.alive[r] && fleet.ratio[r] > cfg.controller.breach_ratio && !jobs_on[r].is_empty()
+            fleet.alive[r]
+                && fleet.routable[r]
+                && fleet.ratio[r] > cfg.controller.breach_ratio
+                && !jobs_on[r].is_empty()
         })
         .max_by(|&a, &b| {
             fleet.ratio[a].total_cmp(&fleet.ratio[b]).then(b.cmp(&a)) // ties → lower index
@@ -1746,11 +2396,12 @@ fn controller_rebalance(
     // comparator ends on the index, making it a total order — the
     // unstable sort is deterministic and allocation-free.
     dests.clear();
-    dests.extend(
-        (0..n).filter(|&r| {
-            r != src && fleet.alive[r] && fleet.ratio[r] < cfg.controller.headroom_ratio
-        }),
-    );
+    dests.extend((0..n).filter(|&r| {
+        r != src
+            && fleet.alive[r]
+            && fleet.routable[r]
+            && fleet.ratio[r] < cfg.controller.headroom_ratio
+    }));
     dests.sort_unstable_by(|&a, &b| {
         fleet.ratio[a]
             .total_cmp(&fleet.ratio[b])
@@ -1834,6 +2485,10 @@ pub struct ClusterCtx {
     backlog: Vec<u32>,
     ratio: Vec<f64>,
     alive: Vec<bool>,
+    advancing: Vec<bool>,
+    routable: Vec<bool>,
+    view_lane: Vec<u32>,
+    lane_slot: Vec<u32>,
     cal: EventCalendar,
     views: Vec<ReplicaView>,
     busy: Vec<u32>,
@@ -1908,7 +2563,8 @@ pub fn run_cluster_prepared(
     ctx: &mut ClusterCtx,
 ) -> ClusterResult {
     let cfg = &prep.cfg;
-    let n = cfg.gpus.len();
+    let n = prep.lane_gpus.len();
+    let n_init = prep.n_init;
     let n_ls = prep.n_ls;
     if ctx.sims.len() < n {
         ctx.sims.resize_with(n, SimContext::new);
@@ -1932,6 +2588,12 @@ pub fn run_cluster_prepared(
         backlog: std::mem::take(&mut ctx.backlog),
         ratio: std::mem::take(&mut ctx.ratio),
         alive: std::mem::take(&mut ctx.alive),
+        gpus: &prep.lane_gpus,
+        advancing: std::mem::take(&mut ctx.advancing),
+        routable: std::mem::take(&mut ctx.routable),
+        view_lane: std::mem::take(&mut ctx.view_lane),
+        lane_slot: std::mem::take(&mut ctx.lane_slot),
+        identity: n_init == n,
         cal: std::mem::take(&mut ctx.cal),
         use_cal,
         views: std::mem::take(&mut ctx.views),
@@ -1946,24 +2608,42 @@ pub fn run_cluster_prepared(
     fleet.ratio.resize(n, 0.0);
     fleet.alive.clear();
     fleet.alive.resize(n, true);
-    // Placeholder views so `refresh` can patch backlogs during cell
+    // Configured lanes open as members; warm-pool lanes are frozen
+    // until the elastic controller provisions them.
+    fleet.advancing.clear();
+    fleet.advancing.resize(n, false);
+    fleet.routable.clear();
+    fleet.routable.resize(n, false);
+    for r in 0..n_init {
+        fleet.advancing[r] = true;
+        fleet.routable[r] = true;
+    }
+    // Placeholder views (the identity slot↔lane mapping over the
+    // configured lanes) so `refresh` can patch backlogs during cell
     // construction; `rebuild_views` below re-derives every field.
     fleet.views.clear();
-    fleet.views.extend((0..n).map(|r| ReplicaView {
-        gpu: cfg.gpus[r],
-        backlog: 0,
-        window_p99_ratio: 0.0,
-        resident_be: 0,
-        healthy: true,
-    }));
+    fleet.view_lane.clear();
+    fleet.lane_slot.clear();
+    fleet.lane_slot.resize(n, u32::MAX);
+    for r in 0..n_init {
+        fleet.lane_slot[r] = r as u32;
+        fleet.view_lane.push(r as u32);
+        fleet.views.push(ReplicaView {
+            gpu: prep.lane_gpus[r],
+            backlog: 0,
+            window_p99_ratio: 0.0,
+            resident_be: 0,
+            healthy: true,
+        });
+    }
     fleet.cal.reset(n, prep.cal_width_us, CAL_SLOTS);
 
-    for r in 0..n {
+    for (r, jobs) in jobs_on.iter().enumerate() {
         let policy = match cfg.system {
             SystemKind::Sgdrc => {
                 let mut pcfg = cfg.sgdrc.clone();
                 if cfg.controller.adaptive_ch_be {
-                    pcfg.ch_be = ch_be_for(cfg.sgdrc.ch_be, jobs_on[r].len());
+                    pcfg.ch_be = ch_be_for(cfg.sgdrc.ch_be, jobs.len());
                 }
                 PolicySlot::Sgdrc(Sgdrc::new(&prep.deps[r].spec, pcfg))
             }
@@ -1980,7 +2660,7 @@ pub fn run_cluster_prepared(
         // Park every BE task not initially placed here *before* the first
         // dispatch, so the opening launches match the placement.
         for (b, &model) in prep.fleet_models.iter().enumerate() {
-            let resident = jobs_on[r].iter().any(|&k| cfg.be_jobs[k] == model);
+            let resident = jobs.iter().any(|&k| cfg.be_jobs[k] == model);
             sim.state_mut().set_be_active(b, resident);
         }
         let store = std::mem::take(&mut ctx.stores[r]);
@@ -2021,8 +2701,10 @@ pub fn run_cluster_prepared(
     let mut due = std::mem::take(&mut ctx.due);
     let mut dests = std::mem::take(&mut ctx.dests);
     let chaos_on = cfg.chaos.is_some();
+    let elastic_on = cfg.elastic.is_some();
     let mut rt = ChaosRt::new(cfg.chaos.as_ref(), n, cfg.be_jobs.len());
-    fleet.rebuild_views(cfg, &jobs_on, &rt, 0.0);
+    let mut ert = ElasticRt::new(cfg.elastic.as_ref(), n, n_init);
+    fleet.rebuild_views(&jobs_on, &rt, 0.0);
 
     let period = cfg.controller.period_us;
     let mut next_tick = if period > 0.0 { period } else { f64::INFINITY };
@@ -2033,12 +2715,15 @@ pub fn run_cluster_prepared(
         let t_arr = arrival.map_or(f64::INFINITY, |a| a.at_us);
         let t_fault = rt.next_fault_at();
         let t_retry = rt.next_retry_at();
+        let t_scale = ert.next_ready_us;
         // Decision-point priority at equal instants is fixed — fault,
-        // then controller tick, then retry re-dispatch, then arrival —
-        // so both clock schedules interleave identically. Without a
-        // fault plan `t_fault`/`t_retry` are infinite and every
+        // then provisioning completion, then controller tick, then
+        // retry re-dispatch, then arrival — so both clock schedules
+        // interleave identically. Without a fault plan or elastic
+        // config `t_fault`/`t_retry`/`t_scale` are infinite and every
         // condition reduces exactly to the pre-chaos clock.
-        let fault_due = t_fault <= t_arr
+        let fault_due = t_fault <= t_scale
+            && t_fault <= t_arr
             && t_fault <= next_tick
             && t_fault <= t_retry
             && t_fault <= cfg.horizon_us;
@@ -2072,12 +2757,54 @@ pub fn run_cluster_prepared(
                 &mut fleet,
                 &mut migrations,
                 &mut rt,
+                &mut ert,
             );
             // Faults restructure everything a view reads — aliveness,
             // residency, drained backlogs — so the incremental snapshot
             // re-bases here. O(replicas), but fault instants are rare.
             if fleet.use_cal {
-                fleet.rebuild_views(cfg, &jobs_on, &rt, f.at_us);
+                fleet.rebuild_views(&jobs_on, &rt, f.at_us);
+            }
+            continue;
+        }
+        let scale_due = t_scale <= next_tick
+            && t_scale <= t_retry
+            && t_scale <= t_arr
+            && t_scale <= cfg.horizon_us;
+        if scale_due {
+            // A provisioning lane finished its warm-up delay: quiesce
+            // the fleet to that instant and flip the lane routable.
+            quiesce(
+                &mut fleet,
+                &mut busy,
+                &mut hints,
+                order,
+                pool_par,
+                cfg.horizon_us,
+                Some(t_scale),
+            );
+            if !fleet.use_cal {
+                // Activation re-homes homeless BE jobs off the dense
+                // backlog mirrors, which the serial quiesce leaves
+                // stale; sweep them current at this rare instant.
+                for r in 0..n {
+                    fleet.refresh(r);
+                }
+            }
+            rt.last_decision_us = t_scale;
+            activate_ready(
+                cfg,
+                prep,
+                t_scale,
+                &mut fleet,
+                &mut jobs_on,
+                &mut rt,
+                &mut ert,
+            );
+            // Activation grows the routable set, so the compact views
+            // re-base; O(replicas) but activation instants are rare.
+            if fleet.use_cal {
+                fleet.rebuild_views(&jobs_on, &rt, t_scale);
             }
             continue;
         }
@@ -2103,15 +2830,34 @@ pub fn run_cluster_prepared(
                 }
             }
             rt.last_decision_us = next_tick;
+            let mut window_done = 0u64;
             for r in 0..n {
                 let cell = &mut fleet.cells[r];
                 cell.drain(&prep.slos[r], cfg.streaming);
+                window_done += cell.win_hist.count();
                 fleet.ratio[r] = if cell.win_hist.is_empty() {
                     0.0
                 } else {
                     cell.win_hist.percentile(99.0)
                 };
                 cell.win_hist.reset();
+            }
+            if elastic_on {
+                // Capacity decisions run before rebalance/degradation so
+                // the migration controller sees the post-scaling
+                // membership at this same tick.
+                elastic_step(
+                    cfg,
+                    prep,
+                    next_tick,
+                    &mut fleet,
+                    &mut jobs_on,
+                    &mut migrations,
+                    &mut rt,
+                    &mut ert,
+                    arrivals_injected,
+                    window_done,
+                );
             }
             controller_rebalance(
                 cfg,
@@ -2140,7 +2886,7 @@ pub fn run_cluster_prepared(
             // lane to drain completions, so this adds no complexity
             // class.
             if fleet.use_cal {
-                fleet.rebuild_views(cfg, &jobs_on, &rt, next_tick);
+                fleet.rebuild_views(&jobs_on, &rt, next_tick);
             }
             next_tick += period;
             continue;
@@ -2157,9 +2903,7 @@ pub fn run_cluster_prepared(
                 Some(t_retry),
             );
             rt.last_decision_us = t_retry;
-            process_retries(
-                cfg, t_retry, router, &mut fleet, &jobs_on, &mut due, &mut rt,
-            );
+            process_retries(t_retry, router, &mut fleet, &jobs_on, &mut due, &mut rt);
             continue;
         }
         if !(arrival.is_some() && t_arr <= cfg.horizon_us) {
@@ -2189,23 +2933,30 @@ pub fn run_cluster_prepared(
         if fleet.use_cal {
             fleet.patch_health(&rt, a.at_us);
             #[cfg(debug_assertions)]
-            fleet.assert_views_current(cfg, &jobs_on, &rt, a.at_us);
+            fleet.assert_views_current(&jobs_on, &rt, a.at_us);
         } else {
-            fleet.rebuild_views(cfg, &jobs_on, &rt, a.at_us);
+            fleet.rebuild_views(&jobs_on, &rt, a.at_us);
         }
         let any_healthy = if fleet.use_cal {
             fleet.n_healthy > 0
         } else {
             fleet.views.iter().any(|v| v.healthy)
         };
-        if chaos_on && !any_healthy {
-            // Whole fleet unhealthy: the request parks in the retry
-            // queue instead of being forced onto a dead replica.
+        let no_target = fleet.views.is_empty();
+        if no_target || (chaos_on && !any_healthy) {
+            // Whole fleet unhealthy (or every lane drained away):
+            // the request parks in the retry queue instead of being
+            // forced onto a dead replica.
             rt.requeue(a.task as usize, a.at_us, a.at_us);
             continue;
         }
-        let target = router.route(&fleet.views, a.task as usize, a.at_us);
-        assert!(target < n, "router picked replica {target} of {n}");
+        let slot = router.route(&fleet.views, a.task as usize, a.at_us);
+        debug_assert!(
+            slot < fleet.views.len(),
+            "router picked slot {slot} of {}",
+            fleet.views.len()
+        );
+        let target = fleet.view_lane[slot] as usize;
         if fleet.alive[target] {
             fleet.mutate(target, |cell| cell.inject(a.task as usize, a.at_us));
         } else {
@@ -2239,6 +2990,14 @@ pub fn run_cluster_prepared(
         + rt.retry_q.len() as u64;
 
     // --- aggregate --------------------------------------------------------
+    // Close the billing stint for every lane still serving at the
+    // horizon; retired lanes already billed up to their retire instant.
+    for r in 0..n {
+        if matches!(ert.state[r], LaneState::Active | LaneState::Draining) {
+            ert.active_us[r] += cfg.horizon_us - ert.activated_at[r];
+        }
+    }
+    let replica_seconds = ert.active_us.iter().sum::<f64>() / 1e6;
     let mut result = ClusterResult {
         replicas: Vec::with_capacity(n),
         fleet_hist: LatencyHistogram::new(),
@@ -2260,6 +3019,15 @@ pub fn run_cluster_prepared(
         faults_recovered: rt.faults_recovered,
         redispatch_hist: rt.redispatch_hist,
         retained_completions: 0,
+        replica_seconds,
+        scale_events: ert.events,
+        warm_hits: ert.warm_hits,
+        warm_misses: ert.warm_misses,
+        provision_delay_total_us: ert.provision_delay_total_us,
+        drains_started: ert.drains_started,
+        drains_completed: ert.drains_completed,
+        drain_requeued: ert.drain_requeued,
+        replacements: ert.replacements,
     };
     for (r, cell) in fleet.cells.drain(..).enumerate() {
         let LaneCell {
@@ -2302,13 +3070,14 @@ pub fn run_cluster_prepared(
         result.be_preemptions += stats.be_preemptions;
         result.engine_events += stats.engine_events;
         result.replicas.push(ReplicaSummary {
-            gpu: cfg.gpus[r],
+            gpu: prep.lane_gpus[r],
             routed,
             requests,
             slo_met,
             hist,
             seed: cell_seed(cfg.seed, r as u64),
             stats,
+            active_us: ert.active_us[r],
         });
     }
     result.goodput_hz = result.slo_met as f64 / (cfg.horizon_us / 1e6);
@@ -2320,6 +3089,10 @@ pub fn run_cluster_prepared(
     ctx.alive = fleet.alive;
     ctx.cal = fleet.cal;
     ctx.views = fleet.views;
+    ctx.advancing = fleet.advancing;
+    ctx.routable = fleet.routable;
+    ctx.view_lane = fleet.view_lane;
+    ctx.lane_slot = fleet.lane_slot;
     ctx.busy = busy;
     ctx.hints = hints;
     ctx.due = due;

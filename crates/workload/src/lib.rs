@@ -6,12 +6,14 @@
 //! deploys the Tab. 3 zoo against every system ([`runner`]), the
 //! cluster-scale short-cell sweep engine ([`sweep`]), the multi-GPU
 //! fleet simulator with SLO-aware routing and dynamic BE placement
-//! ([`cluster`]), and deterministic fault injection with
-//! requeue-on-crash resilience ([`chaos`]).
+//! ([`cluster`]), deterministic fault injection with
+//! requeue-on-crash resilience ([`chaos`]), and warm-pool autoscaling
+//! with SLO-breach draining and crash replacement ([`elastic`]).
 
 pub mod calendar;
 pub mod chaos;
 pub mod cluster;
+pub mod elastic;
 pub mod metrics;
 pub mod runner;
 pub mod sweep;
@@ -23,6 +25,10 @@ pub use cluster::{
     run_cluster, run_cluster_in, run_cluster_prepared, ClockKind, ClusterConfig, ClusterCtx,
     ClusterResult, ControllerConfig, JoinShortestBacklog, PreparedCluster, ReplicaView, RoundRobin,
     RouterKind, RoutingPolicy, SloAwarePowerOfTwo,
+};
+pub use elastic::{
+    ElasticConfig, FleetSignals, HoldPolicy, ScaleCause, ScaleEvent, ScaleEventKind, ScalingPolicy,
+    ScalingPolicyKind, ThresholdPolicy, WarmPoolConfig,
 };
 pub use metrics::{ls_metrics, percentile, slo_for, LatencyHistogram, LsMetrics, SystemResult};
 pub use runner::{run_cell, run_system, Deployment, EndToEndConfig, Load, SystemKind};

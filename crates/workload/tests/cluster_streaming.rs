@@ -13,6 +13,7 @@
 use gpu_spec::GpuModel;
 use workload::chaos::{FaultEvent, FaultPlan};
 use workload::cluster::{ClockKind, ClusterConfig, ControllerConfig, RouterKind};
+use workload::elastic::{ElasticConfig, ScalingPolicyKind, ThresholdPolicy, WarmPoolConfig};
 use workload::trace::TraceConfig;
 use workload::SystemKind;
 
@@ -141,4 +142,51 @@ fn streaming_without_controller_is_rejected() {
     cfg.streaming = true;
     cfg.controller.period_us = 0.0;
     let _ = run(&cfg, RouterKind::RoundRobin);
+}
+
+/// Elastic membership churn (warm-pool provisions, drains, retires)
+/// composes with streaming: stripping the retained run's completion
+/// logs still yields the streaming run exactly — scale events, warm
+/// hit/miss counters, replica-seconds and all — and both clocks stay
+/// bit-identical while lanes join and leave mid-run.
+#[test]
+fn streaming_equals_retained_under_elasticity() {
+    let mut retained_cfg = base_cfg();
+    retained_cfg.trace = TraceConfig::apollo_like().scaled(3.0).with_bursts(2.0, 0.4);
+    let mut e = ElasticConfig::new(
+        WarmPoolConfig {
+            provision_delay_us: 5e3,
+            provision_jitter: 0.2,
+            ..WarmPoolConfig::new(vec![GpuModel::RtxA2000, GpuModel::RtxA2000])
+        },
+        ScalingPolicyKind::Threshold(ThresholdPolicy {
+            up_backlog: 2.0,
+            down_backlog: 6.0,
+            ..Default::default()
+        }),
+    );
+    e.min_replicas = 2;
+    retained_cfg.elastic = Some(e);
+    let mut streaming_cfg = retained_cfg.clone();
+    streaming_cfg.streaming = true;
+
+    let retained = run(&retained_cfg, RouterKind::P2cSlo);
+    let streaming = run(&streaming_cfg, RouterKind::P2cSlo);
+
+    assert!(
+        !retained.scale_events.is_empty(),
+        "the scenario must actually exercise membership churn"
+    );
+    assert_eq!(streaming.retained_completions, 0);
+    assert_eq!(strip_retained(retained), streaming);
+
+    for system in [SystemKind::Sgdrc, SystemKind::Tgs] {
+        let mut c = streaming_cfg.clone();
+        c.system = system;
+        c.clock = ClockKind::Serial;
+        let serial = run(&c, RouterKind::ShortestBacklog);
+        c.clock = ClockKind::Parallel;
+        let parallel = run(&c, RouterKind::ShortestBacklog);
+        assert_eq!(serial, parallel, "{}", system.name());
+    }
 }
