@@ -28,14 +28,18 @@
 
 use gpu_spec::GpuModel;
 use sgdrc_bench::json::Json;
+use sgdrc_bench::trace_export::{perfetto_trace, validate_trace};
 use std::time::Instant;
 use workload::chaos::{FaultEvent, FaultKind, FaultPlan};
-use workload::cluster::{ClockKind, ClusterConfig, ClusterCtx, ControllerConfig, RouterKind};
+use workload::cluster::{
+    ClockKind, ClusterConfig, ClusterCtx, ClusterResult, ControllerConfig, RouterKind,
+};
 use workload::elastic::{
     ElasticConfig, ScaleCause, ScaleEventKind, ScalingPolicyKind, ThresholdPolicy, WarmPoolConfig,
 };
 use workload::runner::Deployment;
 use workload::sweep::{run_sweep, SweepGrid, SweepOptions};
+use workload::telemetry::TelemetryConfig;
 use workload::trace::TraceConfig;
 use workload::SystemKind;
 
@@ -492,6 +496,174 @@ fn run_elastic_bench(smoke: bool, ctx: &mut ClusterCtx) -> (Json, bool) {
                 .set("frontier_enforced", !smoke),
         );
     (json, gates_ok)
+}
+
+/// The telemetry section: the flight recorder's contracts measured on
+/// the smoke-scale chaos scenario (crash at midpoint, recovery after a
+/// quarter horizon — a trace with faults, requeues, retries and
+/// migrations on it).
+///
+/// 1. **Bit-identity** (hard assert, every mode): a recorder-on run
+///    stripped of its telemetry payload equals the recorder-off run on
+///    every `ClusterResult` field.
+/// 2. **Overhead ≤5%** (gated): wall clock of the recorder-on arm vs
+///    the recorder-off arm — min of seven runs each, *interleaved*
+///    (off, on, off, on, …) after a warmup pair, so box-load drift
+///    lands on both arms equally instead of biasing whichever arm ran
+///    second.
+/// 3. **Trace export** (with `--trace <path>`): the recorder-on run as
+///    a Perfetto `trace.json`, schema-validated *and* re-parsed through
+///    the JSON syntax scanner before writing.
+fn run_telemetry_bench(trace_path: Option<&str>, ctx: &mut ClusterCtx) -> (Json, bool) {
+    sgdrc_bench::header("telemetry — flight recorder overhead + trace export");
+    let horizon = 5e5;
+    let mut cfg = ClusterConfig::new(headline_fleet(), SystemKind::Sgdrc);
+    cfg.horizon_us = horizon;
+    cfg.trace = fleet_trace(5.5, horizon);
+    cfg.controller = ControllerConfig {
+        period_us: 5e4,
+        adaptive_ch_be: true,
+        ..Default::default()
+    };
+    cfg.chaos = Some(FaultPlan::new(vec![FaultEvent::crash(
+        0,
+        0.5 * horizon,
+        0.25 * horizon,
+    )]));
+    let mut on_cfg = cfg.clone();
+    on_cfg.telemetry = Some(TelemetryConfig::default());
+
+    let prep_off = cfg.prepare();
+    let prep_on = on_cfg.prepare();
+    let seed = cfg.seed;
+    let run = |prep: &workload::PreparedCluster, ctx: &mut ClusterCtx| -> (ClusterResult, f64) {
+        let mut router = RouterKind::ShortestBacklog.make(seed);
+        let t0 = Instant::now();
+        let r = workload::run_cluster_prepared(prep, router.as_mut(), ctx);
+        let dt = t0.elapsed().as_secs_f64();
+        (r, dt)
+    };
+    // Warm both arms (context high-water marks, page cache), then time
+    // them interleaved: min-of-7 per arm over the same wall window, so
+    // a box-load spike cannot bias one arm.
+    run(&prep_off, ctx);
+    run(&prep_on, ctx);
+    let (mut off_s, mut on_s) = (f64::INFINITY, f64::INFINITY);
+    let (mut off, mut on) = (None, None);
+    for _ in 0..7 {
+        let (r, t) = run(&prep_off, ctx);
+        off_s = off_s.min(t);
+        off = Some(r);
+        let (r, t) = run(&prep_on, ctx);
+        on_s = on_s.min(t);
+        on = Some(r);
+    }
+    let (off, on) = (off.expect("seven runs"), on.expect("seven runs"));
+
+    // Contract 1: the recorder observes, it never steers.
+    let mut stripped = on.clone();
+    stripped.telemetry = None;
+    assert_eq!(
+        stripped, off,
+        "recorder-on run diverged from the recorder-off run"
+    );
+
+    let tel = on.telemetry.as_ref().expect("recorder was enabled");
+    let overhead = on_s / off_s - 1.0;
+    let overhead_ok = overhead <= 0.05;
+    let prof = &tel.profile;
+    println!(
+        "recorder off {off_s:>6.3}s | on {on_s:>6.3}s | overhead {:>+5.1}% (gate ≤5%: {overhead_ok})",
+        overhead * 100.0
+    );
+    println!(
+        "events {} (dropped {}) | ticks {} | series {} | epochs {} | lanes advanced {}",
+        tel.events.len(),
+        tel.dropped_events,
+        tel.tick_us.len(),
+        tel.series.len(),
+        prof.epochs,
+        prof.lanes_advanced,
+    );
+    println!(
+        "phase ms: collect {:.2} advance {:.2} route {:.2} tick {:.2} merge {:.2} telemetry {:.2} total {:.2}",
+        prof.collect_ns as f64 / 1e6,
+        prof.advance_ns as f64 / 1e6,
+        prof.route_ns as f64 / 1e6,
+        prof.tick_ns as f64 / 1e6,
+        prof.merge_ns as f64 / 1e6,
+        prof.telemetry_ns as f64 / 1e6,
+        prof.total_ns as f64 / 1e6,
+    );
+
+    let mut trace_json = Json::obj().set("exported", false);
+    if let Some(path) = trace_path {
+        let doc = perfetto_trace(&on).expect("recorder-on run carries telemetry");
+        validate_trace(&doc).expect("exported trace is well-formed");
+        let text = doc.pretty();
+        sgdrc_bench::json::validate(&text).expect("exported trace is valid JSON");
+        let n_events = match &doc {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == "traceEvents")
+                .map(|(_, v)| match v {
+                    Json::Arr(a) => a.len(),
+                    _ => 0,
+                })
+                .unwrap_or(0),
+            _ => 0,
+        };
+        std::fs::write(path, &text).expect("write trace file");
+        println!("wrote {path} ({n_events} trace events) — open at https://ui.perfetto.dev");
+        trace_json = Json::obj()
+            .set("exported", true)
+            .set("path", path)
+            .set("trace_events", n_events)
+            .set("validated", true);
+    }
+
+    let section = Json::obj()
+        .set(
+            "scenario",
+            Json::obj()
+                .set("system", "SGDRC")
+                .set("router", "shortest_backlog")
+                .set("horizon_us", horizon)
+                .set("fault", "crash replica 0 at 50%, recover after 25%"),
+        )
+        .set(
+            "recorder",
+            Json::obj()
+                .set("ring_capacity", tel.ring_capacity)
+                .set("events", tel.events.len())
+                .set("dropped_events", tel.dropped_events)
+                .set("ticks", tel.tick_us.len())
+                .set("series", tel.series.len()),
+        )
+        .set(
+            "profile_ms",
+            Json::obj()
+                .set("epochs", prof.epochs)
+                .set("lanes_advanced", prof.lanes_advanced)
+                .set("collect", prof.collect_ns as f64 / 1e6)
+                .set("advance", prof.advance_ns as f64 / 1e6)
+                .set("route", prof.route_ns as f64 / 1e6)
+                .set("tick", prof.tick_ns as f64 / 1e6)
+                .set("merge", prof.merge_ns as f64 / 1e6)
+                .set("telemetry", prof.telemetry_ns as f64 / 1e6)
+                .set("total", prof.total_ns as f64 / 1e6),
+        )
+        .set(
+            "overhead",
+            Json::obj()
+                .set("off_wall_s", off_s)
+                .set("on_wall_s", on_s)
+                .set("overhead_frac", overhead)
+                .set("bit_identical", true)
+                .set("overhead_le_5pct", overhead_ok),
+        )
+        .set("trace", trace_json);
+    (section, overhead_ok)
 }
 
 /// A few µs of deterministic integer churn — the "small task" of the
@@ -1320,6 +1492,14 @@ fn main() {
         (Json::obj().set("skipped", true), true)
     };
 
+    // --- telemetry: flight recorder contracts + optional trace export -----
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let (telemetry_json, telemetry_ok) = run_telemetry_bench(trace_path.as_deref(), &mut ctxs);
+
     let doc = Json::obj()
         .set("benchmark", "cluster_fleet")
         .set("smoke", smoke)
@@ -1389,6 +1569,7 @@ fn main() {
         )
         .set("chaos", chaos_json)
         .set("elastic", elastic_json)
+        .set("telemetry", telemetry_json)
         .set("detected_cpus", detected_cpus)
         .set("worker_threads", worker_threads)
         .set("sgdrc_threads_env", threads.env_json());
@@ -1418,6 +1599,13 @@ fn main() {
     // frontier gates only full runs — decided inside `run_elastic_bench`.
     if elastic_enabled && !elastic_ok {
         eprintln!("WARNING: elastic gate failed (see elastic section of BENCH_cluster.json)");
+        std::process::exit(1);
+    }
+    // Telemetry gate: bit-identity is hard-asserted inside the section;
+    // the ≤5% recorder overhead binds in every mode (the scenario is
+    // smoke-scale by construction, min-of-5 damps scheduler noise).
+    if !telemetry_ok {
+        eprintln!("WARNING: flight recorder overhead exceeded 5% (see telemetry section)");
         std::process::exit(1);
     }
     if !smoke && best_alt >= rr {

@@ -183,6 +183,188 @@ impl From<Vec<Json>> for Json {
     }
 }
 
+/// Checks that `text` is exactly one syntactically well-formed JSON
+/// document (trailing whitespace allowed). A minimal recursive-descent
+/// scanner — no values are built — used by the trace-export CI check to
+/// prove the hand-rolled writer emitted parseable output.
+pub fn validate(text: &str) -> Result<(), String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    scan_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(())
+}
+
+/// Nesting depth bound for the scanner — far above anything the bench
+/// writers produce, low enough to never blow the stack on crafted input.
+const MAX_DEPTH: usize = 128;
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn scan_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+    }
+    let Some(&c) = b.get(*pos) else {
+        return Err(format!("unexpected end of input at byte {pos}"));
+    };
+    match c {
+        b'{' => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, pos);
+                scan_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                skip_ws(b, pos);
+                scan_value(b, pos, depth + 1)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(&b',') => *pos += 1,
+                    Some(&b'}') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, pos);
+                scan_value(b, pos, depth + 1)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(&b',') => *pos += 1,
+                    Some(&b']') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        b'"' => scan_string(b, pos),
+        b't' => scan_lit(b, pos, "true"),
+        b'f' => scan_lit(b, pos, "false"),
+        b'n' => scan_lit(b, pos, "null"),
+        b'-' | b'0'..=b'9' => scan_number(b, pos),
+        other => Err(format!("unexpected byte {:?} at byte {pos}", other as char)),
+    }
+}
+
+fn scan_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}"))
+    }
+}
+
+fn scan_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected '\"' at byte {pos}"));
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match b.get(*pos) {
+                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
+                                _ => return Err(format!("bad \\u escape at byte {pos}")),
+                            }
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+            }
+            c if c < 0x20 => {
+                return Err(format!(
+                    "raw control byte 0x{c:02x} in string at byte {pos}"
+                ));
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn scan_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| {
+        let from = *pos;
+        while matches!(b.get(*pos), Some(d) if d.is_ascii_digit()) {
+            *pos += 1;
+        }
+        *pos > from
+    };
+    // Integer part: `0` alone or a non-zero digit run (no leading zeros).
+    match b.get(*pos) {
+        Some(b'0') => {
+            *pos += 1;
+            if matches!(b.get(*pos), Some(d) if d.is_ascii_digit()) {
+                return Err(format!("leading zero at byte {start}"));
+            }
+        }
+        Some(d) if d.is_ascii_digit() => {
+            digits(b, pos);
+        }
+        _ => return Err(format!("malformed number at byte {start}")),
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(b, pos) {
+            return Err(format!("malformed number at byte {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(b, pos) {
+            return Err(format!("malformed number at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
 /// Serializes one end-to-end [`SystemResult`] (the `fig17_results.json`
 /// schema previously produced via serde).
 pub fn system_result_json(r: &workload::SystemResult) -> Json {
@@ -246,5 +428,57 @@ mod tests {
     fn set_overwrites() {
         let doc = Json::obj().set("a", 1u64).set("a", 2u64);
         assert!(doc.pretty().contains("\"a\": 2"));
+    }
+
+    #[test]
+    fn escapes_every_special_string() {
+        // Quotes, backslashes, the named control escapes and the \uXXXX
+        // fallback — round-tripped through the validator so the escaped
+        // form is provably parseable.
+        let nasty = "q\"q b\\b n\nn t\tt r\rr nul\u{0}bel\u{7}esc\u{1b}hi\u{1f}é✓";
+        let mut out = String::new();
+        write_escaped(&mut out, nasty);
+        assert_eq!(
+            out,
+            "\"q\\\"q b\\\\b n\\nn t\\tt r\\rr nul\\u0000bel\\u0007esc\\u001bhi\\u001fé✓\""
+        );
+        validate(&out).expect("escaped string parses");
+        let doc = Json::obj().set(nasty, nasty).pretty();
+        validate(&doc).expect("escaped keys and values parse");
+        assert!(!doc.contains('\u{0}'), "raw control byte leaked");
+    }
+
+    #[test]
+    fn validator_accepts_writer_output() {
+        let doc = Json::obj()
+            .set("s", "a\"b\\c\nd")
+            .set("nan", f64::NAN)
+            .set("neg", -2.5)
+            .set("exp", 1.5e300)
+            .set(
+                "arr",
+                Json::Arr(vec![Json::Null, Json::Bool(true), Json::obj()]),
+            );
+        validate(&doc.pretty()).expect("writer output is well-formed");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "{\"a\": 1} x",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "\"raw \u{1} ctrl\"",
+            "01",
+            "1.",
+            "--1",
+            "nul",
+        ] {
+            assert!(validate(bad).is_err(), "accepted {bad:?}");
+        }
     }
 }

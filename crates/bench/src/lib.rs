@@ -9,6 +9,7 @@
 //! environment has no network access, so serde is not available.
 
 pub mod json;
+pub mod trace_export;
 
 /// Prints a section header in a uniform style.
 pub fn header(title: &str) {

@@ -469,6 +469,21 @@ impl<'s> ServingState<'s> {
         self.backlog
     }
 
+    /// Number of LS requests admitted and in flight (excluding the
+    /// pending queue) — the fleet telemetry layer samples this as a
+    /// per-lane gauge at controller ticks. O(1) in fast mode.
+    pub fn ls_inflight(&self) -> usize {
+        if self.mode == ServingMode::Fast {
+            debug_assert_eq!(
+                self.inflight_total,
+                self.inflight.iter().map(VecDeque::len).sum::<usize>(),
+                "incremental inflight counter drifted from the queues"
+            );
+            return self.inflight_total;
+        }
+        self.inflight.iter().map(VecDeque::len).sum()
+    }
+
     /// Is any LS kernel ready to launch? O(1) in fast mode; the seed
     /// path re-scans every queue, as the seed serving state did.
     pub fn ls_ready(&self) -> bool {

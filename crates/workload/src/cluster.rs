@@ -74,6 +74,9 @@ use crate::elastic::{
 use crate::metrics::{slo_for, LatencyHistogram};
 use crate::runner::Deployment;
 use crate::sweep::{cell_seed, splitmix64};
+use crate::telemetry::{
+    EventKind, RequeueCause, TelemetryConfig, TelemetryResult, TelemetryRt, FLEET_TRACK,
+};
 use crate::trace::{per_service_traces, ArrivalStream, TraceConfig};
 use crate::SystemKind;
 use dnn::CompileOptions;
@@ -170,6 +173,13 @@ pub struct ClusterConfig {
     /// (empty warm pool, `min == max == initial`, breach draining and
     /// replacement off).
     pub elastic: Option<ElasticConfig>,
+    /// The flight recorder (see [`crate::telemetry`]): per-lane event
+    /// rings, tick-sampled metric series and clock phase profiling,
+    /// surfaced as [`ClusterResult::telemetry`]. `None` (the default)
+    /// records nothing, allocates nothing on the epoch path, and is
+    /// bit-identical to a recorder-enabled run on every other
+    /// `ClusterResult` field.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl ClusterConfig {
@@ -195,6 +205,7 @@ impl ClusterConfig {
             chaos: None,
             streaming: false,
             elastic: None,
+            telemetry: None,
         }
     }
 
@@ -625,6 +636,16 @@ pub struct ReplicaSummary {
     /// Static fleets report the full horizon; warm lanes that never
     /// activated report 0.
     pub active_us: f64,
+    /// Requests ripped *out of this lane* back to the retry machinery:
+    /// crash drains, graceful drains, and arrivals that bounced off
+    /// this lane while it was dead-but-fresh. Fleet-wide,
+    /// `Σ replicas.requeued + ClusterResult::refused_arrivals ==
+    /// ClusterResult::requeued` (cross-checked in tests).
+    pub requeued: u64,
+    /// Requeued requests the retry machinery successfully re-dispatched
+    /// *into this lane*. Fleet-wide, `Σ replicas.retries ==
+    /// ClusterResult::retries`.
+    pub retries: u64,
     /// The full per-GPU statistics, exactly as a single-GPU run would
     /// have produced them. In streaming mode the per-request
     /// `ls_completed` logs are empty (folded into the sketches and
@@ -705,6 +726,15 @@ pub struct ClusterResult {
     pub drain_requeued: u64,
     /// Confirmed-dead lanes replaced from the warm pool.
     pub replacements: u64,
+    /// Requeues with no lane to attribute: arrivals that found no
+    /// healthy routable lane at all. The per-lane remainder lives in
+    /// [`ReplicaSummary::requeued`].
+    pub refused_arrivals: u64,
+    /// The flight recorder's output (merged event stream, tick-sampled
+    /// metric series, clock phase profile) — `None` unless
+    /// [`ClusterConfig::telemetry`] was set. Every *other* field is
+    /// bit-identical whether or not the recorder ran.
+    pub telemetry: Option<TelemetryResult>,
 }
 
 impl ClusterResult {
@@ -852,10 +882,14 @@ impl<'s> LaneCell<'s> {
     }
 
     /// Records completions since the last drain into the windowed and
-    /// cumulative sketches. In streaming mode the drained records are
-    /// discarded immediately (capacity retained), so a controller tick
-    /// bounds each replica's completion log at one window.
-    fn drain(&mut self, slos: &[f64], streaming: bool) {
+    /// cumulative sketches — and, with the flight recorder on, into the
+    /// lane's event ring (`at_us` = the completion instant, so the
+    /// merged stream interleaves completions across lanes in true
+    /// order even though they are *observed* at ticks). In streaming
+    /// mode the drained records are discarded immediately (capacity
+    /// retained), so a controller tick bounds each replica's completion
+    /// log at one window.
+    fn drain(&mut self, slos: &[f64], streaming: bool, lane: u32, tel: &mut TelemetryRt) {
         let stats = &mut self.sim.state_mut().stats;
         for t in 0..slos.len() {
             let done = &mut stats.ls_completed[t];
@@ -863,8 +897,20 @@ impl<'s> LaneCell<'s> {
                 let lat = req.latency_us();
                 self.cum_hist.record(lat);
                 self.win_hist.record(lat / slos[t]);
-                if lat <= slos[t] {
+                let ok = lat <= slos[t];
+                if ok {
                     self.slo_met += 1;
+                }
+                if tel.is_on() {
+                    tel.record(
+                        req.done_us,
+                        lane,
+                        EventKind::Completed {
+                            task: t as u32,
+                            latency_us: lat,
+                            slo_ok: ok,
+                        },
+                    );
                 }
             }
             if streaming {
@@ -1242,6 +1288,7 @@ fn prefetch_lane(cells: &[Box<LaneCell<'_>>], r: usize) {
 /// every alive lane, in `order`, advance only — the pre-PR clock kept no
 /// mirrors on the epoch path, so neither does this arm (consumers at
 /// tick/fault instants trigger an explicit sweep instead).
+#[allow(clippy::too_many_arguments)]
 fn quiesce(
     fleet: &mut Fleet<'_>,
     busy: &mut Vec<u32>,
@@ -1250,13 +1297,17 @@ fn quiesce(
     pool_par: bool,
     horizon_us: f64,
     until: Option<f64>,
+    tel: &mut TelemetryRt,
 ) {
+    tel.prof.epochs += 1;
     if fleet.use_cal {
+        let t0 = tel.clk();
         busy.clear();
         match until {
             Some(t) => fleet.cal.collect_due(t, true, busy),
             None => fleet.cal.collect_due(horizon_us, false, busy),
         }
+        tel.prof.collect_ns += TelemetryRt::lap(t0);
         // The retained oracle: the calendar's busy set must equal the
         // linear scan's, every epoch, before anything advances.
         #[cfg(debug_assertions)]
@@ -1282,6 +1333,8 @@ fn quiesce(
                 "calendar busy set diverged from the linear-scan oracle at {until:?}"
             );
         }
+        let t0 = tel.clk();
+        tel.prof.lanes_advanced += busy.len() as u64;
         if pool_par && busy.len() > 1 {
             hints.clear();
             hints.resize(busy.len(), f64::NAN);
@@ -1326,15 +1379,19 @@ fn quiesce(
                 fleet.refresh_hinted(r, hint);
             }
         }
+        tel.prof.advance_ns += TelemetryRt::lap(t0);
     } else {
         // Dead and non-member lanes are skipped in both schedules — a
         // crashed replica must not process policy timers or launch work
         // while down, and a warm or retired lane is frozen outright.
+        let t0 = tel.clk();
         for &r in order {
             if fleet.alive[r] && fleet.advancing[r] {
+                tel.prof.lanes_advanced += 1;
                 fleet.cells[r].advance_to(until);
             }
         }
+        tel.prof.advance_ns += TelemetryRt::lap(t0);
     }
 }
 
@@ -1383,6 +1440,16 @@ struct ChaosRt {
     drain_buf: Vec<(usize, f64)>,
     requeued: u64,
     retries: u64,
+    /// Per-lane attribution of `requeued`: requests ripped out of lane
+    /// `r` (crash drains, graceful drains, dead-but-fresh bounces).
+    /// `requeued == lane_requeued.sum() + refused`.
+    lane_requeued: Vec<u64>,
+    /// Per-lane attribution of `retries`: successful re-dispatches
+    /// delivered *into* lane `r`. `retries == lane_retries.sum()`.
+    lane_retries: Vec<u64>,
+    /// Requeues with no lane to charge — arrivals refused because no
+    /// routable lane looked healthy.
+    refused: u64,
     timeout_drops: u64,
     ls_shed: u64,
     be_shed: u64,
@@ -1421,6 +1488,9 @@ impl ChaosRt {
             drain_buf: Vec::new(),
             requeued: 0,
             retries: 0,
+            lane_requeued: vec![0; n],
+            lane_retries: vec![0; n],
+            refused: 0,
             timeout_drops: 0,
             ls_shed: 0,
             be_shed: 0,
@@ -1445,10 +1515,18 @@ impl ChaosRt {
 
     /// Hands an orphaned request to the retry queue — or straight to the
     /// drop counter when the policy is drop-on-crash (`max_retries` 0).
-    fn requeue(&mut self, task: usize, arrival_us: f64, t: f64) {
+    /// `from` attributes the requeue to the lane the request was ripped
+    /// out of (`None` = an arrival refused fleet-wide). Returns whether
+    /// the request was actually queued (`false` = dropped immediately).
+    fn requeue(&mut self, task: usize, arrival_us: f64, t: f64, from: Option<usize>) -> bool {
         self.requeued += 1;
+        match from {
+            Some(r) => self.lane_requeued[r] += 1,
+            None => self.refused += 1,
+        }
         if self.retry.max_retries == 0 {
             self.timeout_drops += 1;
+            false
         } else {
             self.retry_q.push(Requeue {
                 task,
@@ -1457,6 +1535,7 @@ impl ChaosRt {
                 attempt: 1,
                 ready_at: t + self.retry.backoff_us,
             });
+            true
         }
     }
 }
@@ -1664,6 +1743,7 @@ fn drain_lane_start(
     migrations: &mut Vec<Migration>,
     rt: &mut ChaosRt,
     ert: &mut ElasticRt,
+    tel: &mut TelemetryRt,
     v: usize,
     cause: ScaleCause,
 ) {
@@ -1682,7 +1762,21 @@ fn drain_lane_start(
     drained.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     ert.drain_requeued += drained.len() as u64;
     for &(task, arrival_us) in &drained {
-        rt.requeue(task, arrival_us, t);
+        let queued = rt.requeue(task, arrival_us, t, Some(v));
+        if tel.is_on() {
+            let task = task as u32;
+            tel.record(
+                t,
+                v as u32,
+                EventKind::Requeued {
+                    task,
+                    cause: RequeueCause::Drain,
+                },
+            );
+            if !queued {
+                tel.record(t, v as u32, EventKind::TimeoutDropped { task });
+            }
+        }
     }
     rt.drain_buf = drained;
     let jobs = std::mem::take(&mut jobs_on[v]);
@@ -1800,6 +1894,7 @@ fn elastic_step(
     migrations: &mut Vec<Migration>,
     rt: &mut ChaosRt,
     ert: &mut ElasticRt,
+    tel: &mut TelemetryRt,
     arrivals_injected: u64,
     window_done: u64,
 ) {
@@ -1869,6 +1964,7 @@ fn elastic_step(
                     migrations,
                     rt,
                     ert,
+                    tel,
                     v,
                     ScaleCause::SloBreach,
                 );
@@ -1946,6 +2042,7 @@ fn elastic_step(
                 migrations,
                 rt,
                 ert,
+                tel,
                 v,
                 ScaleCause::Load,
             );
@@ -2055,6 +2152,7 @@ fn apply_fault(
     migrations: &mut Vec<Migration>,
     rt: &mut ChaosRt,
     ert: &mut ElasticRt,
+    tel: &mut TelemetryRt,
 ) {
     let r = f.replica;
     // A retired lane left the fleet for good (graceful drain or
@@ -2071,6 +2169,9 @@ fn apply_fault(
             }
             fleet.alive[r] = false;
             rt.faults_injected += 1;
+            if tel.is_on() {
+                tel.record(f.at_us, r as u32, EventKind::FaultOnset { kind: f.kind });
+            }
             ert.on_crash(r, f.at_us);
             // Freeze the heartbeat at the last instant this replica was
             // seen alive — what the per-replica stamp sweep would have
@@ -2085,7 +2186,21 @@ fn apply_fault(
             fleet.mutate(r, |cell| cell.sim.state_mut().crash_drain(&mut drained));
             drained.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
             for &(task, arrival_us) in &drained {
-                rt.requeue(task, arrival_us, f.at_us);
+                let queued = rt.requeue(task, arrival_us, f.at_us, Some(r));
+                if tel.is_on() {
+                    let task = task as u32;
+                    tel.record(
+                        f.at_us,
+                        r as u32,
+                        EventKind::Requeued {
+                            task,
+                            cause: RequeueCause::Crash,
+                        },
+                    );
+                    if !queued {
+                        tel.record(f.at_us, r as u32, EventKind::TimeoutDropped { task });
+                    }
+                }
             }
             rt.drain_buf = drained;
             // Evacuate resident BE jobs onto survivors via the migration
@@ -2121,6 +2236,13 @@ fn apply_fault(
             }
             fleet.alive[r] = true;
             rt.faults_recovered += 1;
+            if tel.is_on() {
+                tel.record(
+                    f.at_us,
+                    r as u32,
+                    EventKind::FaultRecovered { kind: f.kind },
+                );
+            }
             rt.last_heartbeat[r] = f.at_us;
             ert.on_recover(r);
             // The engine is empty (crash drain cancelled every launch)
@@ -2143,6 +2265,9 @@ fn apply_fault(
         }
         FaultOp::SetScale(factor) => {
             rt.faults_injected += 1;
+            if tel.is_on() {
+                tel.record(f.at_us, r as u32, EventKind::FaultOnset { kind: f.kind });
+            }
             let up = fleet.alive[r];
             let resident = jobs_on[r].len();
             fleet.mutate(r, |cell| {
@@ -2158,6 +2283,13 @@ fn apply_fault(
         }
         FaultOp::ClearScale => {
             rt.faults_recovered += 1;
+            if tel.is_on() {
+                tel.record(
+                    f.at_us,
+                    r as u32,
+                    EventKind::FaultRecovered { kind: f.kind },
+                );
+            }
             let up = fleet.alive[r];
             let resident = jobs_on[r].len();
             fleet.mutate(r, |cell| {
@@ -2187,6 +2319,7 @@ fn process_retries(
     jobs_on: &[Vec<usize>],
     due: &mut Vec<Requeue>,
     rt: &mut ChaosRt,
+    tel: &mut TelemetryRt,
 ) {
     due.clear();
     // Order-preserving extraction — identical sequence to scanning the
@@ -2208,6 +2341,15 @@ fn process_retries(
     for mut e in due.drain(..) {
         if t - e.arrival_us > rt.retry.timeout_us {
             rt.timeout_drops += 1;
+            if tel.is_on() {
+                tel.record(
+                    t,
+                    FLEET_TRACK,
+                    EventKind::TimeoutDropped {
+                        task: e.task as u32,
+                    },
+                );
+            }
             continue;
         }
         if fleet.use_cal {
@@ -2239,12 +2381,32 @@ fn process_retries(
             Some(r) if fleet.alive[r] => {
                 fleet.mutate(r, |cell| cell.inject_requeued(e.task, e.arrival_us, t));
                 rt.retries += 1;
+                rt.lane_retries[r] += 1;
+                if tel.is_on() {
+                    tel.record(
+                        t,
+                        r as u32,
+                        EventKind::RetryDispatched {
+                            task: e.task as u32,
+                            attempt: e.attempt,
+                        },
+                    );
+                }
                 rt.redispatch_hist.record(t - e.drained_at);
             }
             _ => {
                 e.attempt += 1;
                 if e.attempt > rt.retry.max_retries {
                     rt.timeout_drops += 1;
+                    if tel.is_on() {
+                        tel.record(
+                            t,
+                            FLEET_TRACK,
+                            EventKind::TimeoutDropped {
+                                task: e.task as u32,
+                            },
+                        );
+                    }
                 } else {
                     e.ready_at = t + rt.retry.backoff_us * f64::from(e.attempt);
                     rt.retry_q.push(e);
@@ -2260,13 +2422,16 @@ fn process_retries(
 /// requests of the lowest-priority LS service on the most backlogged
 /// survivor. Shed BE jobs resume once the fleet is whole and queues have
 /// drained to half the shed threshold.
+#[allow(clippy::too_many_arguments)]
 fn degrade(
     cfg: &ClusterConfig,
+    at_us: f64,
     n_ls: usize,
     fleet_models: &[usize],
     jobs_on: &mut [Vec<usize>],
     fleet: &mut Fleet,
     rt: &mut ChaosRt,
+    tel: &mut TelemetryRt,
 ) {
     let n = fleet.len();
     // Degradation reasons over the routable membership: non-member
@@ -2302,7 +2467,7 @@ fn degrade(
             if !fleet.alive[r] || !fleet.routable[r] {
                 continue;
             }
-            let mut parked = false;
+            let mut parked = 0u32;
             for &j in jobs {
                 if rt.job_shed[j] {
                     continue;
@@ -2317,10 +2482,13 @@ fn degrade(
                         st.preempt_be();
                     }
                 });
-                parked = true;
+                parked += 1;
             }
-            if parked {
+            if parked > 0 {
                 fleet.mutate(r, |cell| cell.dispatch());
+                if tel.is_on() {
+                    tel.record(at_us, r as u32, EventKind::BeParked { count: parked });
+                }
             }
         }
     } else if !degraded && per_alive * 2 <= rt.degradation.shed_be_backlog && !slo_pressure {
@@ -2355,6 +2523,16 @@ fn degrade(
                     fleet.mutate(v, |cell| cell.sim.state_mut().shed_pending(task, budget));
                 budget -= dropped;
                 rt.ls_shed += dropped as u64;
+                if dropped > 0 && tel.is_on() {
+                    tel.record(
+                        at_us,
+                        v as u32,
+                        EventKind::LsShed {
+                            task: task as u32,
+                            count: dropped as u32,
+                        },
+                    );
+                }
             }
         }
     }
@@ -2710,6 +2888,24 @@ pub fn run_cluster_prepared(
     let mut next_tick = if period > 0.0 { period } else { f64::INFINITY };
     let mut arrivals_injected = 0u64;
 
+    // The flight recorder and clock profiler. Disabled (`off`) it is one
+    // predictable branch per record call and allocates nothing; enabled,
+    // every allocation happens here (rings at capacity, series at the
+    // expected tick count) so the epoch path stays allocation-free
+    // either way (`tests/cluster_alloc.rs`).
+    let mut tel = match &cfg.telemetry {
+        Some(tcfg) => {
+            let expected_ticks = if period > 0.0 {
+                (cfg.horizon_us / period) as usize
+            } else {
+                0
+            };
+            TelemetryRt::new(tcfg, n, expected_ticks)
+        }
+        None => TelemetryRt::off(),
+    };
+    let run_t0 = tel.clk();
+
     loop {
         let arrival = arrivals.peek();
         let t_arr = arrival.map_or(f64::INFINITY, |a| a.at_us);
@@ -2738,6 +2934,7 @@ pub fn run_cluster_prepared(
                 pool_par,
                 cfg.horizon_us,
                 Some(f.at_us),
+                &mut tel,
             );
             if !fleet.use_cal {
                 // The serial arm's quiesce maintains no mirrors; fault
@@ -2758,7 +2955,9 @@ pub fn run_cluster_prepared(
                 &mut migrations,
                 &mut rt,
                 &mut ert,
+                &mut tel,
             );
+            tel.sync_logs(&migrations, &ert.events);
             // Faults restructure everything a view reads — aliveness,
             // residency, drained backlogs — so the incremental snapshot
             // re-bases here. O(replicas), but fault instants are rare.
@@ -2782,6 +2981,7 @@ pub fn run_cluster_prepared(
                 pool_par,
                 cfg.horizon_us,
                 Some(t_scale),
+                &mut tel,
             );
             if !fleet.use_cal {
                 // Activation re-homes homeless BE jobs off the dense
@@ -2801,6 +3001,7 @@ pub fn run_cluster_prepared(
                 &mut rt,
                 &mut ert,
             );
+            tel.sync_logs(&migrations, &ert.events);
             // Activation grows the routable set, so the compact views
             // re-base; O(replicas) but activation instants are rare.
             if fleet.use_cal {
@@ -2821,7 +3022,9 @@ pub fn run_cluster_prepared(
                 pool_par,
                 cfg.horizon_us,
                 Some(next_tick),
+                &mut tel,
             );
+            let tick_t0 = tel.clk();
             if !fleet.use_cal {
                 // Rebalance and degradation read the dense backlogs;
                 // the serial quiesce left them stale (see above).
@@ -2833,7 +3036,7 @@ pub fn run_cluster_prepared(
             let mut window_done = 0u64;
             for r in 0..n {
                 let cell = &mut fleet.cells[r];
-                cell.drain(&prep.slos[r], cfg.streaming);
+                cell.drain(&prep.slos[r], cfg.streaming, r as u32, &mut tel);
                 window_done += cell.win_hist.count();
                 fleet.ratio[r] = if cell.win_hist.is_empty() {
                     0.0
@@ -2841,6 +3044,55 @@ pub fn run_cluster_prepared(
                     cell.win_hist.percentile(99.0)
                 };
                 cell.win_hist.reset();
+            }
+            if tel.is_on() {
+                // Sample the registry and record per-lane verdicts off
+                // the cells themselves (not the mirrors), so the sampled
+                // values are schedule-independent by construction.
+                let sample_t0 = tel.clk();
+                tel.begin_tick(next_tick);
+                for (r, jobs) in jobs_on.iter().enumerate().take(n) {
+                    let st = fleet.cells[r].sim.state();
+                    let backlog = st.ls_backlog() as u32;
+                    let inflight = st.ls_inflight() as u32;
+                    let resident_be = jobs.len() as u32;
+                    let ratio = fleet.ratio[r];
+                    tel.sample_lane(
+                        r,
+                        f64::from(backlog),
+                        ratio,
+                        f64::from(inflight),
+                        f64::from(resident_be),
+                    );
+                    tel.record(
+                        next_tick,
+                        r as u32,
+                        EventKind::TickVerdict {
+                            window_p99_ratio: ratio,
+                            backlog,
+                            inflight,
+                            resident_be,
+                        },
+                    );
+                }
+                let mut warm = 0u32;
+                let mut active = 0u32;
+                let mut provisioning = 0u32;
+                for s in &ert.state {
+                    match s {
+                        LaneState::Warm => warm += 1,
+                        LaneState::Active => active += 1,
+                        LaneState::Provisioning => provisioning += 1,
+                        LaneState::Draining | LaneState::Retired => {}
+                    }
+                }
+                tel.sample_fleet(
+                    f64::from(warm),
+                    rt.retry_q.len() as f64,
+                    f64::from(active),
+                    f64::from(provisioning),
+                );
+                tel.prof.telemetry_ns += TelemetryRt::lap(sample_t0);
             }
             if elastic_on {
                 // Capacity decisions run before rebalance/degradation so
@@ -2855,6 +3107,7 @@ pub fn run_cluster_prepared(
                     &mut migrations,
                     &mut rt,
                     &mut ert,
+                    &mut tel,
                     arrivals_injected,
                     window_done,
                 );
@@ -2873,13 +3126,16 @@ pub fn run_cluster_prepared(
             if chaos_on {
                 degrade(
                     cfg,
+                    next_tick,
                     n_ls,
                     &prep.fleet_models,
                     &mut jobs_on,
                     &mut fleet,
                     &mut rt,
+                    &mut tel,
                 );
             }
+            tel.sync_logs(&migrations, &ert.events);
             // Ticks move the two slow view fields (windowed ratio, BE
             // residency via rebalance/degrade), so the incremental
             // snapshot re-bases here — the tick already walked every
@@ -2888,6 +3144,7 @@ pub fn run_cluster_prepared(
             if fleet.use_cal {
                 fleet.rebuild_views(&jobs_on, &rt, next_tick);
             }
+            tel.prof.tick_ns += TelemetryRt::lap(tick_t0);
             next_tick += period;
             continue;
         }
@@ -2901,9 +3158,12 @@ pub fn run_cluster_prepared(
                 pool_par,
                 cfg.horizon_us,
                 Some(t_retry),
+                &mut tel,
             );
             rt.last_decision_us = t_retry;
-            process_retries(t_retry, router, &mut fleet, &jobs_on, &mut due, &mut rt);
+            process_retries(
+                t_retry, router, &mut fleet, &jobs_on, &mut due, &mut rt, &mut tel,
+            );
             continue;
         }
         if !(arrival.is_some() && t_arr <= cfg.horizon_us) {
@@ -2923,7 +3183,9 @@ pub fn run_cluster_prepared(
             pool_par,
             cfg.horizon_us,
             Some(a.at_us),
+            &mut tel,
         );
+        let route_t0 = tel.clk();
         rt.last_decision_us = a.at_us;
         // The calendar clock routes against the incremental views — an
         // O(1) touch-up of dead lanes' health (a no-op while the fleet
@@ -2947,7 +3209,25 @@ pub fn run_cluster_prepared(
             // Whole fleet unhealthy (or every lane drained away):
             // the request parks in the retry queue instead of being
             // forced onto a dead replica.
-            rt.requeue(a.task as usize, a.at_us, a.at_us);
+            let queued = rt.requeue(a.task as usize, a.at_us, a.at_us, None);
+            if tel.is_on() {
+                tel.record(
+                    a.at_us,
+                    FLEET_TRACK,
+                    EventKind::Requeued {
+                        task: a.task,
+                        cause: RequeueCause::NoHealthy,
+                    },
+                );
+                if !queued {
+                    tel.record(
+                        a.at_us,
+                        FLEET_TRACK,
+                        EventKind::TimeoutDropped { task: a.task },
+                    );
+                }
+            }
+            tel.prof.route_ns += TelemetryRt::lap(route_t0);
             continue;
         }
         let slot = router.route(&fleet.views, a.task as usize, a.at_us);
@@ -2959,12 +3239,33 @@ pub fn run_cluster_prepared(
         let target = fleet.view_lane[slot] as usize;
         if fleet.alive[target] {
             fleet.mutate(target, |cell| cell.inject(a.task as usize, a.at_us));
+            if tel.is_on() {
+                tel.record(a.at_us, target as u32, EventKind::Routed { task: a.task });
+            }
         } else {
             // Routed at a dead replica still inside its heartbeat
             // window — the crash has not aged out yet, so the request
             // bounces into the retry path like a failed delivery.
-            rt.requeue(a.task as usize, a.at_us, a.at_us);
+            let queued = rt.requeue(a.task as usize, a.at_us, a.at_us, Some(target));
+            if tel.is_on() {
+                tel.record(
+                    a.at_us,
+                    target as u32,
+                    EventKind::Requeued {
+                        task: a.task,
+                        cause: RequeueCause::DeadRoute,
+                    },
+                );
+                if !queued {
+                    tel.record(
+                        a.at_us,
+                        target as u32,
+                        EventKind::TimeoutDropped { task: a.task },
+                    );
+                }
+            }
         }
+        tel.prof.route_ns += TelemetryRt::lap(route_t0);
     }
     // Drain: no further arrivals, faults, retries or ticks — run every
     // surviving replica out to the horizon.
@@ -2976,10 +3277,12 @@ pub fn run_cluster_prepared(
         pool_par,
         cfg.horizon_us,
         None,
+        &mut tel,
     );
     for r in 0..n {
-        fleet.cells[r].drain(&prep.slos[r], cfg.streaming);
+        fleet.cells[r].drain(&prep.slos[r], cfg.streaming, r as u32, &mut tel);
     }
+    tel.sync_logs(&migrations, &ert.events);
     // Read the cells, not the mirrors — the serial arm's quiesce leaves
     // mirrors stale by design.
     let in_flight_at_end = fleet
@@ -2998,6 +3301,8 @@ pub fn run_cluster_prepared(
         }
     }
     let replica_seconds = ert.active_us.iter().sum::<f64>() / 1e6;
+    tel.prof.total_ns = TelemetryRt::lap(run_t0);
+    let telemetry = tel.finish();
     let mut result = ClusterResult {
         replicas: Vec::with_capacity(n),
         fleet_hist: LatencyHistogram::new(),
@@ -3028,6 +3333,8 @@ pub fn run_cluster_prepared(
         drains_completed: ert.drains_completed,
         drain_requeued: ert.drain_requeued,
         replacements: ert.replacements,
+        refused_arrivals: rt.refused,
+        telemetry,
     };
     for (r, cell) in fleet.cells.drain(..).enumerate() {
         let LaneCell {
@@ -3078,6 +3385,8 @@ pub fn run_cluster_prepared(
             seed: cell_seed(cfg.seed, r as u64),
             stats,
             active_us: ert.active_us[r],
+            requeued: rt.lane_requeued[r],
+            retries: rt.lane_retries[r],
         });
     }
     result.goodput_hz = result.slo_met as f64 / (cfg.horizon_us / 1e6);

@@ -7,8 +7,10 @@
 //! cluster-scale short-cell sweep engine ([`sweep`]), the multi-GPU
 //! fleet simulator with SLO-aware routing and dynamic BE placement
 //! ([`cluster`]), deterministic fault injection with
-//! requeue-on-crash resilience ([`chaos`]), and warm-pool autoscaling
-//! with SLO-breach draining and crash replacement ([`elastic`]).
+//! requeue-on-crash resilience ([`chaos`]), warm-pool autoscaling
+//! with SLO-breach draining and crash replacement ([`elastic`]), and
+//! the deterministic flight recorder / metrics registry / clock
+//! profiler for postmortem observability ([`telemetry`]).
 
 pub mod calendar;
 pub mod chaos;
@@ -17,6 +19,7 @@ pub mod elastic;
 pub mod metrics;
 pub mod runner;
 pub mod sweep;
+pub mod telemetry;
 pub mod trace;
 
 pub use calendar::EventCalendar;
@@ -35,5 +38,9 @@ pub use runner::{run_cell, run_system, Deployment, EndToEndConfig, Load, SystemK
 pub use sweep::{
     cell_seed, naive_cell_summary, run_sweep, CellSpec, CellSummary, SliceHist, SweepGrid,
     SweepOptions, SweepResult,
+};
+pub use telemetry::{
+    ClockProfile, EventKind, FlightEvent, MetricSeries, RequeueCause, TelemetryConfig,
+    TelemetryResult, FLEET_TRACK,
 };
 pub use trace::{generate, per_service_traces, ArrivalGen, ArrivalStream, TraceConfig};

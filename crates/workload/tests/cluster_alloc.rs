@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use workload::cluster::{ClusterConfig, ClusterCtx, RouterKind};
 use workload::runner::Deployment;
 use workload::trace::TraceConfig;
-use workload::SystemKind;
+use workload::{SystemKind, TelemetryConfig};
 
 struct CountingAlloc;
 
@@ -114,5 +114,83 @@ fn epoch_path_allocates_nothing_in_steady_state() {
         delta <= 256,
         "doubling the horizon added {delta} allocations \
          ({allocs_short} at H, {allocs_long} at 2H) — the epoch path allocates"
+    );
+}
+
+/// The *enabled* flight recorder allocates only at ring/series creation,
+/// never per event: with telemetry on, the 2H run records roughly twice
+/// the events of the H run (every completion, route, and tick sample
+/// lands in a ring), yet the allocation-call counts differ only by the
+/// same slack as the recorder-off contract. Creation cost — one call
+/// per ring and per reserved series, identical on both sides — cancels
+/// in the difference; only a per-event allocation could show up tens of
+/// thousands of times here.
+#[test]
+fn enabled_recorder_allocates_only_at_creation() {
+    if rayon::current_pool_workers() > 1 {
+        eprintln!("skipping: pool has >1 worker; epoch batches may allocate in dispatch");
+        return;
+    }
+    if cfg!(debug_assertions) {
+        eprintln!("skipping: debug_assertions oracle allocates by design; run under --release");
+        return;
+    }
+    let telemetry_cfg = |horizon_us: f64| {
+        let mut cfg = fleet_cfg(horizon_us);
+        // Small rings force steady-state overwrites — the hot path is
+        // exercised far past capacity on both sides.
+        cfg.telemetry = Some(TelemetryConfig {
+            ring_capacity: 256,
+            profile: true,
+        });
+        cfg
+    };
+    let h = 2e5;
+    let _ = Deployment::cached(GpuModel::RtxA2000);
+    let prep_short = telemetry_cfg(h).prepare();
+    let prep_long = telemetry_cfg(2.0 * h).prepare();
+    let mut ctx = ClusterCtx::new();
+
+    for prep in [&prep_long, &prep_short] {
+        let mut router = RouterKind::ShortestBacklog.make(prep.config().seed);
+        let r = workload::run_cluster_prepared(prep, router.as_mut(), &mut ctx);
+        assert!(r.requests > 0, "degenerate scenario");
+    }
+
+    let measure = |prep: &workload::PreparedCluster, ctx: &mut ClusterCtx| {
+        let mut router = RouterKind::ShortestBacklog.make(prep.config().seed);
+        let before = ALLOC_CALLS.load(Ordering::Relaxed);
+        let r = workload::run_cluster_prepared(prep, router.as_mut(), ctx);
+        let after = ALLOC_CALLS.load(Ordering::Relaxed);
+        let tel = r.telemetry.expect("recorder was enabled");
+        assert!(
+            tel.dropped_events > 0,
+            "rings must overwrite in steady state"
+        );
+        (
+            after - before,
+            r.requests,
+            tel.events.len() as u64 + tel.dropped_events,
+        )
+    };
+
+    let (allocs_short, req_short, recorded_short) = measure(&prep_short, &mut ctx);
+    let (allocs_long, req_long, recorded_long) = measure(&prep_long, &mut ctx);
+    assert!(
+        req_long > req_short + 1000,
+        "the long run must execute materially more epochs ({req_short} vs {req_long})"
+    );
+    assert!(
+        recorded_long > recorded_short + 1000,
+        "the long run must record materially more events ({recorded_short} vs {recorded_long})"
+    );
+
+    // A per-event allocation would appear ~recorded_short extra times
+    // here; creation-time allocations are identical per run and cancel.
+    let delta = allocs_long.saturating_sub(allocs_short);
+    assert!(
+        delta <= 256,
+        "doubling the horizon with the recorder on added {delta} allocations \
+         ({allocs_short} at H, {allocs_long} at 2H) — the recorder allocates per event"
     );
 }

@@ -1,0 +1,183 @@
+//! Fleet postmortem walkthrough: reconstruct *why* a lane went dark
+//! from the flight recorder alone.
+//!
+//! The scenario: a three-lane elastic fleet under bursty load; lane 0
+//! crashes a third of the way in and never recovers; the controller
+//! notices, drains the corpse, and provisions the warm spare. The run
+//! is executed once with the flight recorder on, then interrogated the
+//! way an operator would after a page: headline counters, the event
+//! timeline around the crash, the backlog series before/after, the
+//! clock's own phase profile — and finally the whole stream is exported
+//! as a Chrome/Perfetto trace for visual inspection.
+//!
+//! ```sh
+//! cargo run --release --example fleet_postmortem
+//! ```
+//!
+//! Open the written trace at <https://ui.perfetto.dev> (or
+//! `chrome://tracing`): each lane is a named thread track, requests are
+//! async slices, faults/requeues are instants, and the sampled series
+//! render as counter tracks.
+
+use sgdrc_repro::bench::trace_export::{perfetto_trace, validate_trace};
+use sgdrc_repro::bench::{header, json};
+use sgdrc_repro::gpu_spec::GpuModel;
+use sgdrc_repro::workload::chaos::{FaultEvent, FaultPlan};
+use sgdrc_repro::workload::cluster::{ClusterConfig, ControllerConfig, RouterKind};
+use sgdrc_repro::workload::elastic::{ElasticConfig, ScalingPolicyKind, WarmPoolConfig};
+use sgdrc_repro::workload::trace::TraceConfig;
+use sgdrc_repro::workload::{EventKind, SystemKind, TelemetryConfig};
+
+fn main() {
+    // -- The incident ---------------------------------------------------
+    let mut cfg = ClusterConfig::new(
+        vec![GpuModel::RtxA2000, GpuModel::Gtx1080, GpuModel::RtxA2000],
+        SystemKind::Sgdrc,
+    );
+    cfg.horizon_us = 3e5;
+    cfg.trace = TraceConfig::apollo_like().scaled(3.0).with_bursts(2.0, 0.4);
+    cfg.controller = ControllerConfig {
+        period_us: 1.5e4,
+        breach_ratio: 0.9,
+        adaptive_ch_be: true,
+        ..Default::default()
+    };
+    let crash_at = cfg.horizon_us / 3.0;
+    cfg.chaos = Some(FaultPlan::new(vec![FaultEvent::crash(
+        0,
+        crash_at,
+        f64::INFINITY,
+    )]));
+    let mut e = ElasticConfig::new(
+        WarmPoolConfig {
+            provision_delay_us: 1e4,
+            provision_jitter: 0.2,
+            ..WarmPoolConfig::new(vec![GpuModel::RtxA2000])
+        },
+        ScalingPolicyKind::Hold,
+    );
+    e.min_replicas = 2;
+    e.replace_after_us = 2e4;
+    cfg.elastic = Some(e);
+    cfg.telemetry = Some(TelemetryConfig::default());
+
+    let mut router = RouterKind::P2cSlo.make(cfg.seed);
+    let res = sgdrc_repro::workload::run_cluster(&cfg, router.as_mut());
+    let tel = res.telemetry.as_ref().expect("recorder was enabled");
+
+    // -- Headline -------------------------------------------------------
+    header("headline");
+    println!(
+        "completed {} of {} arrivals | SLO attainment {:.1}% | {} timeout drops, {} shed",
+        res.requests,
+        res.arrivals_injected,
+        res.slo_attainment() * 100.0,
+        res.timeout_drops,
+        res.ls_shed,
+    );
+    println!(
+        "faults {}/{} recovered | {} requeued ({} refused at the door) | {} retries | {} replacement(s)",
+        res.faults_recovered,
+        res.faults_injected,
+        res.requeued,
+        res.refused_arrivals,
+        res.retries,
+        res.replacements,
+    );
+    println!(
+        "recorder: {} events merged, {} overwritten (ring capacity {})",
+        tel.events.len(),
+        tel.dropped_events,
+        tel.ring_capacity,
+    );
+
+    // -- The timeline around the crash ---------------------------------
+    // Completion events dominate the stream; filter them out and the
+    // control-plane story reads like a pager narrative.
+    header("control-plane timeline near the crash");
+    let window = (crash_at - 1e4, crash_at + 8e4);
+    let mut shown = 0;
+    for ev in &tel.events {
+        if ev.at_us < window.0 || ev.at_us > window.1 || shown >= 24 {
+            continue;
+        }
+        let story = match ev.kind {
+            EventKind::Completed { .. } | EventKind::Routed { .. } => continue,
+            EventKind::TickVerdict {
+                window_p99_ratio,
+                backlog,
+                ..
+            } => {
+                // Keep verdicts only for the crashed lane — the others
+                // just say "healthy".
+                if ev.lane != 0 {
+                    continue;
+                }
+                format!("tick verdict: p99/SLO {window_p99_ratio:.2}, backlog {backlog}")
+            }
+            kind => format!("{:?}", kind),
+        };
+        println!(
+            "  t={:>9.0}µs lane {:>5} #{:<5} {}",
+            ev.at_us,
+            if ev.lane == u32::MAX {
+                "fleet".to_string()
+            } else {
+                ev.lane.to_string()
+            },
+            ev.seq,
+            story,
+        );
+        shown += 1;
+    }
+
+    // -- Series: the backlog transferring off the corpse ----------------
+    header("backlog series (sampled at controller ticks)");
+    let n_lanes = res.replicas.len();
+    for lane in 0..n_lanes as u32 {
+        if let Some(s) = tel.series("backlog", Some(lane)) {
+            let vals: Vec<String> = s.values.iter().map(|v| format!("{v:>4.0}")).collect();
+            println!("  lane {lane} backlog: [{}]", vals.join(" "));
+        }
+    }
+    if let Some(s) = tel.series("retry_queue_depth", None) {
+        let vals: Vec<String> = s.values.iter().map(|v| format!("{v:>4.0}")).collect();
+        println!("  retry queue:    [{}]", vals.join(" "));
+    }
+    if let Some(s) = tel.series("active_lanes", None) {
+        let vals: Vec<String> = s.values.iter().map(|v| format!("{v:>4.0}")).collect();
+        println!("  active lanes:   [{}]", vals.join(" "));
+    }
+
+    // -- What the clock spent its time on -------------------------------
+    header("clock phase profile");
+    let p = &tel.profile;
+    let ms = |ns: u64| ns as f64 / 1e6;
+    println!(
+        "  {} epochs, {} lane-advances | collect {:.2}ms advance {:.2}ms route {:.2}ms \
+         tick {:.2}ms merge {:.2}ms telemetry {:.2}ms | total {:.2}ms",
+        p.epochs,
+        p.lanes_advanced,
+        ms(p.collect_ns),
+        ms(p.advance_ns),
+        ms(p.route_ns),
+        ms(p.tick_ns),
+        ms(p.merge_ns),
+        ms(p.telemetry_ns),
+        ms(p.total_ns),
+    );
+
+    // -- Export for the human ------------------------------------------
+    header("perfetto export");
+    let doc = perfetto_trace(&res).expect("telemetry was recorded");
+    validate_trace(&doc).expect("exporter emitted a well-formed trace");
+    let text = doc.pretty();
+    json::validate(&text).expect("exporter emitted valid JSON");
+    let path = std::env::temp_dir().join("fleet_postmortem_trace.json");
+    std::fs::write(&path, &text).expect("write trace");
+    println!(
+        "  wrote {} ({} bytes) — load it at https://ui.perfetto.dev",
+        path.display(),
+        text.len(),
+    );
+}

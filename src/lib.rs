@@ -12,6 +12,7 @@
 //! * [`core`] — the SGDRC control plane (§4, §7)
 //! * [`baselines`] — Multi-streaming, TGS, MPS, Orion, SGDRC(Static), FGPU
 //! * [`workload`] — traces, clients, SLO metrics, experiment runner (§9)
+//! * [`bench`] — JSON writer, trace exporters, figure regeneration helpers
 
 pub use baselines;
 pub use coloring;
@@ -20,5 +21,6 @@ pub use exec_sim;
 pub use gpu_spec;
 pub use mem_sim;
 pub use reveng;
+pub use sgdrc_bench as bench;
 pub use sgdrc_core as core;
 pub use workload;
