@@ -40,6 +40,7 @@ use workload::elastic::{
 use workload::runner::Deployment;
 use workload::sweep::{run_sweep, SweepGrid, SweepOptions};
 use workload::telemetry::TelemetryConfig;
+use workload::tiers::{TierConfig, TiersConfig};
 use workload::trace::TraceConfig;
 use workload::SystemKind;
 
@@ -495,6 +496,232 @@ fn run_elastic_bench(smoke: bool, ctx: &mut ClusterCtx) -> (Json, bool) {
                 .set("parallel_equals_serial", bit_identity)
                 .set("frontier_enforced", !smoke),
         );
+    (json, gates_ok)
+}
+
+/// The canonical three-class tier map the tiers section runs: service 0
+/// Guaranteed (weight 8), the next third Burstable (weight 3), the rest
+/// BestEffort (weight 1), ladder thresholds sized so the crash +
+/// diurnal-peak scenario actually climbs the rungs.
+fn bench_tiers(n_ls: usize) -> TiersConfig {
+    let mut t = TiersConfig::new(
+        (0..n_ls)
+            .map(|task| {
+                if task == 0 {
+                    TierConfig::guaranteed(8.0)
+                } else if task <= n_ls / 3 {
+                    TierConfig::burstable(2, 3.0)
+                } else {
+                    TierConfig::best_effort(3, 1.0)
+                }
+            })
+            .collect(),
+    );
+    t.enter_backlog = 10;
+    t.exit_backlog = 5;
+    t.hold_ticks = 2;
+    t.queue_capacity = 64;
+    t.shed_per_tick = 32;
+    t
+}
+
+/// Per-arm tier attribution: group the per-service ledgers by the tier
+/// map — the same grouping `tier_outcomes` reports for the tiered arm —
+/// so tier-blind arms are comparable tier by tier.
+fn tier_attribution_json(r: &ClusterResult, tiers: &TiersConfig) -> Json {
+    let mut arr = Vec::new();
+    for id in tiers.tier_ids() {
+        let tasks: Vec<usize> = (0..tiers.tiers.len())
+            .filter(|&t| tiers.tiers[t].tier == id)
+            .collect();
+        let sum = |v: &[u64]| tasks.iter().map(|&t| v[t]).sum::<u64>();
+        arr.push(
+            Json::obj()
+                .set("tier", id as u64)
+                .set(
+                    "class",
+                    Json::Str(tiers.tiers[tasks[0]].class.name().into()),
+                )
+                .set("weight", tiers.tiers[tasks[0]].weight)
+                .set("arrivals", sum(&r.arrivals_by_task))
+                .set("completed", sum(&r.completed_by_task))
+                .set("slo_met", sum(&r.slo_met_by_task)),
+        );
+    }
+    Json::Arr(arr)
+}
+
+/// The tiered-SLO section (`--tiers`): the headline fleet pushed past
+/// capacity by a diurnal peak while a fast replica is down — the regime
+/// where *something* must be dropped and the only question is what.
+///
+/// Three arms, identical trace and fault plan:
+/// 1. **tiered** — the three-class tier map: admission control queues
+///    then refuses best-effort work first, deadline-aware retry
+///    budgets, tier-ordered brownout;
+/// 2. **tier_blind** — the legacy single-threshold degradation path
+///    (no tiers attached), which sheds without looking at class;
+/// 3. **no_be** — tier-blind with BE jobs removed entirely, the
+///    baseline tier-1 availability must not fall below.
+///
+/// Gates (deterministic, bind in smoke too): tiered strictly beats
+/// tier-blind on weighted goodput; tier-1 availability under tiers is
+/// at least the no-BE baseline's; serial == parallel on the tiered
+/// arm. The section JSON is round-tripped through the validator.
+fn run_tiers_bench(smoke: bool, ctx: &mut ClusterCtx) -> (Json, bool) {
+    sgdrc_bench::header("tiers — tiered SLOs vs tier-blind shedding under crash + diurnal peak");
+    let horizon = if smoke { 2.5e5 } else { 1.5e6 };
+    let fleet = headline_fleet();
+
+    let mut base = ClusterConfig::new(fleet, SystemKind::Sgdrc);
+    base.horizon_us = horizon;
+    // Past-capacity load: the headline matrix runs this fleet at 5.5
+    // with headroom; 16 through a diurnal peak with a fast lane
+    // permanently dead forces sustained overload — the regime where
+    // *something* must be dropped and the arms differ only in what.
+    base.trace = fleet_trace(16.0, horizon);
+    base.controller = ControllerConfig {
+        period_us: 2e4,
+        adaptive_ch_be: true,
+        ..Default::default()
+    };
+    let mut plan = FaultPlan::new(vec![FaultEvent::crash(0, 0.25 * horizon, f64::INFINITY)]);
+    // Same aggressive BE parking the chaos section uses, so the
+    // tier-blind arm is the strongest version of the legacy path.
+    plan.degradation.shed_be_backlog = 2;
+    base.chaos = Some(plan);
+
+    let n_ls = base.prepare().n_ls();
+    let tiers = bench_tiers(n_ls);
+    let weights: Vec<f64> = tiers.tiers.iter().map(|t| t.weight).collect();
+
+    let mut tiered_cfg = base.clone();
+    tiered_cfg.tiers = Some(tiers.clone());
+    let blind_cfg = base.clone();
+    let mut no_be_cfg = base.clone();
+    no_be_cfg.be_jobs = Vec::new();
+
+    let run = |cfg: &ClusterConfig, ctx: &mut ClusterCtx| {
+        let mut router = RouterKind::ShortestBacklog.make(cfg.seed);
+        let start = Instant::now();
+        let r = workload::run_cluster_in(cfg, router.as_mut(), ctx);
+        (r, start.elapsed().as_secs_f64())
+    };
+    let (tiered, tiered_wall) = run(&tiered_cfg, ctx);
+    let (blind, blind_wall) = run(&blind_cfg, ctx);
+    let (no_be, no_be_wall) = run(&no_be_cfg, ctx);
+
+    let horizon_s = horizon / 1e6;
+    let wg = |r: &ClusterResult| r.weighted_slo_met_with(&weights) / horizon_s;
+    // Tier-1 availability: delivered fraction of the Guaranteed
+    // service's arrivals (task 0 is the only tier-1 member).
+    let t1_avail =
+        |r: &ClusterResult| r.completed_by_task[0] as f64 / r.arrivals_by_task[0].max(1) as f64;
+    for o in &tiered.tier_outcomes {
+        o.assert_conserved();
+    }
+    for (name, r, wall) in [
+        ("tiered", &tiered, tiered_wall),
+        ("tier_blind", &blind, blind_wall),
+        ("no_be", &no_be, no_be_wall),
+    ] {
+        println!(
+            "{name:>12}: goodput_w {:>8.1}/s  tier-1 avail {:>6.2}%  refused {:>5}  shed {:>5}  dropped {:>5}  {:>5.2}s",
+            wg(r),
+            t1_avail(r) * 100.0,
+            r.refused_admission,
+            r.ls_shed,
+            r.timeout_drops,
+            wall,
+        );
+    }
+
+    // Serial == parallel on the tiered arm (admission, ladder, queues,
+    // per-tier ledgers — the full new machinery under both clocks).
+    let mut results = Vec::new();
+    for clock in [ClockKind::Parallel, ClockKind::Serial] {
+        let mut c = tiered_cfg.clone();
+        c.horizon_us = if smoke { 1.5e5 } else { 4e5 };
+        c.clock = clock;
+        let mut router = RouterKind::P2cSlo.make(c.seed);
+        results.push(workload::run_cluster_in(&c, router.as_mut(), ctx));
+    }
+    let bit_identity = results[0] == results[1];
+
+    let tiered_beats_blind = wg(&tiered) > wg(&blind);
+    let t1_holds = t1_avail(&tiered) >= t1_avail(&no_be);
+    let gates_ok = tiered_beats_blind && t1_holds && bit_identity;
+    println!(
+        "\ntiers gates: weighted goodput beats tier-blind {} | tier-1 avail >= no-BE {} | serial == parallel {}",
+        tiered_beats_blind, t1_holds, bit_identity
+    );
+
+    let arm_json = |r: &ClusterResult, wall: f64| {
+        Json::obj()
+            .set("weighted_goodput_hz", wg(r))
+            .set("tier1_availability", t1_avail(r))
+            .set("goodput_hz", r.goodput_hz)
+            .set("slo_attainment", r.slo_attainment())
+            .set("requests", r.requests)
+            .set("arrivals_injected", r.arrivals_injected)
+            .set("refused_admission", r.refused_admission)
+            .set("ls_shed", r.ls_shed)
+            .set("timeout_drops", r.timeout_drops)
+            .set("wall_s", wall)
+            .set("by_tier", tier_attribution_json(r, &tiers))
+    };
+    let outcomes_json = Json::Arr(
+        tiered
+            .tier_outcomes
+            .iter()
+            .map(|o| {
+                Json::obj()
+                    .set("tier", o.tier as u64)
+                    .set("class", Json::Str(o.class.name().into()))
+                    .set("weight", o.weight)
+                    .set("arrivals", o.arrivals)
+                    .set("admitted", o.admitted)
+                    .set("queued", o.queued)
+                    .set("refused_overload", o.refused_overload)
+                    .set("refused_queue_full", o.refused_queue_full)
+                    .set("shed", o.shed)
+                    .set("timeout_drops", o.timeout_drops)
+                    .set("completed", o.completed)
+                    .set("slo_met", o.slo_met)
+                    .set("in_flight_at_end", o.in_flight_at_end)
+                    .set("weighted_goodput_hz", o.weighted_goodput_hz)
+            })
+            .collect(),
+    );
+    let json = Json::obj()
+        .set("skipped", false)
+        .set("horizon_us", horizon)
+        .set(
+            "scenario",
+            Json::obj()
+                .set("trace_scale", 16.0)
+                .set("crash", "replica 0 permanently dead at 25% of horizon")
+                .set(
+                    "tier_map",
+                    "service 0 guaranteed w8 | next third burstable w3 | rest best-effort w1",
+                ),
+        )
+        .set(
+            "arms",
+            Json::obj()
+                .set("tiered", arm_json(&tiered, tiered_wall))
+                .set("tier_blind", arm_json(&blind, blind_wall))
+                .set("no_be", arm_json(&no_be, no_be_wall)),
+        )
+        .set("tier_outcomes", outcomes_json)
+        .set(
+            "gates",
+            Json::obj()
+                .set("weighted_goodput_beats_tier_blind", tiered_beats_blind)
+                .set("tier1_availability_ge_no_be", t1_holds)
+                .set("parallel_equals_serial", bit_identity),
+        );
+    sgdrc_bench::json::validate(&json.pretty()).expect("tiers section is well-formed JSON");
     (json, gates_ok)
 }
 
@@ -1492,6 +1719,14 @@ fn main() {
         (Json::obj().set("skipped", true), true)
     };
 
+    // --- tiers: tiered SLOs vs tier-blind shedding under overload ---------
+    let tiers_enabled = args.iter().any(|a| a == "--tiers");
+    let (tiers_json, tiers_ok) = if tiers_enabled {
+        run_tiers_bench(smoke, &mut ctxs)
+    } else {
+        (Json::obj().set("skipped", true), true)
+    };
+
     // --- telemetry: flight recorder contracts + optional trace export -----
     let trace_path = args
         .iter()
@@ -1569,6 +1804,7 @@ fn main() {
         )
         .set("chaos", chaos_json)
         .set("elastic", elastic_json)
+        .set("tiers", tiers_json)
         .set("telemetry", telemetry_json)
         .set("detected_cpus", detected_cpus)
         .set("worker_threads", worker_threads)
@@ -1599,6 +1835,13 @@ fn main() {
     // frontier gates only full runs — decided inside `run_elastic_bench`.
     if elastic_enabled && !elastic_ok {
         eprintln!("WARNING: elastic gate failed (see elastic section of BENCH_cluster.json)");
+        std::process::exit(1);
+    }
+    // Tiered-SLO gates: all three (weighted goodput beats tier-blind,
+    // tier-1 availability holds the no-BE floor, serial == parallel)
+    // are deterministic scenarios, so they bind in smoke too.
+    if tiers_enabled && !tiers_ok {
+        eprintln!("WARNING: tiered-SLO gate failed (see tiers section of BENCH_cluster.json)");
         std::process::exit(1);
     }
     // Telemetry gate: bit-identity is hard-asserted inside the section;

@@ -157,6 +157,17 @@ pub fn perfetto_trace(result: &ClusterResult) -> Option<Json> {
                         .set("attempt", u64::from(attempt)),
                 ));
             }
+            EventKind::Refused { task, tier, reason } => {
+                events.push(instant(
+                    name,
+                    tid,
+                    e.at_us,
+                    Json::obj()
+                        .set("task", u64::from(task))
+                        .set("tier", u64::from(tier))
+                        .set("reason", reason.name()),
+                ));
+            }
             EventKind::TimeoutDropped { task } => {
                 events.push(instant(
                     name,
@@ -224,7 +235,9 @@ pub fn perfetto_trace(result: &ClusterResult) -> Option<Json> {
 
     // Counter tracks from the metric registry, sampled at tick instants.
     for s in &tel.series {
+        // Per-tier series reuse the `lane` field for the tier rank.
         let counter = match s.lane {
+            Some(rank) if s.name.starts_with("tier_") => format!("{}[tier{}]", s.name, rank),
             Some(lane) => format!("{}[lane{}]", s.name, lane),
             None => s.name.to_string(),
         };

@@ -484,6 +484,14 @@ impl<'s> ServingState<'s> {
         self.inflight.iter().map(VecDeque::len).sum()
     }
 
+    /// Pending + in-flight LS requests of one task — the per-service
+    /// slice of [`ls_backlog`](Self::ls_backlog). The fleet's tiered-SLO
+    /// layer reads this for per-tier conservation audits and brownout
+    /// telemetry; O(1) (two queue lengths).
+    pub fn ls_backlog_of(&self, task: usize) -> usize {
+        self.pending[task].len() + self.inflight[task].len()
+    }
+
     /// Is any LS kernel ready to launch? O(1) in fast mode; the seed
     /// path re-scans every queue, as the seed serving state did.
     pub fn ls_ready(&self) -> bool {

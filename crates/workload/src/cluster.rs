@@ -75,8 +75,10 @@ use crate::metrics::{slo_for, LatencyHistogram};
 use crate::runner::Deployment;
 use crate::sweep::{cell_seed, splitmix64};
 use crate::telemetry::{
-    EventKind, RequeueCause, TelemetryConfig, TelemetryResult, TelemetryRt, FLEET_TRACK,
+    EventKind, RefusalReason, RequeueCause, TelemetryConfig, TelemetryResult, TelemetryRt,
+    FLEET_TRACK,
 };
+use crate::tiers::{AdmissionClass, TierOutcome, TiersConfig};
 use crate::trace::{per_service_traces, ArrivalStream, TraceConfig};
 use crate::SystemKind;
 use dnn::CompileOptions;
@@ -85,6 +87,7 @@ use sgdrc_core::serving::{
     Arrival, ArrivalTrace, Policy, ReplicaSim, RunStats, Scenario, SimContext, Task,
 };
 use sgdrc_core::{Sgdrc, SgdrcConfig};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Fleet-controller tunables.
@@ -180,6 +183,12 @@ pub struct ClusterConfig {
     /// bit-identical to a recorder-enabled run on every other
     /// `ClusterResult` field.
     pub telemetry: Option<TelemetryConfig>,
+    /// Tiered SLOs (see [`crate::tiers`]): one [`crate::tiers::TierConfig`]
+    /// per LS service driving admission control, the brownout ladder in
+    /// `degrade()`, per-tier retry budgets/deadlines, tier-aware router
+    /// tie-breaking and weighted goodput. `None` (the default) keeps
+    /// the tier-blind simulator bit-identical to previous behaviour.
+    pub tiers: Option<TiersConfig>,
 }
 
 impl ClusterConfig {
@@ -206,6 +215,7 @@ impl ClusterConfig {
             streaming: false,
             elastic: None,
             telemetry: None,
+            tiers: None,
         }
     }
 
@@ -256,6 +266,10 @@ impl ClusterConfig {
                 self.system.name(),
                 dep.spec.name
             );
+        }
+
+        if let Some(tiers) = &self.tiers {
+            tiers.validate(n_ls);
         }
 
         // The distinct BE models the fleet runs, ascending — every
@@ -410,6 +424,13 @@ impl PreparedCluster {
         &self.cfg
     }
 
+    /// Number of LS services every replica deploys — the length a
+    /// [`TiersConfig`] must match, one [`crate::tiers::TierConfig`] per
+    /// service.
+    pub fn n_ls(&self) -> usize {
+        self.n_ls
+    }
+
     /// Total LS arrivals the run will inject (materializes the batch
     /// trace's count directly; streams re-derive it generatively).
     pub fn arrival_count(&self) -> usize {
@@ -469,6 +490,25 @@ pub trait RoutingPolicy {
     /// `task` is the LS service the request belongs to; `at_us` its
     /// arrival time. Returns a replica index `< views.len()`.
     fn route(&mut self, views: &[ReplicaView], task: usize, at_us: f64) -> usize;
+
+    /// Tier-aware variant, called instead of [`route`](Self::route)
+    /// when the run carries a [`crate::tiers::TiersConfig`]. `tier_rank`
+    /// is the request's tier rank (0 = highest-priority tier); built-in
+    /// implementations break ties toward higher tiers on healthy,
+    /// non-breaching lanes and must keep rank 0 identical to the
+    /// tier-blind `route` (so a single-tier config reproduces tier-blind
+    /// routing exactly). Stateful routers must consume the same internal
+    /// state either way — the p2c chain draws exactly twice per call.
+    fn route_with_tier(
+        &mut self,
+        views: &[ReplicaView],
+        task: usize,
+        tier_rank: u32,
+        at_us: f64,
+    ) -> usize {
+        let _ = tier_rank;
+        self.route(views, task, at_us)
+    }
 }
 
 /// Blind rotation over replicas.
@@ -518,6 +558,28 @@ impl RoutingPolicy for JoinShortestBacklog {
             .expect("non-empty fleet")
             .0
     }
+
+    /// Tier-aware tie-break: lower tiers prefer lanes already breaching
+    /// their SLO window (among healthy lanes, then shortest backlog), so
+    /// the clean lanes' headroom is left to the top tier. Rank 0 is the
+    /// plain shortest-backlog route, bit for bit.
+    fn route_with_tier(
+        &mut self,
+        views: &[ReplicaView],
+        task: usize,
+        tier_rank: u32,
+        at_us: f64,
+    ) -> usize {
+        if tier_rank == 0 {
+            return self.route(views, task, at_us);
+        }
+        views
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, v)| (!v.healthy, v.window_p99_ratio <= 1.0, v.backlog, *i))
+            .expect("non-empty fleet")
+            .0
+    }
 }
 
 /// SLO-aware power-of-two-choices: sample two replicas from a
@@ -562,6 +624,43 @@ impl RoutingPolicy for SloAwarePowerOfTwo {
                 r,
             )
         };
+        if key(i) <= key(j) {
+            i
+        } else {
+            j
+        }
+    }
+
+    /// Tier-aware tie-break with the same two draws per call: the top
+    /// tier keeps the full SLO-aware key (identical to the tier-blind
+    /// route); lower tiers lose the breach-avoidance privilege and
+    /// compare on health + backlog only, yielding non-breaching lanes
+    /// to higher tiers when both candidates are loaded.
+    fn route_with_tier(
+        &mut self,
+        views: &[ReplicaView],
+        _task: usize,
+        tier_rank: u32,
+        _at_us: f64,
+    ) -> usize {
+        let n = views.len();
+        let i = self.draw(n);
+        let j = self.draw(n);
+        if tier_rank == 0 {
+            let key = |r: usize| {
+                (
+                    !views[r].healthy,
+                    views[r].window_p99_ratio > 1.0,
+                    views[r].backlog,
+                    r,
+                )
+            };
+            if key(i) <= key(j) {
+                return i;
+            }
+            return j;
+        }
+        let key = |r: usize| (!views[r].healthy, views[r].backlog, r);
         if key(i) <= key(j) {
             i
         } else {
@@ -730,6 +829,28 @@ pub struct ClusterResult {
     /// healthy routable lane at all. The per-lane remainder lives in
     /// [`ReplicaSummary::requeued`].
     pub refused_arrivals: u64,
+    /// Arrivals the tiered admission controller refused outright
+    /// (overload + queue-full) — a *terminal* outcome, unlike
+    /// `refused_arrivals` requeues. With tiers on, the conservation
+    /// identity extends to `arrivals == completed + timeout_drops +
+    /// shed + refused_admission + in_flight`. Always 0 without a tier
+    /// config.
+    pub refused_admission: u64,
+    /// Arrivals injected per LS service (index = task id).
+    pub arrivals_by_task: Vec<u64>,
+    /// Completions per LS service.
+    pub completed_by_task: Vec<u64>,
+    /// Completions per LS service that met the replica SLO *and* the
+    /// service's soft deadline. Without a tier config the deadline is
+    /// `INFINITY`, so this is the per-service slice of `slo_met`.
+    pub slo_met_by_task: Vec<u64>,
+    /// Σ tier-weight × deadline-aware on-SLO completions per second.
+    /// Without a tier config every weight is 1.0 and this equals
+    /// `goodput_hz`.
+    pub weighted_goodput_hz: f64,
+    /// Per-tier ledgers, ascending by tier id (empty without a tier
+    /// config); each satisfies the per-tier conservation identity.
+    pub tier_outcomes: Vec<TierOutcome>,
     /// The flight recorder's output (merged event stream, tick-sampled
     /// metric series, clock phase profile) — `None` unless
     /// [`ClusterConfig::telemetry`] was set. Every *other* field is
@@ -747,6 +868,19 @@ impl ClusterResult {
     /// Fraction of completions that met their SLO.
     pub fn slo_attainment(&self) -> f64 {
         self.slo_met as f64 / self.requests.max(1) as f64
+    }
+
+    /// Σ `weights[task] × slo_met_by_task[task]` under a caller-supplied
+    /// weight vector — the bench uses this to score tier-*blind* arms
+    /// with the tiered arm's weights for an apples-to-apples weighted
+    /// goodput comparison.
+    pub fn weighted_slo_met_with(&self, weights: &[f64]) -> f64 {
+        assert_eq!(weights.len(), self.slo_met_by_task.len());
+        self.slo_met_by_task
+            .iter()
+            .zip(weights)
+            .map(|(&met, &w)| met as f64 * w)
+            .sum()
     }
 }
 
@@ -825,6 +959,12 @@ struct LaneCell<'s> {
     slo_met: u64,
     /// Requests the router sent here.
     routed: u64,
+    /// Completions per LS service (tier attribution; summed fleet-wide
+    /// into [`ClusterResult::completed_by_task`]).
+    done_by_task: Vec<u64>,
+    /// Completions per LS service that met the replica SLO *and* the
+    /// service's soft deadline (`INFINITY` without a tier config).
+    met_by_task: Vec<u64>,
 }
 
 /// Compile-time contract for the epoch batch: a [`LaneCell`] crosses
@@ -889,7 +1029,14 @@ impl<'s> LaneCell<'s> {
     /// mode the drained records are discarded immediately (capacity
     /// retained), so a controller tick bounds each replica's completion
     /// log at one window.
-    fn drain(&mut self, slos: &[f64], streaming: bool, lane: u32, tel: &mut TelemetryRt) {
+    fn drain(
+        &mut self,
+        slos: &[f64],
+        soft: &[f64],
+        streaming: bool,
+        lane: u32,
+        tel: &mut TelemetryRt,
+    ) {
         let stats = &mut self.sim.state_mut().stats;
         for t in 0..slos.len() {
             let done = &mut stats.ls_completed[t];
@@ -898,8 +1045,12 @@ impl<'s> LaneCell<'s> {
                 self.cum_hist.record(lat);
                 self.win_hist.record(lat / slos[t]);
                 let ok = lat <= slos[t];
+                self.done_by_task[t] += 1;
                 if ok {
                     self.slo_met += 1;
+                    if lat <= soft[t] {
+                        self.met_by_task[t] += 1;
+                    }
                 }
                 if tel.is_on() {
                     tel.record(
@@ -1453,13 +1604,19 @@ struct ChaosRt {
     timeout_drops: u64,
     ls_shed: u64,
     be_shed: u64,
+    /// Per-LS-service attribution of `timeout_drops` (tier ledgers).
+    /// `timeout_drops == drops_by_task.sum()`.
+    drops_by_task: Vec<u64>,
+    /// Per-LS-service attribution of `ls_shed` (tier ledgers).
+    /// `ls_shed == shed_by_task.sum()`.
+    shed_by_task: Vec<u64>,
     faults_injected: u64,
     faults_recovered: u64,
     redispatch_hist: LatencyHistogram,
 }
 
 impl ChaosRt {
-    fn new(plan: Option<&FaultPlan>, n: usize, n_jobs: usize) -> Self {
+    fn new(plan: Option<&FaultPlan>, n: usize, n_jobs: usize, n_ls: usize) -> Self {
         let (timeline, retry, degradation, heartbeat_timeout_us) = match plan {
             Some(p) => (
                 p.timeline(n),
@@ -1494,6 +1651,8 @@ impl ChaosRt {
             timeout_drops: 0,
             ls_shed: 0,
             be_shed: 0,
+            drops_by_task: vec![0; n_ls],
+            shed_by_task: vec![0; n_ls],
             faults_injected: 0,
             faults_recovered: 0,
             redispatch_hist: LatencyHistogram::new(),
@@ -1514,18 +1673,29 @@ impl ChaosRt {
     }
 
     /// Hands an orphaned request to the retry queue — or straight to the
-    /// drop counter when the policy is drop-on-crash (`max_retries` 0).
-    /// `from` attributes the requeue to the lane the request was ripped
-    /// out of (`None` = an arrival refused fleet-wide). Returns whether
-    /// the request was actually queued (`false` = dropped immediately).
-    fn requeue(&mut self, task: usize, arrival_us: f64, t: f64, from: Option<usize>) -> bool {
+    /// drop counter when the effective policy is drop-on-crash
+    /// (`max_retries` 0; per-tier with a tier config, fleet-wide
+    /// `RetryConfig::max_retries` otherwise — the caller passes
+    /// [`TierRt::max_retries_for`], which folds both cases). `from`
+    /// attributes the requeue to the lane the request was ripped out of
+    /// (`None` = an arrival refused fleet-wide). Returns whether the
+    /// request was actually queued (`false` = dropped immediately).
+    fn requeue(
+        &mut self,
+        task: usize,
+        arrival_us: f64,
+        t: f64,
+        from: Option<usize>,
+        max_retries: u32,
+    ) -> bool {
         self.requeued += 1;
         match from {
             Some(r) => self.lane_requeued[r] += 1,
             None => self.refused += 1,
         }
-        if self.retry.max_retries == 0 {
+        if max_retries == 0 {
             self.timeout_drops += 1;
+            self.drops_by_task[task] += 1;
             false
         } else {
             self.retry_q.push(Requeue {
@@ -1537,6 +1707,234 @@ impl ChaosRt {
             });
             true
         }
+    }
+}
+
+/// What the admission controller decided for one arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Admission {
+    /// Route immediately — the tier is not browned out (or tiers are
+    /// off, in which case every arrival admits).
+    Admit,
+    /// Park in the tier's bounded FIFO queue; flushed at the first tick
+    /// where the brownout ladder recedes below the tier's queue level.
+    Queue,
+    /// Terminal refusal, attributed to the reason in telemetry and the
+    /// per-tier conservation ledger.
+    Refuse(RefusalReason),
+}
+
+/// The fleet clock's tiered-SLO runtime: per-service tier attributes,
+/// the brownout ladder, bounded admission queues and refusal ledgers.
+/// Like [`ChaosRt`], it is instantiated unconditionally; without a
+/// [`TiersConfig`] the per-task vectors mirror the fleet-wide
+/// [`RetryConfig`] exactly (same retry budget, same hard deadline,
+/// weight 1, rank 0, infinite soft deadline) so the requeue/retry/drain
+/// paths run one code path with bit-identical behavior.
+struct TierRt {
+    enabled: bool,
+    /// Per-service priority rank: 0 = highest tier, ascending = lower.
+    /// Services of the same tier id share a rank.
+    rank: Vec<u32>,
+    /// Per-service goodput weight (1.0 when tiers are off).
+    weight: Vec<f64>,
+    /// Per-service soft (SLO-credit) deadline in µs; +inf when tiers
+    /// are off so every completion counts, matching plain goodput.
+    soft: Vec<f64>,
+    /// Per-service hard deadline in µs — past it a queued or retried
+    /// request is doomed and dropped. Mirrors `RetryConfig::timeout_us`
+    /// when tiers are off.
+    hard: Vec<f64>,
+    /// Per-service retry budget. Mirrors `RetryConfig::max_retries`
+    /// when tiers are off.
+    max_retries: Vec<u32>,
+    /// Per-service tier id (telemetry labels only — control decisions
+    /// use `rank`).
+    tier_id_of: Vec<u32>,
+    /// Ascending distinct tier ids; index = rank.
+    tier_ids: Vec<u32>,
+    tier_class: Vec<AdmissionClass>,
+    tier_weight: Vec<f64>,
+    /// Brownout level at which rank r starts queueing / shedding.
+    /// `u32::MAX` for Guaranteed tiers — they never queue or shed.
+    queue_level: Vec<u32>,
+    shed_level: Vec<u32>,
+    /// Current ladder level: 0 = normal, 1 = BE parked fleet-wide,
+    /// then alternating queue/shed per eligible tier.
+    level: u32,
+    max_level: u32,
+    /// Consecutive calm ticks observed; de-escalates one level per
+    /// `hold_ticks` of calm (hysteresis).
+    calm_ticks: u32,
+    /// Per-rank bounded admission queues of `(task, arrival_us)`.
+    queues: Vec<VecDeque<(u32, f64)>>,
+    queue_capacity: usize,
+    enter_backlog: usize,
+    exit_backlog: usize,
+    hold_ticks: u32,
+    shed_per_tick: usize,
+    /// Per-service admission ledgers (always maintained; zero when
+    /// tiers are off since every arrival admits).
+    admitted_by_task: Vec<u64>,
+    queued_by_task: Vec<u64>,
+    refused_overload_by_task: Vec<u64>,
+    refused_queue_full_by_task: Vec<u64>,
+}
+
+impl TierRt {
+    fn new(tiers: Option<&TiersConfig>, n_ls: usize, retry: &RetryConfig) -> Self {
+        match tiers {
+            Some(cfg) => {
+                let tier_ids = cfg.tier_ids();
+                let n_tiers = tier_ids.len();
+                let rank_of =
+                    |id: u32| tier_ids.iter().position(|&x| x == id).expect("known tier") as u32;
+                let mut tier_class = vec![AdmissionClass::Guaranteed; n_tiers];
+                let mut tier_weight = vec![1.0; n_tiers];
+                for tc in &cfg.tiers {
+                    let r = rank_of(tc.tier) as usize;
+                    tier_class[r] = tc.class;
+                    tier_weight[r] = tc.weight;
+                }
+                // Brownout ladder order: most-sheddable class first
+                // (BestEffort before Burstable), then lower-priority
+                // tiers (higher rank) first within a class. Guaranteed
+                // tiers never appear on the ladder.
+                let mut eligible: Vec<usize> = (0..n_tiers)
+                    .filter(|&r| tier_class[r] != AdmissionClass::Guaranteed)
+                    .collect();
+                eligible.sort_by_key(|&r| {
+                    (
+                        std::cmp::Reverse(tier_class[r].brown_severity()),
+                        std::cmp::Reverse(r),
+                    )
+                });
+                let mut queue_level = vec![u32::MAX; n_tiers];
+                let mut shed_level = vec![u32::MAX; n_tiers];
+                for (p, &r) in eligible.iter().enumerate() {
+                    let p = p as u32;
+                    queue_level[r] = 2 * p + 2;
+                    shed_level[r] = 2 * p + 3;
+                }
+                let max_level = 1 + 2 * eligible.len() as u32;
+                Self {
+                    enabled: true,
+                    rank: cfg.tiers.iter().map(|tc| rank_of(tc.tier)).collect(),
+                    weight: cfg.tiers.iter().map(|tc| tc.weight).collect(),
+                    soft: cfg.tiers.iter().map(|tc| tc.soft_deadline_us).collect(),
+                    hard: cfg.tiers.iter().map(|tc| tc.hard_deadline_us).collect(),
+                    max_retries: cfg.tiers.iter().map(|tc| tc.max_retries).collect(),
+                    tier_id_of: cfg.tiers.iter().map(|tc| tc.tier).collect(),
+                    tier_ids,
+                    tier_class,
+                    tier_weight,
+                    queue_level,
+                    shed_level,
+                    level: 0,
+                    max_level,
+                    calm_ticks: 0,
+                    queues: vec![VecDeque::new(); n_tiers],
+                    queue_capacity: cfg.queue_capacity,
+                    enter_backlog: cfg.enter_backlog,
+                    exit_backlog: cfg.exit_backlog,
+                    hold_ticks: cfg.hold_ticks,
+                    shed_per_tick: cfg.shed_per_tick,
+                    admitted_by_task: vec![0; n_ls],
+                    queued_by_task: vec![0; n_ls],
+                    refused_overload_by_task: vec![0; n_ls],
+                    refused_queue_full_by_task: vec![0; n_ls],
+                }
+            }
+            None => Self {
+                enabled: false,
+                rank: vec![0; n_ls],
+                weight: vec![1.0; n_ls],
+                soft: vec![f64::INFINITY; n_ls],
+                hard: vec![retry.timeout_us; n_ls],
+                max_retries: vec![retry.max_retries; n_ls],
+                tier_id_of: vec![0; n_ls],
+                tier_ids: Vec::new(),
+                tier_class: Vec::new(),
+                tier_weight: Vec::new(),
+                queue_level: Vec::new(),
+                shed_level: Vec::new(),
+                level: 0,
+                max_level: 0,
+                calm_ticks: 0,
+                queues: Vec::new(),
+                queue_capacity: 0,
+                enter_backlog: usize::MAX,
+                exit_backlog: usize::MAX,
+                hold_ticks: 0,
+                shed_per_tick: 0,
+                admitted_by_task: vec![0; n_ls],
+                queued_by_task: vec![0; n_ls],
+                refused_overload_by_task: vec![0; n_ls],
+                refused_queue_full_by_task: vec![0; n_ls],
+            },
+        }
+    }
+
+    fn n_tiers(&self) -> usize {
+        self.tier_ids.len()
+    }
+
+    /// Effective retry budget for `task` — per-tier with a config,
+    /// the fleet-wide `RetryConfig` value otherwise (mirrored at
+    /// construction, so this is always just an index).
+    fn max_retries_for(&self, task: usize) -> u32 {
+        self.max_retries[task]
+    }
+
+    /// Admission decision for one arrival — a pure function of the
+    /// current ladder level and the tier queue's occupancy, so it is
+    /// identical under both fleet clocks (the ladder only moves at
+    /// ticks, which order before arrivals at equal timestamps).
+    fn admit(&self, task: usize) -> Admission {
+        if !self.enabled {
+            return Admission::Admit;
+        }
+        let r = self.rank[task] as usize;
+        if self.level >= self.shed_level[r] {
+            return Admission::Refuse(RefusalReason::Overload);
+        }
+        if self.level >= self.queue_level[r] {
+            if self.queues[r].len() >= self.queue_capacity {
+                return Admission::Refuse(RefusalReason::QueueFull);
+            }
+            return Admission::Queue;
+        }
+        Admission::Admit
+    }
+
+    /// One brownout-ladder step, evaluated once per controller tick.
+    /// Escalates one level per pressured tick; a calm tick increments
+    /// the hysteresis counter and only after `hold_ticks` consecutive
+    /// calm ticks does the ladder recede one level (re-admitting tiers
+    /// in reverse shed order).
+    fn step_ladder(&mut self, pressured: bool, calm: bool) {
+        if pressured {
+            self.calm_ticks = 0;
+            if self.level < self.max_level {
+                self.level += 1;
+            }
+        } else if calm && self.level > 0 {
+            self.calm_ticks += 1;
+            if self.calm_ticks >= self.hold_ticks {
+                self.level -= 1;
+                self.calm_ticks = 0;
+            }
+        } else {
+            // Neither pressured nor fully calm: hold the level and
+            // restart the hysteresis window.
+            self.calm_ticks = 0;
+        }
+    }
+
+    /// Total requests parked in admission queues (end-of-run in-flight
+    /// accounting and per-tier backlog telemetry).
+    fn queued_total(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
     }
 }
 
@@ -1742,6 +2140,7 @@ fn drain_lane_start(
     jobs_on: &mut [Vec<usize>],
     migrations: &mut Vec<Migration>,
     rt: &mut ChaosRt,
+    trt: &TierRt,
     ert: &mut ElasticRt,
     tel: &mut TelemetryRt,
     v: usize,
@@ -1762,7 +2161,7 @@ fn drain_lane_start(
     drained.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     ert.drain_requeued += drained.len() as u64;
     for &(task, arrival_us) in &drained {
-        let queued = rt.requeue(task, arrival_us, t, Some(v));
+        let queued = rt.requeue(task, arrival_us, t, Some(v), trt.max_retries_for(task));
         if tel.is_on() {
             let task = task as u32;
             tel.record(
@@ -1893,6 +2292,7 @@ fn elastic_step(
     jobs_on: &mut [Vec<usize>],
     migrations: &mut Vec<Migration>,
     rt: &mut ChaosRt,
+    trt: &TierRt,
     ert: &mut ElasticRt,
     tel: &mut TelemetryRt,
     arrivals_injected: u64,
@@ -1963,6 +2363,7 @@ fn elastic_step(
                     jobs_on,
                     migrations,
                     rt,
+                    trt,
                     ert,
                     tel,
                     v,
@@ -2041,6 +2442,7 @@ fn elastic_step(
                 jobs_on,
                 migrations,
                 rt,
+                trt,
                 ert,
                 tel,
                 v,
@@ -2151,6 +2553,7 @@ fn apply_fault(
     fleet: &mut Fleet,
     migrations: &mut Vec<Migration>,
     rt: &mut ChaosRt,
+    trt: &TierRt,
     ert: &mut ElasticRt,
     tel: &mut TelemetryRt,
 ) {
@@ -2186,7 +2589,13 @@ fn apply_fault(
             fleet.mutate(r, |cell| cell.sim.state_mut().crash_drain(&mut drained));
             drained.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
             for &(task, arrival_us) in &drained {
-                let queued = rt.requeue(task, arrival_us, f.at_us, Some(r));
+                let queued = rt.requeue(
+                    task,
+                    arrival_us,
+                    f.at_us,
+                    Some(r),
+                    trt.max_retries_for(task),
+                );
                 if tel.is_on() {
                     let task = task as u32;
                     tel.record(
@@ -2319,6 +2728,7 @@ fn process_retries(
     jobs_on: &[Vec<usize>],
     due: &mut Vec<Requeue>,
     rt: &mut ChaosRt,
+    trt: &TierRt,
     tel: &mut TelemetryRt,
 ) {
     due.clear();
@@ -2339,8 +2749,12 @@ fn process_retries(
         fleet.patch_health(rt, t);
     }
     for mut e in due.drain(..) {
-        if t - e.arrival_us > rt.retry.timeout_us {
+        // Deadline-aware drop: past the request's hard deadline
+        // (per-tier with a config, `RetryConfig::timeout_us` mirrored
+        // otherwise) re-dispatching is doomed work — drop it now.
+        if t - e.arrival_us > trt.hard[e.task] {
             rt.timeout_drops += 1;
+            rt.drops_by_task[e.task] += 1;
             if tel.is_on() {
                 tel.record(
                     t,
@@ -2367,7 +2781,11 @@ fn process_retries(
         // healthy count is 0, so the entry backs off like a whole-fleet
         // outage until a lane activates.
         let target = if any_healthy {
-            let slot = router.route(&fleet.views, e.task, t);
+            let slot = if trt.enabled {
+                router.route_with_tier(&fleet.views, e.task, trt.rank[e.task], t)
+            } else {
+                router.route(&fleet.views, e.task, t)
+            };
             assert!(
                 slot < fleet.views.len(),
                 "router picked slot {slot} of {}",
@@ -2396,8 +2814,9 @@ fn process_retries(
             }
             _ => {
                 e.attempt += 1;
-                if e.attempt > rt.retry.max_retries {
+                if e.attempt > trt.max_retries_for(e.task) {
                     rt.timeout_drops += 1;
+                    rt.drops_by_task[e.task] += 1;
                     if tel.is_on() {
                         tel.record(
                             t,
@@ -2509,6 +2928,12 @@ fn degrade(
         }
     }
     if per_alive > rt.degradation.shed_ls_backlog {
+        // Victim selection must respect elastic membership: a draining
+        // or retired lane (`routable` false) may still carry backlog it
+        // is flushing out, but shedding there would double-punish work
+        // that is already exiting — the victim is the most backlogged
+        // lane among alive *routable* members only (regression-tested
+        // in cluster_chaos::shed_victim_skips_draining_lanes).
         let victim = (0..n)
             .filter(|&r| fleet.alive[r] && fleet.routable[r])
             .max_by_key(|&r| (fleet.backlog[r], std::cmp::Reverse(r)));
@@ -2533,6 +2958,241 @@ fn degrade(
                         },
                     );
                 }
+            }
+        }
+    }
+}
+
+/// Tier-ordered brownout, evaluated every controller tick when a
+/// [`TiersConfig`] is attached — replaces the single-threshold
+/// [`degrade`] path. The ladder escalates one level per pressured tick
+/// (per-alive backlog above `enter_backlog`, or a windowed p99 breach
+/// on any routable survivor while backlog exceeds the `exit_backlog`
+/// calm floor): level 1 parks every BE job fleet-wide, then
+/// each eligible tier (BestEffort before Burstable, lower-priority
+/// tiers first) gains a *queue* level and a *shed* level in turn.
+/// Recovery runs the ladder in reverse: after `hold_ticks` consecutive
+/// calm ticks (backlog at or below `exit_backlog`, no SLO pressure)
+/// the level drops by one, re-admitting tiers in the opposite order
+/// they were browned. Guaranteed tiers never queue or shed.
+#[allow(clippy::too_many_arguments)]
+fn brownout(
+    cfg: &ClusterConfig,
+    at_us: f64,
+    n_ls: usize,
+    fleet_models: &[usize],
+    jobs_on: &mut [Vec<usize>],
+    fleet: &mut Fleet,
+    rt: &mut ChaosRt,
+    trt: &mut TierRt,
+    tel: &mut TelemetryRt,
+) {
+    let n = fleet.len();
+    let alive = (0..n)
+        .filter(|&r| fleet.routable[r] && fleet.alive[r])
+        .count();
+    if alive == 0 {
+        return;
+    }
+    let backlog: usize = (0..n)
+        .filter(|&r| fleet.routable[r] && fleet.alive[r])
+        .map(|r| fleet.backlog[r] as usize)
+        .sum();
+    let per_alive = backlog / alive;
+    let slo_pressure = (0..n).any(|r| fleet.routable[r] && fleet.alive[r] && fleet.ratio[r] > 1.0);
+    // SLO pressure only escalates when backlog sits above the calm
+    // floor: a windowed p99 breach with near-empty queues is a
+    // capacity artifact shedding cannot fix, and gating it keeps
+    // [`TiersConfig::inert`] (both thresholds unreachable) a true
+    // no-op, matching `tiers: None` bit for bit.
+    let pressured = per_alive > trt.enter_backlog || (slo_pressure && per_alive > trt.exit_backlog);
+    let calm = per_alive <= trt.exit_backlog && !slo_pressure;
+    trt.step_ladder(pressured, calm);
+
+    // Level ≥ 1: park every resident BE job (the cheapest capacity to
+    // reclaim); level 0: resume anything still parked.
+    let slot_of = |model: usize| {
+        fleet_models
+            .iter()
+            .position(|&m| m == model)
+            .expect("job model is a fleet model")
+    };
+    if trt.level >= 1 {
+        for (r, jobs) in jobs_on.iter().enumerate() {
+            if !fleet.alive[r] || !fleet.routable[r] {
+                continue;
+            }
+            let mut parked = 0u32;
+            for &j in jobs {
+                if rt.job_shed[j] {
+                    continue;
+                }
+                rt.job_shed[j] = true;
+                rt.be_shed += 1;
+                let b = slot_of(cfg.be_jobs[j]);
+                fleet.mutate(r, |cell| {
+                    let st = cell.sim.state_mut();
+                    st.set_be_active(b, false);
+                    if st.be_launch.map(|l| l.task) == Some(b) {
+                        st.preempt_be();
+                    }
+                });
+                parked += 1;
+            }
+            if parked > 0 {
+                fleet.mutate(r, |cell| cell.dispatch());
+                if tel.is_on() {
+                    tel.record(at_us, r as u32, EventKind::BeParked { count: parked });
+                }
+            }
+        }
+    } else {
+        for (r, jobs) in jobs_on.iter().enumerate() {
+            let mut resumed = false;
+            for &j in jobs {
+                if !rt.job_shed[j] {
+                    continue;
+                }
+                rt.job_shed[j] = false;
+                let b = slot_of(cfg.be_jobs[j]);
+                fleet.mutate(r, |cell| cell.sim.state_mut().set_be_active(b, true));
+                resumed = true;
+            }
+            if resumed {
+                fleet.mutate(r, |cell| cell.dispatch());
+            }
+        }
+    }
+
+    // Expire queued admissions whose hard deadline has passed — they
+    // can no longer complete on-SLO, so holding them is doomed work.
+    {
+        let TierRt { queues, hard, .. } = trt;
+        for q in queues.iter_mut() {
+            q.retain(|&(task, arrival_us)| {
+                if at_us - arrival_us > hard[task as usize] {
+                    rt.timeout_drops += 1;
+                    rt.drops_by_task[task as usize] += 1;
+                    if tel.is_on() {
+                        tel.record(at_us, FLEET_TRACK, EventKind::TimeoutDropped { task });
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+    }
+
+    // Active shed: tiers at or past their shed level lose already
+    // admitted pending work on the most backlogged routable survivor
+    // (same victim rule the legacy path uses — draining/retired lanes
+    // are never victims), lowest tier first within the budget.
+    let any_shedding = (0..trt.n_tiers()).any(|r| trt.level >= trt.shed_level[r]);
+    if any_shedding {
+        let victim = (0..n)
+            .filter(|&r| fleet.alive[r] && fleet.routable[r])
+            .max_by_key(|&r| (fleet.backlog[r], std::cmp::Reverse(r)));
+        if let Some(v) = victim {
+            let mut budget = trt.shed_per_tick;
+            'ranks: for rank in (0..trt.n_tiers()).rev() {
+                if trt.level < trt.shed_level[rank] {
+                    continue;
+                }
+                for task in (0..n_ls).rev() {
+                    if trt.rank[task] as usize != rank {
+                        continue;
+                    }
+                    if budget == 0 {
+                        break 'ranks;
+                    }
+                    let dropped =
+                        fleet.mutate(v, |cell| cell.sim.state_mut().shed_pending(task, budget));
+                    budget -= dropped;
+                    rt.ls_shed += dropped as u64;
+                    rt.shed_by_task[task] += dropped as u64;
+                    if dropped > 0 && tel.is_on() {
+                        tel.record(
+                            at_us,
+                            v as u32,
+                            EventKind::LsShed {
+                                task: task as u32,
+                                count: dropped as u32,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Flush tier admission queues whose queue level has receded — called
+/// right after the tick's view rebuild so routing sees fresh backlog.
+/// Entries dispatch FIFO (oldest arrival first) through the tier-aware
+/// router, keeping their original arrival timestamp so latency charges
+/// the queueing delay to the request. A dead-but-fresh target bounces
+/// into the retry queue under the tier's retry budget; with no healthy
+/// lane at all the queue holds until capacity returns.
+fn tier_flush(
+    t: f64,
+    router: &mut dyn RoutingPolicy,
+    fleet: &mut Fleet,
+    jobs_on: &[Vec<usize>],
+    rt: &mut ChaosRt,
+    trt: &mut TierRt,
+    tel: &mut TelemetryRt,
+) {
+    if !trt.enabled || trt.queued_total() == 0 {
+        return;
+    }
+    if fleet.use_cal {
+        fleet.patch_health(rt, t);
+    }
+    for rank in 0..trt.n_tiers() {
+        if trt.level >= trt.queue_level[rank] {
+            continue;
+        }
+        while let Some(&(task, arrival_us)) = trt.queues[rank].front() {
+            let task = task as usize;
+            if fleet.use_cal {
+                #[cfg(debug_assertions)]
+                fleet.assert_views_current(jobs_on, rt, t);
+            } else {
+                fleet.rebuild_views(jobs_on, rt, t);
+            }
+            let any_healthy = if fleet.use_cal {
+                fleet.n_healthy > 0
+            } else {
+                fleet.views.iter().any(|v| v.healthy)
+            };
+            if !any_healthy {
+                break;
+            }
+            trt.queues[rank].pop_front();
+            let slot = router.route_with_tier(&fleet.views, task, rank as u32, t);
+            assert!(
+                slot < fleet.views.len(),
+                "router picked slot {slot} of {}",
+                fleet.views.len()
+            );
+            let r = fleet.view_lane[slot] as usize;
+            if fleet.alive[r] {
+                fleet.mutate(r, |cell| cell.inject_requeued(task, arrival_us, t));
+                if tel.is_on() {
+                    // Attempt 0 marks a queued-admission dispatch, not
+                    // a crash retry.
+                    tel.record(
+                        t,
+                        r as u32,
+                        EventKind::RetryDispatched {
+                            task: task as u32,
+                            attempt: 0,
+                        },
+                    );
+                }
+            } else {
+                rt.requeue(task, arrival_us, t, Some(r), trt.max_retries_for(task));
             }
         }
     }
@@ -2850,6 +3510,8 @@ pub fn run_cluster_prepared(
             cum_hist: LatencyHistogram::new(),
             slo_met: 0,
             routed: 0,
+            done_by_task: vec![0; n_ls],
+            met_by_task: vec![0; n_ls],
         });
         cell.seen_done.clear();
         cell.seen_done.resize(n_ls, 0);
@@ -2880,13 +3542,15 @@ pub fn run_cluster_prepared(
     let mut dests = std::mem::take(&mut ctx.dests);
     let chaos_on = cfg.chaos.is_some();
     let elastic_on = cfg.elastic.is_some();
-    let mut rt = ChaosRt::new(cfg.chaos.as_ref(), n, cfg.be_jobs.len());
+    let mut rt = ChaosRt::new(cfg.chaos.as_ref(), n, cfg.be_jobs.len(), n_ls);
     let mut ert = ElasticRt::new(cfg.elastic.as_ref(), n, n_init);
+    let mut trt = TierRt::new(cfg.tiers.as_ref(), n_ls, &rt.retry);
     fleet.rebuild_views(&jobs_on, &rt, 0.0);
 
     let period = cfg.controller.period_us;
     let mut next_tick = if period > 0.0 { period } else { f64::INFINITY };
     let mut arrivals_injected = 0u64;
+    let mut arrivals_by_task = vec![0u64; n_ls];
 
     // The flight recorder and clock profiler. Disabled (`off`) it is one
     // predictable branch per record call and allocates nothing; enabled,
@@ -2900,7 +3564,7 @@ pub fn run_cluster_prepared(
             } else {
                 0
             };
-            TelemetryRt::new(tcfg, n, expected_ticks)
+            TelemetryRt::new(tcfg, n, trt.n_tiers(), expected_ticks)
         }
         None => TelemetryRt::off(),
     };
@@ -2954,6 +3618,7 @@ pub fn run_cluster_prepared(
                 &mut fleet,
                 &mut migrations,
                 &mut rt,
+                &trt,
                 &mut ert,
                 &mut tel,
             );
@@ -3036,7 +3701,7 @@ pub fn run_cluster_prepared(
             let mut window_done = 0u64;
             for r in 0..n {
                 let cell = &mut fleet.cells[r];
-                cell.drain(&prep.slos[r], cfg.streaming, r as u32, &mut tel);
+                cell.drain(&prep.slos[r], &trt.soft, cfg.streaming, r as u32, &mut tel);
                 window_done += cell.win_hist.count();
                 fleet.ratio[r] = if cell.win_hist.is_empty() {
                     0.0
@@ -3092,6 +3757,31 @@ pub fn run_cluster_prepared(
                     f64::from(active),
                     f64::from(provisioning),
                 );
+                // Per-tier series: queued + in-lane backlog, cumulative
+                // weighted on-SLO completions, cumulative refusals.
+                // Read off the cells (schedule-independent), one pass
+                // per tier — skipped entirely without a tier config so
+                // the telemetry overhead gate is untouched.
+                if trt.enabled {
+                    for rank in 0..trt.n_tiers() {
+                        let mut backlog = trt.queues[rank].len() as f64;
+                        let mut met_w = 0.0;
+                        let mut refused = 0.0;
+                        for task in 0..n_ls {
+                            if trt.rank[task] as usize != rank {
+                                continue;
+                            }
+                            refused += (trt.refused_overload_by_task[task]
+                                + trt.refused_queue_full_by_task[task])
+                                as f64;
+                            for cell in &fleet.cells {
+                                backlog += cell.sim.state().ls_backlog_of(task) as f64;
+                                met_w += cell.met_by_task[task] as f64 * trt.weight[task];
+                            }
+                        }
+                        tel.sample_tier(rank, backlog, met_w, refused);
+                    }
+                }
                 tel.prof.telemetry_ns += TelemetryRt::lap(sample_t0);
             }
             if elastic_on {
@@ -3106,6 +3796,7 @@ pub fn run_cluster_prepared(
                     &mut jobs_on,
                     &mut migrations,
                     &mut rt,
+                    &trt,
                     &mut ert,
                     &mut tel,
                     arrivals_injected,
@@ -3123,7 +3814,22 @@ pub fn run_cluster_prepared(
                 &rt.job_shed,
                 &mut dests,
             );
-            if chaos_on {
+            if trt.enabled {
+                // Tiered brownout replaces the legacy single-threshold
+                // path — it runs every tick (overload needs no fault
+                // plan: diurnal peaks and autoscaler lag qualify).
+                brownout(
+                    cfg,
+                    next_tick,
+                    n_ls,
+                    &prep.fleet_models,
+                    &mut jobs_on,
+                    &mut fleet,
+                    &mut rt,
+                    &mut trt,
+                    &mut tel,
+                );
+            } else if chaos_on {
                 degrade(
                     cfg,
                     next_tick,
@@ -3144,6 +3850,13 @@ pub fn run_cluster_prepared(
             if fleet.use_cal {
                 fleet.rebuild_views(&jobs_on, &rt, next_tick);
             }
+            // Re-admit queued tiers the receding ladder just released —
+            // after the view rebuild so routing sees this tick's state.
+            if trt.enabled {
+                tier_flush(
+                    next_tick, router, &mut fleet, &jobs_on, &mut rt, &mut trt, &mut tel,
+                );
+            }
             tel.prof.tick_ns += TelemetryRt::lap(tick_t0);
             next_tick += period;
             continue;
@@ -3162,7 +3875,7 @@ pub fn run_cluster_prepared(
             );
             rt.last_decision_us = t_retry;
             process_retries(
-                t_retry, router, &mut fleet, &jobs_on, &mut due, &mut rt, &mut tel,
+                t_retry, router, &mut fleet, &jobs_on, &mut due, &mut rt, &trt, &mut tel,
             );
             continue;
         }
@@ -3171,6 +3884,7 @@ pub fn run_cluster_prepared(
         }
         let a = arrivals.pop().expect("checked");
         arrivals_injected += 1;
+        arrivals_by_task[a.task as usize] += 1;
         // Quiesce every replica up to the arrival so the router sees a
         // consistent instant; replicas are independent, so neither the
         // serial order nor the parallel schedule matters (the
@@ -3199,6 +3913,43 @@ pub fn run_cluster_prepared(
         } else {
             fleet.rebuild_views(&jobs_on, &rt, a.at_us);
         }
+        // Admission control runs before routing: the decision is a pure
+        // function of the brownout level (moved only at ticks) and the
+        // tier queue's occupancy, so it is identical under both clocks.
+        // Without a tier config every arrival admits and this is one
+        // predictable branch.
+        match trt.admit(a.task as usize) {
+            Admission::Admit => {
+                trt.admitted_by_task[a.task as usize] += 1;
+            }
+            Admission::Queue => {
+                let task = a.task as usize;
+                trt.queued_by_task[task] += 1;
+                trt.queues[trt.rank[task] as usize].push_back((a.task, a.at_us));
+                tel.prof.route_ns += TelemetryRt::lap(route_t0);
+                continue;
+            }
+            Admission::Refuse(reason) => {
+                let task = a.task as usize;
+                match reason {
+                    RefusalReason::Overload => trt.refused_overload_by_task[task] += 1,
+                    RefusalReason::QueueFull => trt.refused_queue_full_by_task[task] += 1,
+                }
+                if tel.is_on() {
+                    tel.record(
+                        a.at_us,
+                        FLEET_TRACK,
+                        EventKind::Refused {
+                            task: a.task,
+                            tier: trt.tier_id_of[task],
+                            reason,
+                        },
+                    );
+                }
+                tel.prof.route_ns += TelemetryRt::lap(route_t0);
+                continue;
+            }
+        }
         let any_healthy = if fleet.use_cal {
             fleet.n_healthy > 0
         } else {
@@ -3209,7 +3960,13 @@ pub fn run_cluster_prepared(
             // Whole fleet unhealthy (or every lane drained away):
             // the request parks in the retry queue instead of being
             // forced onto a dead replica.
-            let queued = rt.requeue(a.task as usize, a.at_us, a.at_us, None);
+            let queued = rt.requeue(
+                a.task as usize,
+                a.at_us,
+                a.at_us,
+                None,
+                trt.max_retries_for(a.task as usize),
+            );
             if tel.is_on() {
                 tel.record(
                     a.at_us,
@@ -3230,7 +3987,16 @@ pub fn run_cluster_prepared(
             tel.prof.route_ns += TelemetryRt::lap(route_t0);
             continue;
         }
-        let slot = router.route(&fleet.views, a.task as usize, a.at_us);
+        let slot = if trt.enabled {
+            router.route_with_tier(
+                &fleet.views,
+                a.task as usize,
+                trt.rank[a.task as usize],
+                a.at_us,
+            )
+        } else {
+            router.route(&fleet.views, a.task as usize, a.at_us)
+        };
         debug_assert!(
             slot < fleet.views.len(),
             "router picked slot {slot} of {}",
@@ -3246,7 +4012,13 @@ pub fn run_cluster_prepared(
             // Routed at a dead replica still inside its heartbeat
             // window — the crash has not aged out yet, so the request
             // bounces into the retry path like a failed delivery.
-            let queued = rt.requeue(a.task as usize, a.at_us, a.at_us, Some(target));
+            let queued = rt.requeue(
+                a.task as usize,
+                a.at_us,
+                a.at_us,
+                Some(target),
+                trt.max_retries_for(a.task as usize),
+            );
             if tel.is_on() {
                 tel.record(
                     a.at_us,
@@ -3280,17 +4052,37 @@ pub fn run_cluster_prepared(
         &mut tel,
     );
     for r in 0..n {
-        fleet.cells[r].drain(&prep.slos[r], cfg.streaming, r as u32, &mut tel);
+        fleet.cells[r].drain(&prep.slos[r], &trt.soft, cfg.streaming, r as u32, &mut tel);
     }
     tel.sync_logs(&migrations, &ert.events);
     // Read the cells, not the mirrors — the serial arm's quiesce leaves
-    // mirrors stale by design.
+    // mirrors stale by design. Requests parked in tier admission queues
+    // are in flight: arrived, neither completed nor dropped.
     let in_flight_at_end = fleet
         .cells
         .iter()
         .map(|c| c.sim.state().ls_backlog() as u64)
         .sum::<u64>()
-        + rt.retry_q.len() as u64;
+        + rt.retry_q.len() as u64
+        + trt.queued_total() as u64;
+    // Per-service in-flight split for the tier conservation ledgers:
+    // in-lane residue + retry-queue entries + admission-queue entries.
+    let mut in_flight_by_task = vec![0u64; n_ls];
+    if trt.enabled {
+        for c in &fleet.cells {
+            for (task, slot) in in_flight_by_task.iter_mut().enumerate() {
+                *slot += c.sim.state().ls_backlog_of(task) as u64;
+            }
+        }
+        for e in &rt.retry_q {
+            in_flight_by_task[e.task] += 1;
+        }
+        for q in &trt.queues {
+            for &(task, _) in q {
+                in_flight_by_task[task as usize] += 1;
+            }
+        }
+    }
 
     // --- aggregate --------------------------------------------------------
     // Close the billing stint for every lane still serving at the
@@ -3334,6 +4126,16 @@ pub fn run_cluster_prepared(
         drain_requeued: ert.drain_requeued,
         replacements: ert.replacements,
         refused_arrivals: rt.refused,
+        refused_admission: trt
+            .refused_overload_by_task
+            .iter()
+            .chain(&trt.refused_queue_full_by_task)
+            .sum(),
+        arrivals_by_task,
+        completed_by_task: vec![0; n_ls],
+        slo_met_by_task: vec![0; n_ls],
+        weighted_goodput_hz: 0.0,
+        tier_outcomes: Vec::new(),
         telemetry,
     };
     for (r, cell) in fleet.cells.drain(..).enumerate() {
@@ -3345,7 +4147,13 @@ pub fn run_cluster_prepared(
             cum_hist,
             slo_met,
             routed,
+            done_by_task,
+            met_by_task,
         } = *cell;
+        for t in 0..n_ls {
+            result.completed_by_task[t] += done_by_task[t];
+            result.slo_met_by_task[t] += met_by_task[t];
+        }
         let mut stats = sim.finish(&mut ctx.sims[r]);
         result.retained_completions += stats
             .ls_completed
@@ -3390,6 +4198,54 @@ pub fn run_cluster_prepared(
         });
     }
     result.goodput_hz = result.slo_met as f64 / (cfg.horizon_us / 1e6);
+    // Weighted goodput: tier-weight × on-SLO (soft-deadline) completions
+    // per second. Without a tier config every weight is 1 and every soft
+    // deadline infinite, so this equals `goodput_hz` exactly.
+    let horizon_s = cfg.horizon_us / 1e6;
+    result.weighted_goodput_hz = result
+        .slo_met_by_task
+        .iter()
+        .zip(&trt.weight)
+        .map(|(&met, &w)| met as f64 * w)
+        .sum::<f64>()
+        / horizon_s;
+    if trt.enabled {
+        for rank in 0..trt.n_tiers() {
+            let mut o = TierOutcome {
+                tier: trt.tier_ids[rank],
+                class: trt.tier_class[rank],
+                weight: trt.tier_weight[rank],
+                arrivals: 0,
+                admitted: 0,
+                queued: 0,
+                refused_overload: 0,
+                refused_queue_full: 0,
+                shed: 0,
+                timeout_drops: 0,
+                completed: 0,
+                slo_met: 0,
+                in_flight_at_end: 0,
+                weighted_goodput_hz: 0.0,
+            };
+            for (task, &in_flight) in in_flight_by_task.iter().enumerate() {
+                if trt.rank[task] as usize != rank {
+                    continue;
+                }
+                o.arrivals += result.arrivals_by_task[task];
+                o.admitted += trt.admitted_by_task[task];
+                o.queued += trt.queued_by_task[task];
+                o.refused_overload += trt.refused_overload_by_task[task];
+                o.refused_queue_full += trt.refused_queue_full_by_task[task];
+                o.shed += rt.shed_by_task[task];
+                o.timeout_drops += rt.drops_by_task[task];
+                o.completed += result.completed_by_task[task];
+                o.slo_met += result.slo_met_by_task[task];
+                o.in_flight_at_end += in_flight;
+            }
+            o.weighted_goodput_hz = o.slo_met as f64 * o.weight / horizon_s;
+            result.tier_outcomes.push(o);
+        }
+    }
 
     // Return the reusable storage to the context.
     ctx.next_at = fleet.next_at;

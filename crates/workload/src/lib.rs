@@ -10,7 +10,9 @@
 //! requeue-on-crash resilience ([`chaos`]), warm-pool autoscaling
 //! with SLO-breach draining and crash replacement ([`elastic`]), and
 //! the deterministic flight recorder / metrics registry / clock
-//! profiler for postmortem observability ([`telemetry`]).
+//! profiler for postmortem observability ([`telemetry`]), and tiered
+//! SLO classes with admission control, brownout degradation and
+//! deadline-aware retry budgets ([`tiers`]).
 
 pub mod calendar;
 pub mod chaos;
@@ -20,6 +22,7 @@ pub mod metrics;
 pub mod runner;
 pub mod sweep;
 pub mod telemetry;
+pub mod tiers;
 pub mod trace;
 
 pub use calendar::EventCalendar;
@@ -40,7 +43,8 @@ pub use sweep::{
     SweepOptions, SweepResult,
 };
 pub use telemetry::{
-    ClockProfile, EventKind, FlightEvent, MetricSeries, RequeueCause, TelemetryConfig,
-    TelemetryResult, FLEET_TRACK,
+    ClockProfile, EventKind, FlightEvent, MetricSeries, RefusalReason, RequeueCause,
+    TelemetryConfig, TelemetryResult, FLEET_TRACK,
 };
+pub use tiers::{AdmissionClass, TierConfig, TierOutcome, TiersConfig};
 pub use trace::{generate, per_service_traces, ArrivalGen, ArrivalStream, TraceConfig};

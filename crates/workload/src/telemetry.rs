@@ -84,6 +84,27 @@ impl RequeueCause {
     }
 }
 
+/// Why the tiered admission controller refused an arrival outright
+/// (recorded on the [`FLEET_TRACK`] as [`EventKind::Refused`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefusalReason {
+    /// The request's tier sat at its brownout *shed* level: the fleet
+    /// was measured overloaded and this tier is no longer admitted.
+    Overload,
+    /// The tier sat at its *queue* level but its bounded admission
+    /// queue was already full.
+    QueueFull,
+}
+
+impl RefusalReason {
+    pub fn name(&self) -> &'static str {
+        match self {
+            RefusalReason::Overload => "overload",
+            RefusalReason::QueueFull => "queue_full",
+        }
+    }
+}
+
 /// One structured flight-recorder event. Fixed-size and `Copy` so ring
 /// writes are a store, never an allocation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -103,6 +124,13 @@ pub enum EventKind {
     RetryDispatched { task: u32, attempt: u32 },
     /// A requeued request exhausted its budget and was dropped.
     TimeoutDropped { task: u32 },
+    /// The tiered admission controller refused an arrival outright
+    /// (fleet-scoped: always on the [`FLEET_TRACK`]).
+    Refused {
+        task: u32,
+        tier: u32,
+        reason: RefusalReason,
+    },
     /// Graceful degradation shed pending LS work from this lane.
     LsShed { task: u32, count: u32 },
     /// Graceful degradation parked this lane's resident BE jobs.
@@ -137,6 +165,7 @@ impl EventKind {
             EventKind::Requeued { .. } => "requeued",
             EventKind::RetryDispatched { .. } => "retry_dispatched",
             EventKind::TimeoutDropped { .. } => "timeout_dropped",
+            EventKind::Refused { .. } => "refused",
             EventKind::LsShed { .. } => "ls_shed",
             EventKind::BeParked { .. } => "be_parked",
             EventKind::FaultOnset { .. } => "fault_onset",
@@ -314,6 +343,12 @@ pub const FLEET_SERIES: [&str; 4] = [
     "active_lanes",
     "provisioning_lanes",
 ];
+/// Per-tier gauge names sampled at every controller tick when the run
+/// has a tier config (the `lane` field of these series carries the
+/// *tier rank*, 0 = highest-priority tier): total backlog of the
+/// tier's services (in-lane plus admission queue), cumulative weighted
+/// on-SLO completions, and cumulative admission refusals.
+pub const TIER_SERIES: [&str; 3] = ["tier_backlog", "tier_goodput_w", "tier_refused"];
 
 /// The run-side recorder the fleet clock threads through its decision
 /// points. `TelemetryRt::off()` is the disabled recorder: no rings, no
@@ -331,6 +366,10 @@ pub(crate) struct TelemetryRt {
     /// Cursor into the migration log (mirrored lazily).
     mig_seen: usize,
     n_lanes: usize,
+    /// Distinct tiers sampled per tick (0 when the run has no tier
+    /// config — the series layout is then identical to a tier-blind
+    /// recorder).
+    n_tiers: usize,
     tick_us: Vec<f64>,
     series: Vec<MetricSeries>,
     pub(crate) prof: ClockProfile,
@@ -348,22 +387,31 @@ impl TelemetryRt {
             scale_seen: 0,
             mig_seen: 0,
             n_lanes: 0,
+            n_tiers: 0,
             tick_us: Vec::new(),
             series: Vec::new(),
             prof: ClockProfile::default(),
         }
     }
 
-    /// An enabled recorder for `n_lanes` lanes expecting roughly
-    /// `expected_ticks` controller ticks. All allocation happens here:
-    /// rings at full capacity, series at tick capacity.
-    pub(crate) fn new(cfg: &TelemetryConfig, n_lanes: usize, expected_ticks: usize) -> TelemetryRt {
+    /// An enabled recorder for `n_lanes` lanes and `n_tiers` SLO tiers
+    /// (0 without a tier config) expecting roughly `expected_ticks`
+    /// controller ticks. All allocation happens here: rings at full
+    /// capacity, series at tick capacity.
+    pub(crate) fn new(
+        cfg: &TelemetryConfig,
+        n_lanes: usize,
+        n_tiers: usize,
+        expected_ticks: usize,
+    ) -> TelemetryRt {
         let cap_ticks = expected_ticks + 2;
         let mut rings = Vec::with_capacity(n_lanes + 1);
         for _ in 0..n_lanes + 1 {
             rings.push(EventRing::with_capacity(cfg.ring_capacity));
         }
-        let mut series = Vec::with_capacity(n_lanes * LANE_SERIES.len() + FLEET_SERIES.len());
+        let mut series = Vec::with_capacity(
+            n_lanes * LANE_SERIES.len() + FLEET_SERIES.len() + n_tiers * TIER_SERIES.len(),
+        );
         for lane in 0..n_lanes {
             for name in LANE_SERIES {
                 series.push(MetricSeries {
@@ -380,6 +428,15 @@ impl TelemetryRt {
                 values: Vec::with_capacity(cap_ticks),
             });
         }
+        for rank in 0..n_tiers {
+            for name in TIER_SERIES {
+                series.push(MetricSeries {
+                    name,
+                    lane: Some(rank as u32),
+                    values: Vec::with_capacity(cap_ticks),
+                });
+            }
+        }
         TelemetryRt {
             enabled: true,
             profile: cfg.profile,
@@ -389,6 +446,7 @@ impl TelemetryRt {
             scale_seen: 0,
             mig_seen: 0,
             n_lanes,
+            n_tiers,
             tick_us: Vec::with_capacity(cap_ticks),
             series,
             prof: ClockProfile::default(),
@@ -508,6 +566,20 @@ impl TelemetryRt {
         self.series[base + 3].values.push(provisioning);
     }
 
+    /// Samples one tier's gauges for the current tick row (called once
+    /// per tier rank, in rank order, after [`sample_fleet`](Self::sample_fleet)).
+    #[inline]
+    pub(crate) fn sample_tier(&mut self, rank: usize, backlog: f64, goodput_w: f64, refused: f64) {
+        if !self.enabled {
+            return;
+        }
+        debug_assert!(rank < self.n_tiers, "tier rank out of range");
+        let base = self.n_lanes * LANE_SERIES.len() + FLEET_SERIES.len() + rank * TIER_SERIES.len();
+        self.series[base].values.push(backlog);
+        self.series[base + 1].values.push(goodput_w);
+        self.series[base + 2].values.push(refused);
+    }
+
     /// Starts a wall-clock phase measurement (None when profiling is
     /// off — the disabled recorder never reads the clock).
     #[inline]
@@ -606,12 +678,52 @@ mod tests {
     }
 
     #[test]
+    fn tier_series_layout_follows_fleet_block() {
+        let cfg = TelemetryConfig {
+            ring_capacity: 8,
+            profile: false,
+        };
+        let mut rt = TelemetryRt::new(&cfg, 2, 2, 4);
+        rt.begin_tick(1.0);
+        for lane in 0..2 {
+            rt.sample_lane(lane, 1.0, 0.5, 0.0, 0.0);
+        }
+        rt.sample_fleet(0.0, 0.0, 2.0, 0.0);
+        rt.sample_tier(0, 3.0, 8.0, 0.0);
+        rt.sample_tier(1, 5.0, 1.0, 2.0);
+        let out = rt.finish().expect("enabled recorder yields a result");
+        assert_eq!(
+            out.series("tier_backlog", Some(1)).expect("rank 1").values,
+            vec![5.0]
+        );
+        assert_eq!(
+            out.series("tier_goodput_w", Some(0))
+                .expect("rank 0")
+                .values,
+            vec![8.0]
+        );
+        assert_eq!(
+            out.series("tier_refused", Some(1)).expect("rank 1").values,
+            vec![2.0]
+        );
+        // The lane/fleet blocks are untouched by the tier extension.
+        assert_eq!(
+            out.series("backlog", Some(0)).expect("lane 0").values,
+            vec![1.0]
+        );
+        assert_eq!(
+            out.series("active_lanes", None).expect("fleet").values,
+            vec![2.0]
+        );
+    }
+
+    #[test]
     fn merged_stream_orders_by_time_then_seq() {
         let cfg = TelemetryConfig {
             ring_capacity: 16,
             profile: false,
         };
-        let mut rt = TelemetryRt::new(&cfg, 2, 4);
+        let mut rt = TelemetryRt::new(&cfg, 2, 0, 4);
         rt.record(5.0, 1, EventKind::Routed { task: 0 });
         rt.record(1.0, 0, EventKind::Routed { task: 1 });
         rt.record(5.0, 0, EventKind::Routed { task: 2 });

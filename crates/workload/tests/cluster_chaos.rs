@@ -231,6 +231,70 @@ fn degradation_sheds_be_first_then_low_priority_ls() {
     assert_conserved(&res);
 }
 
+/// Regression (tiered-SLO PR audit): `degrade()`'s most-backlogged
+/// shed victim must respect elastic membership — a lane that is
+/// Draining or Retired is not routable and must never be the LS-shed
+/// target, even when it still carries the largest flushing backlog.
+/// Breach draining under a crash-driven overload makes the drained
+/// lane exactly that hot lane, so a victim filter keyed on backlog
+/// alone would pick it.
+#[test]
+fn shed_victim_skips_draining_lanes() {
+    use workload::elastic::{ElasticConfig, ScalingPolicyKind, WarmPoolConfig};
+    use workload::telemetry::{EventKind, TelemetryConfig};
+    use workload::ScaleEventKind;
+
+    let mut cfg = base_cfg();
+    cfg.gpus = vec![GpuModel::RtxA2000, GpuModel::RtxA2000, GpuModel::Gtx1080];
+    cfg.trace = TraceConfig::apollo_like().scaled(3.0).with_bursts(2.0, 0.4);
+    let mut plan = FaultPlan::new(vec![FaultEvent::crash(
+        0,
+        cfg.horizon_us * 0.2,
+        f64::INFINITY,
+    )]);
+    plan.degradation.shed_be_backlog = 4;
+    plan.degradation.shed_ls_backlog = 8;
+    plan.degradation.ls_shed_per_tick = 16;
+    cfg.chaos = Some(plan);
+    let mut elastic = ElasticConfig::new(WarmPoolConfig::new(vec![]), ScalingPolicyKind::Hold);
+    elastic.min_replicas = 2;
+    elastic.max_replicas = cfg.gpus.len();
+    elastic.breach_drain_ticks = 1;
+    elastic.breach_drain_ratio = 0.5;
+    cfg.elastic = Some(elastic);
+    cfg.telemetry = Some(TelemetryConfig::default());
+    let res = run_with_clock(&cfg, RouterKind::ShortestBacklog, ClockKind::Parallel);
+    let tel = res.telemetry.as_ref().expect("telemetry on");
+
+    // Reconstruct each lane's non-member window from the scale log.
+    let mut drain_start = vec![f64::INFINITY; cfg.gpus.len()];
+    for ev in &res.scale_events {
+        if matches!(ev.kind, ScaleEventKind::DrainStart { .. }) {
+            drain_start[ev.replica] = drain_start[ev.replica].min(ev.at_us);
+        }
+    }
+    assert!(
+        drain_start.iter().any(|t| t.is_finite()),
+        "scenario must actually drain a lane (got {:?})",
+        res.scale_events
+    );
+    let mut shed_seen = 0u64;
+    for e in &tel.events {
+        if let EventKind::LsShed { count, .. } = e.kind {
+            shed_seen += u64::from(count);
+            let lane = e.lane as usize;
+            assert!(
+                e.at_us < drain_start[lane],
+                "LS shed hit lane {lane} at {} but it started draining at {}",
+                e.at_us,
+                drain_start[lane]
+            );
+        }
+    }
+    assert!(shed_seen > 0, "overload must shed LS work for the audit");
+    assert_conserved(&res);
+}
+
 /// An armed-but-empty fault plan is bit-identical to no plan at all:
 /// the resilience machinery must cost nothing on the happy path.
 #[test]

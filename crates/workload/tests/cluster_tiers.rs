@@ -1,0 +1,419 @@
+//! Tiered-SLO contracts for the fleet clock.
+//!
+//! Four pillars:
+//! * **inertness** — attaching [`TiersConfig::inert`] (one Guaranteed
+//!   tier mirroring the fleet `RetryConfig`, ladder thresholds
+//!   unreachable) produces results equal to `tiers: None` up to the
+//!   tier-only report fields, for every `SystemKind` × router × clock —
+//!   the tier machinery rides the same code path as the legacy one and
+//!   the no-tiers default is proven bit-identical to pre-tiers
+//!   behavior;
+//! * **bit-identity** — serial and parallel clocks agree on every
+//!   `ClusterResult` field (including `tier_outcomes`) under random
+//!   tier maps × fault plans × scaling policies × systems × routers ×
+//!   `advance_order` permutations;
+//! * **conservation** — globally, `injected = completed + dropped +
+//!   shed + refused + in-flight`, and per tier via
+//!   [`TierOutcome::assert_conserved`], with the tier ledgers summing
+//!   back to the global counters;
+//! * **brownout semantics** — under crash-driven overload the ladder
+//!   refuses best-effort work first and never touches the Guaranteed
+//!   tier, queued admissions drain after recovery, and zero-retry
+//!   tiers drop crash-orphaned work immediately.
+
+use gpu_spec::GpuModel;
+use proptest::prelude::*;
+use workload::chaos::{FaultEvent, FaultPlan};
+use workload::cluster::{ClockKind, ClusterConfig, ControllerConfig, RouterKind};
+use workload::elastic::{ElasticConfig, ScalingPolicyKind, ThresholdPolicy, WarmPoolConfig};
+use workload::trace::TraceConfig;
+use workload::{AdmissionClass, SystemKind, TierConfig, TierOutcome, TiersConfig};
+
+fn short_horizon() -> f64 {
+    if cfg!(debug_assertions) {
+        1e5
+    } else {
+        2.5e5
+    }
+}
+
+fn run_with_clock(
+    cfg: &ClusterConfig,
+    router: RouterKind,
+    clock: ClockKind,
+) -> workload::ClusterResult {
+    let mut cfg = cfg.clone();
+    cfg.clock = clock;
+    let mut r = router.make(cfg.seed);
+    workload::run_cluster(&cfg, r.as_mut())
+}
+
+/// A busy two-GPU fleet with a fast controller — the base scenario the
+/// unit tests perturb with tier configs and fault plans.
+fn base_cfg() -> ClusterConfig {
+    let mut cfg = ClusterConfig::new(
+        vec![GpuModel::RtxA2000, GpuModel::Gtx1080],
+        SystemKind::Sgdrc,
+    );
+    cfg.horizon_us = short_horizon();
+    cfg.trace = TraceConfig::apollo_like().scaled(2.0);
+    cfg.controller = ControllerConfig {
+        period_us: 1e4,
+        breach_ratio: 0.9,
+        adaptive_ch_be: true,
+        ..Default::default()
+    };
+    cfg
+}
+
+/// Number of LS services every replica deploys (the length a tier map
+/// must match), read off a prepared instance of the base scenario.
+fn n_ls() -> usize {
+    base_cfg().prepare().n_ls()
+}
+
+/// The canonical three-class tier map the behavior tests use: service 0
+/// Guaranteed (weight 8), services 1..n/2 Burstable (weight 3), the
+/// rest BestEffort (weight 1), with an aggressive ladder so short test
+/// horizons reach the queue and shed rungs.
+fn three_class_tiers(n_ls: usize) -> TiersConfig {
+    let mut cfg = TiersConfig::new(
+        (0..n_ls)
+            .map(|task| {
+                if task == 0 {
+                    TierConfig::guaranteed(8.0)
+                } else if task < n_ls / 2 {
+                    TierConfig::burstable(2, 3.0)
+                } else {
+                    TierConfig::best_effort(3, 1.0)
+                }
+            })
+            .collect(),
+    );
+    cfg.enter_backlog = 4;
+    cfg.exit_backlog = 2;
+    cfg.hold_ticks = 2;
+    cfg.queue_capacity = 8;
+    cfg.shed_per_tick = 16;
+    cfg
+}
+
+/// A random-but-valid tier map over `n_ls` services: per-service class
+/// drawn from the seed bits (tier id, weight, deadlines and retry
+/// budget are canonical per class so shared-tier consistency holds),
+/// ladder knobs drawn from the high bits.
+fn random_tiers(n_ls: usize, bits: u64) -> TiersConfig {
+    let mut cfg = TiersConfig::new(
+        (0..n_ls)
+            .map(|task| match (bits >> (2 * task)) & 3 {
+                0 | 1 => TierConfig::guaranteed(8.0),
+                2 => TierConfig::burstable(2, 3.0),
+                _ => TierConfig::best_effort(3, 1.0),
+            })
+            .collect(),
+    );
+    cfg.enter_backlog = 2 + (bits >> 48 & 15) as usize;
+    cfg.exit_backlog = cfg.enter_backlog.min(1 + (bits >> 52 & 7) as usize);
+    cfg.hold_ticks = 1 + (bits >> 55 & 3) as u32;
+    cfg.queue_capacity = 4 + (bits >> 57 & 31) as usize;
+    cfg.shed_per_tick = 4 + (bits >> 62 & 1) as usize * 16;
+    cfg
+}
+
+/// A random-but-valid elastic config (subset of the cluster_elastic
+/// generator) so the tier proptests also cross scaling policies.
+fn random_elastic(n_init: usize, warm: usize, bits: u64) -> ElasticConfig {
+    let pool = WarmPoolConfig {
+        provision_delay_us: 2e3 + (bits % 7) as f64 * 3e3,
+        provision_jitter: 0.25,
+        ..WarmPoolConfig::new(vec![GpuModel::RtxA2000; warm])
+    };
+    let policy = if bits & 1 == 0 {
+        ScalingPolicyKind::Hold
+    } else {
+        ScalingPolicyKind::Threshold(ThresholdPolicy {
+            up_ratio: 0.6 + (bits >> 1 & 3) as f64 * 0.3,
+            down_ratio: 0.3,
+            up_backlog: 1.0 + (bits >> 3 & 7) as f64,
+            down_backlog: 2.0,
+            step: 1 + (bits >> 6 & 1) as usize,
+        })
+    };
+    let mut e = ElasticConfig::new(pool, policy);
+    e.min_replicas = 1 + (bits >> 7) as usize % n_init.max(1);
+    e.max_replicas = n_init + warm;
+    if bits >> 11 & 1 == 1 {
+        e.breach_drain_ticks = 2;
+        e.breach_drain_ratio = 0.8;
+    }
+    if bits >> 12 & 1 == 1 {
+        e.replace_after_us = 8e3;
+    }
+    e
+}
+
+/// Deterministic index permutation for `advance_order` (seeded
+/// splitmix64 chain).
+fn permutation(n: usize, mut seed: u64) -> Vec<usize> {
+    let split = |z: &mut u64| {
+        *z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = *z;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    };
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (split(&mut seed) % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// The conservation identity every tiered run must satisfy: globally
+/// with the refused-admission term, per tier exactly, and the tier
+/// ledgers must sum back to the global counters.
+fn assert_conserved_tiered(r: &workload::ClusterResult) {
+    assert_eq!(
+        r.arrivals_injected,
+        r.requests + r.timeout_drops + r.ls_shed + r.refused_admission + r.in_flight_at_end,
+        "conservation: injected {} != completed {} + dropped {} + shed {} + refused {} \
+         + in-flight {}",
+        r.arrivals_injected,
+        r.requests,
+        r.timeout_drops,
+        r.ls_shed,
+        r.refused_admission,
+        r.in_flight_at_end,
+    );
+    for o in &r.tier_outcomes {
+        o.assert_conserved();
+        assert_eq!(
+            o.arrivals,
+            o.admitted + o.queued + o.refused(),
+            "tier {}: every arrival is admitted, queued or refused",
+            o.tier
+        );
+    }
+    let sum = |f: fn(&TierOutcome) -> u64| r.tier_outcomes.iter().map(f).sum::<u64>();
+    assert_eq!(sum(|o| o.arrivals), r.arrivals_injected);
+    assert_eq!(sum(|o| o.completed), r.requests);
+    assert_eq!(sum(|o| o.timeout_drops), r.timeout_drops);
+    assert_eq!(sum(|o| o.shed), r.ls_shed);
+    assert_eq!(sum(|o| o.refused()), r.refused_admission);
+    assert_eq!(sum(|o| o.in_flight_at_end), r.in_flight_at_end);
+}
+
+/// An inert tier config must be a true no-op: equal to `tiers: None`
+/// on every report field except the tier-only ledger, for every
+/// system, router and clock. This is also the proof that the no-tiers
+/// default is bit-identical to pre-tiers behavior — both arms run the
+/// mirrored `TierRt` runtime, and the `None` arm is the default path.
+#[test]
+fn inert_tiers_match_disabled_exactly() {
+    let n_ls = n_ls();
+    for system in SystemKind::all() {
+        for router in RouterKind::all() {
+            for clock in [ClockKind::Serial, ClockKind::Parallel] {
+                let mut cfg = base_cfg();
+                cfg.system = system;
+                cfg.horizon_us = if cfg!(debug_assertions) { 2.5e4 } else { 6e4 };
+                let plain = run_with_clock(&cfg, router, clock);
+                cfg.tiers = Some(TiersConfig::inert(n_ls, 4, 250_000.0));
+                let mut inert = run_with_clock(&cfg, router, clock);
+                assert_eq!(
+                    inert.tier_outcomes.len(),
+                    1,
+                    "inert config reports its single Guaranteed tier"
+                );
+                inert.tier_outcomes[0].assert_conserved();
+                assert_eq!(inert.tier_outcomes[0].refused(), 0);
+                inert.tier_outcomes.clear();
+                assert_eq!(
+                    plain, inert,
+                    "inert tiers diverged from tiers: None \
+                     ({system:?} / {router:?} / {clock:?})"
+                );
+            }
+        }
+    }
+}
+
+/// Crash-driven overload on the canonical three-class map: the ladder
+/// refuses and/or queues best-effort work, the Guaranteed tier is
+/// never refused, queued or shed, and since the bursty trace has calm
+/// windows the browned tiers are re-admitted and still complete work.
+#[test]
+fn overload_refuses_best_effort_first_and_recovers() {
+    let mut cfg = base_cfg();
+    cfg.trace = TraceConfig::apollo_like().scaled(3.0).with_bursts(2.0, 0.4);
+    cfg.tiers = Some(three_class_tiers(n_ls()));
+    cfg.chaos = Some(FaultPlan::new(vec![FaultEvent::crash(
+        0,
+        cfg.horizon_us * 0.25,
+        f64::INFINITY,
+    )]));
+    let res = run_with_clock(&cfg, RouterKind::ShortestBacklog, ClockKind::Parallel);
+    assert_conserved_tiered(&res);
+
+    let by_class = |class: AdmissionClass| {
+        res.tier_outcomes
+            .iter()
+            .find(|o| o.class == class)
+            .unwrap_or_else(|| panic!("{} tier present", class.name()))
+    };
+    let g = by_class(AdmissionClass::Guaranteed);
+    let be = by_class(AdmissionClass::BestEffort);
+    assert_eq!(
+        (g.refused(), g.queued, g.shed),
+        (0, 0, 0),
+        "Guaranteed tier must never be refused, queued or shed"
+    );
+    assert!(
+        res.refused_admission > 0,
+        "sustained overload must refuse admission (refused = 0)"
+    );
+    assert!(
+        be.refused() + be.queued > 0,
+        "brownout must hit the best-effort tier first (refused {} queued {})",
+        be.refused(),
+        be.queued,
+    );
+    assert!(
+        be.completed > 0,
+        "calm windows must re-admit the browned tier (BE completed = 0)"
+    );
+    assert!(
+        res.weighted_goodput_hz > 0.0,
+        "weighted goodput must be reported"
+    );
+    let horizon_s = cfg.horizon_us / 1e6;
+    let from_tiers: f64 = res
+        .tier_outcomes
+        .iter()
+        .map(|o| o.slo_met as f64 * o.weight / horizon_s)
+        .sum();
+    assert!(
+        (res.weighted_goodput_hz - from_tiers).abs() < 1e-9 * from_tiers.max(1.0),
+        "weighted goodput {} must equal the tier-ledger sum {}",
+        res.weighted_goodput_hz,
+        from_tiers
+    );
+}
+
+/// Deadline-aware retry budgets: a zero-retry best-effort tier drops
+/// its crash-orphaned work immediately instead of burning survivor
+/// capacity on retries, while the Guaranteed tier keeps its budget.
+#[test]
+fn zero_retry_tier_drops_orphans_immediately() {
+    let mut cfg = base_cfg();
+    cfg.trace = TraceConfig::apollo_like().scaled(3.0).with_bursts(2.0, 0.4);
+    cfg.tiers = Some(three_class_tiers(n_ls()));
+    cfg.chaos = Some(FaultPlan::new(vec![FaultEvent::crash(
+        0,
+        cfg.horizon_us * 0.25,
+        f64::INFINITY,
+    )]));
+    let res = run_with_clock(&cfg, RouterKind::P2cSlo, ClockKind::Parallel);
+    assert_conserved_tiered(&res);
+    let be = res
+        .tier_outcomes
+        .iter()
+        .find(|o| o.class == AdmissionClass::BestEffort)
+        .expect("best-effort tier present");
+    assert!(
+        be.timeout_drops > 0,
+        "crash must orphan some zero-retry BE work into immediate drops"
+    );
+}
+
+proptest! {
+    /// The acceptance property: serial and parallel clocks agree bit
+    /// for bit — tier outcomes included — under random tier maps ×
+    /// fault plans × scaling policies × systems × routers ×
+    /// `advance_order` permutations.
+    #[test]
+    fn clocks_agree_under_any_tier_config(
+        n_replicas in 1usize..4,
+        pool in (0usize..3, 0u64..8192),
+        system_idx in 0usize..6,
+        router_idx in 0usize..3,
+        scale in 0.8f64..2.8,
+        seeds in (0u64..1_000_000, 0u64..u64::MAX),
+        fault in (0u64..1_000_000, 0.5f64..2.0),
+        perm_seed in 0u64..1_000_000,
+    ) {
+        let (warm, elastic_bits) = pool;
+        let (seed, tier_bits) = seeds;
+        let (fault_seed, intensity) = fault;
+        let system = SystemKind::all()[system_idx];
+        let router = RouterKind::all()[router_idx];
+        let mut cfg = ClusterConfig::new(vec![GpuModel::RtxA2000; n_replicas], system);
+        cfg.horizon_us = if cfg!(debug_assertions) { 2.5e4 } else { 6e4 };
+        cfg.trace = TraceConfig::apollo_like().scaled(scale);
+        cfg.seed = seed;
+        cfg.controller = ControllerConfig {
+            period_us: 1.2e4,
+            breach_ratio: 0.9,
+            adaptive_ch_be: true,
+            ..Default::default()
+        };
+        cfg.tiers = Some(random_tiers(cfg.prepare().n_ls(), tier_bits));
+        cfg.elastic = Some(random_elastic(n_replicas, warm, elastic_bits));
+        cfg.chaos = Some(FaultPlan::generate(
+            fault_seed,
+            n_replicas + warm,
+            cfg.horizon_us,
+            intensity,
+        ));
+        cfg.advance_order = permutation(n_replicas + warm, perm_seed);
+        let serial = run_with_clock(&cfg, router, ClockKind::Serial);
+        let parallel = run_with_clock(&cfg, router, ClockKind::Parallel);
+        prop_assert_eq!(serial, parallel);
+    }
+
+    /// Conservation under tiers: every injected arrival is exactly one
+    /// of {completed, timeout-dropped, shed, refused,
+    /// in-flight-at-horizon}, per tier and globally, with the tier
+    /// ledgers summing back to the global counters — across random
+    /// tier maps, fault plans, scaling policies, systems and both
+    /// clocks.
+    #[test]
+    fn tiers_are_conserved(
+        n_replicas in 1usize..4,
+        pool in (0usize..3, 0u64..8192),
+        system_idx in 0usize..6,
+        router_idx in 0usize..3,
+        mode_bits in 0u64..4,
+        scale in 0.8f64..2.8,
+        seeds in (0u64..1_000_000, 0u64..u64::MAX),
+        fault_seed in 0u64..1_000_000,
+    ) {
+        let (warm, elastic_bits) = pool;
+        let (seed, tier_bits) = seeds;
+        let system = SystemKind::all()[system_idx];
+        let router = RouterKind::all()[router_idx];
+        let mut cfg = ClusterConfig::new(vec![GpuModel::RtxA2000; n_replicas], system);
+        cfg.horizon_us = if cfg!(debug_assertions) { 2.5e4 } else { 6e4 };
+        cfg.trace = TraceConfig::apollo_like().scaled(scale);
+        cfg.seed = seed;
+        cfg.controller.period_us = 1.2e4;
+        cfg.tiers = Some(random_tiers(cfg.prepare().n_ls(), tier_bits));
+        cfg.elastic = Some(random_elastic(n_replicas, warm, elastic_bits));
+        if mode_bits & 2 == 2 {
+            cfg.chaos = Some(FaultPlan::generate(
+                fault_seed,
+                n_replicas + warm,
+                cfg.horizon_us,
+                1.5,
+            ));
+        }
+        let clock = if mode_bits & 1 == 1 {
+            ClockKind::Serial
+        } else {
+            ClockKind::Parallel
+        };
+        let res = run_with_clock(&cfg, router, clock);
+        assert_conserved_tiered(&res);
+    }
+}
